@@ -1,0 +1,734 @@
+(* The experiment harness: regenerates every table/claim of the paper
+   (experiments E1..E12 of DESIGN.md) and runs Bechamel micro-benchmarks.
+
+   Usage:
+     dune exec bench/main.exe            -- all experiment tables + benches
+     dune exec bench/main.exe -- e5 e12  -- selected experiments only
+     dune exec bench/main.exe -- micro   -- micro-benchmarks only          *)
+
+open Simkit
+open Tasklib
+open Efd
+
+let seeds n = List.init n (fun i -> i + 1)
+let line () = Fmt.pr "  %s@." (String.make 72 '-')
+
+let header id title =
+  Fmt.pr "@.=== %s: %s ===@.@." (String.uppercase_ascii id) title
+
+(* mean steps over the passing runs of a sweep-like loop *)
+let run_batch ?budget ?policy ~task ~algo ~fd ~env ~n_seeds () =
+  let results =
+    List.map
+      (fun seed ->
+        let rng = Random.State.make [| seed; 0xbe |] in
+        let pattern = env.Failure.sample rng ~horizon:2_000 in
+        let input = Task.sample_input task rng in
+        Run.execute ?budget ?policy ~task ~algo ~fd ~pattern ~input ~seed ())
+      (seeds n_seeds)
+  in
+  let passed = List.filter Run.ok results in
+  let mean_steps =
+    match passed with
+    | [] -> 0
+    | _ ->
+      List.fold_left (fun acc r -> acc + r.Run.r_steps) 0 passed
+      / List.length passed
+  in
+  (List.length passed, List.length results, mean_steps)
+
+(* ------------------------------------------------------------------ E1 *)
+
+let e1 () =
+  header "e1" "Proposition 1 - every task is 1-concurrently solvable";
+  Fmt.pr "  %-36s %8s %12s@." "task" "pass" "mean-steps";
+  line ();
+  List.iter
+    (fun e ->
+      let task = e.Registry.entry_task in
+      let pass, total, steps =
+        run_batch
+          ~policy:(Run.k_concurrent_policy 1)
+          ~task
+          ~algo:(One_concurrent.make task)
+          ~fd:Fdlib.Fd.trivial
+          ~env:(Failure.wait_free_env 4)
+          ~n_seeds:12 ()
+      in
+      Fmt.pr "  %-36s %4d/%-3d %12d@." task.Task.task_name pass total steps)
+    (Registry.standard ~n:4)
+
+(* ------------------------------------------------------------------ E2 *)
+
+let e2 () =
+  header "e2"
+    "Proposition 2 - trivial-FD solvability = wait-free solvability (n >= m)";
+  let rows =
+    [
+      ("identity(n=4)", Trivial_tasks.identity ~n:4 (), Kconc_tasks.echo (), true);
+      ( "(3,5)-renaming(n=4)",
+        Renaming.make ~n:4 ~j:3 ~l:5,
+        Renaming_algos.fig4 (),
+        true );
+      ( "1-set-agreement(n=4)",
+        Set_agreement.make ~n:4 ~k:1 (),
+        Kconc_tasks.adoption (),
+        false );
+      ( "2-set-agreement(n=4)",
+        Set_agreement.make ~n:4 ~k:2 (),
+        Kconc_tasks.adoption (),
+        false );
+    ]
+  in
+  Fmt.pr "  %-24s %18s %10s@." "task" "trivial-FD solves" "expected";
+  line ();
+  List.iter
+    (fun (name, task, algo, expected) ->
+      let pass, total, _ =
+        run_batch ~task ~algo ~fd:Fdlib.Fd.trivial
+          ~env:(Failure.wait_free_env 4) ~n_seeds:25 ()
+      in
+      let crafted =
+        (* adversarial lockstep on the most concurrent input *)
+        Adversary.search
+          ~policy:(Run.k_concurrent_uniform_policy task.Task.arity)
+          ~task ~algo ~fd:Fdlib.Fd.trivial
+          ~env:(Failure.crash_free 1)
+          ~seeds:(seeds 40) ()
+      in
+      let solves = pass = total && crafted = None in
+      Fmt.pr "  %-24s %18b %10b%s@." name solves expected
+        (if solves = expected then "" else "   <-- MISMATCH"))
+    rows
+
+(* ------------------------------------------------------------------ E3 *)
+
+let e3 () =
+  header "e3" "Section 2.2 - (Pi,n)-set agreement with the trivial detector";
+  Fmt.pr "  %-14s %-10s %8s %12s@." "environment" "n_s" "pass" "mean-steps";
+  line ();
+  List.iter
+    (fun (n_s, t) ->
+      let task = Set_agreement.make ~n:4 ~k:n_s () in
+      let pass, total, steps =
+        run_batch ~task
+          ~algo:(Trivial_nsa.make ())
+          ~fd:Fdlib.Fd.trivial
+          ~env:(Failure.e_t ~n_s ~t)
+          ~n_seeds:20 ()
+      in
+      Fmt.pr "  E_%-12d %-10d %4d/%-3d %12d@." t n_s pass total steps)
+    [ (2, 1); (3, 2); (4, 3); (5, 4) ]
+
+(* ------------------------------------------------------------------ E4 *)
+
+let e4 () =
+  header "e4"
+    "Proposition 3 - classically solvable but not EFD-solvable (q1-else-q2)";
+  let algo = Ksa.consensus () in
+  let fd = Fdlib.Classic.q1_else_q2 () in
+  let cases =
+    [
+      ("no crashes", Some (Failure.failure_free 3), [ 0; 1 ]);
+      ("q1 crashed", Some (Failure.pattern ~n_s:3 [ (0, 0) ]), [ 1 ]);
+      ("q2 crashed", Some (Failure.pattern ~n_s:3 [ (1, 0) ]), [ 0 ]);
+      ("q1,q2 crashed (personified: vacuous)", None, []);
+    ]
+  in
+  Fmt.pr "  %-40s %12s@." "personified case (participants = live U)" "decides";
+  line ();
+  List.iter
+    (fun (name, pattern, u) ->
+      match pattern with
+      | None -> Fmt.pr "  %-40s %12s@." name "vacuous"
+      | Some pattern ->
+        let task = Set_agreement.make ~u ~n:3 ~k:1 () in
+        let rng = Random.State.make [| 5 |] in
+        let input = Task.sample_input task rng in
+        let r = Run.execute ~task ~algo ~fd ~pattern ~input ~seed:5 () in
+        Fmt.pr "  %-40s %12b@." name (Run.ok r))
+    cases;
+  Fmt.pr "@.  EFD run, q1 and q2 crashed, p1 and p2 must still decide:@.";
+  let task = Set_agreement.make ~u:[ 0; 1 ] ~n:3 ~k:1 () in
+  let pattern = Failure.pattern ~n_s:3 [ (0, 0); (1, 0) ] in
+  let rng = Random.State.make [| 5 |] in
+  let input = Task.sample_input task rng in
+  let r = Run.execute ~budget:150_000 ~task ~algo ~fd ~pattern ~input ~seed:5 () in
+  Fmt.pr "  decided: %b, wait-free: %b  (the task is NOT EFD-solvable with D)@."
+    r.Run.r_outcome.Schedule.all_decided r.Run.r_wait_free
+
+(* ------------------------------------------------------------------ E5 *)
+
+let e5 () =
+  header "e5" "Proposition 6 - k-set agreement with vector-Omega-k (three solvers)";
+  Fmt.pr "  %-6s %-4s %-22s %8s %12s@." "n" "k" "solver" "pass" "mean-steps";
+  line ();
+  List.iter
+    (fun (n, k) ->
+      List.iter
+        (fun (solver_name, algo, budget) ->
+          let task = Set_agreement.make ~n ~k () in
+          let fd = Fdlib.Leader_fds.vector_omega_k ~max_stab:60 ~k () in
+          let pass, total, steps =
+            run_batch ~budget ~task ~algo ~fd
+              ~env:(Failure.e_t ~n_s:n ~t:(n - 1))
+              ~n_seeds:8 ()
+          in
+          Fmt.pr "  %-6d %-4d %-22s %4d/%-3d %12d@." n k solver_name pass total
+            steps)
+        (("leader-consensus", Ksa.make ~k (), 400_000)
+         :: ("machine-consensus", Machine_ksa.make ~k (), 2_000_000)
+         ::
+         (if k = 1 then [ ("paxos-alpha", Paxos_consensus.make (), 400_000) ]
+          else [])))
+    [ (3, 1); (3, 2); (4, 1); (4, 2); (4, 3); (5, 2); (6, 3) ]
+
+(* ------------------------------------------------------------------ E6 *)
+
+let e6 () =
+  header "e6" "Theorem 7 - (U,k)-agreement on k+1 processes => (Pi,k)-agreement";
+  Fmt.pr "  %-6s %-4s %-26s %8s %12s@." "n" "k" "participants" "pass" "mean-steps";
+  line ();
+  List.iter
+    (fun (n, k, label, min_participants) ->
+      let task = Set_agreement.make ~n ~k () in
+      let algo = Puzzle.make ~k () in
+      let fd = Puzzle.demo_fd ~k () in
+      let results =
+        List.map
+          (fun seed ->
+            let rng = Random.State.make [| seed; 0xe6 |] in
+            let pattern =
+              (Failure.e_t ~n_s:n ~t:(n - 1)).Failure.sample rng ~horizon:2_000
+            in
+            let input = Task.sample_prefix task rng ~min_participants in
+            Run.execute ~budget:4_000_000 ~task ~algo ~fd ~pattern ~input ~seed ())
+          (seeds 5)
+      in
+      let passed = List.filter Run.ok results in
+      let steps =
+        match passed with
+        | [] -> 0
+        | _ ->
+          List.fold_left (fun a r -> a + r.Run.r_steps) 0 passed
+          / List.length passed
+      in
+      Fmt.pr "  %-6d %-4d %-26s %4d/%-3d %12d@." n k label (List.length passed)
+        (List.length results) steps)
+    [
+      (3, 1, "random", 1);
+      (4, 2, "random", 1);
+      (5, 2, "random", 1);
+      (4, 2, "all (incl. U)", 4);
+    ]
+
+(* ------------------------------------------------------------------ E7 *)
+
+let e7 () =
+  header "e7" "Theorem 8 / Figure 1 - extracting anti-Omega-k";
+  Fmt.pr "  %-8s %-28s %10s %14s@." "k" "pattern" "property" "witnesses";
+  line ();
+  List.iter
+    (fun (n, k, pattern) ->
+      let task = Set_agreement.make ~n ~k () in
+      let algo = Ksa.make ~max_rounds:128 ~k () in
+      let fd = Fdlib.Leader_fds.vector_omega_k_silent ~max_stab:25 ~k () in
+      let rng = Random.State.make [| 17 |] in
+      let inputs = Task.sample_input task rng in
+      let result =
+        Extraction.run ~outer_budget:15_000 ~sample_period:400
+          ~explore_budget:2_500 ~max_samples:200 ~k ~fd ~algo ~inputs ~n_c:n
+          ~pattern ~seed:17 ()
+      in
+      let ok =
+        Fdlib.Props.anti_omega_k_ok pattern result.Extraction.x_outputs ~k
+          ~suffix:4_000
+      in
+      let witnesses =
+        Fdlib.Props.anti_omega_k_witnesses pattern result.Extraction.x_outputs
+          ~suffix:4_000
+      in
+      Fmt.pr "  %-8d %-28s %10b %14s@." k
+        (Fmt.str "%a" Failure.pp_pattern pattern)
+        ok
+        (Fmt.str "%a"
+           Fmt.(list ~sep:(any ",") (fun ppf q -> pf ppf "q%d" (q + 1)))
+           witnesses))
+    [
+      (3, 1, Failure.failure_free 3);
+      (3, 1, Failure.pattern ~n_s:3 [ (2, 300) ]);
+      (4, 2, Failure.failure_free 4);
+      (4, 2, Failure.pattern ~n_s:4 [ (3, 300) ]);
+    ]
+
+(* ------------------------------------------------------------------ E8 *)
+
+let e8 () =
+  header "e8"
+    "Theorem 9 - the double simulation solves k-concurrent tasks with anti-Omega-k";
+  Fmt.pr "  %-28s %-4s %8s %12s@." "task" "k" "pass" "mean-steps";
+  line ();
+  List.iter
+    (fun (task, k, fi) ->
+      let algo = Kconcurrent.make ~k ~fi () in
+      let fd = Fdlib.Leader_fds.vector_omega_k ~max_stab:50 ~k () in
+      let pass, total, steps =
+        run_batch ~budget:3_000_000 ~task ~algo ~fd
+          ~env:(Failure.e_t ~n_s:task.Task.arity ~t:(task.Task.arity - 1))
+          ~n_seeds:4 ()
+      in
+      Fmt.pr "  %-28s %-4d %4d/%-3d %12d@." task.Task.task_name k pass total steps)
+    [
+      (Set_agreement.make ~n:3 ~k:1 (), 1, Bglib.Fi_algos.adoption);
+      (Set_agreement.make ~n:3 ~k:2 (), 2, Bglib.Fi_algos.adoption);
+      (Set_agreement.make ~n:4 ~k:2 (), 2, Bglib.Fi_algos.adoption);
+      (Renaming.make ~n:4 ~j:3 ~l:4, 2, Bglib.Fi_algos.fig4_renaming);
+      (Wsb.make ~n:4 ~j:3, 2, Bglib.Fi_algos.wsb ~j:3);
+      (Trivial_tasks.identity ~n:3 (), 1, Bglib.Fi_algos.echo);
+    ]
+
+(* ------------------------------------------------------------------ E9 *)
+
+let e9 () =
+  header "e9" "Lemma 11 / Theorem 12 - strong renaming impossibility witnesses";
+  let all = seeds 500 in
+  List.iter
+    (fun j ->
+      match Adversary.strong_renaming_witness ~seeds:all ~n:5 ~j () with
+      | Some w ->
+        Fmt.pr "  strong %d-renaming, 2-concurrent: witness at seed %d (%s)@."
+          j w.Adversary.w_seed w.Adversary.w_desc;
+        Fmt.pr "    output %a@." Tasklib.Vectors.pp w.Adversary.w_report.Run.r_output
+      | None -> Fmt.pr "  strong %d-renaming: NO witness found (unexpected)@." j)
+    [ 2; 3 ];
+  (match Adversary.consensus_reduction_witness ~seeds:all ~n:4 () with
+  | Some w ->
+    Fmt.pr "  consensus-from-renaming reduction: witness at seed %d (%s)@."
+      w.Adversary.w_seed w.Adversary.w_desc
+  | None -> Fmt.pr "  reduction: NO witness found (unexpected)@.");
+  let s =
+    Run.sweep
+      ~policy:(Run.k_concurrent_policy 1)
+      ~task:(Renaming.strong ~n:5 ~j:3)
+      ~algo:(Renaming_algos.fig4 ())
+      ~fd:Fdlib.Fd.trivial
+      ~env:(Failure.crash_free 1)
+      ~seeds:(seeds 20) ()
+  in
+  Fmt.pr "  control: strong 3-renaming 1-concurrently: %d/%d ok@." s.Run.passed
+    s.Run.total
+
+(* ----------------------------------------------------------------- E10 *)
+
+let e10 () =
+  header "e10" "Theorem 15 - Figure 4 solves (j, j+k-1)-renaming k-concurrently";
+  let n = 7 in
+  let max_name ~j ~k =
+    List.fold_left
+      (fun acc seed ->
+        let task = Renaming.make ~n ~j ~l:(j + k - 1) in
+        let rng = Random.State.make [| seed |] in
+        let input = Task.sample_input task rng in
+        let r =
+          Run.execute
+            ~policy:(Run.k_concurrent_uniform_policy k)
+            ~task
+            ~algo:(Renaming_algos.fig4 ())
+            ~fd:Fdlib.Fd.trivial
+            ~pattern:(Failure.failure_free 1)
+            ~input ~seed ()
+        in
+        if not (Run.ok r) then max_int
+        else
+          Array.fold_left
+            (fun acc v ->
+              match v with Some x -> max acc (Value.to_int x) | None -> acc)
+            acc r.Run.r_output)
+      0 (seeds 40)
+  in
+  Fmt.pr "  largest name over 40 runs (bound j+k-1); '!' = violation@.@.";
+  Fmt.pr "   j\\k |    1    2    3    4@.  -----+---------------------@.";
+  List.iter
+    (fun j ->
+      Fmt.pr "  %4d |" j;
+      List.iter
+        (fun k ->
+          if k > j then Fmt.pr "    -"
+          else
+            let m = max_name ~j ~k in
+            if m = max_int then Fmt.pr "    !" else Fmt.pr " %4d" m)
+        [ 1; 2; 3; 4 ];
+      Fmt.pr "@.")
+    [ 2; 3; 4; 5 ]
+
+(* ----------------------------------------------------------------- E11 *)
+
+let e11 () =
+  header "e11"
+    "Figure 3 - 1-resilient (j, j+1)-renaming from the 2-concurrent algorithm";
+  let n = 6 in
+  Fmt.pr "  %-6s %-22s %8s@." "j" "mode" "pass";
+  line ();
+  List.iter
+    (fun j ->
+      List.iter
+        (fun (mode, starve_one, after) ->
+          let task = Renaming.make ~n ~j ~l:(j + 1) in
+          let pass = ref 0 and total = ref 0 in
+          List.iter
+            (fun seed ->
+              let rng0 = Random.State.make [| seed; j |] in
+              let input = Task.sample_input task rng0 in
+              let victim = List.hd (Tasklib.Vectors.participants input) in
+              let policy ~participants ~n_c ~n_s ~rng =
+                let base =
+                  Schedule.shuffled_rounds
+                    ~only:(participants @ Pid.all_s n_s)
+                    ~n_c ~n_s rng
+                in
+                if not starve_one then base
+                else
+                  Schedule.seq base ~steps:after
+                    (Schedule.starve [ Pid.c victim ] ~until:max_int base)
+              in
+              let r =
+                Run.execute ~budget:200_000 ~policy ~task
+                  ~algo:(Renaming_algos.fig3 ~j)
+                  ~fd:Fdlib.Fd.trivial
+                  ~pattern:(Failure.failure_free 1)
+                  ~input ~seed ()
+              in
+              incr total;
+              let live_ok =
+                if not starve_one then Run.ok r
+                else
+                  r.Run.r_task_ok
+                  && List.for_all
+                       (fun i -> i = victim || r.Run.r_output.(i) <> None)
+                       (Tasklib.Vectors.participants input)
+              in
+              if live_ok then incr pass)
+            (seeds 10);
+          Fmt.pr "  %-6d %-22s %4d/%-3d@." j mode !pass !total)
+        [ ("all live", false, 0); ("one starved @40", true, 40) ])
+    [ 3; 4 ]
+
+(* ----------------------------------------------------------------- E12 *)
+
+let e12 () =
+  header "e12" "Theorem 10 - the task hierarchy";
+  let table = Classifier.table ~seeds_per_level:15 ~n:4 () in
+  Fmt.pr "%a@.@." Classifier.pp_table table;
+  Fmt.pr "  all rows consistent with the paper: %b@."
+    (List.for_all Classifier.consistent table)
+
+(* ------------------------------------------------------- micro-benches *)
+
+let micro () =
+  header "micro" "Bechamel micro-benchmarks";
+  let open Bechamel in
+  (* setup (task construction, input sampling) happens outside the staged
+     closures: the benchmark times the run, not the enumeration of input
+     vectors *)
+  let consensus_run n seed =
+    let task = Set_agreement.make ~n ~k:1 () in
+    let algo = Ksa.consensus () in
+    let fd = Fdlib.Leader_fds.omega ~max_stab:40 () in
+    let rng = Random.State.make [| seed |] in
+    let input = Task.sample_input task rng in
+    fun () ->
+      ignore
+        (Run.execute ~task ~algo ~fd
+           ~pattern:(Failure.failure_free n)
+           ~input ~seed ())
+  in
+  let ksa_run n k =
+    let task = Set_agreement.make ~n ~k () in
+    let algo = Ksa.make ~k () in
+    let fd = Fdlib.Leader_fds.vector_omega_k ~max_stab:40 ~k () in
+    let rng = Random.State.make [| 3 |] in
+    let input = Task.sample_input task rng in
+    fun () ->
+      ignore
+        (Run.execute ~task ~algo ~fd
+           ~pattern:(Failure.failure_free n)
+           ~input ~seed:3 ())
+  in
+  let renaming_run j k =
+    let task = Renaming.make ~n:(j + 1) ~j ~l:(j + k - 1) in
+    let rng = Random.State.make [| 3 |] in
+    let input = Task.sample_input task rng in
+    let algo = Renaming_algos.fig4 () in
+    fun () ->
+      ignore
+        (Run.execute
+           ~policy:(Run.k_concurrent_policy k)
+           ~task ~algo ~fd:Fdlib.Fd.trivial
+           ~pattern:(Failure.failure_free 1)
+           ~input ~seed:3 ())
+  in
+  let snapshot_scan n () =
+    (* the honest Afek-style snapshot construction, solo *)
+    let mem = Memory.create () in
+    let h = Snapshot.create mem ~n in
+    let rt =
+      Runtime.create
+        {
+          Runtime.n_c = 1;
+          n_s = 1;
+          memory = mem;
+          pattern = Failure.failure_free 1;
+          history = History.trivial;
+          record_trace = false;
+        }
+        ~c_code:(fun _ () ->
+          Snapshot.update h 0 (Value.int 1);
+          ignore (Snapshot.scan h);
+          Runtime.Op.decide Value.unit)
+        ~s_code:(fun _ () -> ())
+    in
+    let _ = Schedule.run rt (Schedule.c_solo 0) ~budget:10_000 in
+    Runtime.destroy rt
+  in
+  let extraction_explore () =
+    let n = 3 and k = 1 in
+    let task = Set_agreement.make ~n ~k () in
+    let algo = Ksa.make ~max_rounds:128 ~k () in
+    let fd = Fdlib.Leader_fds.vector_omega_k_silent ~max_stab:25 ~k () in
+    let pattern = Failure.failure_free 3 in
+    let history = Fdlib.Fd.draw fd pattern ~seed:3 in
+    let dag = Fdlib.Dag.create ~n_s:3 in
+    for t = 0 to 150 do
+      ignore
+        (Fdlib.Dag.add_sample dag ~q:(t mod 3)
+           (History.get history ~q:(t mod 3) ~time:t))
+    done;
+    let rng = Random.State.make [| 3 |] in
+    let inputs = Task.sample_input task rng in
+    ignore
+      (Extraction.simulate_branch ~algo ~inputs ~n_c:n ~n_s:3 ~k ~dag
+         ~stall_on:None ~budget:4_000)
+  in
+  let tests =
+    [
+      Test.make ~name:"consensus-omega-n3" (Staged.stage (consensus_run 3 1));
+      Test.make ~name:"consensus-omega-n5" (Staged.stage (consensus_run 5 1));
+      Test.make ~name:"consensus-omega-n7" (Staged.stage (consensus_run 7 1));
+      Test.make ~name:"consensus-omega-n10" (Staged.stage (consensus_run 10 1));
+      Test.make ~name:"ksa-n4-k2" (Staged.stage (ksa_run 4 2));
+      Test.make ~name:"ksa-n6-k3" (Staged.stage (ksa_run 6 3));
+      Test.make ~name:"ksa-n8-k4" (Staged.stage (ksa_run 8 4));
+      Test.make ~name:"renaming-j4-k2" (Staged.stage (renaming_run 4 2));
+      Test.make ~name:"snapshot-scan-n8" (Staged.stage (snapshot_scan 8));
+      Test.make ~name:"snapshot-scan-n32" (Staged.stage (snapshot_scan 32));
+      Test.make ~name:"extraction-branch" (Staged.stage extraction_explore);
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  Fmt.pr "  %-26s %16s@." "benchmark" "time/run";
+  line ();
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+      in
+      let stats = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+            let pretty =
+              if est > 1e6 then Fmt.str "%8.2f ms" (est /. 1e6)
+              else if est > 1e3 then Fmt.str "%8.2f us" (est /. 1e3)
+              else Fmt.str "%8.0f ns" est
+            in
+            Fmt.pr "  %-26s %16s@." name pretty
+          | _ -> Fmt.pr "  %-26s %16s@." name "n/a")
+        stats)
+    tests
+
+(* ----------------------------------------------------------- ablations *)
+
+let ablations () =
+  header "ablations" "design-choice ablations (DESIGN.md)";
+
+  (* A1: extraction detector member — silent vs churny vector-Omega-k.
+     The steered exploration is provably adequate for the silent member;
+     for the churny one, pre-stabilization answer races could in principle
+     decide every steered branch. Measured: at these parameters the stall
+     branches stay undecided for the churny member too. *)
+  Fmt.pr "  A1: extraction vs detector member (k=1, n=3, 4 seeds each)@.";
+  List.iter
+    (fun (label, fd) ->
+      let okc = ref 0 in
+      List.iter
+        (fun seed ->
+          let n = 3 and k = 1 in
+          let pattern = Failure.failure_free 3 in
+          let task = Set_agreement.make ~n ~k () in
+          let algo = Ksa.make ~max_rounds:128 ~k () in
+          let rng = Random.State.make [| seed |] in
+          let inputs = Task.sample_input task rng in
+          let result =
+            Extraction.run ~outer_budget:12_000 ~sample_period:400
+              ~explore_budget:2_500 ~max_samples:200 ~k ~fd ~algo ~inputs
+              ~n_c:n ~pattern ~seed ()
+          in
+          if
+            Fdlib.Props.anti_omega_k_ok pattern result.Extraction.x_outputs ~k
+              ~suffix:3_000
+          then incr okc)
+        (seeds 4);
+      Fmt.pr "      %-28s property holds in %d/4 runs@." label !okc)
+    [
+      ("silent vector-Omega-1", Fdlib.Leader_fds.vector_omega_k_silent ~max_stab:25 ~k:1 ());
+      ("churny vector-Omega-1", Fdlib.Leader_fds.vector_omega_k ~max_stab:25 ~k:1 ());
+    ];
+
+  (* A2: witness search vs schedule mode. For j = 2 the violating conflict
+     occurs even in lockstep; for j = 3 the violation needs a donor stalled
+     mid-protocol — near-lockstep rounds cannot produce it at all. *)
+  Fmt.pr "@.  A2: strong j-renaming witness rate vs schedule mode (200 seeds)@.";
+  List.iter
+    (fun j ->
+      List.iter
+        (fun (label, policy) ->
+          let found = ref 0 in
+          List.iter
+            (fun seed ->
+              match
+                Adversary.search ~policy
+                  ~task:(Renaming.strong ~n:5 ~j)
+                  ~algo:(Renaming_algos.fig4 ())
+                  ~fd:Fdlib.Fd.trivial
+                  ~env:(Failure.crash_free 1)
+                  ~seeds:[ seed ] ()
+              with
+              | Some _ -> incr found
+              | None -> ())
+            (seeds 200);
+          Fmt.pr "      j=%d %-28s %d/200 seeds yield a witness@." j label !found)
+        [
+          ("rounds (near-lockstep)", Run.k_concurrent_policy 2);
+          ("uniform (can stall)", Run.k_concurrent_uniform_policy 2);
+        ])
+    [ 2; 3 ];
+
+  (* A3: snapshot primitive vs the honest Afek-style construction —
+     steps for one update+scan by each of n processes, fair schedule. *)
+  Fmt.pr "@.  A3: snapshot primitive vs honest construction (steps to finish)@.";
+  List.iter
+    (fun n ->
+      let run_with honest =
+        let mem = Memory.create () in
+        let h = Snapshot.create mem ~n in
+        let plain = Memory.alloc mem n in
+        let c_code i () =
+          if honest then begin
+            Snapshot.update h i (Value.int i);
+            ignore (Snapshot.scan h)
+          end
+          else begin
+            Runtime.Op.write plain.(i) (Value.int i);
+            ignore (Runtime.Op.snapshot plain)
+          end;
+          Runtime.Op.decide Value.unit
+        in
+        let rt =
+          Runtime.create
+            {
+              Runtime.n_c = n;
+              n_s = 1;
+              memory = mem;
+              pattern = Failure.failure_free 1;
+              history = History.trivial;
+              record_trace = false;
+            }
+            ~c_code
+            ~s_code:(fun _ () -> ())
+        in
+        let rng = Random.State.make [| 5 |] in
+        let o =
+          Schedule.run rt (Schedule.shuffled_rounds ~n_c:n ~n_s:1 rng)
+            ~budget:500_000
+        in
+        Runtime.destroy rt;
+        o.Schedule.total_steps
+      in
+      Fmt.pr "      n=%-3d primitive %6d steps, honest %6d steps (x%.1f)@." n
+        (run_with false) (run_with true)
+        (float_of_int (run_with true) /. float_of_int (max 1 (run_with false))))
+    [ 2; 4; 8 ];
+
+  (* A5: resilience vs advice — Chandra-Toueg over message passing with
+     <>S needs a majority of correct S-processes; the Omega solvers
+     survive n-1 crashes. *)
+  Fmt.pr "@.  A5: consensus resilience vs advice (n=5, 8 seeds)@.";
+  List.iter
+    (fun (label, algo, fd, t) ->
+      let task = Set_agreement.make ~n:5 ~k:1 () in
+      let pass, total, steps =
+        run_batch ~budget:600_000 ~task ~algo ~fd
+          ~env:(Failure.e_t ~n_s:5 ~t)
+          ~n_seeds:8 ()
+      in
+      Fmt.pr "      %-34s %4d/%-3d %10d steps@." label pass total steps)
+    [
+      ( "CT <>S (majority, t=2)",
+        Ct_consensus.make (),
+        Fdlib.Classic.eventually_strong ~max_stab:50 (),
+        2 );
+      ( "Ksa Omega (wait-free, t=4)",
+        Ksa.consensus (),
+        Fdlib.Leader_fds.omega ~max_stab:50 (),
+        4 );
+      ( "Paxos Omega (wait-free, t=4)",
+        Paxos_consensus.make (),
+        Fdlib.Leader_fds.omega ~max_stab:50 (),
+        4 );
+    ];
+
+  (* A4: the distributed Omega <= <>S emulation (the §2.2 reduction
+     machinery exercised end to end) *)
+  Fmt.pr "@.  A4: distributed reduction Omega <= <>S (property on suffix)@.";
+  List.iter
+    (fun (label, pattern) ->
+      let result =
+        Emulation.run ~budget:30_000
+          ~fd:(Fdlib.Classic.eventually_strong ~max_stab:60 ())
+          ~pattern ~seed:3 Emulation.omega_from_eventually_strong
+      in
+      Fmt.pr "      %-28s omega-property %b@." label
+        (Fdlib.Props.omega_ok pattern result.Emulation.em_outputs ~suffix:4_000))
+    [
+      ("failure-free (n=4)", Failure.failure_free 4);
+      ("q1 crashed at 0", Failure.pattern ~n_s:4 [ (0, 0) ]);
+      ("two staggered crashes", Failure.pattern ~n_s:4 [ (1, 100); (3, 30) ]);
+    ]
+
+(* -------------------------------------------------------------- driver *)
+
+let all : (string * (unit -> unit)) list =
+  [
+    ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
+    ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
+    ("e12", e12); ("ablations", ablations); ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst all
+  in
+  Fmt.pr "Wait-Freedom with Advice - experiment harness@.";
+  List.iter
+    (fun id ->
+      match List.assoc_opt id all with
+      | Some f -> f ()
+      | None ->
+        Fmt.epr "unknown experiment %S (known: %s)@." id
+          (String.concat " " (List.map fst all)))
+    requested

@@ -1,0 +1,315 @@
+(* wfa — command-line front end for the Wait-Freedom-with-Advice library.
+
+   $ wfa solve --task consensus --n 4 --fd omega --crashes 1:50
+   $ wfa solve --task ksa --k 2 --n 5 --fd vector
+   $ wfa solve --task renaming --j 3 --l 4 --policy kconc:2
+   $ wfa classify --n 4
+   $ wfa witness --kind strong-renaming --j 3
+   $ wfa extract --n 3 --k 1 --crashes 2:300                              *)
+
+open Cmdliner
+open Simkit
+open Tasklib
+open Efd
+
+(* ---------------------------------------------------------------- args *)
+
+let n_arg =
+  Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc:"Number of C-processes (= S-processes).")
+
+let k_arg =
+  Arg.(value & opt int 1 & info [ "k" ] ~docv:"K" ~doc:"Agreement parameter k.")
+
+let j_arg =
+  Arg.(value & opt int 3 & info [ "j" ] ~docv:"J" ~doc:"Renaming participants j.")
+
+let l_arg =
+  Arg.(value & opt (some int) None & info [ "l" ] ~docv:"L" ~doc:"Renaming name-space size (default j+k-1).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let seeds_arg =
+  Arg.(value & opt int 25 & info [ "seeds" ] ~docv:"COUNT" ~doc:"Number of seeded runs.")
+
+let budget_arg =
+  Arg.(value & opt int 400_000 & info [ "budget" ] ~docv:"STEPS" ~doc:"Step budget per run.")
+
+let crashes_arg =
+  Arg.(
+    value
+    & opt string ""
+    & info [ "crashes" ] ~docv:"I:T,I:T"
+        ~doc:"Crash S-process qI+1 at time T (comma-separated, 0-based indices).")
+
+let task_arg =
+  Arg.(
+    value
+    & opt (enum
+             [ ("consensus", `Consensus); ("ksa", `Ksa); ("renaming", `Renaming);
+               ("wsb", `Wsb); ("identity", `Identity) ])
+        `Consensus
+    & info [ "task" ] ~docv:"TASK" ~doc:"Task: consensus | ksa | renaming | wsb | identity.")
+
+let fd_arg =
+  Arg.(
+    value
+    & opt (enum
+             [ ("omega", `Omega); ("vector", `Vector); ("silent", `Silent);
+               ("trivial", `Trivial); ("perfect", `Perfect) ])
+        `Vector
+    & info [ "fd" ] ~docv:"FD" ~doc:"Failure detector: omega | vector | silent | trivial | perfect.")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt string "fair"
+    & info [ "policy" ] ~docv:"POLICY" ~doc:"Schedule: fair | kconc:K | uniform:K.")
+
+(* ------------------------------------------------------------- helpers *)
+
+let parse_crashes ~n_s s =
+  if s = "" then Failure.failure_free n_s
+  else
+    let crashes =
+      String.split_on_char ',' s
+      |> List.map (fun item ->
+             match String.split_on_char ':' item with
+             | [ i; t ] -> (int_of_string i, int_of_string t)
+             | _ -> Fmt.failwith "bad --crashes item %S (want I:T)" item)
+    in
+    Failure.pattern ~n_s crashes
+
+let parse_policy s =
+  match String.split_on_char ':' s with
+  | [ "fair" ] -> Run.fair_policy
+  | [ "kconc"; k ] -> Run.k_concurrent_policy (int_of_string k)
+  | [ "uniform"; k ] -> Run.k_concurrent_uniform_policy (int_of_string k)
+  | _ -> Fmt.failwith "bad --policy %S (want fair | kconc:K | uniform:K)" s
+
+let build_task kind ~n ~k ~j ~l =
+  match kind with
+  | `Consensus -> Set_agreement.consensus ~n ()
+  | `Ksa -> Set_agreement.make ~n ~k ()
+  | `Renaming ->
+    let l = Option.value l ~default:(j + k - 1) in
+    Renaming.make ~n ~j ~l
+  | `Wsb -> Wsb.make ~n ~j
+  | `Identity -> Trivial_tasks.identity ~n ()
+
+let build_algo kind task ~k =
+  match kind with
+  | `Consensus -> Ksa.consensus ()
+  | `Ksa -> Ksa.make ~k ()
+  | `Renaming -> Renaming_algos.fig4 ()
+  | `Wsb -> One_concurrent.make task
+  | `Identity -> Kconc_tasks.echo ()
+
+let build_fd kind ~k =
+  match kind with
+  | `Omega -> Fdlib.Leader_fds.omega ()
+  | `Vector -> Fdlib.Leader_fds.vector_omega_k ~k ()
+  | `Silent -> Fdlib.Leader_fds.vector_omega_k_silent ~k ()
+  | `Trivial -> Fdlib.Fd.trivial
+  | `Perfect -> Fdlib.Classic.perfect ()
+
+(* ------------------------------------------------------------ commands *)
+
+let solve task_kind fd_kind policy n k j l seed budget crashes =
+  let task = build_task task_kind ~n ~k ~j ~l in
+  let algo = build_algo task_kind task ~k in
+  let fd = build_fd fd_kind ~k in
+  let pattern = parse_crashes ~n_s:n crashes in
+  let rng = Random.State.make [| seed |] in
+  let input = Task.sample_input task rng in
+  let r =
+    Run.execute ~budget ~policy:(parse_policy policy) ~task ~algo ~fd ~pattern
+      ~input ~seed ()
+  in
+  Fmt.pr "task     %s@.algo     %s@.fd       %s@.pattern  %a@.%a@.verdict  %s@."
+    task.Task.task_name algo.Algorithm.algo_name (Fdlib.Fd.name fd)
+    Failure.pp_pattern pattern Run.pp_report r
+    (if Run.ok r then "OK" else "FAILED");
+  if Run.ok r then 0 else 1
+
+let classify n seeds =
+  let table = Classifier.table ~seeds_per_level:seeds ~n () in
+  Fmt.pr "%a@." Classifier.pp_table table;
+  if List.for_all Classifier.consistent table then 0 else 1
+
+let witness kind n j seeds explain =
+  let seeds = List.init seeds (fun i -> i + 1) in
+  let w =
+    match kind with
+    | `Strong_renaming -> Adversary.strong_renaming_witness ~seeds ~n ~j ()
+    | `Consensus_reduction -> Adversary.consensus_reduction_witness ~seeds ~n ()
+  in
+  match w with
+  | Some w ->
+    if explain then begin
+      let task, algo =
+        match kind with
+        | `Strong_renaming -> (Renaming.strong ~n ~j, Renaming_algos.fig4 ())
+        | `Consensus_reduction ->
+          ( Set_agreement.make ~u:[ 0; 1 ] ~n ~k:1 (),
+            Adversary.consensus_via_strong_renaming () )
+      in
+      Adversary.explain
+        ~policy:(Run.k_concurrent_uniform_policy 2)
+        ~task ~algo ~fd:Fdlib.Fd.trivial w Fmt.stdout;
+      Fmt.pr "@."
+    end
+    else Fmt.pr "%a@." Adversary.pp_witness w;
+    0
+  | None ->
+    Fmt.pr "no witness found in %d seeds@." (List.length seeds);
+    1
+
+let extract n k seed crashes =
+  let pattern = parse_crashes ~n_s:n crashes in
+  let task = Set_agreement.make ~n ~k () in
+  let algo = Ksa.make ~max_rounds:128 ~k () in
+  let fd = Fdlib.Leader_fds.vector_omega_k_silent ~max_stab:25 ~k () in
+  let rng = Random.State.make [| seed |] in
+  let inputs = Task.sample_input task rng in
+  let result =
+    Extraction.run ~outer_budget:15_000 ~sample_period:400 ~explore_budget:2_500
+      ~max_samples:200 ~k ~fd ~algo ~inputs ~n_c:n ~pattern ~seed ()
+  in
+  let ok =
+    Fdlib.Props.anti_omega_k_ok pattern result.Extraction.x_outputs ~k
+      ~suffix:4_000
+  in
+  let witnesses =
+    Fdlib.Props.anti_omega_k_witnesses pattern result.Extraction.x_outputs
+      ~suffix:4_000
+  in
+  Fmt.pr "pattern            %a@." Failure.pp_pattern pattern;
+  Fmt.pr "samples            %d@." result.Extraction.x_samples;
+  Fmt.pr "explorations       %d@." result.Extraction.x_explorations;
+  Fmt.pr "anti-Omega-%d holds %b@." k ok;
+  Fmt.pr "spared correct     %a@."
+    Fmt.(list ~sep:(any ", ") (fun ppf q -> pf ppf "q%d" (q + 1)))
+    witnesses;
+  if ok then 0 else 1
+
+let emulate n seed crashes budget =
+  let pattern = parse_crashes ~n_s:n crashes in
+  let result =
+    Emulation.run ~budget
+      ~fd:(Fdlib.Classic.eventually_strong ~max_stab:60 ())
+      ~pattern ~seed Emulation.omega_from_eventually_strong
+  in
+  let ok =
+    Fdlib.Props.omega_ok pattern result.Emulation.em_outputs
+      ~suffix:(budget / 8)
+  in
+  Fmt.pr "reduction          Omega <= <>S (suspicion counting)@.";
+  Fmt.pr "pattern            %a@." Failure.pp_pattern pattern;
+  Fmt.pr "steps              %d@." result.Emulation.em_steps;
+  Fmt.pr "omega property     %b@." ok;
+  if ok then 0 else 1
+
+let modelcheck depth =
+  (* exhaustively check 2-process safe agreement over every schedule *)
+  let build () =
+    let mem = Memory.create () in
+    let sa = Bglib.Safe_agreement.create mem ~n:2 in
+    let c_code i () =
+      Bglib.Safe_agreement.propose sa ~me:i (Value.int (100 + i));
+      let rec resolve () =
+        match Bglib.Safe_agreement.try_resolve sa with
+        | Some v -> Runtime.Op.decide v
+        | None -> resolve ()
+      in
+      resolve ()
+    in
+    Runtime.create
+      {
+        Runtime.n_c = 2;
+        n_s = 1;
+        memory = mem;
+        pattern = Failure.failure_free 1;
+        history = History.trivial;
+        record_trace = false;
+      }
+      ~c_code
+      ~s_code:(fun _ () -> ())
+  in
+  let prop rt =
+    match (Runtime.decision rt 0, Runtime.decision rt 1) with
+    | Some a, Some b -> Value.equal a b
+    | _ -> true
+  in
+  match Exhaustive.check ~build ~pids:[ Pid.c 0; Pid.c 1 ] ~depth ~prop with
+  | Exhaustive.Ok n ->
+    Fmt.pr "safe agreement: %d schedules of depth <= %d, agreement holds@." n
+      depth;
+    0
+  | Exhaustive.Counterexample cex ->
+    Fmt.pr "VIOLATION under schedule %a@."
+      Fmt.(list ~sep:(any " ") Pid.pp)
+      cex;
+    1
+
+(* ---------------------------------------------------------------- main *)
+
+let solve_cmd =
+  let doc = "Run one EFD task-solving run and report the verdict." in
+  Cmd.v
+    (Cmd.info "solve" ~doc)
+    Term.(
+      const solve $ task_arg $ fd_arg $ policy_arg $ n_arg $ k_arg $ j_arg
+      $ l_arg $ seed_arg $ budget_arg $ crashes_arg)
+
+let classify_cmd =
+  let doc = "Measure the task hierarchy (Theorem 10)." in
+  Cmd.v
+    (Cmd.info "classify" ~doc)
+    Term.(const classify $ n_arg $ seeds_arg)
+
+let witness_kind_arg =
+  Arg.(
+    value
+    & opt (enum
+             [ ("strong-renaming", `Strong_renaming);
+               ("consensus-reduction", `Consensus_reduction) ])
+        `Strong_renaming
+    & info [ "kind" ] ~docv:"KIND" ~doc:"strong-renaming | consensus-reduction.")
+
+let witness_cmd =
+  let doc = "Search for an impossibility witness (Lemma 11 / Theorem 12)." in
+  Cmd.v
+    (Cmd.info "witness" ~doc)
+    Term.(const witness $ witness_kind_arg $ n_arg $ j_arg
+          $ Arg.(value & opt int 500 & info [ "seeds" ] ~docv:"COUNT" ~doc:"Seeds to try.")
+          $ Arg.(value & flag & info [ "explain" ] ~doc:"Replay the witness with tracing and print the violating interleaving."))
+
+let extract_cmd =
+  let doc = "Extract anti-Omega-k from a detector solving k-set agreement (Theorem 8)." in
+  Cmd.v
+    (Cmd.info "extract" ~doc)
+    Term.(const extract $ n_arg $ k_arg $ seed_arg $ crashes_arg)
+
+let emulate_cmd =
+  let doc = "Emulate Omega from an eventually-strong detector (distributed reduction)." in
+  Cmd.v
+    (Cmd.info "emulate" ~doc)
+    Term.(const emulate $ n_arg $ seed_arg $ crashes_arg
+          $ Arg.(value & opt int 30_000 & info [ "budget" ] ~docv:"STEPS" ~doc:"Run length."))
+
+let modelcheck_cmd =
+  let doc = "Exhaustively model-check safe agreement over all schedules." in
+  Cmd.v
+    (Cmd.info "modelcheck" ~doc)
+    Term.(const modelcheck
+          $ Arg.(value & opt int 10 & info [ "depth" ] ~docv:"DEPTH" ~doc:"Schedule depth."))
+
+let () =
+  let doc = "Wait-Freedom with Advice (PODC 2012) — executable model" in
+  let info = Cmd.info "wfa" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ solve_cmd; classify_cmd; witness_cmd; extract_cmd; emulate_cmd;
+            modelcheck_cmd ]))

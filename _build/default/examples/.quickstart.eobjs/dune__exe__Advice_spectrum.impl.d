@@ -1,0 +1,1 @@
+examples/advice_spectrum.ml: Efd Emulation Failure Fdlib Fmt History Ksa List Random Run Schedule Set_agreement Simkit String Task Tasklib

@@ -1,0 +1,1 @@
+examples/extraction_demo.ml: Array Efd Extraction Failure Fdlib Fmt Ksa List Random Set_agreement Simkit Task Tasklib Value

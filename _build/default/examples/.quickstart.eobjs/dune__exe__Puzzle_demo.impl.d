@@ -1,0 +1,1 @@
+examples/puzzle_demo.ml: Efd Failure Fmt Puzzle Run Set_agreement Simkit Tasklib Vectors

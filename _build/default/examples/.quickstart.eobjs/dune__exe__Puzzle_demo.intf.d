@@ -1,0 +1,1 @@
+examples/puzzle_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Efd Failure Fdlib Fmt Ksa One_concurrent Run Set_agreement Simkit Tasklib Vectors

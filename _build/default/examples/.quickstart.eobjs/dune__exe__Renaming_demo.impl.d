@@ -1,0 +1,1 @@
+examples/renaming_demo.ml: Adversary Array Efd Failure Fdlib Fmt List Random Renaming Renaming_algos Run Simkit Task Tasklib Value Vectors

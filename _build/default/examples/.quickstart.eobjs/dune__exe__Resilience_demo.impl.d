@@ -1,0 +1,1 @@
+examples/resilience_demo.ml: Array Efd Failure Fdlib Fmt List Pid Resilience Run Schedule Set_agreement Simkit Tasklib Value

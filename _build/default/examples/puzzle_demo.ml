@@ -1,0 +1,45 @@
+(* Theorem 7, "the puzzle": advice that solves k-set agreement among one
+   fixed set U of k+1 processes solves it among all n.
+
+   The demo runs the composition with U = {p1, p2, p3}, k = 2, n = 5: the
+   five C-processes simulate U's three codes through the Figure-2 layer;
+   the S-processes answer both the simulation's consensus queries
+   (vector-Ω3) and the simulated algorithm's own queries (D = vector-Ω2).
+   The processes OUTSIDE U decide even in runs where U never takes a step.
+
+   Run with: dune exec examples/puzzle_demo.exe *)
+
+open Simkit
+open Tasklib
+open Efd
+
+let () =
+  let n = 5 and k = 2 in
+  let task = Set_agreement.make ~n ~k () in
+  let algo = Puzzle.make ~k () in
+  let fd = Puzzle.demo_fd ~k () in
+  Fmt.pr "=== Theorem 7: (U,%d)-agreement => (Pi,%d)-agreement (n = %d) ===@.@."
+    k k n;
+
+  (* full participation *)
+  let input = Vectors.of_ints [ Some 0; Some 1; Some 2; Some 1; Some 0 ] in
+  let r =
+    Run.execute ~budget:4_000_000 ~task ~algo ~fd
+      ~pattern:(Failure.pattern ~n_s:n [ (4, 100) ])
+      ~input ~seed:42 ()
+  in
+  Fmt.pr "full participation:@.%a@.@." Run.pp_report r;
+
+  (* the point: outsiders decide although U = {p1,p2,p3} never runs *)
+  let input = Vectors.of_ints [ None; None; None; Some 2; Some 0 ] in
+  let r =
+    Run.execute ~budget:4_000_000 ~task ~algo ~fd
+      ~pattern:(Failure.failure_free n)
+      ~input ~seed:43 ()
+  in
+  Fmt.pr "U never participates; p4 and p5 still decide:@.%a@.@." Run.pp_report r;
+  Fmt.pr
+    "the simulators drive U's codes themselves, proposing their own inputs@.\
+     colorlessly — the separation of computation from synchronization is@.\
+     what makes the generalization go through (the paper notes years of@.\
+     failed attempts in the conventional model).@."

@@ -1,0 +1,1 @@
+lib/bglib/bg.ml: Array List Safe_agreement Simkit Value

@@ -1,0 +1,1 @@
+lib/bglib/bg.mli: Simkit Value

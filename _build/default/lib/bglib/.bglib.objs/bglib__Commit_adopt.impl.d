@@ -1,0 +1,1 @@
+lib/bglib/commit_adopt.ml: Array List Simkit Value

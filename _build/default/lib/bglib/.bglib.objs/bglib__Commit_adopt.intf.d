@@ -1,0 +1,1 @@
+lib/bglib/commit_adopt.mli: Simkit Value

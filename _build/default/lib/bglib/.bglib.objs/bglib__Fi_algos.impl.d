@@ -1,0 +1,1 @@
+lib/bglib/fi_algos.ml: Array Bg Fun List Printf Sm_engine Value

@@ -1,0 +1,1 @@
+lib/bglib/fi_algos.mli: Sm_engine

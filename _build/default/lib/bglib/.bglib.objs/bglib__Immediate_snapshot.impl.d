@@ -1,0 +1,1 @@
+lib/bglib/immediate_snapshot.ml: Array Fun List Simkit Value

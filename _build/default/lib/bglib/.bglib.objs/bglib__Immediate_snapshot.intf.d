@@ -1,0 +1,1 @@
+lib/bglib/immediate_snapshot.mli: Simkit Value

@@ -1,0 +1,1 @@
+lib/bglib/machine.ml: Array Value

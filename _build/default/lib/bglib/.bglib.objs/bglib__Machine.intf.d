@@ -1,0 +1,1 @@
+lib/bglib/machine.mli: Value

@@ -1,0 +1,1 @@
+lib/bglib/machine_consensus.ml: Array List Machine Option Value

@@ -1,0 +1,1 @@
+lib/bglib/machine_consensus.mli: Machine Value

@@ -1,0 +1,1 @@
+lib/bglib/safe_agreement.ml: Array Simkit Value

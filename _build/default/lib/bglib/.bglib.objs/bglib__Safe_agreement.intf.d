@@ -1,0 +1,1 @@
+lib/bglib/safe_agreement.mli: Simkit Value

@@ -1,0 +1,1 @@
+lib/bglib/sm_engine.ml: Array Bg Fun List Machine Printf Value

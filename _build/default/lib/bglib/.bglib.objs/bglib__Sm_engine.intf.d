@@ -1,0 +1,1 @@
+lib/bglib/sm_engine.mli: Bg Machine Value

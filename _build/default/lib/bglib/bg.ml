@@ -1,0 +1,168 @@
+module Memory = Simkit.Memory
+module Op = Simkit.Runtime.Op
+
+type transition = Write of Value.t | Decide of Value.t
+
+type code = {
+  init : Value.t;
+  step : round:int -> view:Value.t list array -> transition;
+}
+
+type t = {
+  bg_n_codes : int;
+  n_sims : int;
+  max_rounds : int;
+  sr : Memory.reg array;  (** write cells, [j * max_rounds + r], write-once *)
+  ah : Memory.reg array;  (** agreed views, same indexing, write-once *)
+  sa : Safe_agreement.t array;  (** one per (code, round) *)
+  dec : Memory.reg array;  (** one per code *)
+}
+
+let create mem ~n_codes ~n_sims ~max_rounds =
+  if n_codes <= 0 || n_sims <= 0 || max_rounds <= 0 then
+    invalid_arg "Bg.create";
+  {
+    bg_n_codes = n_codes;
+    n_sims;
+    max_rounds;
+    sr = Memory.alloc mem (n_codes * max_rounds);
+    ah = Memory.alloc mem (n_codes * max_rounds);
+    sa =
+      Array.init (n_codes * max_rounds) (fun _ ->
+          Safe_agreement.create mem ~n:n_sims);
+    dec = Memory.alloc mem n_codes;
+  }
+
+let n_codes t = t.bg_n_codes
+let cell t j r = (j * t.max_rounds) + r
+
+(* View encoding: Vec over codes of List of writes, oldest first. *)
+let encode_view view =
+  Value.vec (Array.map Value.list view)
+
+let decode_view v =
+  Array.map Value.to_list (Value.to_vec v)
+
+type sim = {
+  bg : t;
+  me : int;
+  hist : Value.t list array array array;
+      (** [hist.(j)] = agreed views of code [j], oldest first *)
+  proposed : bool array;  (** per (code, round) cell *)
+  sr_written : int array;  (** highest round whose write I know is in SR, -1 none *)
+}
+
+let make_sim bg ~me =
+  if me < 0 || me >= bg.n_sims then invalid_arg "Bg.make_sim";
+  {
+    bg;
+    me;
+    hist = Array.make bg.bg_n_codes [||];
+    proposed = Array.make (bg.bg_n_codes * bg.max_rounds) false;
+    sr_written = Array.make bg.bg_n_codes (-1);
+  }
+
+type status = Progress | Decided of Value.t | Blocked | Done | Exhausted
+
+(* Replay code [j]'s deterministic transitions over the agreed views:
+   returns (writes w_0..w_r, decision if reached). *)
+let replay (code : code) views =
+  let rec go acc_writes round = function
+    | [] -> (List.rev acc_writes, None)
+    | view :: rest -> (
+      match code.step ~round ~view with
+      | Decide v ->
+        assert (rest = []);
+        (List.rev acc_writes, Some v)
+      | Write w -> go (w :: acc_writes) (round + 1) rest)
+  in
+  go [ code.init ] 0 (Array.to_list views)
+
+(* Pull newly agreed views for code [j] from shared memory into the cache. *)
+let sync_hist sim j =
+  let t = sim.bg in
+  let known = Array.length sim.hist.(j) in
+  let rec fetch r acc =
+    if r >= t.max_rounds then List.rev acc
+    else
+      let v = Op.read t.ah.(cell t j r) in
+      if Value.is_unit v then List.rev acc else fetch (r + 1) (decode_view v :: acc)
+  in
+  let fresh = fetch known [] in
+  if fresh <> [] then
+    sim.hist.(j) <- Array.append sim.hist.(j) (Array.of_list fresh)
+
+let advance sim ~codes j =
+  let t = sim.bg in
+  if j < 0 || j >= t.bg_n_codes then invalid_arg "Bg.advance";
+  let published = Op.read t.dec.(j) in
+  if not (Value.is_unit published) then Done
+  else begin
+    sync_hist sim j;
+    let code = codes j in
+    let views = sim.hist.(j) in
+    let writes, decision = replay code views in
+    match decision with
+    | Some v ->
+      (* the transition decided on the last agreed view; publish it *)
+      Op.write t.dec.(j) (Value.pair v Value.unit);
+      Decided v
+    | None ->
+      let r = Array.length views in
+      if r >= t.max_rounds then Exhausted
+      else begin
+        (* ensure all of j's writes w_0..w_r are in the write-once cells *)
+        List.iteri
+          (fun s w ->
+            if s > sim.sr_written.(j) then begin
+              let c = t.sr.(cell t j s) in
+              if Value.is_unit (Op.read c) then Op.write c w;
+              sim.sr_written.(j) <- s
+            end)
+          writes;
+        (* propose a view for round r: snapshot of the whole write matrix *)
+        let sa = t.sa.(cell t j r) in
+        if not sim.proposed.(cell t j r) then begin
+          let cells = Op.snapshot t.sr in
+          let view =
+            Array.init t.bg_n_codes (fun j' ->
+                let rec collect s acc =
+                  if s >= t.max_rounds then List.rev acc
+                  else
+                    let c = cells.(cell t j' s) in
+                    if Value.is_unit c then List.rev acc else collect (s + 1) (c :: acc)
+                in
+                collect 0 [])
+          in
+          Safe_agreement.propose sa ~me:sim.me (encode_view view);
+          sim.proposed.(cell t j r) <- true
+        end;
+        match Safe_agreement.try_resolve sa with
+        | None -> Blocked
+        | Some agreed ->
+          let c = t.ah.(cell t j r) in
+          if Value.is_unit (Op.read c) then Op.write c agreed;
+          sim.hist.(j) <-
+            Array.append sim.hist.(j) [| decode_view agreed |];
+          Progress
+      end
+  end
+
+let try_advance sim ~codes ~order =
+  let rec go = function
+    | [] -> None
+    | j :: rest -> (
+      match advance sim ~codes j with
+      | (Progress | Decided _) as st -> Some (j, st)
+      | Blocked | Done | Exhausted -> go rest)
+  in
+  go order
+
+let decision t j =
+  let v = Op.read t.dec.(j) in
+  if Value.is_unit v then None else Some (fst (Value.to_pair v))
+
+let decisions_view mem t =
+  Array.init t.bg_n_codes (fun j ->
+      let v = Memory.read mem t.dec.(j) in
+      if Value.is_unit v then None else Some (fst (Value.to_pair v)))

@@ -1,0 +1,59 @@
+(** BG simulation (Borowsky–Gafni [5,7]): [n_sims] simulators jointly run
+    [n_codes] codes of a full-information protocol so that every code whose
+    current step is not blocked by a stalled simulator keeps advancing, and
+    at most one code is blocked per stalled simulator.
+
+    The simulated protocol is in full-information normal form: code [j]
+    first writes [init]; after its round-[r] write it receives an agreed
+    view (every code's writes so far, its own round-[r] write included) and
+    [step ~round:r ~view] yields its next write or its decision. Each view
+    is agreed through one {!Safe_agreement} instance, so all simulators
+    reconstruct identical code histories; views are snapshots of write-once
+    cells and hence totally ordered by inclusion, which makes the simulated
+    run linearizable.
+
+    All operations perform runtime effects (call from process code). *)
+
+type transition = Write of Value.t | Decide of Value.t
+
+type code = {
+  init : Value.t;
+  step : round:int -> view:Value.t list array -> transition;
+      (** [view.(j')] = code [j']'s writes so far, oldest first. Must be a
+          pure function — every simulator replays it. *)
+}
+
+type t
+
+val create : Simkit.Memory.t -> n_codes:int -> n_sims:int -> max_rounds:int -> t
+(** Allocates registers and safe-agreement instances for up to [max_rounds]
+    rounds per code. *)
+
+val n_codes : t -> int
+
+type sim
+(** Per-simulator handle holding local caches (what it proposed, the agreed
+    prefix it knows). *)
+
+val make_sim : t -> me:int -> sim
+
+type status =
+  | Progress  (** a new view was agreed for the code *)
+  | Decided of Value.t  (** the code just decided (decision published) *)
+  | Blocked  (** someone is stalled in this code's current doorway *)
+  | Done  (** the code had already decided *)
+  | Exhausted  (** max_rounds reached for this code *)
+
+val advance : sim -> codes:(int -> code) -> int -> status
+(** Try to advance code [j] by one simulated step. *)
+
+val try_advance :
+  sim -> codes:(int -> code) -> order:int list -> (int * status) option
+(** Advance the first code in [order] that yields [Progress] or [Decided];
+    [None] if every listed code is [Done], [Blocked] or [Exhausted]. *)
+
+val decision : t -> int -> Value.t option
+(** Published decision of code [j] (one read; call from process code). *)
+
+val decisions_view : Simkit.Memory.t -> t -> Value.t option array
+(** Checker-side direct read of all decisions (not a runtime step). *)

@@ -1,0 +1,14 @@
+(** Wait-free commit–adopt (Gafni): the safety core of round-based
+    consensus. If every participant proposes the same value, everyone
+    commits it; if anyone commits [v], everyone at least adopts [v]. *)
+
+type t
+
+type outcome = Commit of Value.t | Adopt of Value.t
+
+val create : Simkit.Memory.t -> n:int -> t
+val run : t -> me:int -> Value.t -> outcome
+(** Two write/snapshot phases; call once per process per instance. *)
+
+val outcome_value : outcome -> Value.t
+val is_commit : outcome -> bool

@@ -1,0 +1,159 @@
+(* Write-value encodings:
+   adoption: ("A", input) arrival, ("P", input) publication;
+   fig4: (suggestion, undecided?). *)
+
+let tag t v = Value.pair (Value.str t) v
+
+let untag w =
+  let t, v = Value.to_pair w in
+  (Value.to_str t, v)
+
+let adoption =
+  {
+    Sm_engine.fi_name = "adoption";
+    fi_code =
+      (fun _c input ->
+        {
+          Bg.init = tag "A" input;
+          step =
+            (fun ~round ~view ->
+              ignore round;
+              (* adopt the smallest code's publication, if any *)
+              let published =
+                Array.to_list view
+                |> List.concat_map (fun writes ->
+                       List.filter_map
+                         (fun w ->
+                           match untag w with
+                           | "P", v -> Some v
+                           | _ -> None)
+                         writes)
+              in
+              match published with
+              | v :: _ -> Bg.Decide v
+              | [] -> (
+                (* have I already published? then decide my input *)
+                match round with
+                | 0 -> Bg.Write (tag "P" input)
+                | _ -> Bg.Decide input));
+        });
+  }
+
+let echo =
+  {
+    Sm_engine.fi_name = "echo";
+    fi_code =
+      (fun _c input ->
+        {
+          Bg.init = input;
+          step = (fun ~round:_ ~view:_ -> Bg.Decide input);
+        });
+  }
+
+(* fig4: latest write of each code = its current (suggestion, undecided?). *)
+let fig4_renaming =
+  {
+    Sm_engine.fi_name = "fig4-renaming";
+    fi_code =
+      (fun c _input ->
+        {
+          Bg.init = Value.pair (Value.int 1) (Value.bool true);
+          step =
+            (fun ~round:_ ~view ->
+              let latest writes =
+                match List.rev writes with
+                | [] -> None
+                | w :: _ ->
+                  let s, b = Value.to_pair w in
+                  Some (Value.to_int s, Value.to_bool b)
+              in
+              let mine =
+                match latest view.(c) with
+                | Some sb -> sb
+                | None -> invalid_arg "fig4 fi: own write missing from view"
+              in
+              let s, undecided = mine in
+              if not undecided then Bg.Decide (Value.int s)
+              else begin
+                let others =
+                  List.filter_map
+                    (fun c' -> if c' = c then None else latest view.(c'))
+                    (List.init (Array.length view) Fun.id)
+                in
+                let conflict = List.exists (fun (s', _) -> s' = s) others in
+                if not conflict then
+                  Bg.Write (Value.pair (Value.int s) (Value.bool false))
+                else begin
+                  let undecided_codes =
+                    List.filter_map
+                      (fun c' ->
+                        match latest view.(c') with
+                        | Some (_, true) -> Some c'
+                        | _ -> None)
+                      (List.init (Array.length view) Fun.id)
+                  in
+                  let rank =
+                    1 + List.length (List.filter (fun c' -> c' < c) undecided_codes)
+                  in
+                  let taken = List.map fst others in
+                  let rec nth_free candidate r =
+                    if List.mem candidate taken then nth_free (candidate + 1) r
+                    else if r = 1 then candidate
+                    else nth_free (candidate + 1) (r - 1)
+                  in
+                  Bg.Write
+                    (Value.pair (Value.int (nth_free 1 rank)) (Value.bool true))
+                end
+              end);
+        });
+  }
+
+(* wsb writes: ("A", input) arrival, ("B", bit) published bit,
+   ("W", round) waiting no-op. *)
+let wsb ~j =
+  {
+    Sm_engine.fi_name = Printf.sprintf "wsb-2conc(j=%d)" j;
+    fi_code =
+      (fun c input ->
+        {
+          Bg.init = tag "A" input;
+          step =
+            (fun ~round ~view ->
+              let codes = List.init (Array.length view) Fun.id in
+              let published c' =
+                List.find_map
+                  (fun w ->
+                    match untag w with
+                    | "B", b -> Some (Value.to_int b)
+                    | _ -> None)
+                  view.(c')
+              in
+              match published c with
+              | Some b -> Bg.Decide (Value.int b)
+              | None ->
+                let participants =
+                  List.filter (fun c' -> view.(c') <> []) codes
+                in
+                let undecided =
+                  List.filter (fun c' -> published c' = None) participants
+                in
+                let someone_one =
+                  List.exists (fun c' -> published c' = Some 1) codes
+                in
+                let publish b = Bg.Write (tag "B" (Value.int b)) in
+                if someone_one then publish 0
+                else if List.length participants < j then publish 0
+                else begin
+                  match undecided with
+                  | [ me ] when me = c ->
+                    let all_zero =
+                      List.for_all
+                        (fun c' -> c' = c || published c' = Some 0)
+                        participants
+                    in
+                    publish (if all_zero then 1 else 0)
+                  | [ a; _ ] when a = c -> publish 0
+                  | _ -> Bg.Write (tag "W" (Value.int round))
+                end);
+        });
+  }

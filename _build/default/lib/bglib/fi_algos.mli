@@ -1,0 +1,27 @@
+(** Concrete algorithms in full-information normal form — the "algorithm A"
+    instances the Theorem-9 machinery simulates ({!Sm_engine.fi_algo}).
+    Each is the normal-form twin of an effectful algorithm in [Efd]. *)
+
+val adoption : Sm_engine.fi_algo
+(** k-concurrent set agreement by adoption: round 0 announces arrival; a
+    code that sees a published value adopts the smallest publisher's value,
+    otherwise publishes its own input and decides it next round. In any
+    k-concurrent run at most [k] codes publish. *)
+
+val echo : Sm_engine.fi_algo
+(** Decide own input after one write — wait-free identity. *)
+
+val fig4_renaming : Sm_engine.fi_algo
+(** The Figure-4 renaming algorithm: writes are (suggestion, undecided?)
+    pairs; conflicts trigger re-suggestion by rank among undecided codes;
+    a conflict-free suggestion is sealed with (name, false) and decided the
+    following round. Solves (j, j+k−1)-renaming in k-concurrent runs. *)
+
+val wsb : j:int -> Sm_engine.fi_algo
+(** The 2-concurrent weak-symmetry-breaking algorithm in full-information
+    form (the machine twin of [Efd.Wsb_algo.two_concurrent]): arrival
+    marker first; decide 0 on a published 1 or an incomplete house; the
+    lone undecided code breaks symmetry; of two undecided codes the
+    smaller publishes 0 and the larger waits (emitting no-op writes).
+    Through the Theorem-9 tower this solves WSB with ¬Ω2 in EFD — the
+    hierarchy made constructive. *)

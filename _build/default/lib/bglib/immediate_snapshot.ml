@@ -1,0 +1,58 @@
+module Memory = Simkit.Memory
+module Op = Simkit.Runtime.Op
+
+(* cell = Unit | (value, level) *)
+type t = { regs : Memory.reg array; n : int }
+
+let create mem ~n =
+  if n <= 0 then invalid_arg "Immediate_snapshot.create";
+  { regs = Memory.alloc mem n; n }
+
+let decode cell =
+  if Value.is_unit cell then None
+  else
+    let v, l = Value.to_pair cell in
+    Some (v, Value.to_int l)
+
+let participate t ~me value =
+  let rec descend level =
+    if level < 1 then invalid_arg "Immediate_snapshot: descended below 1";
+    Op.write t.regs.(me) (Value.pair value (Value.int level));
+    let cells = Op.snapshot t.regs in
+    let at_or_below =
+      List.filter_map
+        (fun i ->
+          match decode cells.(i) with
+          | Some (v, l) when l <= level -> Some (i, v)
+          | _ -> None)
+        (List.init t.n Fun.id)
+    in
+    if List.length at_or_below >= level then at_or_below
+    else descend (level - 1)
+  in
+  descend t.n
+
+let views_valid ~n views =
+  ignore n;
+  let indices view = List.map fst view in
+  let subset a b = List.for_all (fun x -> List.mem x (indices b)) (indices a) in
+  let self_inclusion =
+    List.for_all (fun (i, view) -> List.mem i (indices view)) views
+  in
+  let containment =
+    List.for_all
+      (fun (_, v1) ->
+        List.for_all (fun (_, v2) -> subset v1 v2 || subset v2 v1) views)
+      views
+  in
+  let immediacy =
+    List.for_all
+      (fun (i, vi) ->
+        ignore i;
+        List.for_all
+          (fun (j, vj) ->
+            if List.mem j (indices vi) then subset vj vi else true)
+          views)
+      views
+  in
+  self_inclusion && containment && immediacy

@@ -1,0 +1,27 @@
+(** One-shot immediate snapshot (Borowsky–Gafni 1993): each of [n]
+    processes writes a value once and obtains a view such that
+
+    - {b self-inclusion}: a process's own value is in its view;
+    - {b containment}: any two views are ⊆-comparable;
+    - {b immediacy}: if [j]'s value is in [i]'s view then [j]'s view is
+      contained in [i]'s view.
+
+    The classic level-descent algorithm: start at level [n]; at each level
+    write (value, level) and snapshot; if at least [level] processes are at
+    your level or below, return them, else descend. Wait-free, O(n²) steps.
+    The IS task is the combinatorial heart of the BG-simulation literature
+    the paper builds on; it is also a handy test workload.
+
+    All operations perform runtime effects. *)
+
+type t
+
+val create : Simkit.Memory.t -> n:int -> t
+
+val participate : t -> me:int -> Value.t -> (int * Value.t) list
+(** Write your value, descend, and return your view as (index, value)
+    pairs, ascending by index. Call once per process. *)
+
+val views_valid : n:int -> (int * (int * Value.t) list) list -> bool
+(** Checker: do the collected (process, view) pairs satisfy the three
+    immediate-snapshot properties? *)

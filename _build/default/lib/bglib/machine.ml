@@ -1,0 +1,33 @@
+type t = {
+  m_name : string;
+  m_init : Value.t;
+  m_step : me:int -> states:Value.t array -> env:Value.t array -> Value.t;
+  m_decided : Value.t -> Value.t option;
+}
+
+type sys = { sys_states : Value.t array; sys_steps : int array }
+
+let boot machines =
+  {
+    sys_states = Array.map (fun m -> m.m_init) machines;
+    sys_steps = Array.make (Array.length machines) 0;
+  }
+
+let step_pure machines sys ~env me =
+  let m = machines.(me) in
+  let next = m.m_step ~me ~states:(Array.copy sys.sys_states) ~env in
+  let states = Array.copy sys.sys_states in
+  states.(me) <- next;
+  let steps = Array.copy sys.sys_steps in
+  steps.(me) <- steps.(me) + 1;
+  { sys_states = states; sys_steps = steps }
+
+let run_pure machines ~env ~schedule =
+  let rec go sys step = function
+    | [] -> sys
+    | me :: rest -> go (step_pure machines sys ~env:(env ~step) me) (step + 1) rest
+  in
+  go (boot machines) 0 schedule
+
+let decisions machines sys =
+  Array.mapi (fun i m -> m.m_decided sys.sys_states.(i)) machines

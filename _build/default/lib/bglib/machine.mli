@@ -1,0 +1,45 @@
+(** Pure full-information state machines — the form in which algorithms are
+    fed to the Figure-2 simulation (replicated replay demands purity).
+
+    A system is [k] machines plus an environment. One step of machine [me]:
+    atomically snapshot all machine states and the environment registers,
+    then compute the machine's new state — the snapshot-then-write register
+    model (the write lands when the step is applied, possibly later than the
+    snapshot; algorithms must be written for that discipline, as the
+    effectful ones in {!Safe_agreement} are).
+
+    Machines can be executed three ways, all with identical semantics:
+    - {!run_pure}: a pure scheduler for exhaustive unit testing;
+    - [Efd.Machine_runner]: directly as C-processes (snapshot + write);
+    - [Efd.Kcodes]: simulated via per-step leader consensus (Figure 2). *)
+
+type t = {
+  m_name : string;
+  m_init : Value.t;
+  m_step : me:int -> states:Value.t array -> env:Value.t array -> Value.t;
+      (** must be pure and deterministic: every replica replays it *)
+  m_decided : Value.t -> Value.t option;
+      (** decision extractable from the machine's own state, if any *)
+}
+
+(** {1 Pure execution (for tests)} *)
+
+type sys = {
+  sys_states : Value.t array;
+  sys_steps : int array;  (** steps taken per machine *)
+}
+
+val boot : t array -> sys
+
+val step_pure : t array -> sys -> env:Value.t array -> int -> sys
+(** Apply one atomic step of the given machine. *)
+
+val run_pure :
+  t array ->
+  env:(step:int -> Value.t array) ->
+  schedule:int list ->
+  sys
+(** Drive machines along the schedule; [env ~step] supplies the environment
+    contents at each global step. *)
+
+val decisions : t array -> sys -> Value.t option array

@@ -1,0 +1,156 @@
+type t = {
+  k : int;
+  n_machines : int;
+  max_rounds : int;
+  input_offset : int;
+  n_inputs : int;
+  answer_offset : int;
+}
+
+let create ~k ~n_machines ~max_rounds ~input_offset ~n_inputs ~answer_offset ()
+    =
+  if k < 1 || n_machines < 1 || max_rounds < 1 then
+    invalid_arg "Machine_consensus.create";
+  { k; n_machines; max_rounds; input_offset; n_inputs; answer_offset }
+
+let answer_slot t ~j ~r = t.answer_offset + (j * t.max_rounds) + (r - 1)
+
+(* --- state encoding ----------------------------------------------------
+   state = ((per-instance round-record list as Vec), decision option)
+   record (round r = 1-based position) = (est, ca1 option, ca2 option)
+   ca2 = (unanimous?, value) *)
+
+type record = { est : Value.t; ca1 : Value.t option; ca2 : (bool * Value.t) option }
+
+let encode_record rec_ =
+  Value.triple rec_.est
+    (Value.option rec_.ca1)
+    (Value.option
+       (Option.map (fun (b, v) -> Value.pair (Value.bool b) v) rec_.ca2))
+
+let decode_record v =
+  let est, ca1, ca2 = Value.to_triple v in
+  {
+    est;
+    ca1 = Value.to_option ca1;
+    ca2 =
+      Option.map
+        (fun p ->
+          let b, v = Value.to_pair p in
+          (Value.to_bool b, v))
+        (Value.to_option ca2);
+  }
+
+let encode_state (records, decision) =
+  Value.pair
+    (Value.vec (Array.map (fun l -> Value.list (List.map encode_record l)) records))
+    (Value.option decision)
+
+let decode_state s =
+  let recs, dec = Value.to_pair s in
+  ( Array.map (fun l -> List.map decode_record (Value.to_list l)) (Value.to_vec recs),
+    Value.to_option dec )
+
+let initial_state ~k = encode_state (Array.make k [], None)
+
+let decision s = snd (decode_state s)
+
+let pending_queries ~states =
+  Array.to_list states
+  |> List.concat_map (fun s ->
+         let records, _ = decode_state s in
+         List.concat
+           (List.mapi
+              (fun j recs ->
+                List.mapi (fun ridx rec_ -> (j, ridx + 1, rec_.est)) recs)
+              (Array.to_list records)))
+
+(* --- the machine step --------------------------------------------------- *)
+
+(* One micro-step of instance [j]: returns the updated record list. *)
+let advance_instance t ~j ~my_records ~all_records ~env ~input ~commit =
+  match List.rev my_records with
+  | [] -> (
+    match input with
+    | None -> my_records
+    | Some v -> my_records @ [ { est = v; ca1 = None; ca2 = None } ])
+  | current :: _earlier -> (
+    let r = List.length my_records in
+    let replace_last rec_ =
+      List.mapi
+        (fun idx old -> if idx = r - 1 then rec_ else old)
+        my_records
+    in
+    let entries_at phase =
+      (* the (j, r) CA entries of all machines, as visible in this view *)
+      List.filter_map
+        (fun records ->
+          match List.nth_opt records.(j) (r - 1) with
+          | None -> None
+          | Some rec_ -> phase rec_)
+        all_records
+    in
+    match (current.ca1, current.ca2) with
+    | None, _ ->
+      (* waiting for the answer to round r *)
+      let a = env.(answer_slot t ~j ~r) in
+      if Value.is_unit a then my_records
+      else replace_last { current with ca1 = Some a }
+    | Some mine, None ->
+      (* phase 2: unanimity among visible phase-1 values *)
+      let seen = entries_at (fun rec_ -> rec_.ca1) in
+      let unanimous = List.for_all (Value.equal mine) seen in
+      replace_last { current with ca2 = Some (unanimous, mine) }
+    | Some _, Some (_, mine2) -> (
+      (* outcome from the visible phase-2 entries *)
+      let props = entries_at (fun rec_ -> rec_.ca2) in
+      let true_value =
+        List.find_opt (fun (b, _) -> b) props |> Option.map snd
+      in
+      let all_true = List.for_all (fun (b, _) -> b) props in
+      match true_value with
+      | Some u when all_true ->
+        commit u;
+        my_records
+      | Some u ->
+        if r + 1 > t.max_rounds then my_records
+        else my_records @ [ { est = u; ca1 = None; ca2 = None } ]
+      | None ->
+        if r + 1 > t.max_rounds then my_records
+        else my_records @ [ { est = mine2; ca1 = None; ca2 = None } ]))
+
+let machine_step t ~input_of ~me ~states ~env =
+  let my_records, my_decision = decode_state states.(me) in
+  match my_decision with
+  | Some _ -> states.(me)
+  | None ->
+    let all = Array.to_list states in
+    let all_records = List.map (fun s -> fst (decode_state s)) all in
+    (* adopt any visible decision first (the dec-register read) *)
+    let visible_decision =
+      List.find_map (fun s -> snd (decode_state s)) all
+    in
+    (match visible_decision with
+    | Some d -> encode_state (my_records, Some d)
+    | None ->
+      let committed = ref None in
+      let input = input_of ~me ~env in
+      let records =
+        Array.mapi
+          (fun j recs ->
+            if !committed <> None then recs
+            else
+              advance_instance t ~j ~my_records:recs ~all_records ~env ~input
+                ~commit:(fun u -> committed := Some u))
+          my_records
+      in
+      encode_state (records, !committed))
+
+let machines t ~input_of =
+  Array.init t.n_machines (fun _ ->
+      {
+        Machine.m_name = "machine-consensus";
+        m_init = initial_state ~k:t.k;
+        m_step = (fun ~me ~states ~env -> machine_step t ~input_of ~me ~states ~env);
+        m_decided = decision;
+      })

@@ -1,0 +1,47 @@
+(** Leader-based consensus compiled to pure machines — the form needed when
+    a D-using algorithm's C-part must itself be simulated (Theorem 7).
+
+    Same protocol as the effectful [Efd.Leader_consensus], re-plumbed for
+    the machine model: queries and commit–adopt fields live in the machines'
+    {e states} (append-only per round, so views stay inclusion-ordered and
+    the commit–adopt argument goes through); answers arrive through
+    {e environment} registers written by real serving processes, which read
+    the machine states wherever they are published (direct state registers,
+    or the Figure-2 cells when the machines are simulated).
+
+    The module bundles [k] parallel instances in the {!Efd.Ksa} pattern:
+    every machine pursues all instances and decides the first instance
+    decision it obtains; instance [j] is meant to be served by the process
+    vector-Ωk names in position [j]. *)
+
+type t
+
+val create :
+  k:int ->
+  n_machines :int ->
+  max_rounds:int ->
+  input_offset:int ->
+  n_inputs:int ->
+  answer_offset:int ->
+  unit ->
+  t
+(** Environment layout contract: [env.(input_offset + c)] (for
+    [c < n_inputs]) is the input board; [env.(answer_offset + j*max_rounds
+    + (r-1))] is the answer cell of instance [j] round [r]. *)
+
+val answer_slot : t -> j:int -> r:int -> int
+(** Index of the (j, r) answer cell within the environment. *)
+
+val machines :
+  t -> input_of:(me:int -> env:Value.t array -> Value.t option) -> Machine.t array
+(** The participant machines. [input_of] extracts machine [me]'s proposal
+    from the environment (e.g. its own input slot, or — for colorless
+    simulation — the smallest-index input present); [None] = not ready yet,
+    the machine idles. *)
+
+val pending_queries : states:Value.t array -> (int * int * Value.t) list
+(** All (instance, round, estimate) queries present in the machine states —
+    the serving side answers those whose answer cell is still ⊥. *)
+
+val decision : Value.t -> Value.t option
+(** The machine's overall decision, from its state ([m_decided]). *)

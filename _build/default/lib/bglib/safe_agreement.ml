@@ -1,0 +1,45 @@
+module Memory = Simkit.Memory
+module Op = Simkit.Runtime.Op
+
+(* R.(i) = Unit (never proposed) or (level, value), level in {0, 1, 2}. *)
+type t = { regs : Memory.reg array }
+
+let create mem ~n =
+  if n <= 0 then invalid_arg "Safe_agreement.create";
+  { regs = Memory.alloc mem n }
+
+let decode cell =
+  if Value.is_unit cell then None
+  else
+    let l, v = Value.to_pair cell in
+    Some (Value.to_int l, v)
+
+let propose t ~me v =
+  Op.write t.regs.(me) (Value.pair (Value.int 1) v);
+  let cells = Op.snapshot t.regs in
+  let saw_level2 =
+    Array.exists
+      (fun c -> match decode c with Some (2, _) -> true | _ -> false)
+      cells
+  in
+  let final_level = if saw_level2 then 0 else 2 in
+  Op.write t.regs.(me) (Value.pair (Value.int final_level) v)
+
+let try_resolve t =
+  let cells = Op.snapshot t.regs in
+  let in_doorway =
+    Array.exists
+      (fun c -> match decode c with Some (1, _) -> true | _ -> false)
+      cells
+  in
+  if in_doorway then None
+  else
+    Array.fold_left
+      (fun acc c ->
+        match (acc, decode c) with
+        | Some _, _ -> acc
+        | None, Some (2, v) -> Some v
+        | None, _ -> None)
+      None cells
+
+let has_proposed t ~me = not (Value.is_unit (Op.read t.regs.(me)))

@@ -1,0 +1,28 @@
+(** Safe agreement (Borowsky–Gafni [5,7]): the BG simulation primitive.
+
+    Agreement and validity always hold; termination of {!try_resolve} is
+    guaranteed only once no proposer is stopped inside the doorway (between
+    its two writes). A process stalled inside the doorway blocks resolution
+    of this one instance — the source of BG's "one blocked code per stalled
+    simulator" accounting.
+
+    All operations perform runtime effects (call from process code). *)
+
+type t
+
+val create : Simkit.Memory.t -> n:int -> t
+(** [n] = number of potential proposers, indexed [0..n-1]. *)
+
+val propose : t -> me:int -> Value.t -> unit
+(** Enter and leave the doorway: write (level 1, v), snapshot, then raise to
+    level 2 (no level-2 seen) or retreat to level 0. Call at most once per
+    process per instance. *)
+
+val try_resolve : t -> Value.t option
+(** [Some v] once resolvable: no proposer at level 1 and at least one at
+    level 2; the value of the smallest-index level-2 proposer. [None] while
+    empty or while someone is inside the doorway. *)
+
+val has_proposed : t -> me:int -> bool
+(** One register read: did I already propose? (For recovery; callers
+    normally track this locally.) *)

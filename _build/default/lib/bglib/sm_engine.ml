@@ -1,0 +1,198 @@
+type fi_algo = { fi_name : string; fi_code : int -> Value.t -> Bg.code }
+
+(* --- engine state encoding -------------------------------------------- *)
+(* state = (marks, ticks); mark = ((c, r), level, proposal);
+   levels: 1 = doorway entered, 2 = raised, 0 = retreated.
+   The marks list is append-only (newest first). *)
+
+type mark = { mc : int; mr : int; mlevel : int; mprop : Value.t }
+
+let encode_mark m =
+  Value.triple
+    (Value.pair (Value.int m.mc) (Value.int m.mr))
+    (Value.int m.mlevel) m.mprop
+
+let decode_mark v =
+  let key, level, prop = Value.to_triple v in
+  let c, r = Value.to_pair key in
+  {
+    mc = Value.to_int c;
+    mr = Value.to_int r;
+    mlevel = Value.to_int level;
+    mprop = prop;
+  }
+
+let initial_state = Value.pair (Value.list []) (Value.int 0)
+
+let decode_state s =
+  let marks, ticks = Value.to_pair s in
+  (List.map decode_mark (Value.to_list marks), Value.to_int ticks)
+
+let encode_state (marks, ticks) =
+  Value.pair (Value.list (List.map encode_mark marks)) (Value.int ticks)
+
+let marks_of s = fst (decode_state s)
+
+(* --- view (SA proposal) encoding: as in Bg ----------------------------- *)
+
+let encode_view view = Value.vec (Array.map Value.list view)
+let decode_view v = Array.map Value.to_list (Value.to_vec v)
+
+(* --- safe agreement status -------------------------------------------- *)
+
+type sa_status = Unstarted | Pending | Resolved of Value.t
+
+let instance_marks all_marks ~c ~r =
+  List.map (List.filter (fun m -> m.mc = c && m.mr = r)) all_marks
+
+let sa_status all_marks ~c ~r =
+  let per_engine = instance_marks all_marks ~c ~r in
+  let in_doorway ms =
+    List.exists (fun m -> m.mlevel = 1) ms
+    && not (List.exists (fun m -> m.mlevel = 2 || m.mlevel = 0) ms)
+  in
+  if List.exists in_doorway per_engine then Pending
+  else
+    (* smallest-id engine with a level-2 mark wins *)
+    let raised =
+      List.concat_map
+        (fun ms -> List.filter (fun m -> m.mlevel = 2) ms)
+        per_engine
+    in
+    match raised with
+    | m :: _ -> Resolved m.mprop
+    | [] ->
+      if List.exists (fun ms -> ms <> []) per_engine then Pending else Unstarted
+
+(* --- replay of a code over its agreed views --------------------------- *)
+
+let replay (code : Bg.code) views =
+  let rec go writes round = function
+    | [] -> (List.rev writes, None)
+    | view :: rest -> (
+      match code.Bg.step ~round ~view with
+      | Bg.Decide v -> (List.rev writes, Some v)
+      | Bg.Write w -> go (w :: writes) (round + 1) rest)
+  in
+  go [ code.Bg.init ] 0 views
+
+(* --- derivations over the joint engine states -------------------------- *)
+
+let participants ~n_codes ~env =
+  List.filter (fun c -> not (Value.is_unit env.(c))) (List.init n_codes Fun.id)
+
+let code_histories algo ~n_codes ~states ~env =
+  let all_marks = Array.to_list (Array.map marks_of states) in
+  Array.init n_codes (fun c ->
+      if Value.is_unit env.(c) then ([], None)
+      else begin
+        let code = algo.fi_code c env.(c) in
+        let rec collect r acc =
+          match sa_status all_marks ~c ~r with
+          | Resolved prop -> collect (r + 1) (decode_view prop :: acc)
+          | Pending | Unstarted -> List.rev acc
+        in
+        let views = collect 0 [] in
+        let _, decision = replay code views in
+        (views, decision)
+      end)
+
+let code_decision algo ~n_codes ~states ~env c =
+  snd (code_histories algo ~n_codes ~states ~env).(c)
+
+let simulated_started _algo ~n_codes ~states ~env:_ =
+  let all_marks = List.concat_map marks_of (Array.to_list states) in
+  List.filter
+    (fun c -> List.exists (fun m -> m.mc = c) all_marks)
+    (List.init n_codes Fun.id)
+
+(* --- the engine step function ----------------------------------------- *)
+
+let engine_step algo ~n_codes ~k:_ ~me ~states ~env =
+  let my_marks, ticks = decode_state states.(me) in
+  let all_marks = Array.to_list (Array.map marks_of states) in
+  let histories = code_histories algo ~n_codes ~states ~env in
+  let append mark = encode_state (mark :: my_marks, ticks + 1) in
+  let idle () = encode_state (my_marks, ticks + 1) in
+  (* 1. an open doorway of mine must be finished first *)
+  let my_open =
+    List.find_opt
+      (fun m ->
+        m.mlevel = 1
+        && not
+             (List.exists
+                (fun m' -> m'.mc = m.mc && m'.mr = m.mr && m'.mlevel <> 1)
+                my_marks))
+      my_marks
+  in
+  match my_open with
+  | Some m ->
+    let someone_raised =
+      List.exists
+        (fun ms ->
+          List.exists (fun m' -> m'.mc = m.mc && m'.mr = m.mr && m'.mlevel = 2) ms)
+        all_marks
+    in
+    let level = if someone_raised then 0 else 2 in
+    append { m with mlevel = level }
+  | None ->
+    (* 2. target the smallest participating undecided unblocked code *)
+    let undecided =
+      List.filter
+        (fun c -> snd histories.(c) = None)
+        (participants ~n_codes ~env)
+    in
+    let try_code c =
+      let views, _ = histories.(c) in
+      let r = List.length views in
+      (* blocked if another engine sits in this instance's doorway *)
+      let blocked =
+        List.exists
+          (fun (e, ms) ->
+            e <> me
+            && List.exists (fun m -> m.mc = c && m.mr = r && m.mlevel = 1) ms
+            && not
+                 (List.exists
+                    (fun m -> m.mc = c && m.mr = r && m.mlevel <> 1)
+                    ms))
+          (List.mapi (fun e ms -> (e, ms)) all_marks)
+      in
+      if blocked then None
+      else if List.exists (fun m -> m.mc = c && m.mr = r) my_marks then
+        (* proposed and finished; waiting for others' doorways to clear *)
+        None
+      else begin
+        (* Enter the doorway with my proposed view for (c, r). Only codes
+           that have visibly started (some mark exists) contribute writes:
+           exposing an unstarted code's first write would make the
+           simulated run more concurrent than the engines' discipline. *)
+        let flat_marks = List.concat all_marks in
+        let started c' =
+          c' = c || List.exists (fun m -> m.mc = c') flat_marks
+        in
+        let view =
+          Array.init n_codes (fun c' ->
+              if Value.is_unit env.(c') || not (started c') then []
+              else
+                let views', _ = histories.(c') in
+                let code' = algo.fi_code c' env.(c') in
+                let writes, _ = replay code' views' in
+                writes)
+        in
+        Some (append { mc = c; mr = r; mlevel = 1; mprop = encode_view view })
+      end
+    in
+    let rec scan = function
+      | [] -> idle ()
+      | c :: rest -> ( match try_code c with Some s -> s | None -> scan rest)
+    in
+    scan undecided
+
+let engines ~k ~n_codes algo =
+  Array.init k (fun _ ->
+      {
+        Machine.m_name = Printf.sprintf "bg-engine(%s)" algo.fi_name;
+        m_init = initial_state;
+        m_step = (fun ~me ~states ~env -> engine_step algo ~n_codes ~k ~me ~states ~env);
+        m_decided = (fun _ -> None);
+      })

@@ -1,0 +1,56 @@
+(** The Theorem-9 inner layer: [k] pure machines ("engines") jointly
+    BG-simulate the [n] codes of a full-information algorithm, keeping the
+    simulated run k-concurrent.
+
+    Safe agreement is encoded in the engines' states: an engine's state is
+    an append-only list of marks [(code, round, level, proposal)] — level 1
+    on doorway entry (carrying the proposed view), then level 2 (no level-2
+    seen) or 0 (retreat). An instance is resolved once no engine is visibly
+    inside the doorway and some level-2 mark exists: the smallest-id level-2
+    engine's proposal wins. Append-only marks make engine views
+    inclusion-ordered, so resolutions are stable and the simulated views
+    form a chain — the BG linearizability argument.
+
+    Discipline (from the paper's proof of Theorem 9): every engine targets
+    the {e smallest} participating, undecided code whose current instance is
+    not blocked by another engine's open doorway, and always completes its
+    own open doorway first. Hence at most one fresh code is started while at
+    most k−1 blocked ones are pinned by stalled engines: the simulated run
+    is k-concurrent.
+
+    Substitution note (DESIGN.md): a code pinned by a {e permanently}
+    stalled engine starves; the paper unpins it with Extended-BG aborts.
+    We do not implement aborts: in harness-generated histories every
+    consensus position keeps deciding (churn serving), so permanent stalls
+    do not arise. *)
+
+type fi_algo = {
+  fi_name : string;
+  fi_code : int -> Value.t -> Bg.code;
+      (** [fi_code c input] — the full-information code of C-process [c];
+          views are indexed by code. *)
+}
+
+val engines : k:int -> n_codes:int -> fi_algo -> Machine.t array
+(** The [k] engine machines. Their environment must have [n_codes]
+    registers: [env.(c)] is ⊥ until code [c]'s input is written (the
+    harness input registers). *)
+
+(** {1 Pure derivations (also used by the outer layer)} *)
+
+val code_histories :
+  fi_algo -> n_codes:int -> states:Value.t array -> env:Value.t array ->
+  (Value.t list array list * Value.t option) array
+(** Per code: the agreed views so far (oldest first) and its decision, both
+    derived from the engines' states; non-participants yield [([], None)]. *)
+
+val code_decision :
+  fi_algo -> n_codes:int -> states:Value.t array -> env:Value.t array ->
+  int -> Value.t option
+(** Decision of code [c], derived from the engine states. *)
+
+val simulated_started :
+  fi_algo -> n_codes:int -> states:Value.t array -> env:Value.t array ->
+  int list
+(** Codes with at least one safe-agreement mark — "took a simulated step".
+    Used by checkers to bound the simulated run's concurrency. *)

@@ -1,0 +1,1 @@
+lib/efd/adversary.ml: Algorithm Array Fdlib Fmt List Option Random Renaming_algos Run Simkit Tasklib Value

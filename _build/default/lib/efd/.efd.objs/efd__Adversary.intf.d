@@ -1,0 +1,1 @@
+lib/efd/adversary.mli: Algorithm Fdlib Format Run Simkit Tasklib

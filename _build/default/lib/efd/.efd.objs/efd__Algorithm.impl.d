@@ -1,0 +1,1 @@
+lib/efd/algorithm.ml: Simkit Value

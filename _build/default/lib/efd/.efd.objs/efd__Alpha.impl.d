@@ -1,0 +1,1 @@
+lib/efd/alpha.ml: Array Simkit Value

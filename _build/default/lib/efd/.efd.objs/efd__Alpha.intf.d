@@ -1,0 +1,1 @@
+lib/efd/alpha.mli: Simkit Value

@@ -1,0 +1,1 @@
+lib/efd/classifier.ml: Array Fdlib Fmt Fun Kconc_tasks List One_concurrent Option Renaming_algos Run Scanf Simkit String Tasklib Value Wsb_algo

@@ -1,0 +1,1 @@
+lib/efd/classifier.mli: Algorithm Format Tasklib

@@ -1,0 +1,1 @@
+lib/efd/conventional.ml: Algorithm Array Fdlib Fmt List Random Simkit Tasklib

@@ -1,0 +1,1 @@
+lib/efd/conventional.mli: Algorithm Fdlib Format Simkit Tasklib

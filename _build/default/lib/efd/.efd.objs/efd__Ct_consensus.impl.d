@@ -1,0 +1,1 @@
+lib/efd/ct_consensus.ml: Algorithm Array Fdlib Fun List Simkit Value

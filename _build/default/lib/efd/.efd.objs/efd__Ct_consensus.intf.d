@@ -1,0 +1,1 @@
+lib/efd/ct_consensus.mli: Algorithm

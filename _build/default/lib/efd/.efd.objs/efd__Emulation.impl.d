@@ -1,0 +1,1 @@
+lib/efd/emulation.ml: Array Fdlib List Random Simkit Value

@@ -1,0 +1,1 @@
+lib/efd/emulation.mli: Fdlib Simkit Value

@@ -1,0 +1,1 @@
+lib/efd/extraction.ml: Algorithm Array Fdlib Fun Int List Random Simkit Tasklib Value

@@ -1,0 +1,1 @@
+lib/efd/extraction.mli: Algorithm Fdlib Simkit Tasklib Value

@@ -1,0 +1,1 @@
+lib/efd/interleave.mli: Algorithm

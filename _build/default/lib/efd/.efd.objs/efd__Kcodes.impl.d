@@ -1,0 +1,1 @@
+lib/efd/kcodes.ml: Array Bglib Fun Leader_consensus List Simkit Value

@@ -1,0 +1,1 @@
+lib/efd/kcodes.mli: Bglib Simkit Value

@@ -1,0 +1,1 @@
+lib/efd/kconc_tasks.ml: Algorithm Array Simkit Value

@@ -1,0 +1,1 @@
+lib/efd/kconc_tasks.mli: Algorithm Value

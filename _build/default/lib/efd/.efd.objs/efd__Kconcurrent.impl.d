@@ -1,0 +1,1 @@
+lib/efd/kconcurrent.ml: Algorithm Array Bglib Kcodes Ksa Printf Simkit Value

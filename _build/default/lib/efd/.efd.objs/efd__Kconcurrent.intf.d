@@ -1,0 +1,1 @@
+lib/efd/kconcurrent.mli: Algorithm Bglib

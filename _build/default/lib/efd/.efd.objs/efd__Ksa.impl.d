@@ -1,0 +1,1 @@
+lib/efd/ksa.ml: Algorithm Array Fdlib Leader_consensus Printf Simkit Value

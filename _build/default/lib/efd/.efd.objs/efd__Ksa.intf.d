@@ -1,0 +1,1 @@
+lib/efd/ksa.mli: Algorithm Value

@@ -1,0 +1,1 @@
+lib/efd/leader_consensus.ml: Array Bglib Simkit Value

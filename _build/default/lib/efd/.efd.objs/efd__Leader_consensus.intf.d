@@ -1,0 +1,1 @@
+lib/efd/leader_consensus.mli: Simkit Value

@@ -1,0 +1,1 @@
+lib/efd/ma_renaming.ml: Algorithm Array Printf Simkit Splitter Value

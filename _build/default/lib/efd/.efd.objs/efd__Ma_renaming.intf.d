@@ -1,0 +1,1 @@
+lib/efd/ma_renaming.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/efd/machine_ksa.ml: Algorithm Array Bglib Ksa Machine_runner Printf Simkit Value

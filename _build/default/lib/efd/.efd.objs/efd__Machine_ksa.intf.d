@@ -1,0 +1,1 @@
+lib/efd/machine_ksa.mli: Algorithm

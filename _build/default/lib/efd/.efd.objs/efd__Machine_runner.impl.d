@@ -1,0 +1,1 @@
+lib/efd/machine_runner.ml: Array Bglib List Simkit Value

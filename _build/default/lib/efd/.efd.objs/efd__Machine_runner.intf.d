@@ -1,0 +1,1 @@
+lib/efd/machine_runner.mli: Bglib Simkit Value

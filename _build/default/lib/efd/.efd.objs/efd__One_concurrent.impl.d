@@ -1,0 +1,1 @@
+lib/efd/one_concurrent.ml: Algorithm Array Simkit Tasklib Value

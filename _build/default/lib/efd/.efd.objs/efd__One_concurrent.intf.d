@@ -1,0 +1,1 @@
+lib/efd/one_concurrent.mli: Algorithm Tasklib

@@ -1,0 +1,1 @@
+lib/efd/paxos_consensus.ml: Algorithm Alpha Array Ksa Simkit Value

@@ -1,0 +1,1 @@
+lib/efd/paxos_consensus.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/efd/puzzle.ml: Algorithm Array Bglib Fdlib Kcodes Ksa Machine_runner Printf Simkit Value

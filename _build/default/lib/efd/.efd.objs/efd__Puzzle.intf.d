@@ -1,0 +1,1 @@
+lib/efd/puzzle.mli: Algorithm Fdlib

@@ -1,0 +1,1 @@
+lib/efd/renaming_algos.ml: Algorithm Array Fun List Printf Simkit Value

@@ -1,0 +1,1 @@
+lib/efd/renaming_algos.mli: Algorithm

@@ -1,0 +1,1 @@
+lib/efd/resilience.ml: Algorithm Array List Printf Random Simkit Value

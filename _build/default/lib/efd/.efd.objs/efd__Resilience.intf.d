@@ -1,0 +1,1 @@
+lib/efd/resilience.mli: Algorithm Random Run

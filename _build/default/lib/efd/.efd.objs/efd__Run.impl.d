@@ -1,0 +1,1 @@
+lib/efd/run.ml: Algorithm Array Fdlib Fmt List Random Simkit Tasklib

@@ -1,0 +1,1 @@
+lib/efd/run.mli: Algorithm Fdlib Format Random Simkit Tasklib

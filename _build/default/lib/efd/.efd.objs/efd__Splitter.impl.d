@@ -1,0 +1,1 @@
+lib/efd/splitter.ml: Fmt Simkit Value

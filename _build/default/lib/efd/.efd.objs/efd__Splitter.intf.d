@@ -1,0 +1,1 @@
+lib/efd/splitter.mli: Format Simkit

@@ -1,0 +1,1 @@
+lib/efd/trivial_nsa.mli: Algorithm

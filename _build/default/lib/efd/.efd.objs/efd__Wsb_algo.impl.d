@@ -1,0 +1,1 @@
+lib/efd/wsb_algo.ml: Algorithm Array Fun List Printf Simkit Value

@@ -1,0 +1,1 @@
+lib/efd/wsb_algo.mli: Algorithm

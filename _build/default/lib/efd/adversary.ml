@@ -1,0 +1,103 @@
+module Failure = Simkit.Failure
+module Op = Simkit.Runtime.Op
+module Task = Tasklib.Task
+
+type witness = {
+  w_seed : int;
+  w_desc : string;
+  w_report : Run.report;
+  w_pattern : Failure.pattern;
+  w_input : Tasklib.Vectors.t;
+}
+
+let pp_witness ppf w =
+  Fmt.pf ppf "@[<v>witness (seed %d): %s@,%a@]" w.w_seed w.w_desc Run.pp_report
+    w.w_report
+
+let describe r =
+  if not r.Run.r_task_ok then "task relation violated"
+  else if not r.Run.r_outcome.Simkit.Schedule.all_decided then
+    "some participant never decided"
+  else "wait-freedom violated"
+
+let search ?budget ?(policy = Run.fair_policy) ~task ~algo ~fd ~env ~seeds () =
+  let rec go = function
+    | [] -> None
+    | seed :: rest ->
+      let rng = Random.State.make [| seed; 0xadef |] in
+      let pattern = env.Failure.sample rng ~horizon:2_000 in
+      let input = Task.sample_input task rng in
+      let r = Run.execute ?budget ~policy ~task ~algo ~fd ~pattern ~input ~seed () in
+      if Run.ok r then go rest
+      else
+        Some
+          {
+            w_seed = seed;
+            w_desc = describe r;
+            w_report = r;
+            w_pattern = pattern;
+            w_input = input;
+          }
+  in
+  go seeds
+
+let explain ?budget ?(policy = Run.fair_policy) ?(last = 40) ~task ~algo ~fd w
+    ppf =
+  let r =
+    Run.execute ?budget ~record_trace:true ~policy ~task ~algo ~fd
+      ~pattern:w.w_pattern ~input:w.w_input ~seed:w.w_seed ()
+  in
+  Fmt.pf ppf "@[<v>%a@,final steps of the violating interleaving:@," pp_witness
+    { w with w_report = r };
+  let entries = Simkit.Trace.entries (Option.get r.Run.r_trace) in
+  let total = List.length entries in
+  List.iteri
+    (fun i e ->
+      if i >= total - last then Fmt.pf ppf "  %a@," Simkit.Trace.pp_entry e)
+    entries;
+  Fmt.pf ppf "@]"
+
+let consensus_via_strong_renaming () =
+  Algorithm.restricted ~name:"consensus-from-2-renaming" (fun ctx ->
+      let sh = Renaming_algos.fig4_shared ctx in
+      fun i input ->
+        let cl = Renaming_algos.fig4_client sh ~me:i in
+        let rec acquire () =
+          match Renaming_algos.fig4_pump cl with
+          | Renaming_algos.DecidedName nm -> nm
+          | Renaming_algos.Pending -> acquire ()
+        in
+        let name = acquire () in
+        if name = 1 then Op.decide input
+        else begin
+          (* the other participant wrote its input before suggesting *)
+          let inputs = Op.snapshot ctx.Algorithm.input_regs in
+          let other =
+            Array.to_list
+              (Array.mapi (fun l v -> (l, v)) inputs)
+            |> List.find_opt (fun (l, v) -> l <> i && not (Value.is_unit v))
+          in
+          match other with
+          | Some (_, v) -> Op.decide v
+          | None -> Op.decide input (* unreachable when the reduction is sound *)
+        end)
+
+let default_seeds = List.init 60 (fun i -> i + 1)
+
+let strong_renaming_witness ?(seeds = default_seeds) ~n ~j () =
+  search
+    ~policy:(Run.k_concurrent_uniform_policy 2)
+    ~task:(Tasklib.Renaming.strong ~n ~j)
+    ~algo:(Renaming_algos.fig4 ())
+    ~fd:Fdlib.Fd.trivial
+    ~env:(Failure.crash_free 1)
+    ~seeds ()
+
+let consensus_reduction_witness ?(seeds = default_seeds) ~n () =
+  search
+    ~policy:(Run.k_concurrent_uniform_policy 2)
+    ~task:(Tasklib.Set_agreement.make ~u:[ 0; 1 ] ~n ~k:1 ())
+    ~algo:(consensus_via_strong_renaming ())
+    ~fd:Fdlib.Fd.trivial
+    ~env:(Failure.crash_free 1)
+    ~seeds ()

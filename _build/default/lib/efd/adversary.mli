@@ -1,0 +1,60 @@
+(** Adversarial schedule search — the executable face of the paper's
+    impossibility results. An impossibility cannot be "run"; what can be
+    exhibited is a witness run in which a concrete algorithm, executed
+    outside its hypotheses, violates the task or fails to terminate. *)
+
+type witness = {
+  w_seed : int;
+  w_desc : string;
+  w_report : Run.report;
+  w_pattern : Simkit.Failure.pattern;
+  w_input : Tasklib.Vectors.t;
+}
+
+val pp_witness : Format.formatter -> witness -> unit
+
+val explain :
+  ?budget:int ->
+  ?policy:Run.policy_factory ->
+  ?last:int ->
+  task:Tasklib.Task.t ->
+  algo:Algorithm.t ->
+  fd:Fdlib.Fd.t ->
+  witness ->
+  Format.formatter ->
+  unit
+(** Replay the witness run deterministically with tracing on and print its
+    final [last] (default 40) steps - the interleaving that produced the
+    violation. *)
+
+val search :
+  ?budget:int ->
+  ?policy:Run.policy_factory ->
+  task:Tasklib.Task.t ->
+  algo:Algorithm.t ->
+  fd:Fdlib.Fd.t ->
+  env:Simkit.Failure.env ->
+  seeds:int list ->
+  unit ->
+  witness option
+(** First seed whose run fails ({!Run.ok} is false). Samples a pattern from
+    [env] and a maximal input per seed. *)
+
+val consensus_via_strong_renaming : unit -> Algorithm.t
+(** The Lemma-11 reduction: two processes solve consensus from a strong
+    2-renaming subroutine (here Figure 4 with target range {1,2}): publish
+    your input, acquire a name; name 1 ⇒ decide your own input, otherwise
+    decide the other participant's. Running it 2-concurrently and searching
+    for agreement violations witnesses the impossibility chain
+    consensus ⇒ strong 2-renaming (both 2-concurrently unsolvable). *)
+
+val strong_renaming_witness :
+  ?seeds:int list -> n:int -> j:int -> unit -> witness option
+(** Theorem 12 witness: Figure 4 run as a strong-renaming solver (ℓ = j)
+    under 2-concurrent schedules — searches for a run that leaves the name
+    range or duplicates a name. *)
+
+val consensus_reduction_witness :
+  ?seeds:int list -> n:int -> unit -> witness option
+(** Lemma 11 witness: the reduction algorithm under 2-concurrent schedules —
+    searches for an agreement/validity violation or non-termination. *)

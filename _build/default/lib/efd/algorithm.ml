@@ -1,0 +1,15 @@
+type ctx = {
+  mem : Simkit.Memory.t;
+  n_c : int;
+  n_s : int;
+  input_regs : Simkit.Memory.reg array;
+}
+
+type inst = { c_run : int -> Value.t -> unit; s_run : int -> unit }
+type t = { algo_name : string; make : ctx -> inst }
+
+let restricted ~name c_make =
+  {
+    algo_name = name;
+    make = (fun ctx -> { c_run = c_make ctx; s_run = (fun _ -> ()) });
+  }

@@ -1,0 +1,31 @@
+(** EFD algorithms: a pair of code families (one automaton per C-process,
+    one per S-process) instantiated against a shared memory.
+
+    The harness ({!Run}) owns the input registers: by convention (§2.2) the
+    first step of every C-process writes its task input to its input
+    register; algorithm code runs after that write and receives the input
+    value directly. Algorithms read {e other} processes' inputs through
+    [input_regs]. *)
+
+type ctx = {
+  mem : Simkit.Memory.t;
+  n_c : int;
+  n_s : int;
+  input_regs : Simkit.Memory.reg array;
+      (** [input_regs.(i)] = input written by [p_i]; [Value.unit] (⊥) until
+          [p_i] participates *)
+}
+
+type inst = {
+  c_run : int -> Value.t -> unit;
+      (** [c_run i input]: body of [p_i] (after the harness's input write);
+          must eventually call [Runtime.Op.decide] when given enough steps
+          in runs matching the algorithm's hypotheses *)
+  s_run : int -> unit;  (** body of [q_i]; restricted algorithms return () *)
+}
+
+type t = { algo_name : string; make : ctx -> inst }
+
+val restricted : name:string -> (ctx -> int -> Value.t -> unit) -> t
+(** An algorithm whose S-processes take only null steps (= a wait-free
+    read/write algorithm, §2.2). *)

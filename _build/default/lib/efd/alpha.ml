@@ -1,0 +1,63 @@
+module Memory = Simkit.Memory
+module Op = Simkit.Runtime.Op
+
+(* R.(p) = (rr, wr, val): highest promised round, highest accepted round,
+   accepted value. Single-writer per proposer, atomic. *)
+type t = { regs : Memory.reg array; dec : Memory.reg }
+
+let create mem ~n_proposers =
+  if n_proposers <= 0 then invalid_arg "Alpha.create";
+  { regs = Memory.alloc mem n_proposers; dec = Memory.alloc1 mem () }
+
+type outcome = Commit of Value.t | Abort of Value.t option
+
+let decode cell =
+  if Value.is_unit cell then (0, 0, None)
+  else
+    let rr, wr, v = Value.to_triple cell in
+    (Value.to_int rr, Value.to_int wr, Value.to_option v)
+
+let encode (rr, wr, v) =
+  Value.triple (Value.int rr) (Value.int wr) (Value.option v)
+
+let latest_accepted cells =
+  Array.fold_left
+    (fun (best_wr, best_v) cell ->
+      let _, wr, v = decode cell in
+      if wr > best_wr then (wr, v) else (best_wr, best_v))
+    (0, None) cells
+
+let propose t ~me ~round v =
+  (* phase 1: promise my own register to [round], then collect *)
+  let my_rr, my_wr, my_v = decode (Op.read t.regs.(me)) in
+  Op.write t.regs.(me) (encode (max my_rr round, my_wr, my_v));
+  let cells = Op.snapshot t.regs in
+  let max_rr =
+    Array.fold_left (fun acc c -> let rr, _, _ = decode c in max acc rr) 0 cells
+  in
+  let max_wr =
+    Array.fold_left (fun acc c -> let _, wr, _ = decode c in max acc wr) 0 cells
+  in
+  let _, hint = latest_accepted cells in
+  if max_rr > round || max_wr > round then Abort hint
+  else begin
+    (* adopt the latest accepted value, if any *)
+    let value = match hint with Some u -> u | None -> v in
+    (* phase 2: accept at [round], then collect again *)
+    Op.write t.regs.(me) (encode (round, round, Some value));
+    let cells = Op.snapshot t.regs in
+    let max_rr =
+      Array.fold_left (fun acc c -> let rr, _, _ = decode c in max acc rr) 0 cells
+    in
+    if max_rr > round then
+      let _, hint = latest_accepted cells in
+      Abort hint
+    else begin
+      Op.write t.dec value;
+      Commit value
+    end
+  end
+
+let decided t =
+  let d = Op.read t.dec in
+  if Value.is_unit d then None else Some d

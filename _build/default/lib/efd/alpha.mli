@@ -1,0 +1,28 @@
+(** The round-based register ("alpha" of consensus, Gafni–Lamport style):
+    a single-decree Paxos core in shared memory.
+
+    A proposer owning round [r] runs two phases of write-then-collect; it
+    commits a value only if no higher round interfered, and any committed
+    value is adopted by every later round. Safety (two commits never
+    differ) holds unconditionally; progress needs an eventually-lone
+    proposer — exactly what Ω provides ({!Paxos_consensus}).
+
+    Round ownership: proposers must use disjoint round numbers (use
+    [r ≡ owner (mod #proposers)]). All operations perform runtime steps. *)
+
+type t
+
+val create : Simkit.Memory.t -> n_proposers:int -> t
+
+type outcome =
+  | Commit of Value.t
+  | Abort of Value.t option
+      (** interference; the payload is the latest accepted value seen, which
+          callers should re-propose *)
+
+val propose : t -> me:int -> round:int -> Value.t -> outcome
+(** Two-phase attempt at round [round] (must be owned by [me] and increase
+    across this proposer's calls). *)
+
+val decided : t -> Value.t option
+(** One-step probe of the decision register (set by committers). *)

@@ -1,0 +1,124 @@
+module Failure = Simkit.Failure
+module Task = Tasklib.Task
+module Registry = Tasklib.Registry
+
+type measurement = {
+  m_task_name : string;
+  m_expected : Registry.expectation;
+  m_weakest_fd : string;
+  m_passes_up_to : int;
+  m_breaks_at : int option;
+  m_levels : (int * bool) list;
+}
+
+let default_seeds = List.init 25 (fun i -> i + 1)
+
+(* the maximal input vector with the most distinct values — the inputs most
+   likely to expose a concurrency-level violation *)
+let spiciest_input task =
+  let distinct v =
+    Array.to_list v |> List.filter_map Fun.id
+    |> List.sort_uniq Value.compare |> List.length
+  in
+  match task.Task.max_inputs () with
+  | [] -> invalid_arg "Classifier: no inputs"
+  | v :: rest ->
+    List.fold_left (fun best w -> if distinct w > distinct best then w else best) v rest
+
+let solvable_at ?(seeds = default_seeds) ?(budget = 150_000) ~task ~algo ~k () =
+  let sweep_ok policy =
+    let s =
+      Run.sweep ~budget ~policy ~task ~algo ~fd:Fdlib.Fd.trivial
+        ~env:(Failure.crash_free 1)
+        ~seeds ()
+    in
+    s.Run.passed = s.Run.total
+  in
+  let crafted_ok =
+    (* near-lockstep k-concurrent run on the most-distinct input *)
+    List.for_all
+      (fun seed ->
+        let r =
+          Run.execute ~budget
+            ~policy:(Run.k_concurrent_policy k)
+            ~task ~algo ~fd:Fdlib.Fd.trivial
+            ~pattern:(Failure.failure_free 1)
+            ~input:(spiciest_input task) ~seed ()
+        in
+        Run.ok r)
+      (List.filteri (fun i _ -> i < 5) seeds)
+  in
+  crafted_ok
+  && sweep_ok (Run.k_concurrent_policy k)
+  && sweep_ok (Run.k_concurrent_uniform_policy k)
+
+let measure ?seeds ?budget ~max_level ~task ~algo ~expected ~weakest_fd () =
+  let levels =
+    List.map
+      (fun k -> (k, solvable_at ?seeds ?budget ~task ~algo ~k ()))
+      (List.init max_level (fun i -> i + 1))
+  in
+  (* longest prefix 1..k of consecutively passing levels *)
+  let rec passes_prefix acc = function
+    | (k, true) :: rest when k = acc + 1 -> passes_prefix k rest
+    | _ -> acc
+  in
+  let breaks_at = List.find_opt (fun (_, ok) -> not ok) levels in
+  {
+    m_task_name = task.Task.task_name;
+    m_expected = expected;
+    m_weakest_fd = weakest_fd;
+    m_passes_up_to = passes_prefix 0 levels;
+    m_breaks_at = Option.map fst breaks_at;
+    m_levels = levels;
+  }
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Reference algorithms by task family, recognized from the task name. *)
+let reference_algorithm task =
+  let name = task.Task.task_name in
+  if contains_sub name "identity" then Kconc_tasks.echo ()
+  else if contains_sub name "constant-" then
+    Kconc_tasks.const (Value.int (Scanf.sscanf name "constant-%d(" (fun x -> x)))
+  else if contains_sub name "WSB" then
+    Wsb_algo.two_concurrent ~j:(Scanf.sscanf name "WSB(j=%d" (fun x -> x))
+  else if contains_sub name "leader-election" then One_concurrent.make task
+  else if contains_sub name "renaming" then Renaming_algos.fig4 ()
+  else Kconc_tasks.adoption ()
+
+let table ?(seeds_per_level = 20) ?max_level ~n () =
+  let entries = Registry.standard ~n in
+  let seeds = List.init seeds_per_level (fun i -> i + 1) in
+  let max_level = Option.value max_level ~default:n in
+  List.map
+    (fun e ->
+      let task = e.Registry.entry_task in
+      measure ~seeds ~max_level ~task
+        ~algo:(reference_algorithm task)
+        ~expected:e.Registry.expected ~weakest_fd:e.Registry.weakest_fd ())
+    entries
+
+let pp_measurement ppf m =
+  let breaks =
+    match m.m_breaks_at with
+    | None -> "-"
+    | Some k -> string_of_int k
+  in
+  let expected = Fmt.str "%a" Registry.pp_expectation m.m_expected in
+  Fmt.pf ppf "%-34s expected %-4s measured-ok<=%d breaks@%-3s weakest-fd %s"
+    m.m_task_name expected m.m_passes_up_to breaks m.m_weakest_fd
+
+let pp_table ppf ms =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:(Fmt.any "@,") pp_measurement) ms
+
+let consistent m =
+  let tested = List.length m.m_levels in
+  match m.m_expected with
+  | Registry.At_least k -> m.m_passes_up_to >= min k tested
+  | Registry.Exact k ->
+    m.m_passes_up_to >= min k tested
+    && (match m.m_breaks_at with None -> true | Some b -> b > k)

@@ -1,0 +1,55 @@
+(** Empirical task classification (Theorem 10): for each task in the
+    registry, find the largest concurrency level at which its reference
+    algorithm passes every sampled run, and the first level at which an
+    adversarial witness appears. Together with the registry's expected
+    level this regenerates the paper's hierarchy: a task of level [k] has
+    weakest failure detector ¬Ωk (Ω for k = 1, none for k = n). *)
+
+type measurement = {
+  m_task_name : string;
+  m_expected : Tasklib.Registry.expectation;
+  m_weakest_fd : string;
+  m_passes_up_to : int;  (** max level with all sampled runs ok (0 = none) *)
+  m_breaks_at : int option;  (** first level with a witness run, if any *)
+  m_levels : (int * bool) list;  (** per tested level: all runs passed? *)
+}
+
+val solvable_at :
+  ?seeds:int list ->
+  ?budget:int ->
+  task:Tasklib.Task.t ->
+  algo:Algorithm.t ->
+  k:int ->
+  unit ->
+  bool
+(** Do all sampled k-concurrent runs of [algo] satisfy [task]? Runs use a
+    reduced default budget (150k steps): algorithms run beyond their
+    concurrency level may deadlock, and a deadlocked run should fail fast. *)
+
+val measure :
+  ?seeds:int list ->
+  ?budget:int ->
+  max_level:int ->
+  task:Tasklib.Task.t ->
+  algo:Algorithm.t ->
+  expected:Tasklib.Registry.expectation ->
+  weakest_fd:string ->
+  unit ->
+  measurement
+
+val reference_algorithm : Tasklib.Task.t -> Algorithm.t
+(** The algorithm battery: echo/const for the wait-free tasks, the adoption
+    algorithm for (U,k)-agreement, Figure 4 for renaming, the 2-concurrent
+    WSB algorithm, the Proposition-1 generic solver for leader election. *)
+
+val table :
+  ?seeds_per_level:int -> ?max_level:int -> n:int -> unit -> measurement list
+(** Measure the whole standard registry for [n] C-processes. *)
+
+val pp_measurement : Format.formatter -> measurement -> unit
+val pp_table : Format.formatter -> measurement list -> unit
+
+val consistent : measurement -> bool
+(** Does the measurement agree with the expectation? Exact k: passes up to
+    at least k and (when k < max tested level) breaks above it is allowed
+    but not below; At_least k: passes up to at least k. *)

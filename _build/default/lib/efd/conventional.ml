@@ -1,0 +1,90 @@
+module Memory = Simkit.Memory
+module Runtime = Simkit.Runtime
+module Schedule = Simkit.Schedule
+module Failure = Simkit.Failure
+module Pid = Simkit.Pid
+module Task = Tasklib.Task
+module Vectors = Tasklib.Vectors
+
+type report = {
+  p_input : Vectors.t;
+  p_output : Vectors.t;
+  p_task_ok : bool;
+  p_obliged_decided : bool;
+  p_steps : int;
+}
+
+let ok r = r.p_task_ok && r.p_obliged_decided
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>input   %a@,output  %a@,task ok %b@,obliged %b@,steps   %d@]"
+    Vectors.pp r.p_input Vectors.pp r.p_output r.p_task_ok r.p_obliged_decided
+    r.p_steps
+
+let execute ?(budget = 400_000) ~task ~algo ~fd ~pattern ~input ~seed () =
+  let n_c = task.Task.arity in
+  let n_s = pattern.Failure.n_s in
+  if n_c <> n_s then invalid_arg "Conventional.execute: needs n_c = n_s";
+  let mem = Memory.create () in
+  let input_regs = Memory.alloc mem n_c in
+  let inst = algo.Algorithm.make { Algorithm.mem; n_c; n_s; input_regs } in
+  let c_code i () =
+    match input.(i) with
+    | None -> ()
+    | Some v ->
+      Runtime.Op.write input_regs.(i) v;
+      inst.Algorithm.c_run i v
+  in
+  let rt =
+    Runtime.create
+      {
+        Runtime.n_c;
+        n_s;
+        memory = mem;
+        pattern;
+        history = Fdlib.Fd.draw fd pattern ~seed;
+        record_trace = false;
+      }
+      ~c_code
+      ~s_code:(fun i () -> inst.Algorithm.s_run i)
+  in
+  let participants = Vectors.participants input in
+  let rng = Random.State.make [| seed; 0xc0 |] in
+  let base =
+    Schedule.shuffled_rounds
+      ~only:(List.map Pid.c participants @ Pid.all_s n_s)
+      ~n_c ~n_s rng
+  in
+  (* personification: p_i stops being scheduled when q_i crashes *)
+  let policy =
+    Schedule.filtered
+      (fun rt p ->
+        match p with
+        | Pid.S _ -> true
+        | Pid.C i -> not (Failure.crashed pattern ~time:(Runtime.time rt) i))
+      base
+  in
+  let obliged =
+    List.filter (fun i -> Failure.is_correct pattern i) participants
+  in
+  let outcome =
+    Schedule.run rt policy ~budget
+      ~stop_when:(fun rt ->
+        List.for_all (fun i -> Runtime.decision rt i <> None) obliged)
+  in
+  let actual_input =
+    Array.mapi (fun i v -> if Runtime.participating rt i then v else None) input
+  in
+  let output = Runtime.decisions rt in
+  let report =
+    {
+      p_input = actual_input;
+      p_output = output;
+      p_task_ok = Task.satisfies task ~input:actual_input ~output;
+      p_obliged_decided =
+        List.for_all (fun i -> Runtime.decision rt i <> None) obliged;
+      p_steps = outcome.Schedule.total_steps;
+    }
+  in
+  Runtime.destroy rt;
+  report

@@ -1,0 +1,38 @@
+(** Conventional (personified) solvability (§2.3).
+
+    In the conventional model each process [i] is the pair of threads
+    [(p_i, q_i)]: [p_i] crashes exactly when [q_i] does. Personified runs
+    are the fair runs in which a C-process stops being scheduled at its
+    partner's crash time; an algorithm classically solves a task if every
+    personified run satisfies it — where only processes with a {e correct}
+    partner are obliged to decide.
+
+    Proposition 3: EFD solvability implies classical solvability (the
+    personified runs are a subset of the fair runs); the converse fails
+    (experiment E4). *)
+
+type report = {
+  p_input : Tasklib.Vectors.t;  (** restricted to processes that ran *)
+  p_output : Tasklib.Vectors.t;
+  p_task_ok : bool;
+  p_obliged_decided : bool;
+      (** every participant whose partner is correct decided *)
+  p_steps : int;
+}
+
+val ok : report -> bool
+val pp_report : Format.formatter -> report -> unit
+
+val execute :
+  ?budget:int ->
+  task:Tasklib.Task.t ->
+  algo:Algorithm.t ->
+  fd:Fdlib.Fd.t ->
+  pattern:Simkit.Failure.pattern ->
+  input:Tasklib.Vectors.t ->
+  seed:int ->
+  unit ->
+  report
+(** One personified run: participants are the input vector's non-⊥ slots,
+    but [p_i] takes no step from [q_i]'s crash time on. Requires the
+    pattern and task arity to agree (n = m). *)

@@ -1,0 +1,151 @@
+module Memory = Simkit.Memory
+module Op = Simkit.Runtime.Op
+module Mp = Simkit.Mp
+
+(* message encodings *)
+let est_msg ~r ~est ~ts =
+  Value.pair (Value.str "EST") (Value.triple (Value.int r) est (Value.int ts))
+
+let prop_msg ~r ~est = Value.pair (Value.str "PROP") (Value.pair (Value.int r) est)
+let ack_msg ~r ~ok = Value.pair (Value.str "ACK") (Value.pair (Value.int r) (Value.bool ok))
+let dec_msg ~est = Value.pair (Value.str "DEC") est
+
+let tag_of m = Value.to_str (fst (Value.to_pair m))
+let body_of m = snd (Value.to_pair m)
+
+type phase =
+  | Estimate  (** send my estimate to the coordinator *)
+  | Collect  (** coordinator: await a majority of estimates *)
+  | Await  (** await the proposal or suspect the coordinator *)
+  | Tally  (** coordinator: await a majority of acks/nacks *)
+
+let make () =
+  {
+    Algorithm.algo_name = "chandra-toueg-diamond-s";
+    make =
+      (fun ctx ->
+        let n = ctx.Algorithm.n_s in
+        let majority = (n / 2) + 1 in
+        let net = Mp.create ctx.Algorithm.mem ~n in
+        let dec_reg = Memory.alloc1 ctx.Algorithm.mem () in
+        let c_run _i _input =
+          let rec wait () =
+            let d = Op.read dec_reg in
+            if Value.is_unit d then wait () else Op.decide d
+          in
+          wait ()
+        in
+        let s_run me =
+          let ep = Mp.endpoint net ~me in
+          let inbox = ref [] in
+          let poll () = inbox := !inbox @ Mp.recv_new ep in
+          let find_dec () =
+            List.find_map
+              (fun (_, m) -> if tag_of m = "DEC" then Some (body_of m) else None)
+              !inbox
+          in
+          let ests_for r =
+            List.filter_map
+              (fun (s, m) ->
+                if tag_of m = "EST" then begin
+                  let r', est, ts = Value.to_triple (body_of m) in
+                  if Value.to_int r' = r then Some (s, est, Value.to_int ts)
+                  else None
+                end
+                else None)
+              !inbox
+          in
+          let prop_for r ~coord =
+            List.find_map
+              (fun (s, m) ->
+                if s = coord && tag_of m = "PROP" then begin
+                  let r', est = Value.to_pair (body_of m) in
+                  if Value.to_int r' = r then Some est else None
+                end
+                else None)
+              !inbox
+          in
+          let acks_for r =
+            List.filter_map
+              (fun (_, m) ->
+                if tag_of m = "ACK" then begin
+                  let r', ok = Value.to_pair (body_of m) in
+                  if Value.to_int r' = r then Some (Value.to_bool ok) else None
+                end
+                else None)
+              !inbox
+          in
+          (* wait for some participant's input as the initial estimate *)
+          let rec initial () =
+            let inputs = Op.snapshot ctx.Algorithm.input_regs in
+            match
+              Array.fold_left
+                (fun acc v ->
+                  match acc with
+                  | Some _ -> acc
+                  | None -> if Value.is_unit v then None else Some v)
+                None inputs
+            with
+            | Some v -> v
+            | None -> initial ()
+          in
+          let est = ref (initial ()) in
+          let ts = ref 0 in
+          let finish v =
+            Op.write dec_reg v;
+            Mp.broadcast ep (dec_msg ~est:v);
+            (* keep relaying nothing; spin on null steps *)
+            let rec idle () =
+              Op.yield ();
+              idle ()
+            in
+            idle ()
+          in
+          let rec round r phase =
+            poll ();
+            (match find_dec () with Some v -> finish v | None -> ());
+            let coord = (r - 1) mod n in
+            match phase with
+            | Estimate ->
+              Mp.send ep ~to_:coord (est_msg ~r ~est:!est ~ts:!ts);
+              round r (if me = coord then Collect else Await)
+            | Collect ->
+              let received = ests_for r in
+              if List.length received >= majority then begin
+                let _, best, _ =
+                  List.fold_left
+                    (fun ((_, _, bts) as b) ((_, _, ts') as c) ->
+                      if ts' > bts then c else b)
+                    (List.hd received) (List.tl received)
+                in
+                est := best;
+                Mp.broadcast ep (prop_msg ~r ~est:best);
+                round r Await
+              end
+              else round r Collect
+            | Await -> (
+              match prop_for r ~coord with
+              | Some proposal ->
+                est := proposal;
+                ts := r;
+                Mp.send ep ~to_:coord (ack_msg ~r ~ok:true);
+                if me = coord then round r Tally else round (r + 1) Estimate
+              | None ->
+                let suspected = Fdlib.Fd.decode_set (Op.query ()) in
+                if List.mem coord suspected && me <> coord then begin
+                  Mp.send ep ~to_:coord (ack_msg ~r ~ok:false);
+                  round (r + 1) Estimate
+                end
+                else round r Await)
+            | Tally ->
+              let replies = acks_for r in
+              if List.length replies >= majority then begin
+                if List.for_all Fun.id replies then finish !est
+                else round (r + 1) Estimate
+              end
+              else round r Tally
+          in
+          round 1 Estimate
+        in
+        { Algorithm.c_run; s_run });
+  }

@@ -1,0 +1,15 @@
+(** Chandra–Toueg consensus with ◇S — the companion algorithm of the
+    failure-detector papers (reference [10] of ours), run natively: the
+    S-processes execute the rotating-coordinator protocol over the
+    message-passing layer ({!Simkit.Mp}) while the C-processes publish
+    inputs and spin on the decision register.
+
+    Requires a {e majority} of correct S-processes (environments E_t with
+    [t ≤ (n−1)/2]) — unlike the Ω-based solvers, which survive [n−1]
+    crashes: the classic resilience/advice trade-off, measurable here.
+    Safety (agreement, validity) holds in every run, even with junk
+    suspicions; liveness needs ◇S's eventual weak accuracy. *)
+
+val make : unit -> Algorithm.t
+(** The drawn FD must output suspicion sets ({!Fdlib.Fd.encode_set}), e.g.
+    {!Fdlib.Classic.eventually_strong} or {!Fdlib.Classic.eventually_perfect}. *)

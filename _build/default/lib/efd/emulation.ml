@@ -1,0 +1,110 @@
+module Memory = Simkit.Memory
+module Runtime = Simkit.Runtime
+module Op = Simkit.Runtime.Op
+module Schedule = Simkit.Schedule
+module Failure = Simkit.Failure
+module Pid = Simkit.Pid
+
+type ops = {
+  query : unit -> Value.t;
+  publish : Value.t -> unit;
+  collect : unit -> Value.t array;
+  emit : Value.t -> unit;
+}
+
+type reduction = {
+  red_name : string;
+  red_make : me:int -> n_s:int -> ops -> unit -> unit;
+}
+
+type result = { em_outputs : Value.t array array; em_steps : int }
+
+let run ?(budget = 30_000) ~fd ~pattern ~seed reduction =
+  let n_s = pattern.Failure.n_s in
+  let mem = Memory.create () in
+  let board = Memory.alloc mem n_s in
+  let em_regs = Memory.alloc mem n_s in
+  let s_code me () =
+    let body =
+      reduction.red_make ~me ~n_s
+        {
+          query = Op.query;
+          publish = (fun v -> Op.write board.(me) v);
+          collect = (fun () -> Op.snapshot board);
+          emit = (fun v -> Op.write em_regs.(me) v);
+        }
+    in
+    let rec loop () =
+      body ();
+      loop ()
+    in
+    loop ()
+  in
+  let rt =
+    Runtime.create
+      {
+        Runtime.n_c = 1;
+        n_s;
+        memory = mem;
+        pattern;
+        history = Fdlib.Fd.draw fd pattern ~seed;
+        record_trace = false;
+      }
+      ~c_code:(fun _ () -> ())
+      ~s_code
+  in
+  let rng = Random.State.make [| seed; 0xed |] in
+  let policy = Schedule.shuffled_rounds ~only:(Pid.all_s n_s) ~n_c:1 ~n_s rng in
+  let rows = Array.make n_s [] in
+  for _ = 1 to budget do
+    (match policy.Schedule.next rt with
+    | Some p -> Runtime.step rt p
+    | None -> ());
+    for q = 0 to n_s - 1 do
+      rows.(q) <- Memory.read mem em_regs.(q) :: rows.(q)
+    done
+  done;
+  let steps = Runtime.time rt in
+  Runtime.destroy rt;
+  {
+    em_outputs = Array.map (fun l -> Array.of_list (List.rev l)) rows;
+    em_steps = steps;
+  }
+
+let omega_from_eventually_strong =
+  {
+    red_name = "Omega<=<>S";
+    red_make =
+      (fun ~me:_ ~n_s ops ->
+        let counts = Array.make n_s 0 in
+        fun () ->
+          let suspected = Fdlib.Fd.decode_set (ops.query ()) in
+          List.iter
+            (fun j -> if j >= 0 && j < n_s then counts.(j) <- counts.(j) + 1)
+            suspected;
+          ops.publish (Value.int_vec counts);
+          let published = ops.collect () in
+          let sums = Array.make n_s 0 in
+          Array.iter
+            (fun cell ->
+              if not (Value.is_unit cell) then
+                Array.iteri
+                  (fun j c -> sums.(j) <- sums.(j) + c)
+                  (Value.to_int_vec cell))
+            published;
+          let leader = ref 0 in
+          Array.iteri (fun j s -> if s < sums.(!leader) then leader := j) sums;
+          ops.emit (Fdlib.Fd.encode_leader !leader));
+  }
+
+let identity_of ~name =
+  {
+    red_name = "identity:" ^ name;
+    red_make = (fun ~me:_ ~n_s:_ ops () -> ops.emit (ops.query ()));
+  }
+
+let local ~name f =
+  {
+    red_name = "local:" ^ name;
+    red_make = (fun ~me:_ ~n_s ops () -> ops.emit (f ~n_s (ops.query ())));
+  }

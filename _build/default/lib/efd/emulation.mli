@@ -1,0 +1,52 @@
+(** Distributed failure-detector reductions (§2.2): "D' is weaker than D"
+    is witnessed by a reduction algorithm in which the S-processes query D,
+    communicate through shared memory, and maintain registers
+    [D'-output_i] whose evolution forms a legal D' history. C-processes
+    take only null steps.
+
+    The harness runs a reduction and records the emitted outputs as a
+    tabulated history for the {!Fdlib.Props} checkers — the finite-run
+    counterpart of the reduction's correctness. *)
+
+type ops = {
+  query : unit -> Value.t;  (** one D query (one step) *)
+  publish : Value.t -> unit;  (** write my shared slot (one step) *)
+  collect : unit -> Value.t array;  (** snapshot everyone's slots (one step) *)
+  emit : Value.t -> unit;  (** write my D'-output register (one step) *)
+}
+
+type reduction = {
+  red_name : string;
+  red_make : me:int -> n_s:int -> ops -> unit -> unit;
+      (** builds the S-process's iterated loop body (local state lives in
+          the returned closure) *)
+}
+
+type result = {
+  em_outputs : Value.t array array;
+      (** [em_outputs.(q).(tau)] — emitted D'-output of [q_q] at step tau *)
+  em_steps : int;
+}
+
+val run :
+  ?budget:int ->
+  fd:Fdlib.Fd.t ->
+  pattern:Simkit.Failure.pattern ->
+  seed:int ->
+  reduction ->
+  result
+
+val omega_from_eventually_strong : reduction
+(** The classic suspicion-counting emulation Ω ⇐ ◇S: every process counts
+    how often it has suspected each process, publishes its counter vector,
+    and outputs the argmin of the summed published counters (ties to the
+    smallest id). The never-again-suspected correct process has bounded
+    count everywhere while forever-suspected ones grow without bound, so
+    the argmin stabilizes on a correct process at every correct process. *)
+
+val identity_of : name:string -> reduction
+(** Emit the raw D output — the trivial reduction D ⇐ D (harness tests). *)
+
+val local : name:string -> (n_s:int -> Value.t -> Value.t) -> reduction
+(** Lift a per-query output transformation (a {!Fdlib.Convert}-style local
+    reduction) into a distributed reduction. *)

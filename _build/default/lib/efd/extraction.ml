@@ -1,0 +1,256 @@
+module Memory = Simkit.Memory
+module Runtime = Simkit.Runtime
+module Op = Simkit.Runtime.Op
+module Schedule = Simkit.Schedule
+module History = Simkit.History
+module Failure = Simkit.Failure
+module Pid = Simkit.Pid
+module Dag = Fdlib.Dag
+module Vectors = Tasklib.Vectors
+
+(* ----------------------------------------------------------------------- *)
+(* The local simulation of Asim: one deterministic bounded (k+1)-concurrent
+   run of A with DAG-fed S-codes and the donation discipline.              *)
+(* ----------------------------------------------------------------------- *)
+
+let simulate_branch ~algo ~inputs ~n_c ~n_s ~k ~dag ~stall_on ~budget =
+  let mem = Memory.create () in
+  let input_regs = Memory.alloc mem n_c in
+  let ctx = { Algorithm.mem; n_c; n_s; input_regs } in
+  let inst = algo.Algorithm.make ctx in
+  let pending = Array.make n_s Value.unit in
+  let consumed = ref false in
+  let history =
+    History.make ~name:"dag-served" (fun q _time ->
+        consumed := true;
+        pending.(q))
+  in
+  let c_code i () =
+    match inputs.(i) with
+    | None -> ()
+    | Some v ->
+      Op.write input_regs.(i) v;
+      inst.Algorithm.c_run i v
+  in
+  let s_code i () = inst.Algorithm.s_run i in
+  let rt =
+    Runtime.create
+      {
+        Runtime.n_c;
+        n_s;
+        memory = mem;
+        pattern = Failure.failure_free n_s;
+        history;
+        record_trace = false;
+      }
+      ~c_code ~s_code
+  in
+  let participants = Vectors.participants inputs in
+  let frontier = Array.make n_s 0 in
+  (* donation discipline: at most one open donation per donor *)
+  let open_donation = Array.make n_c None (* donor -> S-code *) in
+  let donated_to = Array.make n_s false (* S-code has an open donation *) in
+  let stalled = ref None in
+  let turns = ref [] in
+  let scode_rr = ref 0 in
+  let c_rr = ref 0 in
+  (* the (k+1)-concurrent corridor: smallest-id undecided participants *)
+  let active () =
+    let undecided =
+      List.filter (fun i -> Runtime.decision rt i = None) participants
+    in
+    let rec take n = function
+      | [] -> []
+      | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl
+    in
+    take (k + 1) undecided
+  in
+  let complete_donation p =
+    match open_donation.(p) with
+    | None -> ()
+    | Some q ->
+      (match Dag.next_vertex dag ~q ~frontier with
+      | Some vx ->
+        pending.(q) <- vx.Dag.vval;
+        consumed := false;
+        Runtime.step rt (Pid.s q);
+        if !consumed then frontier.(q) <- vx.Dag.vseq;
+        turns := q :: !turns
+      | None -> () (* DAG is fixed locally; the vertex chosen at open time
+                      is still there — unreachable, kept for safety *));
+      open_donation.(p) <- None;
+      donated_to.(q) <- false
+  in
+  let open_new_donation p =
+    (* round-robin over S-codes with an available next vertex and no open
+       donation *)
+    let rec pick tried =
+      if tried >= n_s then None
+      else
+        let q = (!scode_rr + tried) mod n_s in
+        if (not donated_to.(q)) && Dag.next_vertex dag ~q ~frontier <> None
+        then Some q
+        else pick (tried + 1)
+    in
+    match pick 0 with
+    | None -> ()
+    | Some q ->
+      scode_rr := (q + 1) mod n_s;
+      open_donation.(p) <- Some q;
+      donated_to.(q) <- true;
+      if stall_on = Some q && !stalled = None then stalled := Some p
+  in
+  let rec loop iter =
+    if iter >= budget then false
+    else begin
+      let corridor = active () in
+      if corridor = [] then true
+      else begin
+        let runnable =
+          List.filter (fun p -> !stalled <> Some p) corridor
+        in
+        match runnable with
+        | [] ->
+          (* only the stalled donor remains undecided: every process that
+             kept taking steps decided — the branch counts as deciding
+             (the paper's criterion quantifies over processes with
+             infinitely many steps) *)
+          true
+        | _ ->
+          let idx = !c_rr mod List.length runnable in
+          c_rr := !c_rr + 1;
+          let p = List.nth runnable idx in
+          complete_donation p;
+          Runtime.step rt (Pid.c p);
+          open_new_donation p;
+          loop (iter + 1)
+      end
+    end
+  in
+  let all_decided = loop 0 in
+  Runtime.destroy rt;
+  (* emulated output: the last n−k distinct turn-taking S-codes, padded
+     deterministically with the smallest ids *)
+  let rec distinct acc = function
+    | [] -> List.rev acc
+    | q :: rest ->
+      if List.mem q acc then distinct acc rest else distinct (q :: acc) rest
+  in
+  let latest = distinct [] !turns in
+  let want = n_s - k in
+  let rec take n = function
+    | [] -> []
+    | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl
+  in
+  let base = take want latest in
+  let pad =
+    List.filter (fun q -> not (List.mem q base)) (List.init n_s Fun.id)
+  in
+  let output = take want (base @ pad) in
+  (all_decided, List.sort Int.compare output)
+
+(* ----------------------------------------------------------------------- *)
+(* The steered exploration: fair branch, then stall branches in id order;
+   the first never-deciding branch determines the emulated output.        *)
+(* ----------------------------------------------------------------------- *)
+
+let explore ~algo ~inputs ~n_c ~n_s ~k ~dag ~budget =
+  let branch stall_on =
+    simulate_branch ~algo ~inputs ~n_c ~n_s ~k ~dag ~stall_on ~budget
+  in
+  let _, fair_out = branch None in
+  let rec hunt q =
+    if q >= n_s then fair_out
+    else
+      let decided, out = branch (Some q) in
+      if not decided then out else hunt (q + 1)
+  in
+  hunt 0
+
+(* ----------------------------------------------------------------------- *)
+(* The reduction run: S-processes sample D, exchange DAGs, explore.       *)
+(* ----------------------------------------------------------------------- *)
+
+type result = {
+  x_outputs : Value.t array array;
+  x_samples : int;
+  x_explorations : int;
+}
+
+let run ?(outer_budget = 40_000) ?(sample_period = 60) ?(explore_budget = 4_000)
+    ?(max_samples = 400) ~k ~fd ~algo ~inputs ~n_c ~pattern ~seed () =
+  let n_s = pattern.Failure.n_s in
+  let mem = Memory.create () in
+  let dag_regs = Memory.alloc mem n_s in
+  let out_regs = Memory.alloc mem n_s in
+  let default_output = Fdlib.Fd.encode_set (List.init (n_s - k) Fun.id) in
+  Array.iter (fun r -> Memory.write mem r default_output) out_regs;
+  let samples = Array.make n_s 0 in
+  let explorations = Array.make n_s 0 in
+  let s_code me () =
+    let dag = ref (Dag.create ~n_s) in
+    let rec loop i =
+      if samples.(me) < max_samples then begin
+        let v = Op.query () in
+        ignore (Dag.add_sample !dag ~q:me v);
+        samples.(me) <- samples.(me) + 1;
+        (* exchange: publish and union every few samples *)
+        if i mod 5 = 0 then begin
+          Op.write dag_regs.(me) (Dag.encode !dag);
+          for j = 0 to n_s - 1 do
+            if j <> me then begin
+              let enc = Op.read dag_regs.(j) in
+              if not (Value.is_unit enc) then Dag.union !dag (Dag.decode enc)
+            end
+          done
+        end
+      end
+      else Op.yield ();
+      if i > 0 && i mod sample_period = 0 then begin
+        let out =
+          explore ~algo ~inputs ~n_c ~n_s ~k ~dag:!dag ~budget:explore_budget
+        in
+        explorations.(me) <- explorations.(me) + 1;
+        Op.write out_regs.(me) (Fdlib.Fd.encode_set out)
+      end;
+      loop (i + 1)
+    in
+    loop 1
+  in
+  let history = Fdlib.Fd.draw fd pattern ~seed in
+  let rt =
+    Runtime.create
+      {
+        Runtime.n_c;
+        n_s;
+        memory = mem;
+        pattern;
+        history;
+        record_trace = false;
+      }
+      ~c_code:(fun _ () -> ())
+      ~s_code
+  in
+  let rng = Random.State.make [| seed; 0xe7 |] in
+  let policy =
+    Schedule.shuffled_rounds ~only:(Pid.all_s n_s) ~n_c ~n_s rng
+  in
+  let rows = Array.make n_s [] in
+  let rec drive step =
+    if step < outer_budget then begin
+      (match policy.Schedule.next rt with
+      | Some p -> Runtime.step rt p
+      | None -> ());
+      for q = 0 to n_s - 1 do
+        rows.(q) <- Memory.read mem out_regs.(q) :: rows.(q)
+      done;
+      drive (step + 1)
+    end
+  in
+  drive 0;
+  Runtime.destroy rt;
+  {
+    x_outputs = Array.map (fun l -> Array.of_list (List.rev l)) rows;
+    x_samples = Array.fold_left max 0 samples;
+    x_explorations = Array.fold_left max 0 explorations;
+  }

@@ -1,0 +1,73 @@
+(** Theorem 8 / Figure 1: extracting ¬Ωk from any failure detector [D] that
+    solves a task [T] that is not (k+1)-concurrently solvable.
+
+    Every S-process runs two components. First, it periodically queries its
+    [D] module, grows a CHT sample DAG ({!Fdlib.Dag}) and exchanges it with
+    the other S-processes through shared memory. Second, it locally
+    simulates bounded (k+1)-concurrent runs of [Asim] — the restricted
+    algorithm in which the C-part of [A] (the algorithm solving [T] with
+    [D]) runs normally while [A]'s S-codes execute inside the simulation,
+    their queries fed from DAG vertices chosen causally after every vertex
+    already consumed. The emulated ¬Ωk output is the set of the last [n−k]
+    S-codes that received turns in the currently simulated run: in a
+    never-deciding branch the starved S-codes are eventually never output,
+    and at least one of them is correct (else the simulated run would be
+    fair and [A] would decide) — the ¬Ωk property.
+
+    Substitutions (DESIGN.md): (1) the BG-simulation of S-codes by the
+    C-part is replaced by a two-phase {e donation} discipline with the same
+    observable accounting — an S-code steps only inside a donation opened
+    and later closed by one corridor C-process, so a stalled C-process pins
+    exactly one S-code; (2) the corridor depth-first search is steered: the
+    fair branch first, then for each S-code [q̂] the branch that stalls a
+    donor mid-donation to [q̂] — the first never-deciding branch determines
+    the output (any fixed deterministic exploration order is admissible);
+    (3) explorations are re-run from scratch on a sampling schedule, which
+    plays the role of Figure 1's adoption rule: outputs become a
+    deterministic function of the (converging) DAGs. *)
+
+type result = {
+  x_outputs : Value.t array array;
+      (** [x_outputs.(q).(tau)] — emulated ¬Ωk output of [q_q] at sample
+          time [tau] (constant between S-steps); table shape fits
+          {!Fdlib.Props}. *)
+  x_samples : int;  (** DAG samples taken per correct S-process (max) *)
+  x_explorations : int;  (** exploration rounds performed (max) *)
+}
+
+val run :
+  ?outer_budget:int ->
+  ?sample_period:int ->
+  ?explore_budget:int ->
+  ?max_samples:int ->
+  k:int ->
+  fd:Fdlib.Fd.t ->
+  algo:Algorithm.t ->
+  inputs:Tasklib.Vectors.t ->
+  n_c:int ->
+  pattern:Simkit.Failure.pattern ->
+  seed:int ->
+  unit ->
+  result
+(** Drive one run of the reduction algorithm: C-processes take null steps;
+    S-processes sample [fd], exchange DAGs and explore. [inputs] is the
+    input vector used for the simulated runs of [A] (Figure 1 iterates all
+    input vectors; the harness samples them across seeds). *)
+
+(** {1 Exposed for tests} *)
+
+val simulate_branch :
+  algo:Algorithm.t ->
+  inputs:Tasklib.Vectors.t ->
+  n_c:int ->
+  n_s:int ->
+  k:int ->
+  dag:Fdlib.Dag.t ->
+  stall_on:int option ->
+  budget:int ->
+  bool * int list
+(** One deterministic local simulation of [Asim]: corridor of k+1
+    C-processes (smallest ids first, decided ones replaced), S-codes gated
+    by donations and DAG vertices; [stall_on = Some q̂] stalls the first
+    donor that opens a donation to [q̂], forever. Returns (all current
+    participants decided?, the last [n−k] distinct turn-taking S-codes). *)

@@ -1,0 +1,46 @@
+module Runtime = Simkit.Runtime
+module Op = Simkit.Runtime.Op
+module Failure = Simkit.Failure
+module History = Simkit.History
+module Pid = Simkit.Pid
+
+(* "Each C-process p_i executes alternatively steps of A^C_{p_i} and steps
+   of A^S_{q_i}" (Proposition 2's proof). Both automata run as coroutines
+   inside a nested runtime sharing the outer memory: every inner step is a
+   single memory access executed within the outer process's slice (hence
+   atomic), and the outer process pays one step (yield) for each, so the
+   emulated run has the same step structure as a run of the original
+   algorithm in the pattern where all unemulated S-processes are crashed.
+   Queries of the emulated S-automaton observe the trivial detector, as the
+   proposition requires. *)
+
+let restricted_of (a : Algorithm.t) =
+  Algorithm.restricted ~name:(a.Algorithm.algo_name ^ "+interleaved")
+    (fun ctx ->
+      let inst = a.Algorithm.make ctx in
+      fun i input ->
+        let inner =
+          Runtime.create
+            {
+              Runtime.n_c = i + 1 (* only index i is stepped *);
+              n_s = i + 1;
+              memory = ctx.Algorithm.mem;
+              pattern = Failure.failure_free (i + 1);
+              history = History.trivial;
+              record_trace = false;
+            }
+            ~c_code:(fun j () -> if j = i then inst.Algorithm.c_run j input)
+            ~s_code:(fun j () -> if j = i then inst.Algorithm.s_run j)
+        in
+        let rec alternate () =
+          Runtime.step inner (Pid.c i);
+          Op.yield ();
+          Runtime.step inner (Pid.s i);
+          Op.yield ();
+          match Runtime.decision inner i with
+          | Some v ->
+            Runtime.destroy inner;
+            Op.decide v
+          | None -> alternate ()
+        in
+        alternate ())

@@ -1,0 +1,17 @@
+(** The constructive direction of Proposition 2: if [n ≥ m] and a task is
+    solvable with the trivial failure detector, it is solvable by a
+    restricted algorithm — because each C-process [p_i] can execute its
+    synchronization partner [q_i]'s automaton itself, alternating one step
+    of each; the resulting runs emulate runs of the original algorithm in
+    the failure pattern where the unemulated S-processes are crashed.
+
+    Mechanically, both automata run as coroutines in a nested runtime
+    sharing the outer memory; after every inner step the outer process
+    burns one step ([yield]), so the emulation preserves one-memory-access-
+    per-step atomicity. Only trivial-FD algorithms can be transformed
+    (an inner query observes the trivial detector, as required). *)
+
+val restricted_of : Algorithm.t -> Algorithm.t
+(** [restricted_of a]: the restricted algorithm in which [p_i] alternates
+    steps of [a]'s C-automaton [i] and S-automaton [i]. The S-automata of
+    the result take only null steps. *)

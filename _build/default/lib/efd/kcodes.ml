@@ -1,0 +1,209 @@
+module Memory = Simkit.Memory
+module Op = Simkit.Runtime.Op
+module Machine = Bglib.Machine
+
+type t = {
+  kc_k : int;
+  n_sims : int;
+  max_steps : int;
+  machines : Machine.t array;
+  env_regs : Memory.reg array;
+  cells : Memory.reg array;  (** [j * (max_steps+1) + l] = state after l transitions *)
+  r_regs : Memory.reg array;  (** simulator participation *)
+  cons : Leader_consensus.t array;  (** [j * max_steps + (l-1)] decides transition l *)
+}
+
+let cell t j l = t.cells.((j * (t.max_steps + 1)) + l)
+let instance t j l = t.cons.((j * t.max_steps) + (l - 1))
+
+let create mem ~machines ~env_regs ~n_sims ?(max_steps = 400) ?(max_rounds = 64)
+    () =
+  let k = Array.length machines in
+  if k = 0 || n_sims <= 0 then invalid_arg "Kcodes.create";
+  let cells = Memory.alloc mem (k * (max_steps + 1)) in
+  Array.iteri
+    (fun j m -> Memory.write mem cells.(j * (max_steps + 1)) m.Machine.m_init)
+    machines;
+  {
+    kc_k = k;
+    n_sims;
+    max_steps;
+    machines;
+    env_regs;
+    cells;
+    r_regs = Memory.alloc mem n_sims;
+    cons =
+      Array.init (k * max_steps) (fun _ ->
+          Leader_consensus.create mem ~n_c:n_sims ~max_rounds);
+  }
+
+let k t = t.kc_k
+
+type sim = {
+  kc : t;
+  me : int;
+  known_step : int array;  (** transitions known per machine *)
+  known_state : Value.t array;
+  client : Leader_consensus.client option array;
+  mutable dead : bool;
+}
+
+let make_sim kc ~me =
+  if me < 0 || me >= kc.n_sims then invalid_arg "Kcodes.make_sim";
+  {
+    kc;
+    me;
+    known_step = Array.make kc.kc_k 0;
+    known_state = Array.map (fun m -> m.Machine.m_init) kc.machines;
+    client = Array.make kc.kc_k None;
+    dead = false;
+  }
+
+let register sim = Op.write sim.kc.r_regs.(sim.me) (Value.int 1)
+let depart sim = Op.write sim.kc.r_regs.(sim.me) (Value.int 0)
+let states sim = Array.copy sim.known_state
+let steps_known sim = Array.copy sim.known_step
+let exhausted sim = sim.dead
+
+(* Read forward from the known cell position; cells fill in order. *)
+let refresh sim j =
+  let t = sim.kc in
+  let rec forward () =
+    let next = sim.known_step.(j) + 1 in
+    if next <= t.max_steps then begin
+      let v = Op.read (cell t j next) in
+      if not (Value.is_unit v) then begin
+        sim.known_step.(j) <- next;
+        sim.known_state.(j) <- v;
+        sim.client.(j) <- None;
+        forward ()
+      end
+    end
+  in
+  forward ()
+
+(* Evaluate the proposal for machine j's next transition: one atomic
+   snapshot over all cells + env (Figure 2 line 19), own position taken
+   from the agreed state just refreshed. *)
+let propose sim j =
+  let t = sim.kc in
+  let cells_snap = Op.snapshot t.cells in
+  let env_snap = Op.snapshot t.env_regs in
+  let latest j' =
+    (* newest non-unit cell of machine j' within the snapshot *)
+    let rec scan l best =
+      if l > t.max_steps then best
+      else
+        let v = cells_snap.((j' * (t.max_steps + 1)) + l) in
+        if Value.is_unit v then best else scan (l + 1) v
+    in
+    scan 0 t.machines.(j').Machine.m_init
+  in
+  let states = Array.init t.kc_k latest in
+  states.(j) <- sim.known_state.(j);
+  t.machines.(j).Machine.m_step ~me:j ~states ~env:env_snap
+
+(* Leader duty under the <= k participants rule (Figure 2, Task 2). *)
+let serve_c_rule sim =
+  let t = sim.kc in
+  let pars_cells = Op.snapshot t.r_regs in
+  let pars =
+    List.filter
+      (fun i ->
+        (not (Value.is_unit pars_cells.(i))) && Value.to_int pars_cells.(i) = 1)
+      (List.init t.n_sims Fun.id)
+  in
+  if List.length pars <= t.kc_k then
+    List.iteri
+      (fun j i ->
+        if j < t.kc_k && i = sim.me then begin
+          let l = sim.known_step.(j) + 1 in
+          if l <= t.max_steps then Leader_consensus.serve (instance t j l)
+        end)
+      pars
+
+let pump sim =
+  let t = sim.kc in
+  for j = 0 to t.kc_k - 1 do
+    refresh sim j;
+    let l = sim.known_step.(j) + 1 in
+    if l > t.max_steps then sim.dead <- true
+    else begin
+      (match sim.client.(j) with
+      | Some _ -> ()
+      | None ->
+        let next = propose sim j in
+        sim.client.(j) <-
+          Some (Leader_consensus.client (instance t j l) ~me:sim.me next));
+      match sim.client.(j) with
+      | None -> ()
+      | Some cl -> (
+        match Leader_consensus.pump cl with
+        | Leader_consensus.Decided v ->
+          (* write-once publication of the agreed state *)
+          let c = cell t j l in
+          if Value.is_unit (Op.read c) then Op.write c v;
+          sim.known_step.(j) <- l;
+          sim.known_state.(j) <- v;
+          sim.client.(j) <- None
+        | Leader_consensus.Pending -> ()
+        | Leader_consensus.Exhausted -> sim.dead <- true)
+    end
+  done;
+  serve_c_rule sim
+
+type server = { skc : t; s_me : int; s_known : int array }
+
+let make_server skc ~me = { skc; s_me = me; s_known = Array.make skc.kc_k 0 }
+
+let serve_pump srv ~leaders =
+  let t = srv.skc in
+  Array.iteri
+    (fun j leader ->
+      if j < t.kc_k && leader = srv.s_me then begin
+        (* track the machine's current step, then serve its instance *)
+        let rec forward () =
+          let next = srv.s_known.(j) + 1 in
+          if next <= t.max_steps then begin
+            let v = Op.read (cell t j next) in
+            if not (Value.is_unit v) then begin
+              srv.s_known.(j) <- next;
+              forward ()
+            end
+          end
+        in
+        forward ();
+        let l = srv.s_known.(j) + 1 in
+        if l <= t.max_steps then Leader_consensus.serve (instance t j l)
+      end)
+    leaders
+
+let states_view mem t =
+  Array.init t.kc_k (fun j ->
+      let rec scan l best =
+        if l > t.max_steps then best
+        else
+          let v = Memory.read mem (cell t j l) in
+          if Value.is_unit v then best else scan (l + 1) v
+      in
+      scan 0 t.machines.(j).Machine.m_init)
+
+let steps_view mem t =
+  Array.init t.kc_k (fun j ->
+      let rec scan l =
+        if l > t.max_steps then l - 1
+        else if Value.is_unit (Memory.read mem (cell t j l)) then l - 1
+        else scan (l + 1)
+      in
+      scan 1)
+
+let snapshot_states t =
+  let cells_snap = Op.snapshot t.cells in
+  Array.init t.kc_k (fun j ->
+      let rec scan l best =
+        if l > t.max_steps then best
+        else
+          let v = cells_snap.((j * (t.max_steps + 1)) + l) in
+          if Value.is_unit v then best else scan (l + 1) v
+      in
+      scan 0 t.machines.(j).Machine.m_init)

@@ -1,0 +1,79 @@
+(** The Figure-2 simulation: [n] C-process simulators plus the S-processes
+    jointly execute [k] pure machines ({!Bglib.Machine.t}), agreeing on
+    every machine transition through one {!Leader_consensus} instance per
+    (machine, step).
+
+    Layout: machine [j]'s agreed state after transition [ℓ] lives in a
+    write-once cell; cells fill in order because instance (j, ℓ+1) only
+    receives proposals from simulators that know cell ℓ. A proposal for
+    (j, ℓ+1) is the proposer's evaluation of [m_step] on an atomic snapshot
+    of the latest cells and the environment registers (line 19 of Figure 2:
+    [vj := {V1..Vk}]); the decided evaluation is written back before anyone
+    proposes (j, ℓ+2).
+
+    Leadership (Figure 2, Task 2): while at most [k] simulators participate,
+    the [j]-th smallest participating simulator serves machine [j]'s current
+    instance; otherwise S-processes serve the machines their vector-Ωk
+    module names. At least one machine therefore keeps advancing; in
+    harness-generated histories the churn keeps every machine advancing
+    (see DESIGN.md on Extended-BG aborts). *)
+
+type t
+
+val create :
+  Simkit.Memory.t ->
+  machines:Bglib.Machine.t array ->
+  env_regs:Simkit.Memory.reg array ->
+  n_sims:int ->
+  ?max_steps:int ->
+  ?max_rounds:int ->
+  unit ->
+  t
+(** [max_steps] (default 400) bounds transitions per machine; [max_rounds]
+    (default 64) bounds rounds per consensus instance. *)
+
+val k : t -> int
+
+(** {1 C-simulator side (runtime effects)} *)
+
+type sim
+
+val make_sim : t -> me:int -> sim
+val register : sim -> unit
+(** Announce participation (Figure 2's [Ri := 1]); call once, first. *)
+
+val pump : sim -> unit
+(** One simulator iteration: refresh agreed states, propose/pump the next
+    transition of every machine, write back decisions, and perform leader
+    duty under the ≤k-participants rule. Bounded steps. *)
+
+val depart : sim -> unit
+(** Figure 2's [Ri := ⊥] (line 28): leave the participating set. *)
+
+val states : sim -> Value.t array
+(** Latest agreed machine states known to this simulator (no steps). *)
+
+val steps_known : sim -> int array
+val exhausted : sim -> bool
+(** A machine hit [max_steps] or an instance ran out of rounds. *)
+
+(** {1 S-process side (runtime effects)} *)
+
+type server
+
+val make_server : t -> me:int -> server
+
+val serve_pump : server -> leaders:int array -> unit
+(** One S-process iteration: for every machine position [j] with
+    [leaders.(j) = me], refresh that machine's step counter and serve its
+    current consensus instance. [leaders] is the vector-Ωk output. *)
+
+(** {1 Checker side (no runtime steps)} *)
+
+val states_view : Simkit.Memory.t -> t -> Value.t array
+val steps_view : Simkit.Memory.t -> t -> int array
+
+val snapshot_states : t -> Value.t array
+(** One atomic snapshot of the state cells, decoded to the latest agreed
+    state per machine (runtime effect; for serving processes that must read
+    simulated machine states). *)

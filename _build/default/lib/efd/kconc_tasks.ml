@@ -1,0 +1,27 @@
+module Memory = Simkit.Memory
+module Op = Simkit.Runtime.Op
+
+let adoption () =
+  Algorithm.restricted ~name:"adoption-ksa" (fun ctx ->
+      let board = Memory.alloc ctx.Algorithm.mem ctx.Algorithm.n_c in
+      fun i input ->
+        let cells = Op.snapshot board in
+        let existing =
+          Array.fold_left
+            (fun acc c ->
+              match acc with
+              | Some _ -> acc
+              | None -> if Value.is_unit c then None else Some c)
+            None cells
+        in
+        match existing with
+        | Some v -> Op.decide v
+        | None ->
+          Op.write board.(i) input;
+          Op.decide input)
+
+let echo () =
+  Algorithm.restricted ~name:"echo" (fun _ctx _i input -> Op.decide input)
+
+let const v =
+  Algorithm.restricted ~name:"const" (fun _ctx _i _input -> Op.decide v)

@@ -1,0 +1,19 @@
+(** Restricted algorithms that are correct at bounded concurrency — the
+    concrete "algorithm A" instances plugged into the Theorem-9 machinery
+    and the {!Classifier}. *)
+
+val adoption : unit -> Algorithm.t
+(** The k-concurrent set-agreement algorithm (one algorithm for every k):
+    snapshot the decided-values board; adopt the first value present, or
+    publish-and-decide your own input if the board is empty. In any
+    k-concurrent run the processes that see an empty board are pairwise
+    concurrent-undecided, hence (Helly) simultaneous, hence at most [k] —
+    so at most [k] distinct values are decided. Solves k-set agreement in
+    every k-concurrent run; violates it at concurrency k+1 (the
+    {!Adversary} finds witnesses). *)
+
+val echo : unit -> Algorithm.t
+(** Decide your own input — wait-free; solves the identity task. *)
+
+val const : Value.t -> Algorithm.t
+(** Decide a constant — wait-free. *)

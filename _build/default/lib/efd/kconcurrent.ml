@@ -1,0 +1,48 @@
+module Op = Simkit.Runtime.Op
+module Sm_engine = Bglib.Sm_engine
+
+let make ?max_steps ?max_rounds ~k ~fi () =
+  if k < 1 then invalid_arg "Kconcurrent.make";
+  {
+    Algorithm.algo_name =
+      Printf.sprintf "thm9(%s)-with-vector-Omega-%d" fi.Sm_engine.fi_name k;
+    make =
+      (fun ctx ->
+        let n_codes = ctx.Algorithm.n_c in
+        let machines = Sm_engine.engines ~k ~n_codes fi in
+        let kc =
+          Kcodes.create ctx.Algorithm.mem ~machines
+            ~env_regs:ctx.Algorithm.input_regs ~n_sims:n_codes ?max_steps
+            ?max_rounds ()
+        in
+        let c_run i input =
+          let sim = Kcodes.make_sim kc ~me:i in
+          Kcodes.register sim;
+          (* Only this code's slot matters for deriving its own decision:
+             replay uses the views stored in the engines' marks. *)
+          let env = Array.make n_codes Value.unit in
+          env.(i) <- input;
+          let rec loop () =
+            Kcodes.pump sim;
+            match
+              Sm_engine.code_decision fi ~n_codes ~states:(Kcodes.states sim)
+                ~env i
+            with
+            | Some v ->
+              Kcodes.depart sim;
+              Op.decide v
+            | None -> loop ()
+          in
+          loop ()
+        in
+        let s_run me =
+          let server = Kcodes.make_server kc ~me in
+          let rec loop () =
+            let w = Ksa.decode_leader_vector ~k (Op.query ()) in
+            Kcodes.serve_pump server ~leaders:w;
+            loop ()
+          in
+          loop ()
+        in
+        { Algorithm.c_run; s_run });
+  }

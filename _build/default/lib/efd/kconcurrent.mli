@@ -1,0 +1,21 @@
+(** Theorem 9: any k-concurrently solvable task is solvable with ¬Ωk
+    (via its equivalent vector-Ωk form).
+
+    The double simulation, assembled from the other modules: the [n]
+    C-processes and the S-processes run the Figure-2 layer ({!Kcodes}) to
+    execute [k] BG-engine machines ({!Bglib.Sm_engine}), which in turn
+    simulate the [n] codes of the task's k-concurrent algorithm given in
+    full-information form ({!Bglib.Sm_engine.fi_algo}) — producing a
+    k-concurrent simulated run whose decisions the simulators adopt.
+    C-process [p_i] departs (and decides) as soon as simulated code [i]'s
+    decision becomes derivable from the agreed engine states. *)
+
+val make :
+  ?max_steps:int ->
+  ?max_rounds:int ->
+  k:int ->
+  fi:Bglib.Sm_engine.fi_algo ->
+  unit ->
+  Algorithm.t
+(** The FD drawn by the harness must output vector-Ωk encodings of length
+    [k] (or bare Ω leaders when [k = 1]). *)

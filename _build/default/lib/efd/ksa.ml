@@ -1,0 +1,56 @@
+module Memory = Simkit.Memory
+module Op = Simkit.Runtime.Op
+
+let decode_leader_vector ~k v =
+  match v with
+  | Value.Unit -> Array.make k (-1) (* no advice: nobody is trusted *)
+  | Value.Int leader -> Array.make k leader
+  | _ ->
+    let vec = Fdlib.Fd.decode_vector v in
+    if Array.length vec <> k then
+      invalid_arg "Ksa: FD vector length mismatch"
+    else vec
+
+let make ?(max_rounds = 512) ~k () =
+  if k < 1 then invalid_arg "Ksa.make";
+  {
+    Algorithm.algo_name = Printf.sprintf "ksa-with-vector-Omega-%d" k;
+    make =
+      (fun ctx ->
+        let mem = ctx.Algorithm.mem in
+        let instances =
+          Array.init k (fun _ ->
+              Leader_consensus.create mem ~n_c:ctx.Algorithm.n_c ~max_rounds)
+        in
+        let c_run i input =
+          let clients =
+            Array.map (fun lc -> Leader_consensus.client lc ~me:i input) instances
+          in
+          let rec loop () =
+            let decided = ref None in
+            Array.iter
+              (fun cl ->
+                if !decided = None then
+                  match Leader_consensus.pump cl with
+                  | Leader_consensus.Decided v -> decided := Some v
+                  | Leader_consensus.Pending | Leader_consensus.Exhausted -> ())
+              clients;
+            match !decided with Some v -> Op.decide v | None -> loop ()
+          in
+          loop ()
+        in
+        let s_run me =
+          let rec loop () =
+            let w = decode_leader_vector ~k (Op.query ()) in
+            Array.iteri
+              (fun j leader ->
+                if leader = me then Leader_consensus.serve instances.(j))
+              w;
+            loop ()
+          in
+          loop ()
+        in
+        { Algorithm.c_run; s_run });
+  }
+
+let consensus ?max_rounds () = make ?max_rounds ~k:1 ()

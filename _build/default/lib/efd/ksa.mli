@@ -1,0 +1,22 @@
+(** k-set agreement with vector-Ωk (hence with ¬Ωk, Proposition 6): [k]
+    parallel {!Leader_consensus} instances; instance [j] is served by
+    whichever S-process its vector-Ωk module names in position [j]; every
+    participant proposes to all instances and decides the first decision it
+    sees. At most [k] instances exist, so at most [k] distinct values are
+    decided; at least one position of vector-Ωk eventually stabilizes on a
+    correct S-process, so its instance eventually decides for everyone.
+
+    With [k = 1] this is consensus with Ω (the S-code accepts both Ω's
+    single-leader outputs and vector encodings). *)
+
+val make : ?max_rounds:int -> k:int -> unit -> Algorithm.t
+(** The FD drawn by the harness must output vector-Ωk encodings
+    ({!Fdlib.Fd.encode_vector} of length [k]) or, when [k = 1], Ω leader
+    encodings. Solves [Set_agreement.make ~n ~k] (and [(U, k)]-agreement for
+    any U). *)
+
+val consensus : ?max_rounds:int -> unit -> Algorithm.t
+(** [make ~k:1]. *)
+
+val decode_leader_vector : k:int -> Value.t -> int array
+(** Vector output, or a bare leader replicated into all positions. *)

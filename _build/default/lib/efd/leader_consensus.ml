@@ -1,0 +1,82 @@
+module Memory = Simkit.Memory
+module Op = Simkit.Runtime.Op
+module Commit_adopt = Bglib.Commit_adopt
+
+type t = {
+  n_c : int;
+  max_rounds : int;
+  q_regs : Memory.reg array;  (** client queries: (round, est) *)
+  a_regs : Memory.reg array;  (** per-round answers, [a_regs.(r-1)] *)
+  dec : Memory.reg;
+  cas : Commit_adopt.t array;  (** per-round commit–adopt *)
+}
+
+let create mem ~n_c ~max_rounds =
+  if n_c <= 0 || max_rounds <= 0 then invalid_arg "Leader_consensus.create";
+  {
+    n_c;
+    max_rounds;
+    q_regs = Memory.alloc mem n_c;
+    a_regs = Memory.alloc mem max_rounds;
+    dec = Memory.alloc1 mem ();
+    cas = Array.init max_rounds (fun _ -> Commit_adopt.create mem ~n:n_c);
+  }
+
+type phase = Start | Waiting of int
+type client = { lc : t; me : int; input : Value.t; mutable phase : phase; mutable est : Value.t }
+
+let client lc ~me input =
+  if me < 0 || me >= lc.n_c then invalid_arg "Leader_consensus.client";
+  { lc; me; input; phase = Start; est = input }
+
+type step = Decided of Value.t | Pending | Exhausted
+
+let publish_query cl r =
+  Op.write cl.lc.q_regs.(cl.me) (Value.pair (Value.int r) cl.est)
+
+let pump cl =
+  let lc = cl.lc in
+  match cl.phase with
+  | Start ->
+    cl.est <- cl.input;
+    publish_query cl 1;
+    cl.phase <- Waiting 1;
+    Pending
+  | Waiting r -> (
+    let d = Op.read lc.dec in
+    if not (Value.is_unit d) then Decided d
+    else
+      let a = Op.read lc.a_regs.(r - 1) in
+      if Value.is_unit a then Pending
+      else begin
+        cl.est <- a;
+        match Commit_adopt.run lc.cas.(r - 1) ~me:cl.me cl.est with
+        | Commit_adopt.Commit v ->
+          Op.write lc.dec v;
+          Decided v
+        | Commit_adopt.Adopt v ->
+          cl.est <- v;
+          if r + 1 > lc.max_rounds then Exhausted
+          else begin
+            publish_query cl (r + 1);
+            cl.phase <- Waiting (r + 1);
+            Pending
+          end
+      end)
+
+let serve lc =
+  let queries = Op.snapshot lc.q_regs in
+  Array.iter
+    (fun q ->
+      if not (Value.is_unit q) then begin
+        let r, est = Value.to_pair q in
+        let r = Value.to_int r in
+        if r >= 1 && r <= lc.max_rounds then
+          let a = Op.read lc.a_regs.(r - 1) in
+          if Value.is_unit a then Op.write lc.a_regs.(r - 1) est
+      end)
+    queries
+
+let read_decision lc =
+  let d = Op.read lc.dec in
+  if Value.is_unit d then None else Some d

@@ -1,0 +1,32 @@
+module Op = Simkit.Runtime.Op
+
+let name_space ~j = j * (j + 1) / 2
+
+(* triangular grid: cells (r, d) with r + d <= j - 1; the name is the
+   1-based row-major index (cells of rows above, plus the column) *)
+let cell_name ~j ~r ~d =
+  let before = ref 0 in
+  for d' = 0 to d - 1 do
+    before := !before + (j - d')
+  done;
+  !before + r + 1
+
+let make ~j =
+  if j < 1 then invalid_arg "Ma_renaming.make";
+  Algorithm.restricted ~name:(Printf.sprintf "moir-anderson(j=%d)" j)
+    (fun ctx ->
+      let grid =
+        Array.init j (fun d ->
+            Array.init (j - d) (fun _ -> Splitter.create ctx.Algorithm.mem))
+      in
+      fun i _input ->
+        let rec walk r d moves =
+          if moves >= j then
+            invalid_arg "Ma_renaming: walked out of the grid (too many participants?)"
+          else
+            match Splitter.enter grid.(d).(r) ~me:i with
+            | Splitter.Stop -> Op.decide (Value.int (cell_name ~j ~r ~d))
+            | Splitter.Right -> walk (r + 1) d (moves + 1)
+            | Splitter.Down -> walk r (d + 1) (moves + 1)
+        in
+        walk 0 0 0)

@@ -1,0 +1,12 @@
+(** Moir–Anderson grid renaming: walk a triangular grid of splitters
+    (right on [Right], down on [Down]) and take the stopped cell's index as
+    the new name. With at most [j] participants every walk stops within
+    [j−1] moves, giving wait-free (j, j(j+1)/2)-renaming — a much larger
+    name space than Figure 4's k-concurrent j+k−1, but with {e no}
+    concurrency assumption: the two algorithms bracket the renaming
+    hierarchy from its wait-free end. *)
+
+val make : j:int -> Algorithm.t
+(** Restricted algorithm; names in [1 .. j(j+1)/2]. *)
+
+val name_space : j:int -> int

@@ -1,0 +1,35 @@
+module Memory = Simkit.Memory
+module Op = Simkit.Runtime.Op
+module Machine_consensus = Bglib.Machine_consensus
+
+let make ?(max_rounds = 64) ~k () =
+  if k < 1 then invalid_arg "Machine_ksa.make";
+  {
+    Algorithm.algo_name = Printf.sprintf "machine-ksa-%d" k;
+    make =
+      (fun ctx ->
+        let n = ctx.Algorithm.n_c in
+        let a_regs = Memory.alloc ctx.Algorithm.mem (k * max_rounds) in
+        let env_regs = Array.append ctx.Algorithm.input_regs a_regs in
+        let mc =
+          Machine_consensus.create ~k ~n_machines:n ~max_rounds ~input_offset:0
+            ~n_inputs:n ~answer_offset:n ()
+        in
+        let input_of ~me ~env =
+          let v = env.(me) in
+          if Value.is_unit v then None else Some v
+        in
+        let machines = Machine_consensus.machines mc ~input_of in
+        let h = Machine_runner.create ctx.Algorithm.mem ~machines ~env_regs in
+        let c_run i _input = Op.decide (Machine_runner.run_machine h ~me:i) in
+        let s_run me =
+          let rec loop () =
+            let w = Ksa.decode_leader_vector ~k (Op.query ()) in
+            let states = Machine_runner.read_states h in
+            Machine_runner.serve_consensus mc ~states ~env_regs ~leaders:w ~me;
+            loop ()
+          in
+          loop ()
+        in
+        { Algorithm.c_run; s_run });
+  }

@@ -1,0 +1,7 @@
+(** k-set agreement through the machine-encoded consensus
+    ({!Bglib.Machine_consensus}) run directly ({!Machine_runner}) — the
+    machine twin of {!Ksa}, and the concrete "algorithm A" whose C-part the
+    Theorem-7 composition ({!Puzzle}) simulates. Requires a vector-Ωk
+    failure detector, like {!Ksa}. *)
+
+val make : ?max_rounds:int -> k:int -> unit -> Algorithm.t

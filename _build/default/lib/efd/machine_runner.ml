@@ -1,0 +1,48 @@
+module Memory = Simkit.Memory
+module Op = Simkit.Runtime.Op
+module Machine = Bglib.Machine
+module Machine_consensus = Bglib.Machine_consensus
+
+type h = {
+  machines : Machine.t array;
+  env_regs : Memory.reg array;
+  states : Memory.reg array;
+}
+
+let create mem ~machines ~env_regs =
+  let n = Array.length machines in
+  let states = Memory.alloc mem n in
+  Array.iteri (fun i m -> Memory.write mem states.(i) m.Machine.m_init) machines;
+  { machines; env_regs; states }
+
+let state_regs h = h.states
+
+let step_machine h ~me =
+  let snap = Op.snapshot (Array.append h.states h.env_regs) in
+  let n = Array.length h.states in
+  let states = Array.sub snap 0 n in
+  let env = Array.sub snap n (Array.length h.env_regs) in
+  let m = h.machines.(me) in
+  let next = m.Machine.m_step ~me ~states ~env in
+  Op.write h.states.(me) next;
+  m.Machine.m_decided next
+
+let run_machine h ~me =
+  let rec loop () =
+    match step_machine h ~me with Some v -> v | None -> loop ()
+  in
+  loop ()
+
+let read_states h = Op.snapshot h.states
+
+let serve_consensus mc ~states ~env_regs ~leaders ~me =
+  let queries = Machine_consensus.pending_queries ~states in
+  List.iter
+    (fun (j, r, est) ->
+      if j < Array.length leaders && leaders.(j) = me then begin
+        let slot = Machine_consensus.answer_slot mc ~j ~r in
+        let reg = env_regs.(slot) in
+        if Value.is_unit (Op.read reg) then Op.write reg est
+      end)
+    queries
+

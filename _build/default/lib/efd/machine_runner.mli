@@ -1,0 +1,40 @@
+(** Direct execution of pure machines as C-processes: machine [i]'s state
+    lives in one register written only by [p_i]; each machine step costs two
+    runtime steps (one snapshot of states+environment, one write). The same
+    machines can instead be simulated through {!Kcodes} — identical
+    semantics, which {!Puzzle} exploits. *)
+
+type h
+
+val create :
+  Simkit.Memory.t ->
+  machines:Bglib.Machine.t array ->
+  env_regs:Simkit.Memory.reg array ->
+  h
+
+val state_regs : h -> Simkit.Memory.reg array
+
+val step_machine : h -> me:int -> Value.t option
+(** One machine step; returns the machine's decision if reached. *)
+
+val run_machine : h -> me:int -> Value.t
+(** Pump until decided (only under a liveness hypothesis on the
+    environment/serving side; bounded by the run's step budget). *)
+
+val read_states : h -> Value.t array
+(** One snapshot of all machine states (runtime effect). *)
+
+(** {1 Machine-consensus serving} *)
+
+val serve_consensus :
+  Bglib.Machine_consensus.t ->
+  states:Value.t array ->
+  env_regs:Simkit.Memory.reg array ->
+  leaders:int array ->
+  me:int ->
+  unit
+(** Answer the unanswered queried rounds of every instance [j] with
+    [leaders.(j) = me]: the serving side of {!Bglib.Machine_consensus},
+    usable with states read from {!read_states} or
+    {!Kcodes.snapshot_states}. [env_regs] is the machines' environment
+    (answer cells are located via the consensus layout). *)

@@ -1,0 +1,17 @@
+module Memory = Simkit.Memory
+module Op = Simkit.Runtime.Op
+module Task = Tasklib.Task
+
+let decode_slot v = if Value.is_unit v then None else Some v
+
+let make task =
+  Algorithm.restricted ~name:"one-concurrent-generic" (fun ctx ->
+      let out_regs = Memory.alloc ctx.Algorithm.mem ctx.Algorithm.n_c in
+      fun i _input ->
+        let input =
+          Array.map (fun r -> decode_slot (Op.read r)) ctx.Algorithm.input_regs
+        in
+        let output = Array.map (fun r -> decode_slot (Op.read r)) out_regs in
+        let v = task.Task.choose ~input ~output i in
+        Op.write out_regs.(i) v;
+        Op.decide v)

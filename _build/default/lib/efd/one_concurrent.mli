@@ -1,0 +1,10 @@
+(** The Proposition-1 generic solver: every task is 1-concurrently solvable.
+
+    Each participant reads the inputs written so far and the outputs decided
+    so far, extends the output using the task's choice oracle, publishes and
+    decides. Correct in 1-concurrent runs (where each undecided participant
+    runs alone); in more concurrent runs two processes may extend the same
+    output prefix inconsistently — the negative side is exercised by the
+    {!Adversary} experiments. *)
+
+val make : Tasklib.Task.t -> Algorithm.t

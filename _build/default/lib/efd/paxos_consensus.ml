@@ -1,0 +1,47 @@
+module Op = Simkit.Runtime.Op
+
+let make () =
+  {
+    Algorithm.algo_name = "paxos-alpha-omega";
+    make =
+      (fun ctx ->
+        let alpha = Alpha.create ctx.Algorithm.mem ~n_proposers:ctx.Algorithm.n_s in
+        let n_s = ctx.Algorithm.n_s in
+        let c_run _i _input =
+          let rec wait () =
+            match Alpha.decided alpha with
+            | Some v -> Op.decide v
+            | None -> wait ()
+          in
+          wait ()
+        in
+        let s_run me =
+          let attempt = ref 0 in
+          let rec loop () =
+            let leader = (Ksa.decode_leader_vector ~k:1 (Op.query ())).(0) in
+            if leader = me then begin
+              let inputs = Op.snapshot ctx.Algorithm.input_regs in
+              let visible =
+                Array.fold_left
+                  (fun acc v ->
+                    match acc with
+                    | Some _ -> acc
+                    | None -> if Value.is_unit v then None else Some v)
+                  None inputs
+              in
+              match visible with
+              | None -> loop () (* no participant yet *)
+              | Some v -> (
+                let round = me + 1 + (!attempt * n_s) in
+                match Alpha.propose alpha ~me ~round v with
+                | Alpha.Commit _ -> loop () (* decision register is set *)
+                | Alpha.Abort _ ->
+                  incr attempt;
+                  loop ())
+            end
+            else loop ()
+          in
+          loop ()
+        in
+        { Algorithm.c_run; s_run });
+  }

@@ -1,0 +1,11 @@
+(** Consensus from the round-based register and Ω — the third consensus
+    implementation in the library (after {!Ksa}'s query/answer protocol and
+    {!Machine_ksa}'s machine encoding), with a different division of labor:
+    here the {e synchronization} side does all the work. S-processes that
+    trust themselves propose a visible input through {!Alpha} with their
+    own round arithmetic; C-processes merely publish inputs and spin on the
+    decision register — the purest illustration of "advice": computation
+    processes that never synchronize at all. *)
+
+val make : unit -> Algorithm.t
+(** Solves consensus; the drawn FD must output Ω leader encodings. *)

@@ -1,0 +1,79 @@
+module Memory = Simkit.Memory
+module Op = Simkit.Runtime.Op
+module Machine_consensus = Bglib.Machine_consensus
+
+let demo_fd ?(max_stab = 50) ~k () =
+  Fdlib.Fd.pair
+    ~name:(Printf.sprintf "vector-Omega-%d&%d" (k + 1) k)
+    (Fdlib.Leader_fds.vector_omega_k ~max_stab ~k:(k + 1) ())
+    (Fdlib.Leader_fds.vector_omega_k ~max_stab ~k ())
+
+let make ?max_steps ?(outer_rounds = 64) ?(inner_rounds = 64) ~k () =
+  if k < 1 then invalid_arg "Puzzle.make";
+  let x = k + 1 in
+  {
+    Algorithm.algo_name = Printf.sprintf "thm7-puzzle(k=%d)" k;
+    make =
+      (fun ctx ->
+        let n = ctx.Algorithm.n_c in
+        let mem = ctx.Algorithm.mem in
+        (* A's environment: the real input board + A's answer cells *)
+        let a_regs = Memory.alloc mem (k * inner_rounds) in
+        let env_regs = Array.append ctx.Algorithm.input_regs a_regs in
+        let mc =
+          Machine_consensus.create ~k ~n_machines:x ~max_rounds:inner_rounds
+            ~input_offset:0 ~n_inputs:n ~answer_offset:n ()
+        in
+        (* colorless proposal: the smallest-index input present *)
+        let input_of ~me:_ ~env =
+          let rec scan c =
+            if c >= n then None
+            else if Value.is_unit env.(c) then scan (c + 1)
+            else Some env.(c)
+          in
+          scan 0
+        in
+        let machines = Machine_consensus.machines mc ~input_of in
+        let kc =
+          Kcodes.create mem ~machines ~env_regs ~n_sims:n ?max_steps
+            ~max_rounds:outer_rounds ()
+        in
+        let c_run i _input =
+          let sim = Kcodes.make_sim kc ~me:i in
+          Kcodes.register sim;
+          let rec loop () =
+            Kcodes.pump sim;
+            let states = Kcodes.states sim in
+            let decided =
+              Array.fold_left
+                (fun acc st ->
+                  match acc with
+                  | Some _ -> acc
+                  | None -> Machine_consensus.decision st)
+                None states
+            in
+            match decided with
+            | Some d ->
+              Kcodes.depart sim;
+              Op.decide d
+            | None -> loop ()
+          in
+          loop ()
+        in
+        let s_run me =
+          let server = Kcodes.make_server kc ~me in
+          let rec loop () =
+            let outer_out, inner_out = Value.to_pair (Op.query ()) in
+            let outer = Ksa.decode_leader_vector ~k:x outer_out in
+            let inner = Ksa.decode_leader_vector ~k inner_out in
+            (* serve the Figure-2 layer, then A's own consensus queries *)
+            Kcodes.serve_pump server ~leaders:outer;
+            let states = Kcodes.snapshot_states kc in
+            Machine_runner.serve_consensus mc ~states ~env_regs ~leaders:inner
+              ~me;
+            loop ()
+          in
+          loop ()
+        in
+        { Algorithm.c_run; s_run });
+  }

@@ -1,0 +1,35 @@
+(** Theorem 7 ("the puzzle"): a failure detector [D] solving
+    (U, k)-agreement for one fixed set [U] of k+1 C-processes solves
+    (Π, k)-agreement among all [n].
+
+    The composition implemented here is the proof's final induction step,
+    concretely instantiated: all [n] C-processes use the Figure-2 layer
+    ({!Kcodes}) with vector-Ω(k+1) to simulate the k+1 C-codes of [A] — the
+    machine-consensus (U, k)-agreement algorithm ({!Machine_ksa}) — while
+    the {e real} S-processes run [A]'s S-part against [D] = vector-Ωk,
+    reading the simulated codes' published states and answering their
+    consensus queries through the environment registers. Each simulated
+    code proposes, colorlessly, the smallest-index input present (the proof
+    sketch: "each simulating process proposes its input value … for each
+    simulated process"). A simulator returns the first simulated decision
+    it derives; at most [k] distinct values exist ((U, k)-agreement among
+    the simulated codes).
+
+    Instantiation shortcut (documented in DESIGN.md): the proof obtains
+    vector-Ω(k+1) {e from} [D] via Proposition 6 and the Theorem-8
+    extraction; here the harness draws both detectors directly
+    ({!demo_fd}), and the extraction is exercised separately as experiment
+    E7. *)
+
+val make :
+  ?max_steps:int ->
+  ?outer_rounds:int ->
+  ?inner_rounds:int ->
+  k:int ->
+  unit ->
+  Algorithm.t
+(** Solves [(Π, k)]-set agreement. The drawn FD history must output pairs
+    [(vector-Ω(k+1) output, vector-Ωk output)] — see {!demo_fd}. *)
+
+val demo_fd : ?max_stab:int -> k:int -> unit -> Fdlib.Fd.t
+(** [Fd.pair] of vector-Ω(k+1) and vector-Ωk. *)

@@ -1,0 +1,117 @@
+module Memory = Simkit.Memory
+module Op = Simkit.Runtime.Op
+
+(* Suggestion cells: Unit (not arrived) or (name, undecided?). *)
+type shared = { sug : Memory.reg array }
+
+let fig4_shared ctx = { sug = Memory.alloc ctx.Algorithm.mem ctx.Algorithm.n_c }
+
+type phase = Suggest | Inspect
+type client = { sh : shared; me : int; mutable s : int; mutable phase : phase }
+type pump = DecidedName of int | Pending
+
+let fig4_client sh ~me = { sh; me; s = 1; phase = Suggest }
+
+let decode_cell c =
+  if Value.is_unit c then None
+  else
+    let s, b = Value.to_pair c in
+    Some (Value.to_int s, Value.to_bool b)
+
+let nth_free ~taken r =
+  let rec go candidate r =
+    if List.mem candidate taken then go (candidate + 1) r
+    else if r = 1 then candidate
+    else go (candidate + 1) (r - 1)
+  in
+  go 1 r
+
+let fig4_pump cl =
+  match cl.phase with
+  | Suggest ->
+    Op.write cl.sh.sug.(cl.me) (Value.pair (Value.int cl.s) (Value.bool true));
+    cl.phase <- Inspect;
+    Pending
+  | Inspect ->
+    let cells = Op.snapshot cl.sh.sug in
+    let entries =
+      Array.to_list (Array.mapi (fun l c -> (l, decode_cell c)) cells)
+    in
+    let conflict =
+      List.exists
+        (fun (l, c) ->
+          match c with Some (s, _) -> l <> cl.me && s = cl.s | None -> false)
+        entries
+    in
+    if conflict then begin
+      let undecided =
+        List.filter_map
+          (fun (l, c) ->
+            match c with Some (_, true) -> Some l | _ -> None)
+          entries
+      in
+      let rank =
+        1 + List.length (List.filter (fun l -> l < cl.me) undecided)
+      in
+      let taken =
+        List.filter_map
+          (fun (l, c) ->
+            match c with Some (s, _) when l <> cl.me -> Some s | _ -> None)
+          entries
+      in
+      cl.s <- nth_free ~taken rank;
+      cl.phase <- Suggest;
+      Pending
+    end
+    else begin
+      Op.write cl.sh.sug.(cl.me) (Value.pair (Value.int cl.s) (Value.bool false));
+      DecidedName cl.s
+    end
+
+let fig4 () =
+  Algorithm.restricted ~name:"fig4-renaming" (fun ctx ->
+      let sh = fig4_shared ctx in
+      fun i _input ->
+        let cl = fig4_client sh ~me:i in
+        let rec loop () =
+          match fig4_pump cl with
+          | DecidedName nm -> Op.decide (Value.int nm)
+          | Pending -> loop ()
+        in
+        loop ())
+
+let fig3 ~j =
+  Algorithm.restricted ~name:(Printf.sprintf "fig3-1-resilient-renaming(j=%d)" j)
+    (fun ctx ->
+      let sh = fig4_shared ctx in
+      let r_regs = Memory.alloc ctx.Algorithm.mem ctx.Algorithm.n_c in
+      fun i _input ->
+        Op.write r_regs.(i) (Value.int 1);
+        let cl = fig4_client sh ~me:i in
+        let rec loop () =
+          let cells = Op.snapshot r_regs in
+          let s_all =
+            List.filter
+              (fun l -> not (Value.is_unit cells.(l)))
+              (List.init (Array.length cells) Fun.id)
+          in
+          let s_undecided =
+            List.filter (fun l -> Value.to_int cells.(l) = 1) s_all
+          in
+          let gate =
+            match s_undecided with
+            | [] -> false
+            | min1 :: rest ->
+              let min2 = match rest with m :: _ -> m | [] -> min1 in
+              let np = List.length s_all in
+              (np = j && (i = min1 || i = min2)) || (np = j - 1 && i = min1)
+          in
+          if gate then
+            match fig4_pump cl with
+            | DecidedName nm ->
+              Op.write r_regs.(i) (Value.int 0);
+              Op.decide (Value.int nm)
+            | Pending -> loop ()
+          else loop ()
+        in
+        loop ())

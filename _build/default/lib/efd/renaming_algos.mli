@@ -1,0 +1,42 @@
+(** The paper's renaming algorithms (§5, Appendix D).
+
+    {b Figure 4} — the k-concurrent (j, j+k−1)-renaming algorithm: every
+    process repeatedly suggests a name (initially 1), checks for conflicts
+    by snapshotting all suggestions, and on conflict re-suggests the [r]-th
+    free name where [r] is its rank among the not-yet-decided suggesters.
+    In a k-concurrent run the rank is at most [k] and at most [j−1] names
+    are taken by others, so names stay within [1..j+k−1]; run at higher
+    concurrency it may overflow that range (which the {!Adversary} uses to
+    witness Theorem 12 for strong renaming, ℓ = j).
+
+    {b Figure 3} — the 1-resilient strong j-renaming wrapper: at most [j]
+    processes participate; a process takes a step of the underlying
+    2-concurrent algorithm only while it is among the two smallest-id
+    undecided participants (or the single smallest when only [j−1]
+    participate). The paper uses it inside the Theorem-12 impossibility
+    proof; we run it over the Figure-4 algorithm, yielding 1-resilient
+    (j, j+1)-renaming. *)
+
+type shared
+(** The suggestion board shared by all Figure-4 clients of a run. *)
+
+val fig4_shared : Algorithm.ctx -> shared
+
+type client
+(** Pump-style Figure-4 client ("one more step of A" = one pump). *)
+
+val fig4_client : shared -> me:int -> client
+
+type pump = DecidedName of int | Pending
+
+val fig4_pump : client -> pump
+(** One suggest/inspect iteration (3 steps). *)
+
+val fig4 : unit -> Algorithm.t
+(** The restricted Figure-4 algorithm: pumps until decided. Solves
+    (j, j+k−1)-renaming in k-concurrent runs, for every k. *)
+
+val fig3 : j:int -> Algorithm.t
+(** The restricted Figure-3 wrapper over Figure 4. With at most [j]
+    participants of which at least [j−1] keep taking steps, every live
+    participant decides a distinct name in [1..j+1]. *)

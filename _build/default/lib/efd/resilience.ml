@@ -1,0 +1,74 @@
+module Memory = Simkit.Memory
+module Op = Simkit.Runtime.Op
+module Schedule = Simkit.Schedule
+module Pid = Simkit.Pid
+
+type t = {
+  adv_name : string;
+  n : int;
+  allowed : int list -> bool;
+  sample_live : Random.State.t -> participants:int list -> int list;
+}
+
+let t_resilient ~n ~t =
+  if t < 0 || t >= n then invalid_arg "Resilience.t_resilient";
+  {
+    adv_name = Printf.sprintf "%d-resilient(n=%d)" t n;
+    n;
+    allowed =
+      (fun live ->
+        List.length live >= 1 && List.for_all (fun i -> i >= 0 && i < n) live);
+    sample_live =
+      (fun rng ~participants ->
+        let m = List.length participants in
+        let stalls = min t (m - 1) in
+        let k = m - Random.State.int rng (stalls + 1) in
+        let arr = Array.of_list participants in
+        for i = Array.length arr - 1 downto 1 do
+          let j = Random.State.int rng (i + 1) in
+          let tmp = arr.(i) in
+          arr.(i) <- arr.(j);
+          arr.(j) <- tmp
+        done;
+        Array.to_list (Array.sub arr 0 (max 1 k)));
+  }
+
+let policy adv ~after ~participants ~n_c ~n_s ~rng =
+  let idx = List.map Pid.index participants in
+  let live = adv.sample_live rng ~participants:idx in
+  let victims =
+    List.filter (fun i -> not (List.mem i live)) idx |> List.map Pid.c
+  in
+  let base =
+    Schedule.shuffled_rounds ~only:(participants @ Pid.all_s n_s) ~n_c ~n_s rng
+  in
+  match victims with
+  | [] -> base
+  | _ -> Schedule.seq base ~steps:after (Schedule.starve victims ~until:max_int base)
+
+let waiting_for ~t_stalls =
+  Algorithm.restricted
+    ~name:(Printf.sprintf "resilient-ksa(t=%d)" t_stalls)
+    (fun ctx ->
+      fun _i _input ->
+        (* inputs are published by the harness; wait for enough of them *)
+        let regs = ctx.Algorithm.input_regs in
+        let rec wait () =
+          let cells = Op.snapshot regs in
+          let seen =
+            Array.to_list cells |> List.filter (fun c -> not (Value.is_unit c))
+          in
+          (* participants are unknown to the code; the classic algorithm
+             assumes full participation of the task's arity *)
+          if List.length seen >= Array.length regs - t_stalls then
+            let min_v =
+              List.fold_left
+                (fun acc v -> if Value.compare v acc < 0 then v else acc)
+                (List.hd seen) seen
+            in
+            Op.decide min_v
+          else wait ()
+        in
+        wait ())
+
+let resilient_ksa () = waiting_for ~t_stalls:1

@@ -1,0 +1,42 @@
+(** Progress adversaries — the paper's concluding generalization (§6,
+    after Delporte-Gallet et al. [13]): instead of wait-freedom, constrain
+    which {e sets} of C-processes may be exactly the ones taking infinitely
+    many steps, and ask what advice a task needs under that adversary.
+
+    This module provides the machinery: adversaries as set systems,
+    schedule policies that realize them (a seeded allowed live set runs
+    forever, everyone else is starved after a finite prefix), and the
+    classic t-resilient set-agreement algorithm as the reference workload —
+    (t+1)-set agreement is t-resiliently solvable with no advice at all,
+    while t-set agreement is not (the k-SA ↔ resilience crossover). *)
+
+type t = {
+  adv_name : string;
+  n : int;
+  allowed : int list -> bool;  (** may this set be the live set? *)
+  sample_live : Random.State.t -> participants:int list -> int list;
+      (** draw an allowed live set among the participants *)
+}
+
+val t_resilient : n:int -> t:int -> t
+(** Live sets: all participant subsets of size ≥ (participants − t) — at
+    most [t] participants stall forever. [t = 0] is the lockstep-fair
+    adversary; [t = n−1] is wait-freedom. *)
+
+val policy : t -> after:int -> Run.policy_factory
+(** Fair shuffled rounds for [after] steps (everyone gets a prefix), then
+    processes outside the sampled live set are starved forever. *)
+
+val resilient_ksa : unit -> Algorithm.t
+(** The classic t-resilient set-agreement algorithm (no advice): publish
+    your input, wait until at least [participants − t] inputs are visible,
+    decide the minimum seen. With full participation of [m] processes and
+    at most [t] stalled, every live process decides and at most [t+1]
+    distinct values (the [t+1] smallest inputs) are decided — so it solves
+    (t+1)-set agreement t-resiliently but not t-set agreement. The
+    tolerated-stall count is a parameter of the {e run}, not the code:
+    the algorithm family is indexed by [t] through {!waiting_for}. *)
+
+val waiting_for : t_stalls:int -> Algorithm.t
+(** [resilient_ksa] specialized to wait for [participants − t_stalls]
+    inputs. *)

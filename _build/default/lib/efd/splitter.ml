@@ -1,0 +1,21 @@
+module Memory = Simkit.Memory
+module Op = Simkit.Runtime.Op
+
+type t = { x : Memory.reg; y : Memory.reg }
+type direction = Stop | Right | Down
+
+let create mem = { x = Memory.alloc1 mem (); y = Memory.alloc1 mem () }
+
+let enter t ~me =
+  Op.write t.x (Value.int me);
+  if not (Value.is_unit (Op.read t.y)) then Right
+  else begin
+    Op.write t.y (Value.bool true);
+    let x = Op.read t.x in
+    if Value.equal x (Value.int me) then Stop else Down
+  end
+
+let pp_direction ppf = function
+  | Stop -> Fmt.string ppf "stop"
+  | Right -> Fmt.string ppf "right"
+  | Down -> Fmt.string ppf "down"

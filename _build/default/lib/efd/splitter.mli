@@ -1,0 +1,16 @@
+(** Moir–Anderson / Lamport splitters: a wait-free one-shot object that
+    directs each arriving process to [Stop], [Right] or [Down] such that at
+    most one process stops, a solo process stops, and among [k ≥ 2]
+    entering processes at most [k−1] go right and at most [k−1] go down.
+    The building block of grid renaming ({!Ma_renaming}) and a classic
+    example of what {e is} wait-free solvable. *)
+
+type t
+type direction = Stop | Right | Down
+
+val create : Simkit.Memory.t -> t
+
+val enter : t -> me:int -> direction
+(** One-shot per process; 4 steps. [me] must be distinct per process. *)
+
+val pp_direction : Format.formatter -> direction -> unit

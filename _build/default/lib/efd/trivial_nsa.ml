@@ -1,0 +1,27 @@
+module Memory = Simkit.Memory
+module Op = Simkit.Runtime.Op
+
+let make () =
+  {
+    Algorithm.algo_name = "trivial-n-set-agreement";
+    make =
+      (fun ctx ->
+        let v_reg = Memory.alloc1 ctx.Algorithm.mem () in
+        let c_run _i _input =
+          let rec wait () =
+            let v = Op.read v_reg in
+            if Value.is_unit v then wait () else Op.decide v
+          in
+          wait ()
+        in
+        let s_run _i =
+          (* scan the input registers until some C-process participates *)
+          let n_c = ctx.Algorithm.n_c in
+          let rec scan j =
+            let v = Op.read ctx.Algorithm.input_regs.(j mod n_c) in
+            if Value.is_unit v then scan (j + 1) else Op.write v_reg v
+          in
+          scan 0
+        in
+        { Algorithm.c_run; s_run });
+  }

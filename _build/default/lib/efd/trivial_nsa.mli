@@ -1,0 +1,11 @@
+(** The §2.2 observation: with [n] S-processes, [(Π^C, n)]-set agreement is
+    solvable in every environment with the {e trivial} failure detector.
+    Each S-process waits for some C-process to write an input and copies it
+    to the shared variable [V]; each C-process waits for [V] and decides its
+    content. Since at least one S-process is correct, [V] is eventually
+    written; since only [n] S-processes write it (once each), at most [n]
+    distinct values are ever decided. *)
+
+val make : unit -> Algorithm.t
+(** Solves [Tasklib.Set_agreement.make ~n:(arity) ~k:n_s ()] in every
+    environment, for any [fd] (the detector is never queried). *)

@@ -1,0 +1,47 @@
+module Memory = Simkit.Memory
+module Op = Simkit.Runtime.Op
+
+let two_concurrent ~j =
+  if j < 2 then invalid_arg "Wsb_algo.two_concurrent";
+  Algorithm.restricted ~name:(Printf.sprintf "wsb-2-concurrent(j=%d)" j)
+    (fun ctx ->
+      let n = ctx.Algorithm.n_c in
+      let board = Memory.alloc ctx.Algorithm.mem n in
+      let all = Array.append ctx.Algorithm.input_regs board in
+      fun i _input ->
+        let decide bit =
+          Op.write board.(i) (Value.int bit);
+          Op.decide (Value.int bit)
+        in
+        let rec loop () =
+          let cells = Op.snapshot all in
+          let participants =
+            List.filter
+              (fun c -> not (Value.is_unit cells.(c)))
+              (List.init n Fun.id)
+          in
+          let decided =
+            List.filter_map
+              (fun c ->
+                let v = cells.(n + c) in
+                if Value.is_unit v then None else Some (c, Value.to_int v))
+              (List.init n Fun.id)
+          in
+          let undecided =
+            List.filter
+              (fun c -> not (List.mem_assoc c decided))
+              participants
+          in
+          if List.exists (fun (_, b) -> b = 1) decided then decide 0
+          else if List.length participants < j then decide 0
+          else begin
+            match undecided with
+            | [ me ] when me = i ->
+              (* last one standing: break symmetry if needed *)
+              if List.for_all (fun (_, b) -> b = 0) decided then decide 1
+              else decide 0
+            | [ a; _ ] when a = i -> decide 0 (* smaller of the two moves *)
+            | _ -> loop () (* larger of a pair, or >2 undecided: wait *)
+          end
+        in
+        loop ())

@@ -1,0 +1,15 @@
+(** A 2-concurrent algorithm for weak symmetry breaking, tightening the
+    registry's lower bound for WSB from 1 to 2 (its exact level is open in
+    the paper's references [8]).
+
+    Rules, from a snapshot of (participants P, decided board D, undecided
+    U = P∖D): decide 0 if someone already decided 1, or if fewer than [j]
+    participants have arrived (a later arrival can still break symmetry);
+    if you are the only undecided participant of a full house, break
+    symmetry (1 iff everyone else decided 0); if exactly two are undecided,
+    the smaller id decides 0 and the larger waits. With at most two
+    concurrent undecided participants someone is always allowed to move;
+    at three the waiting rule deadlocks — the algorithm is 2-concurrent,
+    not 3-concurrent. *)
+
+val two_concurrent : j:int -> Algorithm.t

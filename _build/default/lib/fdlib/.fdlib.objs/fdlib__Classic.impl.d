@@ -1,0 +1,1 @@
+lib/fdlib/classic.ml: Fd Fun List Random Simkit

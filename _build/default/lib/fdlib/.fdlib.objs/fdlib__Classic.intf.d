@@ -1,0 +1,1 @@
+lib/fdlib/classic.mli: Fd

@@ -1,0 +1,1 @@
+lib/fdlib/convert.ml: Array Fd Fun List Printf

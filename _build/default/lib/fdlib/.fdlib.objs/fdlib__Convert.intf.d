@@ -1,0 +1,1 @@
+lib/fdlib/convert.mli: Fd

@@ -1,0 +1,1 @@
+lib/fdlib/dag.ml: Array Fun Int List Value

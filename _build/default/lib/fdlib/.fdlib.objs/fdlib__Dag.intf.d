@@ -1,0 +1,1 @@
+lib/fdlib/dag.mli: Value

@@ -1,0 +1,1 @@
+lib/fdlib/fd.ml: Int List Random Simkit Value

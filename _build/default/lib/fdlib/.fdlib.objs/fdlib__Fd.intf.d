@@ -1,0 +1,1 @@
+lib/fdlib/fd.mli: Random Simkit Value

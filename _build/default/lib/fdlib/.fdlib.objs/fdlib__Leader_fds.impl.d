@@ -1,0 +1,1 @@
+lib/fdlib/leader_fds.ml: Array Fd Fun List Printf Random Simkit

@@ -1,0 +1,1 @@
+lib/fdlib/leader_fds.mli: Fd

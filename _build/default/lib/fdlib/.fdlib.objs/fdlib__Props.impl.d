@@ -1,0 +1,1 @@
+lib/fdlib/props.ml: Array Fd Fun List Simkit Value

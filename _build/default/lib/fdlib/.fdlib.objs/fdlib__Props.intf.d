@@ -1,0 +1,1 @@
+lib/fdlib/props.mli: Simkit Value

@@ -1,0 +1,79 @@
+module Failure = Simkit.Failure
+module History = Simkit.History
+
+let crashed_by pattern time =
+  List.filter
+    (fun i -> Failure.crashed pattern ~time i)
+    (List.init pattern.Failure.n_s Fun.id)
+
+let perfect () =
+  Fd.make ~name:"P" (fun pattern _rng ->
+      History.make ~name:"P" (fun _q time ->
+          Fd.encode_set (crashed_by pattern time)))
+
+let eventually_perfect ?(max_stab = 100) () =
+  Fd.make ~name:"<>P" (fun pattern rng ->
+      let stab = Random.State.int rng (max_stab + 1) in
+      let noise_seed = Random.State.bits rng in
+      let n_s = pattern.Failure.n_s in
+      History.make ~name:"<>P" (fun q time ->
+          if time >= stab then Fd.encode_set (crashed_by pattern time)
+          else begin
+            (* arbitrary (wrong) suspicions, deterministic in (q, time) *)
+            let r = Random.State.make [| noise_seed; q; time |] in
+            let sus =
+              List.filter
+                (fun _ -> Random.State.bool r)
+                (List.init n_s Fun.id)
+            in
+            Fd.encode_set sus
+          end))
+
+let q1_else_q2 () =
+  Fd.make ~name:"D-q1-if-correct" (fun pattern _rng ->
+      if pattern.Failure.n_s < 2 then
+        invalid_arg "Classic.q1_else_q2: needs at least 2 S-processes";
+      let leader = if Failure.is_correct pattern 0 then 0 else 1 in
+      History.make ~name:"D-q1-if-correct" (fun _q _time ->
+          Fd.encode_leader leader))
+
+let eventually_strong ?(max_stab = 100) () =
+  Fd.make ~name:"<>S" (fun pattern rng ->
+      let stab = Random.State.int rng (max_stab + 1) in
+      let noise_seed = Random.State.bits rng in
+      let n_s = pattern.Failure.n_s in
+      let safe =
+        match Failure.correct pattern with
+        | s :: _ -> s
+        | [] -> invalid_arg "eventually_strong: no correct process"
+      in
+      History.make ~name:"<>S" (fun q time ->
+          if time >= stab then begin
+            (* crashed ∪ possibly-wrong correct suspects, never [safe] *)
+            let wrong =
+              List.filter
+                (fun j ->
+                  j <> safe
+                  && Failure.is_correct pattern j
+                  && (j + q + (time / 7)) mod 3 = 0)
+                (List.init n_s Fun.id)
+            in
+            Fd.encode_set (crashed_by pattern time @ wrong)
+          end
+          else
+            let r = Random.State.make [| noise_seed; q; time |] in
+            Fd.encode_set
+              (List.filter (fun _ -> Random.State.bool r) (List.init n_s Fun.id))))
+
+let sigma () =
+  Fd.make ~name:"Sigma" (fun pattern rng ->
+      let stab = Random.State.int rng 100 in
+      let n_s = pattern.Failure.n_s in
+      let correct = Failure.correct pattern in
+      History.make ~name:"Sigma" (fun q time ->
+          if time >= stab then Fd.encode_set correct
+          else begin
+            (* before stabilizing: all processes — intersects everything *)
+            ignore q;
+            Fd.encode_set (List.init n_s Fun.id)
+          end))

@@ -1,0 +1,36 @@
+(** Classic failure detectors from Chandra–Toueg, plus the paper's
+    Proposition-3 counterexample detector. Suspicion-list detectors output
+    {!Fd.encode_set} of suspected S-process indices. *)
+
+val perfect : unit -> Fd.t
+(** P with exact knowledge: at time τ outputs exactly the set [F(τ)] of
+    processes crashed by τ (strong completeness and strong accuracy). *)
+
+val eventually_perfect : ?max_stab:int -> unit -> Fd.t
+(** ◇P: before a seeded stabilization time, outputs arbitrary suspicion
+    sets; afterwards outputs exactly [F(τ)]. [max_stab] bounds the sampled
+    stabilization time (default 100). *)
+
+val q1_else_q2 : unit -> Fd.t
+(** The Proposition-3 counterexample detector: outputs (as a leader index)
+    [q_0] if [q_0] is correct in the pattern and [q_1] otherwise — even when
+    [q_1] is crashed too. In the conventional (personified) model it solves
+    consensus among [{p_0, p_1}] in E_2: whenever [q_0] and [q_1] are both
+    faulty, their paired C-processes are dead and the obligation is vacuous.
+    In EFD the C-processes survive their synchronization partners, and with
+    both [q_0], [q_1] crashed the output is a dead leader forever — the task
+    is not EFD-solvable with this detector. Requires [n_s ≥ 2]. *)
+
+val eventually_strong : ?max_stab:int -> unit -> Fd.t
+(** ◇S: strong completeness (crashed processes are eventually always
+    suspected) and eventual weak accuracy (some correct process is
+    eventually never suspected by anyone) — but unlike ◇P, other correct
+    processes may be wrongly suspected forever. The classic detector from
+    which Ω is emulated by counting suspicions ([Efd.Emulation]). *)
+
+val sigma : unit -> Fd.t
+(** Σ, the quorum detector (the weakest to implement registers): outputs
+    sets of S-processes such that any two outputs (across processes and
+    times) intersect and eventually outputs contain only correct processes.
+    Peripheral here — registers are given in the EFD model — but included
+    for completeness of the detector zoo. Outputs {!Fd.encode_set}. *)

@@ -1,0 +1,41 @@
+let complement ~n_s l =
+  List.filter (fun i -> not (List.mem i l)) (List.init n_s Fun.id)
+
+let take n l =
+  let rec go n = function
+    | [] -> []
+    | x :: tl -> if n = 0 then [] else x :: go (n - 1) tl
+  in
+  go n l
+
+let anti_of_omega ~k ~n_s d =
+  Fd.map_output ~name:(Printf.sprintf "anti-Omega-%d<=Omega" k)
+    (fun ~q:_ ~time:_ out ->
+      let leader = Fd.decode_leader out in
+      Fd.encode_set (take (n_s - k) (complement ~n_s [ leader ])))
+    d
+
+let omega_of_anti_1 ~n_s d =
+  Fd.map_output ~name:"Omega<=anti-Omega-1"
+    (fun ~q:_ ~time:_ out ->
+      match complement ~n_s (Fd.decode_set out) with
+      | [ leader ] -> Fd.encode_leader leader
+      | leader :: _ -> Fd.encode_leader leader
+      | [] -> Fd.encode_leader 0)
+    d
+
+let vector_of_omega ~k ~n_s d =
+  Fd.map_output ~name:(Printf.sprintf "vector-Omega-%d<=Omega" k)
+    (fun ~q ~time out ->
+      let leader = Fd.decode_leader out in
+      Fd.encode_vector
+        (Array.init k (fun pos ->
+             if pos = 0 then leader else (leader + pos + q + time) mod n_s)))
+    d
+
+let anti_of_vector ~k ~n_s d =
+  Fd.map_output ~name:(Printf.sprintf "anti-Omega-%d<=vector-Omega-%d" k k)
+    (fun ~q:_ ~time:_ out ->
+      let entries = Array.to_list (Fd.decode_vector out) in
+      Fd.encode_set (take (n_s - k) (complement ~n_s entries)))
+    d

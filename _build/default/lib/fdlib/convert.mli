@@ -1,0 +1,26 @@
+(** Local (query-by-query) reductions between detectors of the set-agreement
+    family. Each is an output transformation requiring no communication, so
+    it is trivially a valid reduction algorithm in the sense of §2.2.
+
+    The non-local direction ¬Ωk ⇒ vector-Ωk for k ≥ 2 is Zieliński's
+    equivalence [28]; as documented in DESIGN.md we do not re-derive it —
+    harnesses that need vector-Ωk instantiate it directly. *)
+
+val anti_of_omega : k:int -> n_s:int -> Fd.t -> Fd.t
+(** Ω ⇒ ¬Ωk: output the first [n_s − k] indices different from the leader
+    (the eventually-stable correct leader is then eventually never output). *)
+
+val omega_of_anti_1 : n_s:int -> Fd.t -> Fd.t
+(** ¬Ω1 ⇒ Ω: an (n−1)-set that eventually never contains some correct q
+    must eventually be exactly Π∖{q}; output the complement. *)
+
+val vector_of_omega : k:int -> n_s:int -> Fd.t -> Fd.t
+(** Ω ⇒ vector-Ωk: leader in position 0, arbitrary churn elsewhere. *)
+
+val anti_of_vector : k:int -> n_s:int -> Fd.t -> Fd.t
+(** vector-Ωk ⇒ ¬Ωk: output [n_s − k] indices avoiding every vector entry
+    (possible since the vector has at most [k] distinct entries); the
+    stabilized entry is then eventually never output. *)
+
+val complement : n_s:int -> int list -> int list
+(** Indices of [0..n_s-1] not in the argument, ascending. *)

@@ -1,0 +1,101 @@
+type vertex = { vq : int; vseq : int; vval : Value.t; vpast : int array }
+
+(* by_q.(q) holds q's vertices in *descending* seq order for O(1) append of
+   the next sample; accessors reverse as needed. *)
+type t = { dag_n_s : int; by_q : vertex list array }
+
+let create ~n_s =
+  if n_s <= 0 then invalid_arg "Dag.create";
+  { dag_n_s = n_s; by_q = Array.make n_s [] }
+
+let n_s g = g.dag_n_s
+
+let n_vertices g =
+  Array.fold_left (fun acc l -> acc + List.length l) 0 g.by_q
+
+let top_seq g q = match g.by_q.(q) with [] -> 0 | v :: _ -> v.vseq
+let max_seqs g = Array.init g.dag_n_s (fun q -> top_seq g q)
+
+let add_sample g ~q value =
+  if q < 0 || q >= g.dag_n_s then invalid_arg "Dag.add_sample";
+  let v =
+    { vq = q; vseq = top_seq g q + 1; vval = value; vpast = max_seqs g }
+  in
+  g.by_q.(q) <- v :: g.by_q.(q);
+  v
+
+let vertices_of g ~q = List.rev g.by_q.(q)
+
+let find g ~q ~seq =
+  if q < 0 || q >= g.dag_n_s then None
+  else List.find_opt (fun v -> v.vseq = seq) g.by_q.(q)
+
+(* Merge: vertex keys (q, seq) are globally unique (only q creates its own
+   samples, sequentially), so merging is interleaving by seq. *)
+let union g g' =
+  if g.dag_n_s <> g'.dag_n_s then invalid_arg "Dag.union: size mismatch";
+  for q = 0 to g.dag_n_s - 1 do
+    let merged =
+      List.merge
+        (fun a b -> Int.compare b.vseq a.vseq)
+        g.by_q.(q) g'.by_q.(q)
+    in
+    let rec dedup = function
+      | a :: b :: rest when a.vseq = b.vseq -> dedup (a :: rest)
+      | a :: rest -> a :: dedup rest
+      | [] -> []
+    in
+    g.by_q.(q) <- dedup merged
+  done
+
+let succeeds v ~q ~seq = seq = 0 || v.vpast.(q) >= seq
+
+let next_vertex g ~q ~frontier =
+  if Array.length frontier <> g.dag_n_s then
+    invalid_arg "Dag.next_vertex: frontier size";
+  let candidates = vertices_of g ~q in
+  let ok v =
+    v.vseq > frontier.(q)
+    && Array.for_all Fun.id
+         (Array.mapi (fun q' seq -> succeeds v ~q:q' ~seq) frontier)
+  in
+  List.find_opt ok candidates
+
+let encode g =
+  let encode_vertex v =
+    Value.triple
+      (Value.pair (Value.int v.vq) (Value.int v.vseq))
+      v.vval
+      (Value.int_vec v.vpast)
+  in
+  Value.pair
+    (Value.int g.dag_n_s)
+    (Value.list
+       (List.concat_map
+          (fun q -> List.map encode_vertex (vertices_of g ~q))
+          (List.init g.dag_n_s Fun.id)))
+
+let decode v =
+  if Value.is_unit v then invalid_arg "Dag.decode: bottom"
+  else begin
+    let n, vs = Value.to_pair v in
+    let g = create ~n_s:(Value.to_int n) in
+    let add ev =
+      let key, vval, past = Value.to_triple ev in
+      let q, seq = Value.to_pair key in
+      let vertex =
+        {
+          vq = Value.to_int q;
+          vseq = Value.to_int seq;
+          vval;
+          vpast = Value.to_int_vec past;
+        }
+      in
+      (* vertices arrive in ascending seq per q; prepend keeps descending *)
+      g.by_q.(vertex.vq) <- vertex :: g.by_q.(vertex.vq)
+    in
+    List.iter add (Value.to_list vs);
+    g
+  end
+
+let copy g = { dag_n_s = g.dag_n_s; by_q = Array.copy g.by_q }

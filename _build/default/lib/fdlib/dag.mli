@@ -1,0 +1,55 @@
+(** CHT-style sample DAGs of failure-detector outputs (Chandra–Hadzilacos–
+    Toueg [9], as used by Zieliński [28] and Gafni–Kuznetsov [18]).
+
+    A vertex [(q, d, seq)] records that the [seq]-th query of [D] by
+    S-process [q] returned [d]. When a process adds its new sample, it draws
+    edges from {e every} vertex it currently knows to the new one; hence the
+    causal past of a vertex is exactly the sampler's knowledge at sampling
+    time, and can be summarized as the maximum known sequence number per
+    process — the [past] frontier stored in each vertex. Vertex [w]
+    causally succeeds vertex [(q, seq)] iff [past w q >= seq].
+
+    DAGs grow by local sampling ({!add_sample}) and by merging what other
+    processes published ({!union}); both preserve the summary invariant. *)
+
+type vertex = private {
+  vq : int;  (** sampling S-process *)
+  vseq : int;  (** 1-based sample index at that process *)
+  vval : Value.t;  (** the failure detector output *)
+  vpast : int array;  (** causal frontier: max seq per process, 0 = none *)
+}
+
+type t
+
+val create : n_s:int -> t
+val n_s : t -> int
+val n_vertices : t -> int
+
+val add_sample : t -> q:int -> Value.t -> vertex
+(** Record a new local sample of process [q]: its sequence number is one
+    past [q]'s current maximum, its past is the DAG's current frontier. *)
+
+val union : t -> t -> unit
+(** [union g g']: merge [g'] into [g] (by vertex key [(q, seq)]). *)
+
+val max_seqs : t -> int array
+(** Current frontier: highest seq per process (0 = no vertex). *)
+
+val find : t -> q:int -> seq:int -> vertex option
+val vertices_of : t -> q:int -> vertex list
+(** Ascending sequence numbers. *)
+
+val succeeds : vertex -> q:int -> seq:int -> bool
+(** Does this vertex causally succeed sample [(q, seq)]? (Trivially true
+    when [seq = 0].) *)
+
+val next_vertex : t -> q:int -> frontier:int array -> vertex option
+(** The smallest-seq vertex of [q] with [vseq > frontier.(q)] that causally
+    succeeds every [(q', frontier.(q'))] — the next simulatable query step
+    of [q] given that the simulation already consumed [frontier]. *)
+
+val encode : t -> Value.t
+val decode : Value.t -> t
+(** Shared-memory serialization (write your DAG, union others'). *)
+
+val copy : t -> t

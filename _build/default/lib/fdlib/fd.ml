@@ -1,0 +1,33 @@
+module Failure = Simkit.Failure
+module History = Simkit.History
+
+type t = {
+  fd_name : string;
+  histories : Failure.pattern -> Random.State.t -> History.t;
+}
+
+let make ~name histories = { fd_name = name; histories }
+let name d = d.fd_name
+let draw d pattern ~seed = d.histories pattern (Random.State.make [| seed |])
+let trivial = make ~name:"trivial" (fun _ _ -> History.trivial)
+let of_history ~name h = make ~name (fun _ _ -> h)
+
+let map_output ~name f d =
+  make ~name (fun pattern rng ->
+      let h = d.histories pattern rng in
+      History.make ~name (fun q time ->
+          f ~q ~time (History.get h ~q ~time)))
+
+let encode_set l = Value.int_list (List.sort_uniq Int.compare l)
+let decode_set v = Value.to_int_list v
+let encode_leader i = Value.int i
+let decode_leader v = Value.to_int v
+let encode_vector a = Value.int_vec a
+let decode_vector v = Value.to_int_vec v
+
+let pair ~name d1 d2 =
+  make ~name (fun pattern rng ->
+      let h1 = d1.histories pattern rng in
+      let h2 = d2.histories pattern rng in
+      History.make ~name (fun q time ->
+          Value.pair (History.get h1 ~q ~time) (History.get h2 ~q ~time)))

@@ -1,0 +1,48 @@
+(** Failure detectors as history generators.
+
+    A failure detector [D] maps each failure pattern [F] to a non-empty set
+    of histories [D(F)]. We realize the set by a seeded generator: drawing
+    with different seeds yields different members of [D(F)] (stabilization
+    times, pre-stabilization noise). Implementations must satisfy their
+    class property for {e every} seed; the property checkers in {!Props}
+    verify this on tabulated histories. *)
+
+type t = {
+  fd_name : string;
+  histories : Simkit.Failure.pattern -> Random.State.t -> Simkit.History.t;
+}
+
+val make : name:string -> (Simkit.Failure.pattern -> Random.State.t -> Simkit.History.t) -> t
+val name : t -> string
+
+val draw : t -> Simkit.Failure.pattern -> seed:int -> Simkit.History.t
+(** Convenience: one history from [D(F)], deterministically from [seed]. *)
+
+val trivial : t
+(** Always outputs [Value.unit] — the trivial failure detector (footnote 5). *)
+
+val of_history : name:string -> Simkit.History.t -> t
+(** A detector admitting exactly one history regardless of pattern (used to
+    package emulated outputs back into a detector). *)
+
+val map_output : name:string -> (q:int -> time:int -> Value.t -> Value.t) -> t -> t
+(** Local (per-query) output transformation — the simplest kind of
+    failure-detector reduction. *)
+
+(** {1 Standard output encodings}
+
+    Ω outputs an S-process index as [Value.Int]; ¬Ωk outputs a set of
+    [n_s - k] indices as an int list; vector-Ωk outputs a [k]-vector of
+    indices as an int vec. *)
+
+val encode_set : int list -> Value.t
+val decode_set : Value.t -> int list
+val encode_leader : int -> Value.t
+val decode_leader : Value.t -> int
+val encode_vector : int array -> Value.t
+val decode_vector : Value.t -> int array
+
+val pair : name:string -> t -> t -> t
+(** A detector whose output at (q, τ) is the pair of both components'
+    outputs — used when one algorithm needs two kinds of advice (e.g. the
+    Theorem-7 composition querying vector-Ω(k+1) and vector-Ωk). *)

@@ -1,0 +1,82 @@
+module Failure = Simkit.Failure
+module History = Simkit.History
+
+let min_correct pattern =
+  match Failure.correct pattern with
+  | [] -> invalid_arg "leader_fds: no correct process"
+  | i :: _ -> i
+
+let noise_int seed q time bound =
+  let r = Random.State.make [| seed; q; time |] in
+  Random.State.int r bound
+
+let omega ?(max_stab = 100) () =
+  Fd.make ~name:"Omega" (fun pattern rng ->
+      let stab = Random.State.int rng (max_stab + 1) in
+      let noise = Random.State.bits rng in
+      let leader = min_correct pattern in
+      let n_s = pattern.Failure.n_s in
+      History.make ~name:"Omega" (fun q time ->
+          if time >= stab then Fd.encode_leader leader
+          else Fd.encode_leader (noise_int noise q time n_s)))
+
+(* The fixed post-stabilization (n−k)-set: every index except the safe
+   process, smallest first, truncated to n−k elements. *)
+let stable_set ~n_s ~k ~safe =
+  let candidates = List.filter (fun i -> i <> safe) (List.init n_s Fun.id) in
+  let rec take n = function
+    | [] -> []
+    | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl
+  in
+  take (n_s - k) candidates
+
+let random_subset r ~n_s ~size =
+  let indices = Array.init n_s Fun.id in
+  for i = n_s - 1 downto 1 do
+    let j = Random.State.int r (i + 1) in
+    let tmp = indices.(i) in
+    indices.(i) <- indices.(j);
+    indices.(j) <- tmp
+  done;
+  Array.to_list (Array.sub indices 0 size)
+
+let anti_omega_k ?(max_stab = 100) ~k () =
+  Fd.make ~name:(Printf.sprintf "anti-Omega-%d" k) (fun pattern rng ->
+      let n_s = pattern.Failure.n_s in
+      if k < 1 || k > n_s then invalid_arg "anti_omega_k: k out of range";
+      let stab = Random.State.int rng (max_stab + 1) in
+      let noise = Random.State.bits rng in
+      let safe = min_correct pattern in
+      let fixed = stable_set ~n_s ~k ~safe in
+      History.make ~name:"anti-Omega-k" (fun q time ->
+          if time >= stab then Fd.encode_set fixed
+          else
+            let r = Random.State.make [| noise; q; time |] in
+            Fd.encode_set (random_subset r ~n_s ~size:(n_s - k))))
+
+let vector_omega_k ?(max_stab = 100) ~k () =
+  Fd.make ~name:(Printf.sprintf "vector-Omega-%d" k) (fun pattern rng ->
+      let n_s = pattern.Failure.n_s in
+      if k < 1 then invalid_arg "vector_omega_k: k must be >= 1";
+      let stab = Random.State.int rng (max_stab + 1) in
+      let noise = Random.State.bits rng in
+      let stable_pos = Random.State.int rng k in
+      let leader = min_correct pattern in
+      History.make ~name:"vector-Omega-k" (fun q time ->
+          let vec =
+            Array.init k (fun pos ->
+                if time >= stab && pos = stable_pos then leader
+                else (noise_int noise q time n_s + pos + time) mod n_s)
+          in
+          if time >= stab then vec.(stable_pos) <- leader;
+          Fd.encode_vector vec))
+
+let vector_omega_k_silent ?(max_stab = 100) ~k () =
+  Fd.make ~name:(Printf.sprintf "vector-Omega-%d-silent" k) (fun pattern rng ->
+      let stab = Random.State.int rng (max_stab + 1) in
+      let stable_pos = Random.State.int rng k in
+      let leader = min_correct pattern in
+      History.make ~name:"vector-Omega-k-silent" (fun _q time ->
+          let vec = Array.make k (-1) in
+          if time >= stab then vec.(stable_pos) <- leader;
+          Fd.encode_vector vec))

@@ -1,0 +1,29 @@
+(** The set-agreement family of failure detectors: Ω, ¬Ωk, vector-Ωk.
+
+    Outputs follow the encodings of {!Fd}: Ω outputs one S-index, ¬Ωk a set
+    of [n_s − k] S-indices, vector-Ωk a [k]-vector of S-indices. Each
+    generator samples a stabilization time in [0, max_stab] (default 100);
+    before it the outputs are arbitrary noise (still type-correct), after it
+    the defining property holds with the eventually-safe process chosen as
+    the smallest-index correct process of the pattern. *)
+
+val omega : ?max_stab:int -> unit -> Fd.t
+(** Ω: eventually the same correct process is output everywhere. *)
+
+val anti_omega_k : ?max_stab:int -> k:int -> unit -> Fd.t
+(** ¬Ωk: outputs (n−k)-sets; eventually some correct process is never
+    output at any correct process. Requires [1 ≤ k ≤ n_s] at draw time. *)
+
+val vector_omega_k : ?max_stab:int -> k:int -> unit -> Fd.t
+(** vector-Ωk: outputs k-vectors; eventually at least one position
+    stabilizes on the same correct process at all correct processes. The
+    stable position is seeded; the other positions keep churning, which
+    algorithms must tolerate. *)
+
+val vector_omega_k_silent : ?max_stab:int -> k:int -> unit -> Fd.t
+(** The least-helpful legal member of the vector-Ωk class: every position
+    outputs −1 ("no advice") at all times except that, from the sampled
+    stabilization time on, one seeded position holds the smallest-index
+    correct process. Legal since the class property only constrains the
+    suffix; it concentrates all usable advice in the stable position, which
+    makes it the cleanest detector to extract from (Theorem 8 demos). *)

@@ -1,0 +1,102 @@
+module Failure = Simkit.Failure
+
+type table = Value.t array array
+
+let horizon table =
+  Array.fold_left (fun acc row -> min acc (Array.length row)) max_int table
+
+let suffix_times table ~suffix =
+  let h = horizon table in
+  let start = max 0 (h - suffix) in
+  List.init (h - start) (fun i -> start + i)
+
+let for_all_correct pattern f =
+  List.for_all f (Failure.correct pattern)
+
+let exists_correct pattern f =
+  List.exists f (Failure.correct pattern)
+
+let omega_ok pattern table ~suffix =
+  let times = suffix_times table ~suffix in
+  exists_correct pattern (fun leader ->
+      for_all_correct pattern (fun q ->
+          List.for_all
+            (fun tau -> Fd.decode_leader table.(q).(tau) = leader)
+            times))
+
+let anti_omega_k_witnesses pattern table ~suffix =
+  let times = suffix_times table ~suffix in
+  List.filter
+    (fun candidate ->
+      for_all_correct pattern (fun q ->
+          List.for_all
+            (fun tau -> not (List.mem candidate (Fd.decode_set table.(q).(tau))))
+            times))
+    (Failure.correct pattern)
+
+let anti_omega_k_ok pattern table ~k ~suffix =
+  let n_s = pattern.Failure.n_s in
+  let times = suffix_times table ~suffix in
+  let sizes_ok =
+    for_all_correct pattern (fun q ->
+        List.for_all
+          (fun tau -> List.length (Fd.decode_set table.(q).(tau)) = n_s - k)
+          times)
+  in
+  sizes_ok && anti_omega_k_witnesses pattern table ~suffix <> []
+
+let vector_omega_k_ok pattern table ~k ~suffix =
+  let times = suffix_times table ~suffix in
+  let stable_at pos leader =
+    for_all_correct pattern (fun q ->
+        List.for_all
+          (fun tau ->
+            let v = Fd.decode_vector table.(q).(tau) in
+            Array.length v = k && v.(pos) = leader)
+          times)
+  in
+  List.exists
+    (fun pos -> exists_correct pattern (fun leader -> stable_at pos leader))
+    (List.init k Fun.id)
+
+let crashed_set pattern tau =
+  List.filter
+    (fun i -> Failure.crashed pattern ~time:tau i)
+    (List.init pattern.Failure.n_s Fun.id)
+
+let exact_from pattern table times =
+  for_all_correct pattern (fun q ->
+      List.for_all
+        (fun tau -> Fd.decode_set table.(q).(tau) = crashed_set pattern tau)
+        times)
+
+let perfect_exact_ok pattern table =
+  let h = horizon table in
+  exact_from pattern table (List.init h Fun.id)
+
+let eventually_perfect_ok pattern table ~suffix =
+  exact_from pattern table (suffix_times table ~suffix)
+
+let sigma_ok pattern table ~suffix =
+  let h = horizon table in
+  let all_quorums =
+    List.concat_map
+      (fun q ->
+        List.map (fun tau -> Fd.decode_set table.(q).(tau)) (List.init h Fun.id))
+      (Failure.correct pattern)
+  in
+  let intersects a b = List.exists (fun x -> List.mem x b) a in
+  let pairwise =
+    List.for_all (fun a -> List.for_all (intersects a) all_quorums) all_quorums
+  in
+  let times = suffix_times table ~suffix in
+  let eventually_correct =
+    for_all_correct pattern (fun q ->
+        List.for_all
+          (fun tau ->
+            List.for_all
+              (fun x -> Failure.is_correct pattern x)
+              (Fd.decode_set table.(q).(tau)))
+          times)
+  in
+  pairwise && eventually_correct

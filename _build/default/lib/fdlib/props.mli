@@ -1,0 +1,41 @@
+(** Property checkers for failure-detector classes.
+
+    Each checker takes a failure pattern and a tabulated history (as produced
+    by {!Simkit.History.tabulate} or collected from emulated outputs) and
+    verifies the class property on the final [suffix] steps — the finite
+    counterpart of "there is a time after which …". Only the modules of
+    correct processes are inspected, matching the definitions. *)
+
+type table = Value.t array array
+(** [table.(q).(tau)] — output of q's module at time tau. *)
+
+val omega_ok : Simkit.Failure.pattern -> table -> suffix:int -> bool
+(** Some correct leader is output by every correct process at every instant
+    of the suffix. *)
+
+val anti_omega_k_ok : Simkit.Failure.pattern -> table -> k:int -> suffix:int -> bool
+(** Some correct process appears in no output of any correct process during
+    the suffix, and all outputs are (n−k)-sets. *)
+
+val anti_omega_k_witnesses :
+  Simkit.Failure.pattern -> table -> suffix:int -> int list
+(** The correct processes never output during the suffix (the ¬Ωk witnesses,
+    ignoring the cardinality check). *)
+
+val vector_omega_k_ok :
+  Simkit.Failure.pattern -> table -> k:int -> suffix:int -> bool
+(** Some position holds the same correct process in every correct module's
+    output during the suffix. *)
+
+val perfect_exact_ok : Simkit.Failure.pattern -> table -> bool
+(** The output at every correct process and time is exactly the set of
+    processes crashed by that time. *)
+
+val eventually_perfect_ok :
+  Simkit.Failure.pattern -> table -> suffix:int -> bool
+(** During the suffix, outputs at correct processes are exactly the crashed
+    sets. *)
+
+val sigma_ok : Simkit.Failure.pattern -> table -> suffix:int -> bool
+(** Quorum intersection over the whole table, and suffix quorums contain
+    only correct processes. *)

@@ -1,0 +1,1 @@
+lib/simkit/checker.ml: Failure Fun Int List Pid Runtime

@@ -1,0 +1,1 @@
+lib/simkit/checker.mli: Runtime Value

@@ -1,0 +1,1 @@
+lib/simkit/exhaustive.ml: List Pid Runtime

@@ -1,0 +1,1 @@
+lib/simkit/exhaustive.mli: Pid Runtime

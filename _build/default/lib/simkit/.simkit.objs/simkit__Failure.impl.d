@@ -1,0 +1,1 @@
+lib/simkit/failure.ml: Array Fmt Fun List Option Printf Random

@@ -1,0 +1,1 @@
+lib/simkit/failure.mli: Format Random

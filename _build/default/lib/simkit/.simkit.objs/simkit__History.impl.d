@@ -1,0 +1,1 @@
+lib/simkit/history.ml: Array Value

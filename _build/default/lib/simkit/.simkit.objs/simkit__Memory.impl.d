@@ -1,0 +1,1 @@
+lib/simkit/memory.ml: Array Value

@@ -1,0 +1,1 @@
+lib/simkit/mp.ml: Array List Memory Runtime Value

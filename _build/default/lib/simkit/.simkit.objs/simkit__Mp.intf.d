@@ -1,0 +1,1 @@
+lib/simkit/mp.mli: Memory Value

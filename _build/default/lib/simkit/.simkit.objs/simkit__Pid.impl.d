@@ -1,0 +1,1 @@
+lib/simkit/pid.ml: Fmt Int List

@@ -1,0 +1,1 @@
+lib/simkit/runtime.ml: Array Effect Failure Fun History List Memory Pid Trace Value

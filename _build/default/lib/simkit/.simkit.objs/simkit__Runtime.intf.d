@@ -1,0 +1,1 @@
+lib/simkit/runtime.mli: Failure History Memory Pid Trace Value

@@ -1,0 +1,1 @@
+lib/simkit/schedule.ml: Array List Pid Printf Random Runtime Value

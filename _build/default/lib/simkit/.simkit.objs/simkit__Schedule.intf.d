@@ -1,0 +1,1 @@
+lib/simkit/schedule.mli: Pid Random Runtime Value

@@ -1,0 +1,1 @@
+lib/simkit/snapshot.ml: Array Memory Runtime Value

@@ -1,0 +1,1 @@
+lib/simkit/snapshot.mli: Memory Value

@@ -1,0 +1,1 @@
+lib/simkit/trace.ml: Array Fmt List Memory Pid Value

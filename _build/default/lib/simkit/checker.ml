@@ -1,0 +1,49 @@
+let undecided_with_scheds rt ~min_scheds =
+  List.filter
+    (fun i ->
+      Runtime.participating rt i
+      && Runtime.decision rt i = None
+      && Runtime.sched_count rt (Pid.c i) >= min_scheds)
+    (List.init (Runtime.n_c rt) Fun.id)
+
+let wait_free_ok rt ~min_scheds = undecided_with_scheds rt ~min_scheds = []
+
+let min_correct_s_scheds rt =
+  let pat = Runtime.pattern rt in
+  List.fold_left
+    (fun acc i -> min acc (Runtime.sched_count rt (Pid.s i)))
+    max_int
+    (Failure.correct pat)
+
+(* Sweep over the +1/-1 events at participation starts and decision times.
+   A decision at time τ ends the active interval [start, τ]; the process is
+   still undecided *at* τ (the decide step is its last), so the -1 lands at
+   τ + 1. *)
+let max_concurrency rt =
+  let events = ref [] in
+  for i = 0 to Runtime.n_c rt - 1 do
+    match Runtime.first_step_time rt i with
+    | None -> ()
+    | Some start ->
+      events := (start, 1) :: !events;
+      (match Runtime.decide_time rt i with
+      | None -> ()
+      | Some d -> events := (d + 1, -1) :: !events)
+  done;
+  let sorted =
+    List.sort
+      (fun (t1, d1) (t2, d2) ->
+        if t1 <> t2 then Int.compare t1 t2 else Int.compare d1 d2)
+      !events
+  in
+  let _, best =
+    List.fold_left
+      (fun (cur, best) (_, d) ->
+        let cur = cur + d in
+        (cur, max best cur))
+      (0, 0) sorted
+  in
+  best
+
+let is_k_concurrent rt ~k = max_concurrency rt <= k
+let output_vector rt = Runtime.decisions rt

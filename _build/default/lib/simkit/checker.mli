@@ -1,0 +1,21 @@
+(** Run validators: the finite-run counterparts of the paper's properties. *)
+
+val wait_free_ok : Runtime.t -> min_scheds:int -> bool
+(** Wait-freedom (bounded form): every participating C-process that was
+    scheduled at least [min_scheds] times has decided. *)
+
+val undecided_with_scheds : Runtime.t -> min_scheds:int -> int list
+(** The witnesses violating {!wait_free_ok}. *)
+
+val min_correct_s_scheds : Runtime.t -> int
+(** Minimum scheduling count over correct S-processes — a fairness measure
+    (0 means some correct S-process never ran, i.e. the run was unfair). *)
+
+val max_concurrency : Runtime.t -> int
+(** Maximum, over the run, of the number of participating-but-undecided
+    C-processes — the concurrency level of the run (§2.2). *)
+
+val is_k_concurrent : Runtime.t -> k:int -> bool
+
+val output_vector : Runtime.t -> Value.t option array
+(** The run's output vector [O] (⊥ = [None]). *)

@@ -1,0 +1,55 @@
+type verdict = Ok of int | Counterexample of Pid.t list
+
+(* Replay [sched] on a fresh runtime and evaluate the property — after
+   every step, or only after the last one. Rebuilding per branch is
+   O(depth) heavier than incremental checkpointing but needs no state
+   cloning, and runs are deterministic, so it is exact. *)
+let replay ~build ~prop ~every sched =
+  let rt = build () in
+  let rec go = function
+    | [] -> true
+    | p :: rest ->
+      Runtime.step rt p;
+      if (every || rest = []) && not (prop rt) then false else go rest
+  in
+  let ok = go sched in
+  Runtime.destroy rt;
+  ok
+
+let enumerate ~build ~pids ~depth ~prop ~every =
+  let count = ref 0 in
+  (* DFS over schedules. In [every] mode each node's last step is checked
+     when the node is visited (prefix checks were done at shallower
+     nodes); in final mode only full-depth schedules are replayed. *)
+  let rec go prefix d =
+    if d = 0 then begin
+      incr count;
+      if every then None
+      else
+        let sched = List.rev prefix in
+        if replay ~build ~prop ~every:false sched then None else Some sched
+    end
+    else
+      let rec try_pids = function
+        | [] -> None
+        | p :: rest ->
+          let sched = List.rev (p :: prefix) in
+          if every && not (replay ~build ~prop ~every:false sched) then
+            Some sched
+          else begin
+            match go (p :: prefix) (d - 1) with
+            | Some cex -> Some cex
+            | None -> try_pids rest
+          end
+      in
+      try_pids pids
+  in
+  match go [] depth with
+  | Some cex -> Counterexample cex
+  | None -> Ok !count
+
+let check ~build ~pids ~depth ~prop =
+  enumerate ~build ~pids ~depth ~prop ~every:true
+
+let check_final ~build ~pids ~depth ~prop =
+  enumerate ~build ~pids ~depth ~prop ~every:false

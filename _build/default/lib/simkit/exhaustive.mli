@@ -1,0 +1,35 @@
+(** Exhaustive schedule enumeration — model checking in miniature.
+
+    For small systems and short horizons the sampled adversaries of
+    {!Schedule} can be replaced by full enumeration: every schedule over
+    the given processes up to a depth is replayed from scratch (runs are
+    deterministic, so replay is exact) and a property is checked at every
+    prefix. A returned counterexample is a concrete schedule, directly
+    replayable.
+
+    Cost is |pids|^depth runs of ≤ depth steps each: keep
+    |pids| ≤ 4 and depth ≤ 12 or so. Used to verify the agreement
+    primitives (safe agreement, commit–adopt, adoption set-agreement)
+    against {e all} interleavings rather than sampled ones. *)
+
+type verdict = Ok of int  (** number of complete schedules checked *)
+             | Counterexample of Pid.t list
+
+val check :
+  build:(unit -> Runtime.t) ->
+  pids:Pid.t list ->
+  depth:int ->
+  prop:(Runtime.t -> bool) ->
+  verdict
+(** Depth-first over all schedules: after every step of every schedule,
+    [prop rt] must hold. The runtime is rebuilt (and destroyed) per branch
+    via [build]; prefixes are replayed, so [build] must be deterministic. *)
+
+val check_final :
+  build:(unit -> Runtime.t) ->
+  pids:Pid.t list ->
+  depth:int ->
+  prop:(Runtime.t -> bool) ->
+  verdict
+(** Like {!check} but the property is only required at depth (for
+    properties that are meaningless mid-flight). *)

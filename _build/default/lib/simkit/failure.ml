@@ -1,0 +1,109 @@
+type pattern = { n_s : int; crash_time : int option array }
+
+let pattern ~n_s crashes =
+  if n_s <= 0 then invalid_arg "Failure.pattern: n_s must be positive";
+  let crash_time = Array.make n_s None in
+  let set (i, tau) =
+    if i < 0 || i >= n_s then invalid_arg "Failure.pattern: index out of range";
+    if tau < 0 then invalid_arg "Failure.pattern: negative crash time";
+    match crash_time.(i) with
+    | Some _ -> invalid_arg "Failure.pattern: repeated index"
+    | None -> crash_time.(i) <- Some tau
+  in
+  List.iter set crashes;
+  if Array.for_all Option.is_some crash_time then
+    invalid_arg "Failure.pattern: at least one S-process must be correct";
+  { n_s; crash_time }
+
+let failure_free n_s = pattern ~n_s []
+
+let crashed f ~time i =
+  match f.crash_time.(i) with None -> false | Some tau -> time >= tau
+
+let faulty f =
+  List.filteri (fun i _ -> Option.is_some f.crash_time.(i)) (List.init f.n_s Fun.id)
+
+let correct f =
+  List.filteri (fun i _ -> Option.is_none f.crash_time.(i)) (List.init f.n_s Fun.id)
+
+let is_correct f i = Option.is_none f.crash_time.(i)
+
+let num_faulty f =
+  Array.fold_left (fun acc c -> if Option.is_some c then acc + 1 else acc) 0 f.crash_time
+
+let pp_pattern ppf f =
+  let pp_one ppf (i, c) =
+    match c with
+    | None -> Fmt.pf ppf "q%d:ok" (i + 1)
+    | Some tau -> Fmt.pf ppf "q%d:@%d" (i + 1) tau
+  in
+  Fmt.pf ppf "{%a}"
+    Fmt.(list ~sep:(any ", ") pp_one)
+    (List.mapi (fun i c -> (i, c)) (Array.to_list f.crash_time))
+
+type env = {
+  env_name : string;
+  env_n_s : int;
+  member : pattern -> bool;
+  sample : Random.State.t -> horizon:int -> pattern;
+}
+
+(* Sample a pattern with at most [t] faults: pick a fault count uniformly in
+   [0, t], then faulty indices without replacement, then crash times. *)
+let sample_up_to_t n_s t rng ~horizon =
+  let horizon = max horizon 1 in
+  let k = Random.State.int rng (t + 1) in
+  let indices = Array.init n_s Fun.id in
+  for i = n_s - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = indices.(i) in
+    indices.(i) <- indices.(j);
+    indices.(j) <- tmp
+  done;
+  let crashes =
+    List.init k (fun i -> (indices.(i), Random.State.int rng horizon))
+  in
+  pattern ~n_s crashes
+
+let e_t ~n_s ~t =
+  let t = max 0 (min t (n_s - 1)) in
+  {
+    env_name = Printf.sprintf "E_%d(n=%d)" t n_s;
+    env_n_s = n_s;
+    member = (fun f -> f.n_s = n_s && num_faulty f <= t);
+    sample = sample_up_to_t n_s t;
+  }
+
+let wait_free_env n_s = e_t ~n_s ~t:(n_s - 1)
+
+let crash_free n_s =
+  {
+    env_name = Printf.sprintf "E_0(n=%d)" n_s;
+    env_n_s = n_s;
+    member = (fun f -> f.n_s = n_s && num_faulty f = 0);
+    sample = (fun _ ~horizon:_ -> failure_free n_s);
+  }
+
+(* All subsets of {0..n_s-1} that keep at least one process correct, with
+   every combination of crash times from [times] for the chosen subset. *)
+let enumerate env ~horizon:_ ~times =
+  let n_s = env.env_n_s in
+  let rec subsets i =
+    if i >= n_s then [ [] ]
+    else
+      let rest = subsets (i + 1) in
+      rest @ List.map (fun s -> i :: s) rest
+  in
+  let rec assign = function
+    | [] -> [ [] ]
+    | i :: rest ->
+      let tails = assign rest in
+      List.concat_map (fun tau -> List.map (fun tl -> (i, tau) :: tl) tails) times
+  in
+  let candidate_sets =
+    List.filter (fun s -> List.length s < n_s) (subsets 0)
+  in
+  let patterns =
+    List.concat_map (fun s -> List.map (pattern ~n_s) (assign s)) candidate_sets
+  in
+  List.filter env.member patterns

@@ -1,0 +1,59 @@
+(** Failure patterns and environments.
+
+    Only S-processes are subject to crash failures (the paper's §2.1). A
+    failure pattern [F] maps each time [τ] to the set of S-processes crashed
+    by [τ]; we represent it by the (optional) crash time of each S-process.
+    An environment is a set of allowed failure patterns; [E_t] allows any
+    pattern with at most [t] faulty S-processes. At least one S-process is
+    correct in every pattern of every environment we construct. *)
+
+type pattern = private {
+  n_s : int;  (** number of S-processes *)
+  crash_time : int option array;  (** [crash_time.(i) = Some τ] iff [q_i] crashes at time [τ] *)
+}
+
+val pattern : n_s:int -> (int * int) list -> pattern
+(** [pattern ~n_s crashes] builds a pattern where each [(i, τ)] in [crashes]
+    crashes [q_i] at time [τ ≥ 0]. Raises [Invalid_argument] if every
+    S-process would be faulty, an index is out of range, a time is negative,
+    or an index is repeated. *)
+
+val failure_free : int -> pattern
+(** Pattern with no crashes. *)
+
+val crashed : pattern -> time:int -> int -> bool
+(** [crashed f ~time i]: has [q_i] crashed by [time] (i.e. is it in [F(time)])? *)
+
+val faulty : pattern -> int list
+(** Indices of S-processes that crash at some time. *)
+
+val correct : pattern -> int list
+(** Indices of S-processes that never crash. Always non-empty. *)
+
+val is_correct : pattern -> int -> bool
+val num_faulty : pattern -> int
+val pp_pattern : Format.formatter -> pattern -> unit
+
+(** {1 Environments} *)
+
+type env = {
+  env_name : string;
+  env_n_s : int;
+  member : pattern -> bool;
+  sample : Random.State.t -> horizon:int -> pattern;
+      (** Draw a random allowed pattern with crash times in [0, horizon). *)
+}
+
+val e_t : n_s:int -> t:int -> env
+(** The environment [E_t]: at most [t] faulty S-processes
+    ([t ≤ n_s - 1]; clamped so at least one process stays correct). *)
+
+val wait_free_env : int -> env
+(** [E_{n-1}]: any number of crashes as long as one S-process survives. *)
+
+val crash_free : int -> env
+(** Only the failure-free pattern. *)
+
+val enumerate : env -> horizon:int -> times:int list -> pattern list
+(** All patterns of [env] whose crash times are drawn from [times]
+    (exhaustive over faulty sets; intended for small [n_s]). *)

@@ -1,0 +1,10 @@
+type t = { name : string; get : int -> int -> Value.t }
+
+let make ~name get = { name; get }
+let name h = h.name
+let get h ~q ~time = h.get q time
+let constant ~name v = { name; get = (fun _ _ -> v) }
+let trivial = constant ~name:"trivial" Value.unit
+
+let tabulate h ~n_s ~horizon =
+  Array.init n_s (fun q -> Array.init horizon (fun tau -> h.get q tau))

@@ -1,0 +1,24 @@
+(** Failure detector histories.
+
+    A history [H] assigns to each S-process and each time the value its
+    failure detector module would return if queried then ([H(q_i, τ)] in the
+    paper). Histories are total functions; the runtime samples them at the
+    global step index of each query step. *)
+
+type t
+
+val make : name:string -> (int -> int -> Value.t) -> t
+(** [make ~name f] where [f q_index time] is the module output. *)
+
+val name : t -> string
+val get : t -> q:int -> time:int -> Value.t
+
+val constant : name:string -> Value.t -> t
+(** Same value at every process and time. *)
+
+val trivial : t
+(** The trivial failure detector history: always [Value.unit]. *)
+
+val tabulate : t -> n_s:int -> horizon:int -> Value.t array array
+(** [tabulate h ~n_s ~horizon] materializes [h] as [out.(q).(tau)], for
+    property checkers. *)

@@ -1,0 +1,53 @@
+(* chan.(s * n + r): Value.list of s's messages to r, oldest last; the
+   sender rewrites the whole (growing) list — single-writer, so the local
+   copy is authoritative and no read-back is needed. *)
+type t = { n : int; chan : Memory.reg array }
+
+let create mem ~n =
+  if n <= 0 then invalid_arg "Mp.create";
+  { n; chan = Memory.alloc mem (n * n) }
+
+type endpoint = {
+  net : t;
+  me : int;
+  sent : Value.t list array;  (** my outboxes, newest first *)
+  consumed : int array;  (** messages already received per sender *)
+}
+
+let endpoint net ~me =
+  if me < 0 || me >= net.n then invalid_arg "Mp.endpoint";
+  {
+    net;
+    me;
+    sent = Array.make net.n [];
+    consumed = Array.make net.n 0;
+  }
+
+let send ep ~to_ msg =
+  if to_ < 0 || to_ >= ep.net.n then invalid_arg "Mp.send";
+  ep.sent.(to_) <- msg :: ep.sent.(to_);
+  Runtime.Op.write
+    ep.net.chan.((ep.me * ep.net.n) + to_)
+    (Value.list ep.sent.(to_))
+
+let broadcast ep msg =
+  for r = 0 to ep.net.n - 1 do
+    send ep ~to_:r msg
+  done
+
+let recv_new ep =
+  let out = ref [] in
+  for s = 0 to ep.net.n - 1 do
+    let cell = Runtime.Op.read ep.net.chan.((s * ep.net.n) + ep.me) in
+    let history = if Value.is_unit cell then [] else Value.to_list cell in
+    let total = List.length history in
+    let fresh = total - ep.consumed.(s) in
+    if fresh > 0 then begin
+      (* history is newest-first; take the fresh prefix, oldest first *)
+      let rec take n l = if n = 0 then [] else List.hd l :: take (n - 1) (List.tl l) in
+      let msgs = List.rev (take fresh history) in
+      ep.consumed.(s) <- total;
+      out := !out @ List.map (fun m -> (s, m)) msgs
+    end
+  done;
+  !out

@@ -1,0 +1,31 @@
+(** Asynchronous message passing layered over the shared memory.
+
+    The failure-detector literature (Chandra–Toueg [10]) is natively
+    message-passing; this module provides reliable FIFO channels so its
+    algorithms can run among the S-processes unchanged. Each ordered pair
+    gets a single-writer register holding the sender's whole history —
+    [send] is one write, receiving polls the peer registers and tracks a
+    local consumed counter. Channels are reliable and FIFO; crashes only
+    silence the sender (exactly the crash-stop MP model).
+
+    All operations perform runtime steps; endpoints are per-process local
+    state. *)
+
+type t
+
+val create : Memory.t -> n:int -> t
+
+type endpoint
+
+val endpoint : t -> me:int -> endpoint
+
+val send : endpoint -> to_:int -> Value.t -> unit
+(** One step. *)
+
+val broadcast : endpoint -> Value.t -> unit
+(** [n] steps (includes a self-send, as the classic algorithms assume). *)
+
+val recv_new : endpoint -> (int * Value.t) list
+(** Poll every peer channel ([n] steps) and return the not-yet-consumed
+    messages as (sender, message), senders in id order, each sender's
+    messages in send order. *)

@@ -1,0 +1,31 @@
+type t = C of int | S of int
+
+let c i =
+  assert (i >= 0);
+  C i
+
+let s i =
+  assert (i >= 0);
+  S i
+
+let is_c = function C _ -> true | S _ -> false
+let is_s = function S _ -> true | C _ -> false
+let index = function C i | S i -> i
+
+let compare a b =
+  match (a, b) with
+  | C i, C j | S i, S j -> Int.compare i j
+  | C _, S _ -> -1
+  | S _, C _ -> 1
+
+let equal a b = compare a b = 0
+let hash = function C i -> (2 * i) + 1 | S i -> 2 * i
+
+let pp ppf = function
+  | C i -> Fmt.pf ppf "p%d" (i + 1)
+  | S i -> Fmt.pf ppf "q%d" (i + 1)
+
+let to_string t = Fmt.str "%a" pp t
+let all_c n_c = List.init n_c c
+let all_s n_s = List.init n_s s
+let all ~n_c ~n_s = all_c n_c @ all_s n_s

@@ -1,0 +1,30 @@
+(** Process identities.
+
+    The system has [m] computation processes (C-processes [p_0 .. p_{m-1}])
+    and [n] synchronization processes (S-processes [q_0 .. q_{n-1}]), per the
+    EFD model of Delporte-Gallet et al. Indices are zero-based throughout the
+    library; pretty-printing uses the paper's 1-based [p_i]/[q_i] names. *)
+
+type t =
+  | C of int  (** computation process, 0-based index *)
+  | S of int  (** synchronization process, 0-based index *)
+
+val c : int -> t
+val s : int -> t
+val is_c : t -> bool
+val is_s : t -> bool
+
+val index : t -> int
+(** Index within its own class (C or S). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val all : n_c:int -> n_s:int -> t list
+(** All process ids, C-processes first. *)
+
+val all_c : int -> t list
+val all_s : int -> t list

@@ -1,0 +1,232 @@
+exception Halted
+exception Forbidden_query of Pid.t
+
+type _ Effect.t +=
+  | E_read : Memory.reg -> Value.t Effect.t
+  | E_write : Memory.reg * Value.t -> unit Effect.t
+  | E_snapshot : Memory.reg array -> Value.t array Effect.t
+  | E_query : Value.t Effect.t
+  | E_decide : Value.t -> unit Effect.t
+  | E_yield : unit Effect.t
+
+module Op = struct
+  let read r = Effect.perform (E_read r)
+  let write r v = Effect.perform (E_write (r, v))
+  let snapshot rs = Effect.perform (E_snapshot rs)
+  let query () = Effect.perform E_query
+  let decide v = Effect.perform (E_decide v)
+  let yield () = Effect.perform E_yield
+end
+
+type pending =
+  | K_read : Memory.reg * (Value.t, unit) Effect.Deep.continuation -> pending
+  | K_write : Memory.reg * Value.t * (unit, unit) Effect.Deep.continuation -> pending
+  | K_snapshot :
+      Memory.reg array * (Value.t array, unit) Effect.Deep.continuation
+      -> pending
+  | K_query : (Value.t, unit) Effect.Deep.continuation -> pending
+  | K_decide : Value.t * (unit, unit) Effect.Deep.continuation -> pending
+  | K_yield : (unit, unit) Effect.Deep.continuation -> pending
+
+type status = Fresh | Runnable | Done
+
+type pstate = {
+  pid : Pid.t;
+  code : unit -> unit;
+  mutable status : status;
+  mutable pending : pending option;
+  mutable decided : Value.t option;
+  mutable steps : int;
+  mutable scheds : int;
+  mutable first_step : int option;
+  mutable decide_at : int option;
+}
+
+type config = {
+  n_c : int;
+  n_s : int;
+  memory : Memory.t;
+  pattern : Failure.pattern;
+  history : History.t;
+  record_trace : bool;
+}
+
+type t = {
+  cfg : config;
+  c_procs : pstate array;
+  s_procs : pstate array;
+  mutable now : int;
+  tr : Trace.t;
+}
+
+let create cfg ~c_code ~s_code =
+  if cfg.pattern.Failure.n_s <> cfg.n_s then
+    invalid_arg "Runtime.create: pattern size mismatch";
+  let mk pid code =
+    {
+      pid;
+      code;
+      status = Fresh;
+      pending = None;
+      decided = None;
+      steps = 0;
+      scheds = 0;
+      first_step = None;
+      decide_at = None;
+    }
+  in
+  {
+    cfg;
+    c_procs = Array.init cfg.n_c (fun i -> mk (Pid.c i) (c_code i));
+    s_procs = Array.init cfg.n_s (fun i -> mk (Pid.s i) (s_code i));
+    now = 0;
+    tr = Trace.create ~enabled:cfg.record_trace;
+  }
+
+let proc t = function
+  | Pid.C i ->
+    if i < 0 || i >= t.cfg.n_c then invalid_arg "Runtime: C index";
+    t.c_procs.(i)
+  | Pid.S i ->
+    if i < 0 || i >= t.cfg.n_s then invalid_arg "Runtime: S index";
+    t.s_procs.(i)
+
+(* Run [f] under the process handler: it executes until the code performs its
+   next effect (parked in [p.pending]), returns, or halts. *)
+let run_under (p : pstate) (f : unit -> unit) : unit =
+  let finish () =
+    p.status <- Done;
+    p.pending <- None
+  in
+  Effect.Deep.match_with f ()
+    {
+      retc = (fun () -> finish ());
+      exnc =
+        (fun e ->
+          match e with
+          | Halted -> finish ()
+          | e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_read r ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                p.pending <- Some (K_read (r, k)))
+          | E_write (r, v) ->
+            Some (fun k -> p.pending <- Some (K_write (r, v, k)))
+          | E_snapshot rs ->
+            Some (fun k -> p.pending <- Some (K_snapshot (rs, k)))
+          | E_query -> Some (fun k -> p.pending <- Some (K_query k))
+          | E_decide v -> Some (fun k -> p.pending <- Some (K_decide (v, k)))
+          | E_yield -> Some (fun k -> p.pending <- Some (K_yield k))
+          | _ -> None);
+    }
+
+let record t p ev = Trace.record t.tr ~time:t.now ~pid:p.pid ev
+
+(* Execute the pending operation of [p] at the current time, then resume the
+   code until its next suspension point. One call = one (non-null) step. *)
+let execute t (p : pstate) (op : pending) : unit =
+  p.pending <- None;
+  p.steps <- p.steps + 1;
+  if p.first_step = None then p.first_step <- Some t.now;
+  (* The continuations below resume under the deep handler installed by
+     [run_under] at process start: subsequent effects re-park in [p.pending],
+     normal return / Halted land in that handler's retc/exnc. *)
+  match op with
+  | K_read (r, k) ->
+    let v = Memory.read t.cfg.memory r in
+    record t p (Trace.Read (r, v));
+    Effect.Deep.continue k v
+  | K_write (r, v, k) ->
+    Memory.write t.cfg.memory r v;
+    record t p (Trace.Write (r, v));
+    Effect.Deep.continue k ()
+  | K_snapshot (rs, k) ->
+    let vs = Memory.read_many t.cfg.memory rs in
+    record t p (Trace.Snapshot rs);
+    Effect.Deep.continue k vs
+  | K_query k ->
+    (match p.pid with
+    | Pid.C _ -> raise (Forbidden_query p.pid)
+    | Pid.S i ->
+      let v = History.get t.cfg.history ~q:i ~time:t.now in
+      record t p (Trace.Query v);
+      Effect.Deep.continue k v)
+  | K_decide (v, k) ->
+    p.decided <- Some v;
+    p.decide_at <- Some t.now;
+    record t p (Trace.Decide v);
+    Effect.Deep.discontinue k Halted
+  | K_yield k -> Effect.Deep.continue k ()
+
+let step t pid =
+  let p = proc t pid in
+  p.scheds <- p.scheds + 1;
+  let alive =
+    match pid with
+    | Pid.C _ -> true
+    | Pid.S i -> not (Failure.crashed t.cfg.pattern ~time:t.now i)
+  in
+  if not alive then record t p Trace.Null
+  else begin
+    (* A Fresh process first runs its code up to the first operation, then
+       performs that operation within this same step, so that step #1 of a
+       process is its first shared-memory action. *)
+    if p.status = Fresh then begin
+      p.status <- Runnable;
+      if p.first_step = None then p.first_step <- Some t.now;
+      run_under p p.code
+    end;
+    match p.pending with
+    | Some op -> execute t p op
+    | None -> record t p Trace.Null
+  end;
+  t.now <- t.now + 1
+
+let destroy t =
+  let kill p =
+    match p.pending with
+    | None -> ()
+    | Some op ->
+      p.pending <- None;
+      let disc : type a. (a, unit) Effect.Deep.continuation -> unit =
+       fun k -> Effect.Deep.discontinue k Halted
+      in
+      (match op with
+      | K_read (_, k) -> disc k
+      | K_write (_, _, k) -> disc k
+      | K_snapshot (_, k) -> disc k
+      | K_query k -> disc k
+      | K_decide (_, k) -> disc k
+      | K_yield k -> disc k)
+  in
+  Array.iter kill t.c_procs;
+  Array.iter kill t.s_procs
+
+let time t = t.now
+let n_c t = t.cfg.n_c
+let n_s t = t.cfg.n_s
+let memory t = t.cfg.memory
+let pattern t = t.cfg.pattern
+let status t pid = (proc t pid).status
+
+let decision t i =
+  if i < 0 || i >= t.cfg.n_c then invalid_arg "Runtime.decision";
+  t.c_procs.(i).decided
+
+let decisions t = Array.map (fun p -> p.decided) t.c_procs
+let all_c_done t = Array.for_all (fun p -> p.decided <> None) t.c_procs
+let participating t i = t.c_procs.(i).first_step <> None
+
+let undecided_participants t =
+  List.filter
+    (fun i -> participating t i && t.c_procs.(i).decided = None)
+    (List.init t.cfg.n_c Fun.id)
+
+let steps_taken t pid = (proc t pid).steps
+let sched_count t pid = (proc t pid).scheds
+let first_step_time t i = t.c_procs.(i).first_step
+let decide_time t i = t.c_procs.(i).decide_at
+let trace t = t.tr

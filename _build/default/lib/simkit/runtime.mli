@@ -1,0 +1,108 @@
+(** The EFD runtime: a deterministic cooperative scheduler for one run.
+
+    A run executes the automata of [n_c] C-processes and [n_s] S-processes
+    against a shared {!Memory.t}, a {!Failure.pattern} and a failure-detector
+    {!History.t}. Process code is ordinary OCaml written in direct style;
+    every shared-memory access, failure-detector query and decision is an
+    OCaml effect and costs exactly one step. The schedule (who steps next) is
+    driven externally via {!step}, so runs are fully deterministic given
+    (codes, schedule, history, inputs) — a property the paper's Figure-1
+    local simulations rely on.
+
+    Semantics, following §2.1 of the paper:
+    - time is the global step index, advanced by every {!step} call;
+    - scheduling an S-process [q_i] at a time [τ] with [q_i ∈ F(τ)] is a
+      null step (crashed processes take no steps);
+    - a C-process that has decided takes only null steps afterwards;
+    - only S-processes may query the failure detector;
+    - runtimes are first-class and reentrant: process code of an outer run
+      may construct and drive an inner runtime as local computation. *)
+
+type t
+
+exception Halted
+(** Raised into a process continuation to terminate it (after a decision, or
+    at teardown). Process code must not catch it. *)
+
+exception Forbidden_query of Pid.t
+(** A C-process attempted a failure-detector query. *)
+
+(** Operations available inside process code. Each call suspends the process
+    until its next scheduled step, at which point the operation takes effect
+    atomically. *)
+module Op : sig
+  val read : Memory.reg -> Value.t
+  val write : Memory.reg -> Value.t -> unit
+
+  val snapshot : Memory.reg array -> Value.t array
+  (** Atomic multi-register read, provided as a primitive (one step).
+      Implementable wait-free from registers — see {!Snapshot} for the
+      honest construction; algorithms may use either. *)
+
+  val query : unit -> Value.t
+  (** Failure-detector query; S-processes only. *)
+
+  val decide : Value.t -> unit
+  (** Record the decision and terminate: all later steps are null. The
+      decision becomes visible when the step executes. *)
+
+  val yield : unit -> unit
+  (** A null step (state transition without memory access). *)
+end
+
+type status =
+  | Fresh  (** has not taken a step yet *)
+  | Runnable  (** mid-execution, has a pending operation *)
+  | Done  (** returned or decided *)
+
+type config = {
+  n_c : int;
+  n_s : int;
+  memory : Memory.t;
+  pattern : Failure.pattern;
+  history : History.t;
+  record_trace : bool;
+}
+
+val create :
+  config -> c_code:(int -> unit -> unit) -> s_code:(int -> unit -> unit) -> t
+(** [create cfg ~c_code ~s_code]: [c_code i] (resp. [s_code i]) is the
+    automaton of [p_i] (resp. [q_i]); it is not started until the process is
+    first scheduled. *)
+
+val step : t -> Pid.t -> unit
+(** Execute one step of the given process (null if crashed / done) and
+    advance time. *)
+
+val destroy : t -> unit
+(** Discontinue all parked process continuations (releases fibers). The
+    runtime remains observable but no longer steppable. *)
+
+(** {1 Observers} *)
+
+val time : t -> int
+val n_c : t -> int
+val n_s : t -> int
+val memory : t -> Memory.t
+val pattern : t -> Failure.pattern
+val status : t -> Pid.t -> status
+val decision : t -> int -> Value.t option
+(** Decision of C-process [p_i], if any. *)
+
+val decisions : t -> Value.t option array
+val all_c_done : t -> bool
+val participating : t -> int -> bool
+(** Has C-process [p_i] taken at least one step? *)
+
+val undecided_participants : t -> int list
+(** C-process indices that participate but have not decided. *)
+
+val steps_taken : t -> Pid.t -> int
+(** Number of non-null steps. *)
+
+val sched_count : t -> Pid.t -> int
+(** Number of times the process was scheduled (incl. null steps). *)
+
+val first_step_time : t -> int -> int option
+val decide_time : t -> int -> int option
+val trace : t -> Trace.t

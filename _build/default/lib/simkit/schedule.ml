@@ -1,0 +1,195 @@
+type t = { policy_name : string; next : Runtime.t -> Pid.t option }
+
+let shuffle rng a =
+  let a = Array.copy a in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+let round_robin ~n_c ~n_s =
+  let pids = Array.of_list (Pid.all ~n_c ~n_s) in
+  let pos = ref 0 in
+  {
+    policy_name = "round-robin";
+    next =
+      (fun _ ->
+        let p = pids.(!pos mod Array.length pids) in
+        incr pos;
+        Some p);
+  }
+
+let shuffled_rounds ?only ~n_c ~n_s rng =
+  let base =
+    match only with
+    | Some pids -> Array.of_list pids
+    | None -> Array.of_list (Pid.all ~n_c ~n_s)
+  in
+  if Array.length base = 0 then invalid_arg "Schedule.shuffled_rounds: empty";
+  let queue = ref [] in
+  {
+    policy_name = "shuffled-rounds";
+    next =
+      (fun _ ->
+        (match !queue with
+        | [] -> queue := Array.to_list (shuffle rng base)
+        | _ -> ());
+        match !queue with
+        | p :: rest ->
+          queue := rest;
+          Some p
+        | [] -> assert false);
+  }
+
+let explicit pids =
+  let rest = ref pids in
+  {
+    policy_name = "explicit";
+    next =
+      (fun _ ->
+        match !rest with
+        | [] -> None
+        | p :: tl ->
+          rest := tl;
+          Some p);
+  }
+
+let explicit_looping pids =
+  if pids = [] then invalid_arg "Schedule.explicit_looping: empty";
+  let rest = ref pids in
+  {
+    policy_name = "explicit-looping";
+    next =
+      (fun _ ->
+        (match !rest with [] -> rest := pids | _ -> ());
+        match !rest with
+        | p :: tl ->
+          rest := tl;
+          Some p
+        | [] -> assert false);
+  }
+
+let seq a ~steps b =
+  let taken = ref 0 in
+  {
+    policy_name = Printf.sprintf "%s;then;%s" a.policy_name b.policy_name;
+    next =
+      (fun rt ->
+        if !taken < steps then begin
+          incr taken;
+          a.next rt
+        end
+        else b.next rt);
+  }
+
+let filtered keep inner =
+  {
+    policy_name = "filtered:" ^ inner.policy_name;
+    next =
+      (fun rt ->
+        let rec draw tries =
+          if tries = 0 then None
+          else
+            match inner.next rt with
+            | None -> None
+            | Some p -> if keep rt p then Some p else draw (tries - 1)
+        in
+        draw 10_000);
+  }
+
+let starve victims ~until inner =
+  let is_victim p = List.exists (Pid.equal p) victims in
+  filtered (fun rt p -> Runtime.time rt >= until || not (is_victim p)) inner
+
+let k_concurrent ?(mode = `Rounds) ~k ~arrival ~n_s rng =
+  if k <= 0 then invalid_arg "Schedule.k_concurrent: k must be positive";
+  let waiting = ref arrival in
+  let admitted = ref [] in
+  let queue = ref [] in
+  let refresh rt =
+    (* Admit new arrivals while fewer than k admitted processes are
+       undecided; drop decided ones from the active set. *)
+    admitted := List.filter (fun i -> Runtime.decision rt i = None) !admitted;
+    let rec admit () =
+      if List.length !admitted < k then
+        match !waiting with
+        | [] -> ()
+        | i :: rest ->
+          if Runtime.decision rt i = None then begin
+            admitted := !admitted @ [ i ];
+            waiting := rest;
+            admit ()
+          end
+          else begin
+            waiting := rest;
+            admit ()
+          end
+    in
+    admit ()
+  in
+  {
+    policy_name = Printf.sprintf "%d-concurrent" k;
+    next =
+      (fun rt ->
+        refresh rt;
+        match mode with
+        | `Uniform ->
+          let pids = List.map Pid.c !admitted @ Pid.all_s n_s in
+          let arr = Array.of_list pids in
+          if Array.length arr = 0 then None
+          else Some arr.(Random.State.int rng (Array.length arr))
+        | `Rounds -> (
+          (match !queue with
+          | [] ->
+            let pids = List.map Pid.c !admitted @ Pid.all_s n_s in
+            if pids = [] then queue := []
+            else queue := Array.to_list (shuffle rng (Array.of_list pids))
+          | _ -> ());
+          match !queue with
+          | [] -> None
+          | p :: rest ->
+            queue := rest;
+            (* a decided C-process drawn from a stale round takes a null
+               step; harmless, and time keeps moving *)
+            Some p));
+  }
+
+let c_solo i =
+  {
+    policy_name = Printf.sprintf "solo-p%d" (i + 1);
+    next = (fun _ -> Some (Pid.c i));
+  }
+
+let s_first ~n_c ~n_s ~s_steps rng =
+  let s_only = shuffled_rounds ~only:(Pid.all_s n_s) ~n_c ~n_s rng in
+  let everyone = shuffled_rounds ~n_c ~n_s rng in
+  seq s_only ~steps:s_steps everyone
+
+type outcome = {
+  total_steps : int;
+  all_decided : bool;
+  out_decisions : Value.t option array;
+  exhausted : bool;
+}
+
+let run ?(stop_when = fun _ -> false) rt policy ~budget =
+  let rec loop steps =
+    if Runtime.all_c_done rt || stop_when rt then (steps, false)
+    else if steps >= budget then (steps, true)
+    else
+      match policy.next rt with
+      | None -> (steps, false)
+      | Some p ->
+        Runtime.step rt p;
+        loop (steps + 1)
+  in
+  let total_steps, exhausted = loop 0 in
+  {
+    total_steps;
+    all_decided = Runtime.all_c_done rt;
+    out_decisions = Runtime.decisions rt;
+    exhausted;
+  }

@@ -1,0 +1,68 @@
+(* Segment layout: each register holds (seq, (value, embedded-scan)) where
+   embedded-scan is the Vec of slot values observed by the writer's own scan
+   performed just before writing. Initial segments are Value.unit (⊥),
+   read as seq = 0, value = ⊥, no embedded scan. *)
+
+type h = { regs : Memory.reg array; n : int }
+
+let create mem ~n =
+  if n <= 0 then invalid_arg "Snapshot.create";
+  { regs = Memory.alloc mem n; n }
+
+let n_slots h = h.n
+
+let decode seg =
+  if Value.is_unit seg then (0, Value.unit, None)
+  else
+    let seq, v, emb = Value.to_triple seg in
+    (Value.to_int seq, v, Some (Value.to_vec emb))
+
+let value_of seg =
+  let _, v, _ = decode seg in
+  v
+
+let read_slot h i = value_of (Runtime.Op.read h.regs.(i))
+let collect_raw h = Array.map (fun r -> Runtime.Op.read r) h.regs
+let collect h = Array.map value_of (collect_raw h)
+
+let seqs_equal c1 c2 =
+  let ok = ref true in
+  for j = 0 to Array.length c1 - 1 do
+    let s1, _, _ = decode c1.(j) and s2, _, _ = decode c2.(j) in
+    if s1 <> s2 then ok := false
+  done;
+  !ok
+
+let scan h =
+  let moved = Array.make h.n false in
+  let rec attempt () =
+    let c1 = collect_raw h in
+    let c2 = collect_raw h in
+    if seqs_equal c1 c2 then Array.map value_of c2
+    else begin
+      (* Some writer moved between the collects. If one moved twice since the
+         scan began, its embedded scan is linearizable within our interval. *)
+      let borrowed = ref None in
+      for j = 0 to h.n - 1 do
+        let s1, _, _ = decode c1.(j) and s2, _, emb = decode c2.(j) in
+        if s1 <> s2 then begin
+          if moved.(j) then begin
+            match emb with
+            | Some view when !borrowed = None -> borrowed := Some view
+            | _ -> ()
+          end;
+          moved.(j) <- true
+        end
+      done;
+      match !borrowed with Some view -> Array.copy view | None -> attempt ()
+    end
+  in
+  attempt ()
+
+let update h i v =
+  if i < 0 || i >= h.n then invalid_arg "Snapshot.update";
+  let view = scan h in
+  let old = Runtime.Op.read h.regs.(i) in
+  let seq, _, _ = decode old in
+  Runtime.Op.write h.regs.(i)
+    (Value.triple (Value.int (seq + 1)) v (Value.vec view))

@@ -1,0 +1,32 @@
+(** Wait-free atomic snapshot built from atomic registers (Afek et al. 1993,
+    unbounded-sequence-number variant).
+
+    The runtime also offers {!Runtime.Op.snapshot} as a one-step primitive;
+    this module is the honest construction justifying that primitive: a
+    [scan] here costs O(n²) register reads but is linearizable and wait-free.
+    All functions below perform runtime effects and must be called from
+    inside process code.
+
+    Each slot [i] is owned by one writer. [update] embeds a full scan in the
+    written segment, which lets a concurrent scanner "borrow" the view of a
+    writer it saw move twice — the classic wait-freedom trick. *)
+
+type h
+
+val create : Memory.t -> n:int -> h
+(** Allocate the segments. All slots start at [Value.unit] (⊥). *)
+
+val n_slots : h -> int
+
+val update : h -> int -> Value.t -> unit
+(** [update h i v] sets slot [i] to [v] (process [i]'s own slot). *)
+
+val scan : h -> Value.t array
+(** Linearizable snapshot of all slots. *)
+
+val collect : h -> Value.t array
+(** Non-atomic read of all slots, one register read each — cheaper, weaker:
+    a regular collect, not a snapshot. *)
+
+val read_slot : h -> int -> Value.t
+(** One register read of slot [i]. *)

@@ -1,0 +1,36 @@
+type event =
+  | Read of Memory.reg * Value.t
+  | Write of Memory.reg * Value.t
+  | Snapshot of Memory.reg array
+  | Query of Value.t
+  | Decide of Value.t
+  | Null
+
+type entry = { time : int; pid : Pid.t; event : event }
+type t = { enabled : bool; mutable rev_entries : entry list; mutable len : int }
+
+let create ~enabled = { enabled; rev_entries = []; len = 0 }
+let enabled t = t.enabled
+
+let record t ~time ~pid event =
+  if t.enabled then begin
+    t.rev_entries <- { time; pid; event } :: t.rev_entries;
+    t.len <- t.len + 1
+  end
+
+let entries t = List.rev t.rev_entries
+let length t = t.len
+let steps_of t pid = List.filter (fun e -> Pid.equal e.pid pid) (entries t)
+
+let pp_event ppf = function
+  | Read (r, v) -> Fmt.pf ppf "read r%d -> %a" r Value.pp v
+  | Write (r, v) -> Fmt.pf ppf "write r%d := %a" r Value.pp v
+  | Snapshot rs -> Fmt.pf ppf "snapshot (%d regs)" (Array.length rs)
+  | Query v -> Fmt.pf ppf "query -> %a" Value.pp v
+  | Decide v -> Fmt.pf ppf "decide %a" Value.pp v
+  | Null -> Fmt.string ppf "null"
+
+let pp_entry ppf e =
+  Fmt.pf ppf "[%4d] %a: %a" e.time Pid.pp e.pid pp_event e.event
+
+let pp ppf t = Fmt.(list ~sep:(any "@\n") pp_entry) ppf (entries t)

@@ -1,0 +1,23 @@
+(** Run traces: the sequence of steps taken, for checkers and debugging. *)
+
+type event =
+  | Read of Memory.reg * Value.t
+  | Write of Memory.reg * Value.t
+  | Snapshot of Memory.reg array
+  | Query of Value.t
+  | Decide of Value.t
+  | Null  (** step of a terminated/decided process, or skipped crashed process *)
+
+type entry = { time : int; pid : Pid.t; event : event }
+type t
+
+val create : enabled:bool -> t
+val enabled : t -> bool
+val record : t -> time:int -> pid:Pid.t -> event -> unit
+val entries : t -> entry list
+(** In chronological order. *)
+
+val length : t -> int
+val steps_of : t -> Pid.t -> entry list
+val pp_entry : Format.formatter -> entry -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/tasklib/combinat.ml: List

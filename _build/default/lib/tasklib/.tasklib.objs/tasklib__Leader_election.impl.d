@@ -1,0 +1,1 @@
+lib/tasklib/leader_election.ml: Array Combinat Fun Int List Option Printf Task Value Vectors

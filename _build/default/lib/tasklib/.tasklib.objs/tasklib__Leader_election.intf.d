@@ -1,0 +1,1 @@
+lib/tasklib/leader_election.mli: Task

@@ -1,0 +1,1 @@
+lib/tasklib/registry.ml: Fmt Leader_election List Printf Renaming Set_agreement Task Trivial_tasks Wsb

@@ -1,0 +1,1 @@
+lib/tasklib/registry.mli: Format Task

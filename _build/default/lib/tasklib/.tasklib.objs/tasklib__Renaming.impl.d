@@ -1,0 +1,1 @@
+lib/tasklib/renaming.ml: Array Combinat Fun Int Lazy List Option Printf Task Value Vectors

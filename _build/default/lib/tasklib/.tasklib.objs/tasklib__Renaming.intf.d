@@ -1,0 +1,1 @@
+lib/tasklib/renaming.mli: Task

@@ -1,0 +1,1 @@
+lib/tasklib/set_agreement.ml: Array Combinat Fun Int Lazy List Printf Task Value Vectors

@@ -1,0 +1,1 @@
+lib/tasklib/set_agreement.mli: Task

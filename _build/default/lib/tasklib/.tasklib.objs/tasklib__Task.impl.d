@@ -1,0 +1,1 @@
+lib/tasklib/task.ml: Array List Random Value Vectors

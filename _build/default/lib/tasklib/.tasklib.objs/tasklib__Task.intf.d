@@ -1,0 +1,1 @@
+lib/tasklib/task.mli: Random Value Vectors

@@ -1,0 +1,1 @@
+lib/tasklib/trivial_tasks.ml: Array Combinat Fun List Option Printf Task Value

@@ -1,0 +1,1 @@
+lib/tasklib/trivial_tasks.mli: Task

@@ -1,0 +1,1 @@
+lib/tasklib/vectors.ml: Array Fmt Fun List Option Value

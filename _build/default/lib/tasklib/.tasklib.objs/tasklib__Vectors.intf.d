@@ -1,0 +1,1 @@
+lib/tasklib/vectors.mli: Format Value

@@ -1,0 +1,1 @@
+lib/tasklib/wsb.ml: Array Combinat Fun List Option Printf Renaming Task Value Vectors

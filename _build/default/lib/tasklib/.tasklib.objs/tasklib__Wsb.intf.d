@@ -1,0 +1,1 @@
+lib/tasklib/wsb.mli: Task

@@ -1,0 +1,14 @@
+let rec subsets_of_size k = function
+  | [] -> if k = 0 then [ [] ] else []
+  | x :: rest ->
+    if k = 0 then [ [] ]
+    else
+      subsets_of_size k rest
+      @ List.map (fun s -> x :: s) (subsets_of_size (k - 1) rest)
+
+let rec assignments slots values =
+  match slots with
+  | [] -> [ [] ]
+  | _ :: rest ->
+    let tails = assignments rest values in
+    List.concat_map (fun v -> List.map (fun tl -> v :: tl) tails) values

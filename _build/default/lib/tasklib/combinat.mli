@@ -1,0 +1,8 @@
+(** Small enumeration helpers shared by the task constructors. *)
+
+val subsets_of_size : int -> 'a list -> 'a list list
+(** All sublists of the given size, order-preserving. *)
+
+val assignments : 'a list -> 'b list -> 'b list list
+(** All functions from positions of the first list into the second, as lists
+    aligned with the first ([|b|^|a|] results). *)

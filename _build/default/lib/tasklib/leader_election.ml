@@ -1,0 +1,46 @@
+let make ~n =
+  if n < 2 then invalid_arg "Leader_election.make";
+  let max_inputs () =
+    (* participation only carries the process's original name *)
+    List.filter_map
+      (fun subset ->
+        if subset = [] then None
+        else begin
+          let v = Vectors.bottom n in
+          List.iter (fun i -> v.(i) <- Some (Value.int (i + 1))) subset;
+          Some v
+        end)
+      (List.concat_map
+         (fun size -> Combinat.subsets_of_size size (List.init n Fun.id))
+         [ n ])
+  in
+  let check ~input ~output =
+    let decided =
+      Array.to_list output |> List.filter_map (Option.map Value.to_int)
+    in
+    match List.sort_uniq Int.compare decided with
+    | [] -> true
+    | [ leader ] -> leader >= 0 && leader < n && input.(leader) <> None
+    | _ :: _ :: _ -> false
+  in
+  let choose ~input ~output i =
+    ignore i;
+    let existing =
+      Array.to_list output |> List.filter_map (Option.map Value.to_int)
+    in
+    match existing with
+    | leader :: _ -> Value.int leader
+    | [] -> (
+      match Vectors.participants input with
+      | p :: _ -> Value.int p
+      | [] -> invalid_arg "Leader_election.choose: empty input")
+  in
+  {
+    Task.task_name = Printf.sprintf "leader-election(n=%d)" n;
+    arity = n;
+    colorless = false;
+    max_inputs;
+    check;
+    choose;
+    known_concurrency = Some 1;
+  }

@@ -1,0 +1,5 @@
+(** Leader election as a decision task: every participant outputs the index
+    of one common participant. Consensus on participant identities — level
+    1 in the hierarchy (weakest detector Ω). *)
+
+val make : n:int -> Task.t

@@ -1,0 +1,61 @@
+type expectation = Exact of int | At_least of int
+
+type entry = {
+  entry_task : Task.t;
+  expected : expectation;
+  weakest_fd : string;
+}
+
+let expected_lower = function Exact k | At_least k -> k
+
+let pp_expectation ppf = function
+  | Exact k -> Fmt.pf ppf "%d" k
+  | At_least k -> Fmt.pf ppf ">=%d" k
+
+let weakest_fd_of_level ~n level =
+  if level >= n then "trivial"
+  else if level = 1 then "Omega"
+  else Printf.sprintf "anti-Omega-%d" level
+
+let entry ?fd task expected =
+  let n = task.Task.arity in
+  let weakest_fd =
+    match fd with
+    | Some f -> f
+    | None -> weakest_fd_of_level ~n (expected_lower expected)
+  in
+  { entry_task = task; expected; weakest_fd }
+
+let standard ~n =
+  if n < 4 then invalid_arg "Registry.standard: need n >= 4";
+  let set_agreements =
+    List.init (n - 1) (fun i ->
+        let k = i + 1 in
+        entry (Set_agreement.make ~n ~k ()) (Exact k))
+  in
+  let subset_agreement =
+    (* (U, k)-agreement with |U| = k+1 on a fixed subset: same class as
+       full k-set agreement by Theorem 7 *)
+    let k = 2 in
+    entry (Set_agreement.make ~u:[ 0; 1; 2 ] ~n ~k ()) (Exact k)
+  in
+  let renamings =
+    [
+      entry (Renaming.strong ~n ~j:2) (Exact 1);
+      entry (Renaming.strong ~n ~j:3) (Exact 1);
+      entry ~fd:"anti-Omega-2" (Renaming.make ~n ~j:3 ~l:4) (At_least 2);
+      entry (Renaming.make ~n ~j:3 ~l:5) (Exact n) (* l >= 2j-1: wait-free *);
+    ]
+  in
+  [
+    entry (Trivial_tasks.identity ~n ()) (Exact n);
+    entry (Trivial_tasks.constant ~n ~out:7 ()) (Exact n);
+  ]
+  @ set_agreements @ [ subset_agreement ] @ renamings
+  @ [
+      entry ~fd:"(open)" (Wsb.make ~n ~j:3) (At_least 2);
+      entry (Leader_election.make ~n) (Exact 1);
+    ]
+
+let find entries name =
+  List.find_opt (fun e -> e.entry_task.Task.task_name = name) entries

@@ -1,0 +1,27 @@
+(** The battery of tasks used by the hierarchy experiments (Theorem 10).
+
+    Each entry carries the classification the paper predicts: the maximal
+    concurrency level (exact where known, a lower bound otherwise) and the
+    name of the weakest failure detector of the corresponding class
+    (¬Ω_level; "trivial" for level-n, i.e. wait-free solvable, tasks). *)
+
+type expectation = Exact of int | At_least of int
+
+type entry = {
+  entry_task : Task.t;
+  expected : expectation;
+  weakest_fd : string;
+}
+
+val expected_lower : expectation -> int
+val pp_expectation : Format.formatter -> expectation -> unit
+
+val weakest_fd_of_level : n:int -> int -> string
+(** "trivial" for level [n], "Omega" for 1, "anti-Omega-k" otherwise. *)
+
+val standard : n:int -> entry list
+(** The standard battery for [n] C-processes ([n ≥ 4]): identity, constant,
+    k-set agreement for k = 1..n−1, (U,k)-agreement on a proper subset,
+    strong renaming, (j, j+k−1)-renaming instances, WSB. *)
+
+val find : entry list -> string -> entry option

@@ -1,0 +1,16 @@
+(** (U, k)-agreement (§2.1): processes in [U] propose values and every
+    decided value is some participant's proposal, with at most [k] distinct
+    decided values. [(Π, k)]-agreement is k-set agreement; [(Π, 1)] is
+    consensus. *)
+
+val make : ?u:int list -> ?values:int list -> n:int -> k:int -> unit -> Task.t
+(** [make ~n ~k ()] is k-set agreement among all [n] C-processes with
+    proposal values [0..k] (the paper's default domain). [?u] restricts the
+    participant set; [?values] overrides the proposal domain.
+
+    Known concurrency metadata: level [k] when [|U| > k], level [n] when
+    [|U| ≤ k] (at most [k] participants can never produce more than [k]
+    distinct values, so the task is wait-free solvable). *)
+
+val consensus : ?u:int list -> ?values:int list -> n:int -> unit -> Task.t
+(** [(U, 1)]-agreement. *)

@@ -1,0 +1,46 @@
+type t = {
+  task_name : string;
+  arity : int;
+  colorless : bool;
+  max_inputs : unit -> Vectors.t list;
+  check : input:Vectors.t -> output:Vectors.t -> bool;
+  choose : input:Vectors.t -> output:Vectors.t -> int -> Value.t;
+  known_concurrency : int option;
+}
+
+let satisfies t ~input ~output =
+  Array.length output = t.arity
+  && Array.for_all2
+       (fun i o -> not (i = None && o <> None))
+       input output
+  && t.check ~input ~output
+
+let input_ok t v =
+  List.exists (fun m -> Vectors.is_prefix v m) (t.max_inputs ())
+
+let sample_input t rng =
+  let all = t.max_inputs () in
+  match all with
+  | [] -> invalid_arg "Task.sample_input: no inputs"
+  | _ -> List.nth all (Random.State.int rng (List.length all))
+
+let sample_prefix t rng ~min_participants =
+  let maximal = sample_input t rng in
+  let ps = Vectors.participants maximal in
+  let min_participants = max 1 (min min_participants (List.length ps)) in
+  let keep =
+    List.filter
+      (fun _ -> Random.State.bool rng)
+      ps
+  in
+  let keep = if List.length keep >= min_participants then keep else ps in
+  Vectors.restrict maximal keep
+
+let choice_closure t ~input =
+  let out = ref (Vectors.bottom t.arity) in
+  List.iter
+    (fun i ->
+      let v = t.choose ~input ~output:!out i in
+      out := Vectors.set !out i v)
+    (Vectors.participants input);
+  !out

@@ -1,0 +1,8 @@
+(** Wait-free solvable reference tasks (concurrency level [n]). *)
+
+val identity : ?values:int list -> n:int -> unit -> Task.t
+(** Every participant outputs its own input. Inputs range over [values]
+    (default [0; 1]). *)
+
+val constant : ?values:int list -> n:int -> out:int -> unit -> Task.t
+(** Every participant outputs the constant [out]. *)

@@ -1,0 +1,57 @@
+type t = Value.t option array
+
+let bottom n = Array.make n None
+
+let equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (Option.equal Value.equal) a b
+
+let pp ppf v =
+  let pp_slot ppf = function
+    | None -> Fmt.string ppf "_"
+    | Some x -> Value.pp ppf x
+  in
+  Fmt.pf ppf "<%a>" Fmt.(array ~sep:(any " ") pp_slot) v
+
+let to_string v = Fmt.str "%a" pp v
+
+let participants v =
+  List.filteri (fun i _ -> v.(i) <> None) (List.init (Array.length v) Fun.id)
+
+let count v =
+  Array.fold_left (fun acc x -> if x = None then acc else acc + 1) 0 v
+
+let is_bottom v = count v = 0
+
+let is_prefix a b =
+  Array.length a = Array.length b
+  && count a >= 1
+  && Array.for_all2
+       (fun x y -> match x with None -> true | Some _ -> Option.equal Value.equal x y)
+       a b
+
+let restrict v idxs =
+  Array.mapi (fun i x -> if List.mem i idxs then x else None) v
+
+let set v i x =
+  let v' = Array.copy v in
+  v'.(i) <- Some x;
+  v'
+
+let proper_prefixes v =
+  let ps = participants v in
+  let rec subsets = function
+    | [] -> [ [] ]
+    | x :: rest ->
+      let tails = subsets rest in
+      tails @ List.map (fun s -> x :: s) tails
+  in
+  let candidates =
+    List.filter
+      (fun s -> s <> [] && List.length s < List.length ps)
+      (subsets ps)
+  in
+  List.map (restrict v) candidates
+
+let of_list l = Array.of_list l
+let of_ints l = Array.of_list (List.map (Option.map Value.int) l)

@@ -1,0 +1,34 @@
+(** Input/output vectors: one optional value per C-process, [None] = ⊥. *)
+
+type t = Value.t option array
+
+val bottom : int -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val participants : t -> int list
+(** Indices with non-⊥ entries. *)
+
+val count : t -> int
+(** Number of non-⊥ entries. *)
+
+val is_bottom : t -> bool
+
+val is_prefix : t -> t -> bool
+(** [is_prefix a b]: [a] has at least one non-⊥ entry and agrees with [b]
+    wherever [a] is non-⊥ (the paper's prefix order on vectors). *)
+
+val restrict : t -> int list -> t
+(** Keep only the listed indices, ⊥ elsewhere. *)
+
+val set : t -> int -> Value.t -> t
+(** Functional update. *)
+
+val proper_prefixes : t -> t list
+(** All non-empty strict prefixes (exponential in the participant count —
+    small vectors only). *)
+
+val of_list : Value.t option list -> t
+val of_ints : int option list -> t
+(** Convenience for test fixtures: ints with [None] = ⊥. *)

@@ -1,0 +1,7 @@
+(** Weak symmetry breaking: exactly [j] of [n] processes participate, each
+    outputs a bit, and when all [j] have decided the bits must not all be
+    equal. One of the "colored" tasks that evaded weakest-failure-detector
+    characterization before the EFD framework (§1). *)
+
+val make : n:int -> j:int -> Task.t
+(** Requires [2 ≤ j < n]. *)

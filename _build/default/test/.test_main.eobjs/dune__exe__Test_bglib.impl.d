@@ -1,0 +1,1 @@
+test/test_bglib.ml: Alcotest Array Bg Bglib Commit_adopt Failure Fun History Int List Memory Option Pid Random Runtime Safe_agreement Schedule Simkit Value

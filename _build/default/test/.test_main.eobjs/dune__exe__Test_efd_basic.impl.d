@@ -1,0 +1,1 @@
+test/test_efd_basic.ml: Alcotest Array Efd Failure Fdlib Fun Ksa List One_concurrent Random Registry Run Schedule Set_agreement Simkit Task Tasklib Trivial_nsa Value

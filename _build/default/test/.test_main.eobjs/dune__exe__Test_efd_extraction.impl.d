@@ -1,0 +1,1 @@
+test/test_efd_extraction.ml: Alcotest Array Efd Extraction Failure Fdlib History Ksa List Printf Random Set_agreement Simkit Task Tasklib

@@ -1,0 +1,1 @@
+test/test_efd_puzzle.ml: Alcotest Array Bglib Efd Failure Fdlib Fun List Machine Machine_consensus Machine_ksa Puzzle Random Run Set_agreement Simkit Task Tasklib Value

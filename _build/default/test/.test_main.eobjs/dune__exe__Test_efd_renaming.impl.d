@@ -1,0 +1,1 @@
+test/test_efd_renaming.ml: Adversary Alcotest Array Classifier Efd Failure Fdlib Kconc_tasks List Pid Printf Random Renaming Renaming_algos Run Schedule Set_agreement Simkit Task Tasklib Value

@@ -1,0 +1,1 @@
+test/test_efd_thm9.ml: Alcotest Array Bglib Efd Failure Fdlib Kcodes Kconcurrent Ksa List Memory Random Renaming Run Runtime Schedule Set_agreement Simkit Task Tasklib Trivial_tasks Value

@@ -1,0 +1,1 @@
+test/test_exhaustive.ml: Alcotest Array Bglib Commit_adopt Efd Exhaustive Failure Fmt History List Memory Pid Runtime Safe_agreement Simkit Value

@@ -1,0 +1,1 @@
+test/test_fdlib.ml: Alcotest Array Classic Convert Dag Failure Fd Fdlib History Leader_fds List Printf Props QCheck QCheck_alcotest Simkit Value

@@ -1,0 +1,1 @@
+test/test_simkit.ml: Alcotest Array Checker Failure History List Memory Option Pid Random Runtime Schedule Simkit Snapshot Trace Value

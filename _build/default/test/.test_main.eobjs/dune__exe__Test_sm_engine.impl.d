@@ -1,0 +1,1 @@
+test/test_sm_engine.ml: Alcotest Array Bglib Fi_algos Fun Int List Machine Option Printf Random Sm_engine Value

@@ -1,0 +1,1 @@
+test/test_tasklib.ml: Alcotest Array Int List Option QCheck QCheck_alcotest Random Registry Renaming Set_agreement Task Tasklib Trivial_tasks Value Vectors Wsb

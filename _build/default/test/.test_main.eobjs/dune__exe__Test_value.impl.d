@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Array List QCheck QCheck_alcotest Stdlib Value

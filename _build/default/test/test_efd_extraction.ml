@@ -1,0 +1,136 @@
+open Simkit
+open Tasklib
+open Efd
+
+let check_bool = Alcotest.(check bool)
+
+(* Build a DAG offline by replaying a history round-robin with periodic
+   cross-process merging (dense causality, like the real exchange). *)
+let offline_dag ~history ~pattern ~samples =
+  let n_s = pattern.Failure.n_s in
+  let dags = Array.init n_s (fun _ -> Fdlib.Dag.create ~n_s) in
+  let time = ref 0 in
+  for round = 1 to samples do
+    for q = 0 to n_s - 1 do
+      if not (Failure.crashed pattern ~time:!time q) then begin
+        ignore
+          (Fdlib.Dag.add_sample dags.(q) ~q (History.get history ~q ~time:!time));
+        incr time
+      end
+    done;
+    if round mod 3 = 0 then
+      for q = 0 to n_s - 1 do
+        for q' = 0 to n_s - 1 do
+          if q <> q' then Fdlib.Dag.union dags.(q) dags.(q')
+        done
+      done
+  done;
+  for q = 1 to n_s - 1 do
+    Fdlib.Dag.union dags.(0) dags.(q)
+  done;
+  dags.(0)
+
+let setup ~n ~k ~seed ~pattern =
+  let task = Set_agreement.make ~n ~k () in
+  let algo = Ksa.make ~max_rounds:128 ~k () in
+  let fd = Fdlib.Leader_fds.vector_omega_k_silent ~max_stab:25 ~k () in
+  let history = Fdlib.Fd.draw fd pattern ~seed in
+  let rng = Random.State.make [| seed |] in
+  let inputs = Task.sample_input task rng in
+  (task, algo, fd, history, inputs)
+
+let test_branch_fair_decides () =
+  let n = 3 and k = 1 in
+  let pattern = Failure.failure_free 3 in
+  let _, algo, _, history, inputs = setup ~n ~k ~seed:3 ~pattern in
+  let dag = offline_dag ~history ~pattern ~samples:120 in
+  let decided, out =
+    Extraction.simulate_branch ~algo ~inputs ~n_c:n ~n_s:3 ~k ~dag
+      ~stall_on:None ~budget:6_000
+  in
+  check_bool "fair branch decides" true decided;
+  Alcotest.(check int) "output size n-k" 2 (List.length out)
+
+let test_branch_stall_leader_never_decides () =
+  (* with the silent detector the stable leader is q1 (min correct):
+     stalling its donor blocks every consensus instance *)
+  let n = 3 and k = 1 in
+  let pattern = Failure.failure_free 3 in
+  let _, algo, _, history, inputs = setup ~n ~k ~seed:3 ~pattern in
+  let dag = offline_dag ~history ~pattern ~samples:120 in
+  let decided, out =
+    Extraction.simulate_branch ~algo ~inputs ~n_c:n ~n_s:3 ~k ~dag
+      ~stall_on:(Some 0) ~budget:6_000
+  in
+  check_bool "stalling the leader blocks the run" false decided;
+  check_bool "blocked leader eventually not output" true
+    (not (List.mem 0 out))
+
+let test_branch_stall_other_decides () =
+  let n = 3 and k = 1 in
+  let pattern = Failure.failure_free 3 in
+  let _, algo, _, history, inputs = setup ~n ~k ~seed:3 ~pattern in
+  let dag = offline_dag ~history ~pattern ~samples:120 in
+  List.iter
+    (fun q ->
+      let decided, _ =
+        Extraction.simulate_branch ~algo ~inputs ~n_c:n ~n_s:3 ~k ~dag
+          ~stall_on:(Some q) ~budget:6_000
+      in
+      check_bool
+        (Printf.sprintf "stalling non-leader q%d still decides" (q + 1))
+        true decided)
+    [ 1; 2 ]
+
+let test_branch_crashed_codes_starve () =
+  (* a crashed S-process has finitely many DAG vertices: the fair branch
+     still decides because the leader (min correct) keeps serving *)
+  let n = 3 and k = 1 in
+  let pattern = Failure.pattern ~n_s:3 [ (0, 8) ] in
+  let _, algo, _, history, inputs = setup ~n ~k ~seed:5 ~pattern in
+  let dag = offline_dag ~history ~pattern ~samples:120 in
+  let decided, out =
+    Extraction.simulate_branch ~algo ~inputs ~n_c:n ~n_s:3 ~k ~dag
+      ~stall_on:None ~budget:6_000
+  in
+  check_bool "decides despite crashed q1" true decided;
+  ignore out
+
+let run_extraction ~n ~k ~pattern ~seed =
+  let _, algo, fd, _, inputs = setup ~n ~k ~seed ~pattern in
+  Extraction.run ~outer_budget:15_000 ~sample_period:400 ~explore_budget:2_500
+    ~max_samples:200 ~k ~fd ~algo ~inputs ~n_c:n ~pattern ~seed ()
+
+let check_extraction ~n:_ ~k ~pattern result =
+  let suffix = 4_000 in
+  check_bool "enough explorations happened" true (result.Extraction.x_explorations >= 3);
+  check_bool "emulated outputs satisfy anti-Omega-k" true
+    (Fdlib.Props.anti_omega_k_ok pattern result.Extraction.x_outputs ~k ~suffix)
+
+let test_extraction_failure_free () =
+  let pattern = Failure.failure_free 3 in
+  let result = run_extraction ~n:3 ~k:1 ~pattern ~seed:11 in
+  check_extraction ~n:3 ~k:1 ~pattern result
+
+let test_extraction_with_crash () =
+  let pattern = Failure.pattern ~n_s:3 [ (2, 300) ] in
+  let result = run_extraction ~n:3 ~k:1 ~pattern ~seed:12 in
+  check_extraction ~n:3 ~k:1 ~pattern result
+
+let test_extraction_k2 () =
+  let pattern = Failure.failure_free 4 in
+  let result = run_extraction ~n:4 ~k:2 ~pattern ~seed:13 in
+  check_extraction ~n:4 ~k:2 ~pattern result
+
+let suite =
+  [
+    Alcotest.test_case "E7: fair branch decides" `Quick test_branch_fair_decides;
+    Alcotest.test_case "E7: stalled leader never decides" `Quick
+      test_branch_stall_leader_never_decides;
+    Alcotest.test_case "E7: stalled non-leader decides" `Quick
+      test_branch_stall_other_decides;
+    Alcotest.test_case "E7: crashed codes starve" `Quick test_branch_crashed_codes_starve;
+    Alcotest.test_case "E7: extraction (failure-free)" `Slow test_extraction_failure_free;
+    Alcotest.test_case "E7: extraction (late crash)" `Slow test_extraction_with_crash;
+    Alcotest.test_case "E7: extraction k=2" `Slow test_extraction_k2;
+  ]

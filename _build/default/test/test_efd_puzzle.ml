@@ -1,0 +1,183 @@
+open Simkit
+open Tasklib
+open Efd
+open Bglib
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let seeds n = List.init n (fun i -> i + 1)
+
+(* --- Machine_consensus in pure land --- *)
+
+let test_mc_pure_commit () =
+  (* one instance, three machines, same input; we play the serving side by
+     injecting the answer into the env once a query appears *)
+  let max_rounds = 8 in
+  let mc =
+    Machine_consensus.create ~k:1 ~n_machines:3 ~max_rounds ~input_offset:0
+      ~n_inputs:3 ~answer_offset:3 ()
+  in
+  let input_of ~me ~env =
+    let v = env.(me) in
+    if Value.is_unit v then None else Some v
+  in
+  let machines = Machine_consensus.machines mc ~input_of in
+  let env = Array.make (3 + max_rounds) Value.unit in
+  Array.iteri (fun i _ -> if i < 3 then env.(i) <- Value.int 9) env;
+  let sys = ref (Machine.boot machines) in
+  for step = 0 to 200 do
+    (* serving: answer every pending unanswered query *)
+    List.iter
+      (fun (j, r, est) ->
+        let slot = Machine_consensus.answer_slot mc ~j ~r in
+        if Value.is_unit env.(slot) then env.(slot) <- est)
+      (Machine_consensus.pending_queries ~states:!sys.Machine.sys_states);
+    sys := Machine.step_pure machines !sys ~env (step mod 3)
+  done;
+  let decisions = Machine.decisions machines !sys in
+  Array.iter
+    (fun d ->
+      match d with
+      | Some v -> check_int "decides common input" 9 (Value.to_int v)
+      | None -> Alcotest.fail "machine undecided")
+    decisions
+
+let test_mc_pure_agreement_mixed_inputs () =
+  (* mixed inputs, k=1: all machines must agree on one proposed value *)
+  List.iter
+    (fun seed ->
+      let max_rounds = 16 in
+      let mc =
+        Machine_consensus.create ~k:1 ~n_machines:3 ~max_rounds ~input_offset:0
+          ~n_inputs:3 ~answer_offset:3 ()
+      in
+      let input_of ~me ~env =
+        let v = env.(me) in
+        if Value.is_unit v then None else Some v
+      in
+      let machines = Machine_consensus.machines mc ~input_of in
+      let env = Array.make (3 + max_rounds) Value.unit in
+      for i = 0 to 2 do
+        env.(i) <- Value.int (i + 10)
+      done;
+      let rng = Random.State.make [| seed |] in
+      let sys = ref (Machine.boot machines) in
+      for _ = 0 to 400 do
+        List.iter
+          (fun (j, r, est) ->
+            let slot = Machine_consensus.answer_slot mc ~j ~r in
+            if Value.is_unit env.(slot) then env.(slot) <- est)
+          (Machine_consensus.pending_queries ~states:!sys.Machine.sys_states);
+        sys := Machine.step_pure machines !sys ~env (Random.State.int rng 3)
+      done;
+      let decided =
+        Array.to_list (Machine.decisions machines !sys) |> List.filter_map Fun.id
+      in
+      check_int "all decided" 3 (List.length decided);
+      let distinct = List.sort_uniq Value.compare decided in
+      check_int "agreement" 1 (List.length distinct);
+      check_bool "validity" true
+        (List.for_all
+           (fun v ->
+             let x = Value.to_int v in
+             x >= 10 && x <= 12)
+           decided))
+    (seeds 8)
+
+(* --- Machine-ksa run directly (E5 cross-validation) --- *)
+
+let test_machine_ksa_direct () =
+  List.iter
+    (fun (n, k) ->
+      let task = Set_agreement.make ~n ~k () in
+      let algo = Machine_ksa.make ~k () in
+      let fd = Fdlib.Leader_fds.vector_omega_k ~max_stab:50 ~k () in
+      let s =
+        Run.sweep ~budget:2_000_000 ~task ~algo ~fd
+          ~env:(Failure.e_t ~n_s:n ~t:(n - 1))
+          ~seeds:(seeds 6) ()
+      in
+      if s.Run.passed <> s.Run.total then
+        Alcotest.failf "machine-ksa (n=%d,k=%d): %a" n k Run.pp_sweep s)
+    [ (3, 1); (4, 2) ]
+
+let test_machine_ksa_subset () =
+  (* (U,k)-agreement among a fixed U of k+1 processes — the Theorem-7
+     hypothesis object *)
+  let n = 4 and k = 2 in
+  let task = Set_agreement.make ~u:[ 0; 1; 2 ] ~n ~k () in
+  let algo = Machine_ksa.make ~k () in
+  let fd = Fdlib.Leader_fds.vector_omega_k ~max_stab:50 ~k () in
+  let s =
+    Run.sweep ~budget:2_000_000 ~task ~algo ~fd
+      ~env:(Failure.e_t ~n_s:4 ~t:3)
+      ~seeds:(seeds 6) ()
+  in
+  if s.Run.passed <> s.Run.total then Alcotest.failf "%a" Run.pp_sweep s
+
+(* --- E6: the Theorem-7 composition --- *)
+
+let test_puzzle () =
+  List.iter
+    (fun (n, k) ->
+      let task = Set_agreement.make ~n ~k () in
+      let algo = Puzzle.make ~k () in
+      let fd = Puzzle.demo_fd ~k () in
+      let s =
+        Run.sweep ~budget:4_000_000 ~task ~algo ~fd
+          ~env:(Failure.e_t ~n_s:n ~t:(n - 1))
+          ~seeds:(seeds 4) ()
+      in
+      if s.Run.passed <> s.Run.total then
+        Alcotest.failf "puzzle (n=%d,k=%d): %a" n k Run.pp_sweep s)
+    [ (3, 1); (4, 2) ]
+
+let test_puzzle_under_crashes () =
+  let n = 4 and k = 2 in
+  let task = Set_agreement.make ~n ~k () in
+  let algo = Puzzle.make ~k () in
+  let fd = Puzzle.demo_fd ~max_stab:40 ~k () in
+  let pattern = Failure.pattern ~n_s:4 [ (0, 0); (3, 80) ] in
+  let rng = Random.State.make [| 2 |] in
+  List.iter
+    (fun seed ->
+      let input = Task.sample_input task rng in
+      let r =
+        Run.execute ~budget:4_000_000 ~task ~algo ~fd ~pattern ~input ~seed ()
+      in
+      check_bool "puzzle ok under crashes" true (Run.ok r))
+    (seeds 3)
+
+let test_puzzle_nonparticipating_u () =
+  (* the point of Theorem 7: processes outside U decide even when parts of
+     U never participate — the simulators drive U's codes themselves.
+     Participants: p3 and p4 only (U = {p1..p_{k+1}} never runs). *)
+  let n = 4 and k = 2 in
+  let task = Set_agreement.make ~n ~k () in
+  let algo = Puzzle.make ~k () in
+  let fd = Puzzle.demo_fd ~k () in
+  let input =
+    Array.init n (fun i -> if i >= 2 then Some (Value.int (i mod (k + 1))) else None)
+  in
+  List.iter
+    (fun seed ->
+      let r =
+        Run.execute ~budget:4_000_000 ~task ~algo ~fd
+          ~pattern:(Failure.failure_free n)
+          ~input ~seed ()
+      in
+      check_bool "outsiders decide without U" true (Run.ok r))
+    (seeds 3)
+
+let suite =
+  [
+    Alcotest.test_case "machine-consensus pure commit" `Quick test_mc_pure_commit;
+    Alcotest.test_case "machine-consensus pure agreement" `Quick
+      test_mc_pure_agreement_mixed_inputs;
+    Alcotest.test_case "machine-ksa direct" `Slow test_machine_ksa_direct;
+    Alcotest.test_case "machine-ksa on subset U" `Slow test_machine_ksa_subset;
+    Alcotest.test_case "E6: puzzle composition" `Slow test_puzzle;
+    Alcotest.test_case "E6: puzzle under crashes" `Slow test_puzzle_under_crashes;
+    Alcotest.test_case "E6: outsiders decide without U" `Slow
+      test_puzzle_nonparticipating_u;
+  ]

@@ -1,0 +1,237 @@
+open Simkit
+open Tasklib
+open Efd
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let seeds n = List.init n (fun i -> i + 1)
+
+(* --- E10: Figure 4 solves (j, j+k-1)-renaming k-concurrently --- *)
+
+let test_fig4_sweep () =
+  let n = 5 in
+  List.iter
+    (fun (j, k) ->
+      let task = Renaming.make ~n ~j ~l:(j + k - 1) in
+      let s =
+        Run.sweep
+          ~policy:(Run.k_concurrent_policy k)
+          ~task
+          ~algo:(Renaming_algos.fig4 ())
+          ~fd:Fdlib.Fd.trivial
+          ~env:(Failure.crash_free 1)
+          ~seeds:(seeds 15) ()
+      in
+      if s.Run.passed <> s.Run.total then
+        Alcotest.failf "(j=%d,k=%d): %a" j k Run.pp_sweep s)
+    [ (2, 1); (2, 2); (3, 1); (3, 2); (3, 3); (4, 2); (4, 4) ]
+
+let test_fig4_solo_gets_name_one () =
+  let n = 4 in
+  let task = Renaming.make ~n ~j:2 ~l:2 in
+  let maximal = List.hd (task.Task.max_inputs ()) in
+  let solo = List.hd (Tasklib.Vectors.participants maximal) in
+  let input = Tasklib.Vectors.restrict maximal [ solo ] in
+  let r =
+    Run.execute ~policy:(Run.k_concurrent_policy 1) ~task
+      ~algo:(Renaming_algos.fig4 ())
+      ~fd:Fdlib.Fd.trivial
+      ~pattern:(Failure.failure_free 1)
+      ~input ~seed:3 ()
+  in
+  check_bool "ok" true (Run.ok r);
+  (match r.Run.r_output.(solo) with
+  | Some v -> check_int "solo name is 1" 1 (Value.to_int v)
+  | None -> Alcotest.fail "no decision")
+
+let test_fig4_sequential_names_compact () =
+  (* 1-concurrent: arrivals decide one after the other; names stay in 1..j *)
+  let n = 5 and j = 3 in
+  let task = Renaming.strong ~n ~j in
+  List.iter
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let input = Task.sample_input task rng in
+      let r =
+        Run.execute ~policy:(Run.k_concurrent_policy 1) ~task
+          ~algo:(Renaming_algos.fig4 ())
+          ~fd:Fdlib.Fd.trivial
+          ~pattern:(Failure.failure_free 1)
+          ~input ~seed ()
+      in
+      check_bool "strong renaming 1-concurrently ok" true (Run.ok r))
+    (seeds 10)
+
+(* --- E9: Theorem 12 / Lemma 11 witnesses --- *)
+
+let test_strong_renaming_witness_found () =
+  (* the violating interleaving for j=3 needs a specific arrival order
+     (first decider solo, then a larger-id third) — search widely *)
+  let seeds = List.init 500 (fun i -> i + 1) in
+  List.iter
+    (fun j ->
+      match Adversary.strong_renaming_witness ~seeds ~n:5 ~j () with
+      | Some w ->
+        check_bool "witness is a real violation" false (Run.ok w.Adversary.w_report)
+      | None ->
+        Alcotest.failf
+          "no 2-concurrent witness against strong %d-renaming found" j)
+    [ 2; 3 ]
+
+let test_consensus_reduction_witness_found () =
+  match Adversary.consensus_reduction_witness ~n:4 () with
+  | Some w ->
+    check_bool "witness is a real violation" false (Run.ok w.Adversary.w_report)
+  | None -> Alcotest.fail "no witness against the Lemma-11 reduction found"
+
+let test_reduction_sound_sequentially () =
+  (* 1-concurrently the reduction does solve 2-process consensus *)
+  let task = Set_agreement.make ~u:[ 0; 1 ] ~n:4 ~k:1 () in
+  let s =
+    Run.sweep
+      ~policy:(Run.k_concurrent_policy 1)
+      ~task
+      ~algo:(Adversary.consensus_via_strong_renaming ())
+      ~fd:Fdlib.Fd.trivial
+      ~env:(Failure.crash_free 1)
+      ~seeds:(seeds 12) ()
+  in
+  if s.Run.passed <> s.Run.total then Alcotest.failf "%a" Run.pp_sweep s
+
+(* --- E11: Figure 3 --- *)
+
+let fig3_policy ~starved ~after ~participants ~n_c ~n_s ~rng =
+  let base = Schedule.shuffled_rounds ~only:(participants @ Pid.all_s n_s) ~n_c ~n_s rng in
+  match starved with
+  | None -> base
+  | Some i ->
+    Schedule.seq base ~steps:after
+      (Schedule.starve [ Pid.c i ] ~until:max_int base)
+
+let run_fig3 ~seed ~starved ~after =
+  let n = 5 and j = 3 in
+  let task = Renaming.make ~n ~j ~l:(j + 1) in
+  let rng = Random.State.make [| seed |] in
+  let input = Task.sample_input task rng in
+  let r =
+    Run.execute ~budget:200_000
+      ~policy:(fun ~participants ~n_c ~n_s ~rng ->
+        fig3_policy ~starved ~after ~participants ~n_c ~n_s ~rng)
+      ~task
+      ~algo:(Renaming_algos.fig3 ~j)
+      ~fd:Fdlib.Fd.trivial
+      ~pattern:(Failure.failure_free 1)
+      ~input ~seed ()
+  in
+  (input, r)
+
+let test_fig3_all_live () =
+  List.iter
+    (fun seed ->
+      let _, r = run_fig3 ~seed ~starved:None ~after:0 in
+      check_bool "all decide" true (Run.ok r))
+    (seeds 10)
+
+let test_fig3_one_resilient () =
+  (* one participant stalls after a while; the other j-1 must still decide
+     distinct names in range *)
+  List.iter
+    (fun seed ->
+      let input, r = run_fig3 ~seed ~starved:(Some 0) ~after:40 in
+      let live =
+        List.filter (fun i -> i <> 0) (Tasklib.Vectors.participants input)
+      in
+      check_bool "task relation holds" true r.Run.r_task_ok;
+      List.iter
+        (fun i ->
+          check_bool
+            (Printf.sprintf "live p%d decided (seed %d)" (i + 1) seed)
+            true
+            (r.Run.r_output.(i) <> None))
+        live)
+    (seeds 8)
+
+(* Starved participant is the smallest id — exercises the min1-blocked path
+   where min2 must make progress. p1 only runs long enough to register. *)
+let test_fig3_starved_min1 () =
+  List.iter
+    (fun seed ->
+      let input, r = run_fig3 ~seed ~starved:(Some 0) ~after:12 in
+      if List.mem 0 (Tasklib.Vectors.participants input) then begin
+        let live =
+          List.filter (fun i -> i <> 0) (Tasklib.Vectors.participants input)
+        in
+        check_bool "task relation holds" true r.Run.r_task_ok;
+        List.iter
+          (fun i -> check_bool "live decided" true (r.Run.r_output.(i) <> None))
+          live
+      end)
+    (seeds 8)
+
+(* --- E12: the hierarchy table --- *)
+
+let test_classifier_table () =
+  let table = Classifier.table ~seeds_per_level:10 ~n:4 () in
+  check_bool "non-empty" true (List.length table >= 10);
+  List.iter
+    (fun m ->
+      if not (Classifier.consistent m) then
+        Alcotest.failf "inconsistent measurement: %a" Classifier.pp_measurement m)
+    table
+
+let test_classifier_ksa_exact () =
+  (* adoption algorithm: passes at k; at concurrency k+1 a lockstep
+     schedule of k+1 distinct-input processes forces k+1 distinct values *)
+  let n = 4 in
+  List.iter
+    (fun k ->
+      let task = Set_agreement.make ~n ~k () in
+      let algo = Kconc_tasks.adoption () in
+      check_bool
+        (Printf.sprintf "%d-SA passes at %d" k k)
+        true
+        (Classifier.solvable_at ~seeds:(seeds 20) ~task ~algo ~k ());
+      let input =
+        Array.init n (fun i -> if i <= k then Some (Value.int i) else None)
+      in
+      let lockstep ~participants ~n_c:_ ~n_s:_ ~rng:_ =
+        Schedule.explicit_looping participants
+      in
+      let r =
+        Run.execute ~policy:lockstep ~task ~algo ~fd:Fdlib.Fd.trivial
+          ~pattern:(Failure.failure_free 1)
+          ~input ~seed:1 ()
+      in
+      check_bool
+        (Printf.sprintf "%d-SA violated by lockstep at %d" k (k + 1))
+        false r.Run.r_task_ok)
+    [ 1; 2; 3 ]
+
+let test_classifier_strong_renaming_level_one () =
+  let task = Renaming.strong ~n:4 ~j:2 in
+  let algo = Renaming_algos.fig4 () in
+  check_bool "passes at 1" true
+    (Classifier.solvable_at ~seeds:(seeds 15) ~task ~algo ~k:1 ());
+  check_bool "breaks at 2" false
+    (Classifier.solvable_at ~seeds:(seeds 40) ~task ~algo ~k:2 ())
+
+let suite =
+  [
+    Alcotest.test_case "E10: fig4 (j,j+k-1)-renaming sweep" `Quick test_fig4_sweep;
+    Alcotest.test_case "E10: solo name is 1" `Quick test_fig4_solo_gets_name_one;
+    Alcotest.test_case "E10: sequential strong renaming" `Quick
+      test_fig4_sequential_names_compact;
+    Alcotest.test_case "E9: strong renaming witness" `Quick
+      test_strong_renaming_witness_found;
+    Alcotest.test_case "E9: consensus reduction witness" `Quick
+      test_consensus_reduction_witness_found;
+    Alcotest.test_case "E9: reduction sound 1-concurrently" `Quick
+      test_reduction_sound_sequentially;
+    Alcotest.test_case "E11: fig3 all live" `Quick test_fig3_all_live;
+    Alcotest.test_case "E11: fig3 1-resilient" `Quick test_fig3_one_resilient;
+    Alcotest.test_case "E11: fig3 starved min1" `Quick test_fig3_starved_min1;
+    Alcotest.test_case "E12: hierarchy table consistent" `Slow test_classifier_table;
+    Alcotest.test_case "E12: k-SA exact level" `Quick test_classifier_ksa_exact;
+    Alcotest.test_case "E12: strong renaming level 1" `Quick
+      test_classifier_strong_renaming_level_one;
+  ]

@@ -1,0 +1,450 @@
+open Simkit
+open Tasklib
+open Efd
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let seeds n = List.init n (fun i -> i + 1)
+
+(* --- Interleave: the Proposition-2 constructive emulation --- *)
+
+let test_interleave_trivial_nsa () =
+  (* the trivial-FD (Pi,n)-SA algorithm becomes a restricted algorithm:
+     S-processes take only null steps yet the task is still solved *)
+  let n = 3 in
+  let task = Set_agreement.make ~n ~k:n () in
+  let algo = Interleave.restricted_of (Trivial_nsa.make ()) in
+  List.iter
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let input = Task.sample_input task rng in
+      (* schedule C-processes only: S-processes are not needed at all *)
+      let policy ~participants ~n_c ~n_s:_ ~rng =
+        Schedule.shuffled_rounds ~only:participants ~n_c ~n_s:n rng
+      in
+      let r =
+        Run.execute ~policy ~task ~algo ~fd:Fdlib.Fd.trivial
+          ~pattern:(Failure.failure_free n)
+          ~input ~seed ()
+      in
+      check_bool "interleaved algorithm solves without S steps" true (Run.ok r))
+    (seeds 10)
+
+let test_interleave_solo () =
+  (* wait-freedom of the transformed algorithm: a solo process decides *)
+  let n = 3 in
+  let task = Set_agreement.make ~n ~k:n () in
+  let algo = Interleave.restricted_of (Trivial_nsa.make ()) in
+  let maximal = List.hd (task.Task.max_inputs ()) in
+  let solo = List.hd (Vectors.participants maximal) in
+  let input = Vectors.restrict maximal [ solo ] in
+  let r =
+    Run.execute
+      ~policy:(fun ~participants ~n_c ~n_s:_ ~rng ->
+        ignore participants;
+        ignore rng;
+        ignore n_c;
+        Schedule.c_solo solo)
+      ~task ~algo ~fd:Fdlib.Fd.trivial
+      ~pattern:(Failure.failure_free n)
+      ~input ~seed:4 ()
+  in
+  check_bool "solo run decides" true (Run.ok r)
+
+(* --- Resilience: adversaries and the t-resilient set agreement --- *)
+
+let resilient_run ~n ~t_stalls ~t_adv ~seed =
+  let task = Set_agreement.make ~n ~k:(t_stalls + 1) () in
+  let adv = Resilience.t_resilient ~n ~t:t_adv in
+  let input =
+    (* full participation with distinct values to stress the bound *)
+    Array.init n (fun i -> Some (Value.int (i mod (t_stalls + 2))))
+  in
+  let r =
+    Run.execute ~budget:150_000
+      ~policy:(Resilience.policy adv ~after:30)
+      ~task
+      ~algo:(Resilience.waiting_for ~t_stalls)
+      ~fd:Fdlib.Fd.trivial
+      ~pattern:(Failure.failure_free 1)
+      ~input ~seed ()
+  in
+  (task, input, r)
+
+let test_resilient_ksa_solves () =
+  (* waiting for n - t inputs solves (t+1)-SA under the t-resilient
+     adversary: every live process decides, <= t+1 distinct values *)
+  List.iter
+    (fun (n, t) ->
+      List.iter
+        (fun seed ->
+          let _, input, r = resilient_run ~n ~t_stalls:t ~t_adv:t ~seed in
+          check_bool "task relation" true r.Run.r_task_ok;
+          (* live processes (those that kept being scheduled) decided: at
+             least participants - t decided *)
+          let decided =
+            Array.to_list r.Run.r_output |> List.filter (fun o -> o <> None)
+          in
+          check_bool "enough deciders" true
+            (List.length decided >= Vectors.count input - t))
+        (seeds 8))
+    [ (4, 1); (5, 2) ]
+
+let test_resilient_ksa_bound_is_tight () =
+  (* descending inputs + a sequential schedule force t+1 distinct minima:
+     the same algorithm violates t-SA *)
+  let n = 4 and t = 2 in
+  let task = Set_agreement.make ~n ~k:t () in
+  let input = Array.init n (fun i -> Some (Value.int (n - i))) in
+  (* sequential: p1 writes..., deciders interleave so each sees one more
+     input than the previous *)
+  let algo = Resilience.waiting_for ~t_stalls:t in
+  let violated = ref false in
+  List.iter
+    (fun seed ->
+      let r =
+        Run.execute ~budget:100_000
+          ~policy:(Run.k_concurrent_uniform_policy n)
+          ~task ~algo ~fd:Fdlib.Fd.trivial
+          ~pattern:(Failure.failure_free 1)
+          ~input ~seed ()
+      in
+      if not r.Run.r_task_ok then violated := true)
+    (seeds 40);
+  check_bool "t-SA violated by the (t+1)-SA algorithm" true !violated
+
+let test_adversary_sampling () =
+  let adv = Resilience.t_resilient ~n:5 ~t:2 in
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 50 do
+    let live = adv.Resilience.sample_live rng ~participants:[ 0; 1; 2; 3; 4 ] in
+    check_bool "live set size >= n - t" true (List.length live >= 3);
+    check_bool "live set allowed" true (adv.Resilience.allowed live)
+  done
+
+(* --- Splitters and Moir-Anderson renaming --- *)
+
+let run_splitter ~n ~seed =
+  let mem = Memory.create () in
+  let sp = Splitter.create mem in
+  let outcomes = Array.make n None in
+  let c_code i () =
+    outcomes.(i) <- Some (Splitter.enter sp ~me:i);
+    Runtime.Op.decide Value.unit
+  in
+  let rt =
+    Runtime.create
+      {
+        Runtime.n_c = n;
+        n_s = 1;
+        memory = mem;
+        pattern = Failure.failure_free 1;
+        history = History.trivial;
+        record_trace = false;
+      }
+      ~c_code
+      ~s_code:(fun _ () -> ())
+  in
+  let rng = Random.State.make [| seed |] in
+  let _ = Schedule.run rt (Schedule.shuffled_rounds ~n_c:n ~n_s:1 rng) ~budget:10_000 in
+  Runtime.destroy rt;
+  Array.to_list outcomes |> List.filter_map Fun.id
+
+let test_splitter_properties () =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun seed ->
+          let outs = run_splitter ~n ~seed in
+          check_int "all exited" n (List.length outs);
+          let count d = List.length (List.filter (( = ) d) outs) in
+          check_bool "at most one stop" true (count Splitter.Stop <= 1);
+          if n >= 2 then begin
+            check_bool "not all right" true (count Splitter.Right < n);
+            check_bool "not all down" true (count Splitter.Down < n)
+          end)
+        (seeds 20))
+    [ 1; 2; 3; 5 ]
+
+let test_splitter_solo_stops () =
+  let outs = run_splitter ~n:1 ~seed:1 in
+  check_bool "solo stops" true (outs = [ Splitter.Stop ])
+
+let test_ma_renaming () =
+  let n = 6 and j = 3 in
+  let task = Renaming.make ~n ~j ~l:(Ma_renaming.name_space ~j) in
+  let algo = Ma_renaming.make ~j in
+  let s =
+    Run.sweep ~task ~algo ~fd:Fdlib.Fd.trivial
+      ~env:(Failure.crash_free 1)
+      ~seeds:(seeds 25) ()
+  in
+  if s.Run.passed <> s.Run.total then Alcotest.failf "%a" Run.pp_sweep s
+
+let test_ma_renaming_wait_free_at_any_concurrency () =
+  (* no concurrency assumption: full-speed adversarial schedules too *)
+  let n = 7 and j = 4 in
+  let task = Renaming.make ~n ~j ~l:(Ma_renaming.name_space ~j) in
+  let algo = Ma_renaming.make ~j in
+  List.iter
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let input = Task.sample_input task rng in
+      let r =
+        Run.execute
+          ~policy:(Run.k_concurrent_uniform_policy j)
+          ~task ~algo ~fd:Fdlib.Fd.trivial
+          ~pattern:(Failure.failure_free 1)
+          ~input ~seed ()
+      in
+      check_bool "wait-free grid renaming ok" true (Run.ok r))
+    (seeds 20)
+
+let test_ma_name_space () =
+  check_int "j=3" 6 (Ma_renaming.name_space ~j:3);
+  check_int "j=4" 10 (Ma_renaming.name_space ~j:4)
+
+(* --- Alpha / Paxos consensus --- *)
+
+let test_paxos_consensus () =
+  let n = 4 in
+  let task = Set_agreement.make ~n ~k:1 () in
+  let algo = Paxos_consensus.make () in
+  let fd = Fdlib.Leader_fds.omega ~max_stab:50 () in
+  let s =
+    Run.sweep ~task ~algo ~fd
+      ~env:(Failure.e_t ~n_s:n ~t:(n - 1))
+      ~seeds:(seeds 15) ()
+  in
+  if s.Run.passed <> s.Run.total then Alcotest.failf "%a" Run.pp_sweep s
+
+let test_paxos_safety_under_junk_advice () =
+  (* an Omega that rotates forever: proposers fight, commits must agree *)
+  let junk =
+    Fdlib.Fd.make ~name:"rotating-omega" (fun pattern _rng ->
+        let n_s = pattern.Failure.n_s in
+        History.make ~name:"rot" (fun q time ->
+            Fdlib.Fd.encode_leader ((q + (time / 5)) mod n_s)))
+  in
+  List.iter
+    (fun seed ->
+      let n = 4 in
+      let task = Set_agreement.make ~n ~k:1 () in
+      let rng = Random.State.make [| seed |] in
+      let input = Task.sample_input task rng in
+      let r =
+        Run.execute ~budget:80_000 ~task ~algo:(Paxos_consensus.make ()) ~fd:junk
+          ~pattern:(Failure.failure_free n)
+          ~input ~seed ()
+      in
+      check_bool "whatever decided agrees" true r.Run.r_task_ok)
+    (seeds 20)
+
+let test_alpha_solo_commit () =
+  let mem = Memory.create () in
+  let alpha = Alpha.create mem ~n_proposers:3 in
+  let got = ref None in
+  let c_code i () =
+    if i = 0 then begin
+      (match Alpha.propose alpha ~me:0 ~round:1 (Value.int 42) with
+      | Alpha.Commit v -> got := Some v
+      | Alpha.Abort _ -> ());
+      Runtime.Op.decide Value.unit
+    end
+  in
+  let rt =
+    Runtime.create
+      {
+        Runtime.n_c = 1;
+        n_s = 3;
+        memory = mem;
+        pattern = Failure.failure_free 3;
+        history = History.trivial;
+        record_trace = false;
+      }
+      ~c_code
+      ~s_code:(fun _ () -> ())
+  in
+  let _ =
+    Schedule.run rt (Schedule.c_solo 0) ~budget:1_000
+      ~stop_when:(fun rt -> Runtime.decision rt 0 <> None)
+  in
+  Runtime.destroy rt;
+  (match !got with
+  | Some v -> check_int "solo commit" 42 (Value.to_int v)
+  | None -> Alcotest.fail "solo propose aborted")
+
+let suite =
+  [
+    Alcotest.test_case "interleave: trivial-nsa restricted" `Quick
+      test_interleave_trivial_nsa;
+    Alcotest.test_case "interleave: solo wait-free" `Quick test_interleave_solo;
+    Alcotest.test_case "resilience: (t+1)-SA solved t-resiliently" `Quick
+      test_resilient_ksa_solves;
+    Alcotest.test_case "resilience: bound tight" `Quick test_resilient_ksa_bound_is_tight;
+    Alcotest.test_case "resilience: adversary sampling" `Quick test_adversary_sampling;
+    Alcotest.test_case "splitter properties" `Quick test_splitter_properties;
+    Alcotest.test_case "splitter solo stops" `Quick test_splitter_solo_stops;
+    Alcotest.test_case "moir-anderson renaming" `Quick test_ma_renaming;
+    Alcotest.test_case "moir-anderson at any concurrency" `Quick
+      test_ma_renaming_wait_free_at_any_concurrency;
+    Alcotest.test_case "moir-anderson name space" `Quick test_ma_name_space;
+    Alcotest.test_case "paxos consensus with omega" `Quick test_paxos_consensus;
+    Alcotest.test_case "paxos safety under junk advice" `Quick
+      test_paxos_safety_under_junk_advice;
+    Alcotest.test_case "alpha solo commit" `Quick test_alpha_solo_commit;
+  ]
+
+(* --- WSB at level 2: the direct algorithm and the Theorem-9 tower --- *)
+
+let test_wsb_two_concurrent_direct () =
+  let n = 5 and j = 3 in
+  let task = Wsb.make ~n ~j in
+  let algo = Wsb_algo.two_concurrent ~j in
+  List.iter
+    (fun policy ->
+      let s =
+        Run.sweep ~budget:150_000 ~policy ~task ~algo ~fd:Fdlib.Fd.trivial
+          ~env:(Failure.crash_free 1)
+          ~seeds:(seeds 20) ()
+      in
+      if s.Run.passed <> s.Run.total then Alcotest.failf "%a" Run.pp_sweep s)
+    [ Run.k_concurrent_policy 2; Run.k_concurrent_uniform_policy 2 ]
+
+let test_wsb_two_concurrent_deadlocks_at_three () =
+  let n = 5 and j = 3 in
+  let task = Wsb.make ~n ~j in
+  let algo = Wsb_algo.two_concurrent ~j in
+  check_bool "breaks at 3" false
+    (Classifier.solvable_at ~seeds:(seeds 15) ~task ~algo ~k:3 ())
+
+let test_wsb_through_thm9_tower () =
+  (* WSB is 2-concurrently solvable, hence (Thm 9) solvable with anti-Omega-2
+     in full EFD — a *new* corollary of the hierarchy, demonstrated *)
+  let n = 4 and j = 3 and k = 2 in
+  let task = Wsb.make ~n ~j in
+  let algo = Kconcurrent.make ~k ~fi:(Bglib.Fi_algos.wsb ~j) () in
+  let fd = Fdlib.Leader_fds.vector_omega_k ~max_stab:50 ~k () in
+  let s =
+    Run.sweep ~budget:3_000_000 ~task ~algo ~fd
+      ~env:(Failure.e_t ~n_s:n ~t:(n - 1))
+      ~seeds:(seeds 4) ()
+  in
+  if s.Run.passed <> s.Run.total then Alcotest.failf "%a" Run.pp_sweep s
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "wsb 2-concurrent direct" `Quick
+        test_wsb_two_concurrent_direct;
+      Alcotest.test_case "wsb deadlocks at 3" `Quick
+        test_wsb_two_concurrent_deadlocks_at_three;
+      Alcotest.test_case "wsb through thm9 tower" `Slow test_wsb_through_thm9_tower;
+    ]
+
+(* --- Chandra-Toueg consensus with <>S over message passing --- *)
+
+let test_ct_consensus () =
+  List.iter
+    (fun n ->
+      let task = Set_agreement.make ~n ~k:1 () in
+      let algo = Ct_consensus.make () in
+      let fd = Fdlib.Classic.eventually_strong ~max_stab:50 () in
+      let s =
+        Run.sweep ~budget:600_000 ~task ~algo ~fd
+          ~env:(Failure.e_t ~n_s:n ~t:((n - 1) / 2))
+          ~seeds:(seeds 10) ()
+      in
+      if s.Run.passed <> s.Run.total then
+        Alcotest.failf "CT n=%d: %a" n Run.pp_sweep s)
+    [ 3; 5 ]
+
+let test_ct_safety_under_junk_suspicions () =
+  (* a detector that suspects everyone all the time: perpetual nacks are
+     possible, decisions may never come — but whatever is decided agrees *)
+  let junk =
+    Fdlib.Fd.make ~name:"suspect-all" (fun pattern _rng ->
+        let n_s = pattern.Failure.n_s in
+        History.make ~name:"all" (fun _ _ ->
+            Fdlib.Fd.encode_set (List.init n_s Fun.id)))
+  in
+  List.iter
+    (fun seed ->
+      let n = 3 in
+      let task = Set_agreement.make ~n ~k:1 () in
+      let rng = Random.State.make [| seed |] in
+      let input = Task.sample_input task rng in
+      let r =
+        Run.execute ~budget:100_000 ~task ~algo:(Ct_consensus.make ()) ~fd:junk
+          ~pattern:(Failure.failure_free n)
+          ~input ~seed ()
+      in
+      check_bool "safe" true r.Run.r_task_ok)
+    (seeds 10)
+
+let test_ct_needs_majority () =
+  (* with half the S-processes crashed from the start, the protocol cannot
+     gather majorities — it must stay safe but cannot decide *)
+  let n = 4 in
+  let task = Set_agreement.make ~n ~k:1 () in
+  let pattern = Failure.pattern ~n_s:n [ (0, 0); (1, 0) ] in
+  let rng = Random.State.make [| 3 |] in
+  let input = Task.sample_input task rng in
+  let r =
+    Run.execute ~budget:100_000 ~task ~algo:(Ct_consensus.make ())
+      ~fd:(Fdlib.Classic.eventually_strong ~max_stab:40 ())
+      ~pattern ~input ~seed:3 ()
+  in
+  check_bool "safe" true r.Run.r_task_ok;
+  check_bool "stuck without a majority" false
+    r.Run.r_outcome.Schedule.all_decided
+
+let test_mp_fifo () =
+  (* channels are reliable and FIFO *)
+  let mem = Memory.create () in
+  let net = Mp.create mem ~n:2 in
+  let got = ref [] in
+  let c_code i () =
+    let ep = Mp.endpoint net ~me:i in
+    if i = 0 then
+      for x = 1 to 5 do
+        Mp.send ep ~to_:1 (Value.int x)
+      done
+    else begin
+      let rec loop () =
+        got := !got @ Mp.recv_new ep;
+        if List.length !got < 5 then loop () else Runtime.Op.decide Value.unit
+      in
+      loop ()
+    end
+  in
+  let rt =
+    Runtime.create
+      {
+        Runtime.n_c = 2;
+        n_s = 1;
+        memory = mem;
+        pattern = Failure.failure_free 1;
+        history = History.trivial;
+        record_trace = false;
+      }
+      ~c_code
+      ~s_code:(fun _ () -> ())
+  in
+  let rng = Random.State.make [| 5 |] in
+  let _ =
+    Schedule.run rt (Schedule.shuffled_rounds ~n_c:2 ~n_s:1 rng) ~budget:5_000
+  in
+  Runtime.destroy rt;
+  Alcotest.(check (list int)) "in order" [ 1; 2; 3; 4; 5 ]
+    (List.map (fun (_, m) -> Value.to_int m) !got)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "mp channels fifo" `Quick test_mp_fifo;
+      Alcotest.test_case "chandra-toueg with <>S" `Slow test_ct_consensus;
+      Alcotest.test_case "chandra-toueg safety under junk" `Quick
+        test_ct_safety_under_junk_suspicions;
+      Alcotest.test_case "chandra-toueg needs majority" `Quick test_ct_needs_majority;
+    ]

@@ -1,0 +1,135 @@
+open Simkit
+open Tasklib
+open Efd
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let seeds n = List.init n (fun i -> i + 1)
+
+(* --- Kcodes layer alone: a counter machine --- *)
+
+let counter target =
+  {
+    Bglib.Machine.m_name = "counter";
+    m_init = Value.int 0;
+    m_step =
+      (fun ~me ~states ~env:_ -> Value.int (Value.to_int states.(me) + 1));
+    m_decided = (fun s -> if Value.to_int s >= target then Some s else None);
+  }
+
+let test_kcodes_counters () =
+  (* 2 counter machines simulated by 3 simulators with vector-Omega-2:
+     at least one machine must keep advancing; agreed states are counters *)
+  let n_c = 3 and n_s = 3 and k = 2 in
+  let target = 15 in
+  let mem = Memory.create () in
+  let env_regs = Memory.alloc mem 1 in
+  let machines = Array.init k (fun _ -> counter target) in
+  let kc = Kcodes.create mem ~machines ~env_regs ~n_sims:n_c ~max_steps:40 () in
+  let c_code i () =
+    let sim = Kcodes.make_sim kc ~me:i in
+    Kcodes.register sim;
+    let rec loop () =
+      Kcodes.pump sim;
+      let st = Kcodes.states sim in
+      if Array.exists (fun s -> Value.to_int s >= target) st then
+        Runtime.Op.decide Value.unit
+      else loop ()
+    in
+    loop ()
+  in
+  let s_code me () =
+    let server = Kcodes.make_server kc ~me in
+    let rec loop () =
+      let w = Ksa.decode_leader_vector ~k (Runtime.Op.query ()) in
+      Kcodes.serve_pump server ~leaders:w;
+      loop ()
+    in
+    loop ()
+  in
+  let pattern = Failure.pattern ~n_s [ (2, 100) ] in
+  let fd = Fdlib.Leader_fds.vector_omega_k ~max_stab:50 ~k () in
+  let history = Fdlib.Fd.draw fd pattern ~seed:7 in
+  let rt =
+    Runtime.create
+      { Runtime.n_c; n_s; memory = mem; pattern; history; record_trace = false }
+      ~c_code ~s_code
+  in
+  let rng = Random.State.make [| 7 |] in
+  let outcome =
+    Schedule.run rt (Schedule.shuffled_rounds ~n_c ~n_s rng) ~budget:2_000_000
+  in
+  check_bool "all simulators saw a finished counter" true
+    outcome.Schedule.all_decided;
+  let st = Kcodes.states_view mem kc in
+  check_bool "some machine reached target" true
+    (Array.exists (fun s -> Value.to_int s >= target) st);
+  (* the counter's state equals its number of agreed transitions *)
+  let steps = Kcodes.steps_view mem kc in
+  Array.iteri
+    (fun j l -> check_int "state = #transitions" (Value.to_int st.(j)) l)
+    steps;
+  Runtime.destroy rt
+
+(* --- Theorem 9 end-to-end --- *)
+
+let thm9_sweep ~n ~k ~fi ~task ~seed_count ~t =
+  let algo = Kconcurrent.make ~k ~fi () in
+  let fd = Fdlib.Leader_fds.vector_omega_k ~max_stab:50 ~k () in
+  Run.sweep ~budget:3_000_000 ~task ~algo ~fd
+    ~env:(Failure.e_t ~n_s:n ~t)
+    ~seeds:(seeds seed_count) ()
+
+let test_thm9_ksa () =
+  List.iter
+    (fun (n, k) ->
+      let task = Set_agreement.make ~n ~k () in
+      let s =
+        thm9_sweep ~n ~k ~fi:Bglib.Fi_algos.adoption ~task ~seed_count:4
+          ~t:(n - 1)
+      in
+      if s.Run.passed <> s.Run.total then
+        Alcotest.failf "thm9 k-SA (n=%d,k=%d): %a" n k Run.pp_sweep s)
+    [ (3, 1); (3, 2); (4, 2); (4, 3); (5, 2) ]
+
+let test_thm9_renaming () =
+  (* (j, j+k-1)-renaming solved in EFD (full concurrency!) with vector-Omega-k *)
+  let n = 4 and j = 3 and k = 2 in
+  let task = Renaming.make ~n ~j ~l:(j + k - 1) in
+  let s =
+    thm9_sweep ~n ~k ~fi:Bglib.Fi_algos.fig4_renaming ~task ~seed_count:4 ~t:(n - 1)
+  in
+  if s.Run.passed <> s.Run.total then Alcotest.failf "%a" Run.pp_sweep s
+
+let test_thm9_echo_k1 () =
+  (* wait-free task through the full tower at k = 1 (consensus-powered) *)
+  let n = 3 in
+  let task = Trivial_tasks.identity ~n () in
+  let s = thm9_sweep ~n ~k:1 ~fi:Bglib.Fi_algos.echo ~task ~seed_count:4 ~t:2 in
+  if s.Run.passed <> s.Run.total then Alcotest.failf "%a" Run.pp_sweep s
+
+let test_thm9_decisions_valid_under_crashes () =
+  let n = 3 and k = 2 in
+  let task = Set_agreement.make ~n ~k () in
+  let algo = Kconcurrent.make ~k ~fi:Bglib.Fi_algos.adoption () in
+  let fd = Fdlib.Leader_fds.vector_omega_k ~max_stab:40 ~k () in
+  let pattern = Failure.pattern ~n_s:3 [ (0, 0); (1, 60) ] in
+  let rng = Random.State.make [| 3 |] in
+  List.iter
+    (fun seed ->
+      let input = Task.sample_input task rng in
+      let r =
+        Run.execute ~budget:3_000_000 ~task ~algo ~fd ~pattern ~input ~seed ()
+      in
+      check_bool "ok with 2/3 S crashed" true (Run.ok r))
+    (seeds 3)
+
+let suite =
+  [
+    Alcotest.test_case "kcodes counters" `Quick test_kcodes_counters;
+    Alcotest.test_case "E8: thm9 k-SA" `Slow test_thm9_ksa;
+    Alcotest.test_case "E8: thm9 renaming" `Slow test_thm9_renaming;
+    Alcotest.test_case "E8: thm9 echo k=1" `Slow test_thm9_echo_k1;
+    Alcotest.test_case "E8: thm9 under crashes" `Slow
+      test_thm9_decisions_valid_under_crashes;
+  ]

@@ -1,0 +1,198 @@
+(* Model-checking the agreement primitives: every schedule up to a depth,
+   not just sampled ones. *)
+
+open Simkit
+open Bglib
+
+let check_bool = Alcotest.(check bool)
+
+let mk ~n_c mem c_code =
+  Runtime.create
+    {
+      Runtime.n_c;
+      n_s = 1;
+      memory = mem;
+      pattern = Failure.failure_free 1;
+      history = History.trivial;
+      record_trace = false;
+    }
+    ~c_code
+    ~s_code:(fun _ () -> ())
+
+(* --- safe agreement: agreement + validity over ALL schedules --- *)
+
+let test_safe_agreement_exhaustive () =
+  let build () =
+    let mem = Memory.create () in
+    let sa = Safe_agreement.create mem ~n:2 in
+    let c_code i () =
+      Safe_agreement.propose sa ~me:i (Value.int (100 + i));
+      let rec resolve () =
+        match Safe_agreement.try_resolve sa with
+        | Some v -> Runtime.Op.decide v
+        | None -> resolve ()
+      in
+      resolve ()
+    in
+    mk ~n_c:2 mem c_code
+  in
+  let prop rt =
+    match (Runtime.decision rt 0, Runtime.decision rt 1) with
+    | Some a, Some b ->
+      Value.equal a b && (Value.to_int a = 100 || Value.to_int a = 101)
+    | Some a, None | None, Some a ->
+      let x = Value.to_int a in
+      x = 100 || x = 101
+    | None, None -> true
+  in
+  match
+    Exhaustive.check ~build ~pids:[ Pid.c 0; Pid.c 1 ] ~depth:11 ~prop
+  with
+  | Exhaustive.Ok n -> check_bool "schedules checked" true (n > 1000)
+  | Exhaustive.Counterexample cex ->
+    Alcotest.failf "safe agreement violated by %a"
+      Fmt.(list ~sep:(any " ") Simkit.Pid.pp)
+      cex
+
+(* --- commit-adopt: if anyone commits, everyone's value matches --- *)
+
+let test_commit_adopt_exhaustive () =
+  let outcomes = Array.make 2 None in
+  let build () =
+    outcomes.(0) <- None;
+    outcomes.(1) <- None;
+    let mem = Memory.create () in
+    let ca = Commit_adopt.create mem ~n:2 in
+    let c_code i () =
+      let o = Commit_adopt.run ca ~me:i (Value.int i) in
+      outcomes.(i) <- Some o;
+      Runtime.Op.decide (Commit_adopt.outcome_value o)
+    in
+    mk ~n_c:2 mem c_code
+  in
+  let prop _rt =
+    match (outcomes.(0), outcomes.(1)) with
+    | Some o1, Some o2 ->
+      let committed =
+        List.filter_map
+          (function Commit_adopt.Commit v -> Some v | _ -> None)
+          [ o1; o2 ]
+      in
+      List.for_all
+        (fun c ->
+          Value.equal c (Commit_adopt.outcome_value o1)
+          && Value.equal c (Commit_adopt.outcome_value o2))
+        committed
+    | _ -> true
+  in
+  match
+    Exhaustive.check_final ~build ~pids:[ Pid.c 0; Pid.c 1 ] ~depth:12 ~prop
+  with
+  | Exhaustive.Ok n -> check_bool "schedules checked" true (n > 1000)
+  | Exhaustive.Counterexample cex ->
+    Alcotest.failf "commit-adopt violated by %a"
+      Fmt.(list ~sep:(any " ") Simkit.Pid.pp)
+      cex
+
+(* --- adoption set agreement: 2 deciders, 2-SA trivially; with 3 procs at
+       full concurrency k=3 values allowed, but never a non-input --- *)
+
+let test_adoption_validity_exhaustive () =
+  let build () =
+    let mem = Memory.create () in
+    let input_regs = Memory.alloc mem 3 in
+    let ctx = { Efd.Algorithm.mem; n_c = 3; n_s = 1; input_regs } in
+    let inst = (Efd.Kconc_tasks.adoption ()).Efd.Algorithm.make ctx in
+    let c_code i () =
+      Runtime.Op.write input_regs.(i) (Value.int i);
+      inst.Efd.Algorithm.c_run i (Value.int i)
+    in
+    mk ~n_c:3 mem c_code
+  in
+  let prop rt =
+    List.for_all
+      (fun i ->
+        match Runtime.decision rt i with
+        | None -> true
+        | Some v ->
+          let x = Value.to_int v in
+          x >= 0 && x < 3)
+      [ 0; 1; 2 ]
+  in
+  match
+    Exhaustive.check ~build ~pids:[ Pid.c 0; Pid.c 1; Pid.c 2 ] ~depth:8 ~prop
+  with
+  | Exhaustive.Ok n -> check_bool "schedules checked" true (n > 5000)
+  | Exhaustive.Counterexample cex ->
+    Alcotest.failf "adoption validity violated by %a"
+      Fmt.(list ~sep:(any " ") Simkit.Pid.pp)
+      cex
+
+(* --- the checker finds real bugs: a deliberately broken mutex-ish
+       algorithm (decide your register's final value; races lose) --- *)
+
+let test_exhaustive_finds_violations () =
+  let build () =
+    let mem = Memory.create () in
+    let r = Memory.alloc1 mem () in
+    let c_code i () =
+      Runtime.Op.write r (Value.int i);
+      (* unsafe read-back: both processes can decide they "own" r *)
+      let v = Runtime.Op.read r in
+      Runtime.Op.decide v
+    in
+    mk ~n_c:2 mem c_code
+  in
+  (* claim (falsely) that the two decisions always differ *)
+  let prop rt =
+    match (Runtime.decision rt 0, Runtime.decision rt 1) with
+    | Some a, Some b -> not (Value.equal a b)
+    | _ -> true
+  in
+  match Exhaustive.check ~build ~pids:[ Pid.c 0; Pid.c 1 ] ~depth:6 ~prop with
+  | Exhaustive.Ok _ -> Alcotest.fail "expected a counterexample"
+  | Exhaustive.Counterexample cex ->
+    check_bool "counterexample found" true (List.length cex <= 6)
+
+(* --- splitter: at most one Stop, over all schedules of 3 entrants --- *)
+
+let test_splitter_exhaustive () =
+  let outcomes = Array.make 3 None in
+  let build () =
+    Array.fill outcomes 0 3 None;
+    let mem = Memory.create () in
+    let sp = Efd.Splitter.create mem in
+    let c_code i () =
+      outcomes.(i) <- Some (Efd.Splitter.enter sp ~me:i);
+      Runtime.Op.decide Value.unit
+    in
+    mk ~n_c:3 mem c_code
+  in
+  let prop _rt =
+    let stops =
+      Array.to_list outcomes
+      |> List.filter (fun o -> o = Some Efd.Splitter.Stop)
+    in
+    List.length stops <= 1
+  in
+  match
+    Exhaustive.check ~build ~pids:[ Pid.c 0; Pid.c 1; Pid.c 2 ] ~depth:9 ~prop
+  with
+  | Exhaustive.Ok n -> check_bool "schedules checked" true (n > 10_000)
+  | Exhaustive.Counterexample cex ->
+    Alcotest.failf "splitter violated by %a"
+      Fmt.(list ~sep:(any " ") Simkit.Pid.pp)
+      cex
+
+let suite =
+  [
+    Alcotest.test_case "safe agreement (all schedules)" `Slow
+      test_safe_agreement_exhaustive;
+    Alcotest.test_case "commit-adopt (all schedules)" `Slow
+      test_commit_adopt_exhaustive;
+    Alcotest.test_case "adoption validity (all schedules)" `Slow
+      test_adoption_validity_exhaustive;
+    Alcotest.test_case "checker finds violations" `Quick
+      test_exhaustive_finds_violations;
+    Alcotest.test_case "splitter (all schedules)" `Slow test_splitter_exhaustive;
+  ]

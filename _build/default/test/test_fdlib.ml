@@ -1,0 +1,334 @@
+open Simkit
+open Fdlib
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let horizon = 400
+let suffix = 100
+
+(* A spread of failure patterns to exercise checkers across crash shapes. *)
+let patterns n_s =
+  Failure.failure_free n_s
+  ::
+  (if n_s >= 2 then
+     [
+       Failure.pattern ~n_s [ (0, 0) ];
+       Failure.pattern ~n_s [ (n_s - 1, 50) ];
+     ]
+   else [])
+  @
+  if n_s >= 3 then [ Failure.pattern ~n_s [ (0, 10); (1, 200) ] ] else []
+
+let tabulate fd pattern seed =
+  History.tabulate (Fd.draw fd pattern ~seed) ~n_s:pattern.Failure.n_s ~horizon
+
+let over_patterns_and_seeds ~n_s f =
+  List.iter
+    (fun pattern -> List.iter (fun seed -> f pattern seed) [ 1; 2; 7; 42 ])
+    (patterns n_s)
+
+let test_trivial () =
+  let pattern = Failure.failure_free 3 in
+  let h = Fd.draw Fd.trivial pattern ~seed:1 in
+  check_bool "unit output" true (Value.is_unit (History.get h ~q:0 ~time:5))
+
+let test_encodings () =
+  Alcotest.(check (list int)) "set sorted+dedup" [ 1; 2; 5 ]
+    (Fd.decode_set (Fd.encode_set [ 5; 2; 1; 2 ]));
+  check_int "leader" 3 (Fd.decode_leader (Fd.encode_leader 3));
+  Alcotest.(check (array int)) "vector" [| 0; 2 |]
+    (Fd.decode_vector (Fd.encode_vector [| 0; 2 |]))
+
+let test_perfect_property () =
+  over_patterns_and_seeds ~n_s:4 (fun pattern seed ->
+      let table = tabulate (Classic.perfect ()) pattern seed in
+      check_bool "P exact" true (Props.perfect_exact_ok pattern table))
+
+let test_eventually_perfect_property () =
+  over_patterns_and_seeds ~n_s:4 (fun pattern seed ->
+      let table = tabulate (Classic.eventually_perfect ()) pattern seed in
+      check_bool "<>P eventually exact" true
+        (Props.eventually_perfect_ok pattern table ~suffix))
+
+let test_eventually_perfect_noisy_early () =
+  (* with a fixed large stabilization, early outputs should sometimes be
+     wrong — i.e. the full-run perfect check fails for some seed *)
+  let pattern = Failure.pattern ~n_s:4 [ (0, 300) ] in
+  let wrong_somewhere =
+    List.exists
+      (fun seed ->
+        let table = tabulate (Classic.eventually_perfect ~max_stab:100 ()) pattern seed in
+        not (Props.perfect_exact_ok pattern table))
+      [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  check_bool "<>P is actually unreliable early" true wrong_somewhere
+
+let test_omega_property () =
+  over_patterns_and_seeds ~n_s:4 (fun pattern seed ->
+      let table = tabulate (Leader_fds.omega ()) pattern seed in
+      check_bool "Omega stabilizes on correct leader" true
+        (Props.omega_ok pattern table ~suffix))
+
+let test_omega_leader_correct () =
+  let pattern = Failure.pattern ~n_s:3 [ (0, 0) ] in
+  let table = tabulate (Leader_fds.omega ~max_stab:10 ()) pattern 5 in
+  let leader = Fd.decode_leader table.(1).(horizon - 1) in
+  check_bool "leader is correct process" true (Failure.is_correct pattern leader)
+
+let test_anti_omega_k_property () =
+  List.iter
+    (fun k ->
+      over_patterns_and_seeds ~n_s:4 (fun pattern seed ->
+          let table = tabulate (Leader_fds.anti_omega_k ~k ()) pattern seed in
+          check_bool
+            (Printf.sprintf "anti-Omega-%d property" k)
+            true
+            (Props.anti_omega_k_ok pattern table ~k ~suffix)))
+    [ 1; 2; 3 ]
+
+let test_anti_omega_sizes () =
+  let pattern = Failure.failure_free 5 in
+  let table = tabulate (Leader_fds.anti_omega_k ~k:2 ()) pattern 3 in
+  check_int "output size n-k" 3 (List.length (Fd.decode_set table.(2).(horizon - 1)))
+
+let test_vector_omega_property () =
+  List.iter
+    (fun k ->
+      over_patterns_and_seeds ~n_s:4 (fun pattern seed ->
+          let table = tabulate (Leader_fds.vector_omega_k ~k ()) pattern seed in
+          check_bool
+            (Printf.sprintf "vector-Omega-%d property" k)
+            true
+            (Props.vector_omega_k_ok pattern table ~k ~suffix)))
+    [ 1; 2; 3 ]
+
+let test_q1_else_q2 () =
+  let fd = Classic.q1_else_q2 () in
+  let p_ok = Failure.failure_free 3 in
+  let t_ok = tabulate fd p_ok 1 in
+  check_int "q1 correct -> leader q1" 0 (Fd.decode_leader t_ok.(1).(0));
+  let p_crash = Failure.pattern ~n_s:3 [ (0, 5) ] in
+  let t_crash = tabulate fd p_crash 1 in
+  check_int "q1 faulty -> leader q2" 1 (Fd.decode_leader t_crash.(0).(0));
+  (* with q1 faulty but q2 correct the constant output is a legal Omega *)
+  check_bool "omega-like when only q1 faulty" true
+    (Props.omega_ok p_crash t_crash ~suffix);
+  (* with q1 and q2 both faulty the output is a dead leader: not an Omega *)
+  let p_two = Failure.pattern ~n_s:3 [ (0, 0); (1, 0) ] in
+  let t_two = tabulate fd p_two 1 in
+  check_bool "dead leader is not Omega" false (Props.omega_ok p_two t_two ~suffix)
+
+let test_checker_rejects_bad_omega () =
+  (* an "Omega" that outputs a crashed process forever must be rejected *)
+  let pattern = Failure.pattern ~n_s:3 [ (2, 0) ] in
+  let bad = History.constant ~name:"bad" (Fd.encode_leader 2) in
+  let table = History.tabulate bad ~n_s:3 ~horizon in
+  check_bool "rejected" false (Props.omega_ok pattern table ~suffix)
+
+let test_checker_rejects_flapping_omega () =
+  let pattern = Failure.failure_free 3 in
+  let flap = History.make ~name:"flap" (fun _ time -> Fd.encode_leader (time mod 3)) in
+  let table = History.tabulate flap ~n_s:3 ~horizon in
+  check_bool "rejected" false (Props.omega_ok pattern table ~suffix)
+
+let test_checker_rejects_bad_anti_omega () =
+  (* outputs rotate over all processes: no process is eventually spared *)
+  let pattern = Failure.failure_free 3 in
+  let rotate =
+    History.make ~name:"rotate" (fun _ time ->
+        Fd.encode_set [ time mod 3; (time + 1) mod 3 ])
+  in
+  let table = History.tabulate rotate ~n_s:3 ~horizon in
+  check_bool "rejected" false (Props.anti_omega_k_ok pattern table ~k:1 ~suffix)
+
+let test_convert_anti_of_omega () =
+  List.iter
+    (fun k ->
+      over_patterns_and_seeds ~n_s:4 (fun pattern seed ->
+          let fd = Convert.anti_of_omega ~k ~n_s:4 (Leader_fds.omega ()) in
+          let table = tabulate fd pattern seed in
+          check_bool "derived anti-Omega-k valid" true
+            (Props.anti_omega_k_ok pattern table ~k ~suffix)))
+    [ 1; 2; 3 ]
+
+let test_convert_omega_of_anti_1 () =
+  over_patterns_and_seeds ~n_s:4 (fun pattern seed ->
+      let fd = Convert.omega_of_anti_1 ~n_s:4 (Leader_fds.anti_omega_k ~k:1 ()) in
+      let table = tabulate fd pattern seed in
+      check_bool "derived Omega valid" true (Props.omega_ok pattern table ~suffix))
+
+let test_convert_vector_of_omega () =
+  List.iter
+    (fun k ->
+      over_patterns_and_seeds ~n_s:4 (fun pattern seed ->
+          let fd = Convert.vector_of_omega ~k ~n_s:4 (Leader_fds.omega ()) in
+          let table = tabulate fd pattern seed in
+          check_bool "derived vector-Omega-k valid" true
+            (Props.vector_omega_k_ok pattern table ~k ~suffix)))
+    [ 1; 2; 3 ]
+
+let test_convert_anti_of_vector () =
+  List.iter
+    (fun k ->
+      over_patterns_and_seeds ~n_s:4 (fun pattern seed ->
+          let fd =
+            Convert.anti_of_vector ~k ~n_s:4 (Leader_fds.vector_omega_k ~k ())
+          in
+          let table = tabulate fd pattern seed in
+          check_bool "derived anti-Omega-k valid" true
+            (Props.anti_omega_k_ok pattern table ~k ~suffix)))
+    [ 1; 2; 3 ]
+
+let test_convert_complement () =
+  Alcotest.(check (list int)) "complement" [ 0; 3 ] (Convert.complement ~n_s:4 [ 1; 2 ]);
+  Alcotest.(check (list int)) "empty" [] (Convert.complement ~n_s:2 [ 0; 1 ])
+
+(* --- DAG --- *)
+
+let test_dag_add_and_frontier () =
+  let g = Dag.create ~n_s:3 in
+  let v1 = Dag.add_sample g ~q:0 (Value.int 10) in
+  check_int "first seq" 1 v1.Dag.vseq;
+  Alcotest.(check (array int)) "first past empty" [| 0; 0; 0 |] v1.Dag.vpast;
+  let v2 = Dag.add_sample g ~q:1 (Value.int 20) in
+  Alcotest.(check (array int)) "second past sees q0" [| 1; 0; 0 |] v2.Dag.vpast;
+  let v3 = Dag.add_sample g ~q:0 (Value.int 30) in
+  check_int "seq increments" 2 v3.Dag.vseq;
+  Alcotest.(check (array int)) "frontier" [| 2; 1; 0 |] (Dag.max_seqs g);
+  check_int "count" 3 (Dag.n_vertices g)
+
+let test_dag_succeeds () =
+  let g = Dag.create ~n_s:2 in
+  let _ = Dag.add_sample g ~q:0 (Value.int 1) in
+  let v2 = Dag.add_sample g ~q:1 (Value.int 2) in
+  check_bool "v2 succeeds (0,1)" true (Dag.succeeds v2 ~q:0 ~seq:1);
+  check_bool "v2 does not succeed (0,2)" false (Dag.succeeds v2 ~q:0 ~seq:2);
+  check_bool "trivially succeeds seq 0" true (Dag.succeeds v2 ~q:0 ~seq:0)
+
+let test_dag_union () =
+  let g1 = Dag.create ~n_s:2 and g2 = Dag.create ~n_s:2 in
+  let _ = Dag.add_sample g1 ~q:0 (Value.int 1) in
+  let _ = Dag.add_sample g2 ~q:1 (Value.int 2) in
+  let _ = Dag.add_sample g2 ~q:1 (Value.int 3) in
+  Dag.union g1 g2;
+  check_int "merged count" 3 (Dag.n_vertices g1);
+  Alcotest.(check (array int)) "merged frontier" [| 1; 2 |] (Dag.max_seqs g1);
+  (* idempotent union *)
+  Dag.union g1 g2;
+  check_int "idempotent" 3 (Dag.n_vertices g1)
+
+let test_dag_next_vertex () =
+  let g = Dag.create ~n_s:2 in
+  let _v1 = Dag.add_sample g ~q:0 (Value.int 1) in
+  let _v2 = Dag.add_sample g ~q:1 (Value.int 2) in
+  let _v3 = Dag.add_sample g ~q:0 (Value.int 3) in
+  (* from scratch, q0's next vertex is its seq-1 sample *)
+  (match Dag.next_vertex g ~q:0 ~frontier:[| 0; 0 |] with
+  | Some v -> check_int "next is seq 1" 1 v.Dag.vseq
+  | None -> Alcotest.fail "expected a vertex");
+  (* after consuming (0,1) and (1,1), q0's next must succeed (1,1): v3 does *)
+  (match Dag.next_vertex g ~q:0 ~frontier:[| 1; 1 |] with
+  | Some v -> check_int "next is seq 2" 2 v.Dag.vseq
+  | None -> Alcotest.fail "expected vertex succeeding (1,1)");
+  (* q1 has no vertex succeeding its own seq 1 yet *)
+  check_bool "q1 exhausted" true (Dag.next_vertex g ~q:1 ~frontier:[| 1; 1 |] = None)
+
+let test_dag_starvation_of_crashed () =
+  (* a crashed process stops sampling: its vertices run out, others' never do *)
+  let g = Dag.create ~n_s:2 in
+  let _ = Dag.add_sample g ~q:1 (Value.int 0) in
+  for i = 1 to 20 do
+    ignore (Dag.add_sample g ~q:0 (Value.int i))
+  done;
+  let frontier = [| 0; 1 |] in
+  check_bool "crashed q1 has no next vertex" true
+    (Dag.next_vertex g ~q:1 ~frontier = None);
+  (match Dag.next_vertex g ~q:0 ~frontier with
+  | Some v -> check_bool "live q0 proceeds past q1's sample" true (v.Dag.vseq >= 1)
+  | None -> Alcotest.fail "live process starved")
+
+let test_dag_encode_decode () =
+  let g = Dag.create ~n_s:3 in
+  let _ = Dag.add_sample g ~q:0 (Value.str "a") in
+  let _ = Dag.add_sample g ~q:2 (Value.str "b") in
+  let _ = Dag.add_sample g ~q:0 (Value.str "c") in
+  let g' = Dag.decode (Dag.encode g) in
+  check_int "count preserved" (Dag.n_vertices g) (Dag.n_vertices g');
+  Alcotest.(check (array int)) "frontier preserved" (Dag.max_seqs g) (Dag.max_seqs g');
+  (match Dag.find g' ~q:0 ~seq:2 with
+  | Some v ->
+    Alcotest.(check string) "value preserved" "c" (Value.to_str v.Dag.vval);
+    Alcotest.(check (array int)) "past preserved" [| 1; 0; 1 |] v.Dag.vpast
+  | None -> Alcotest.fail "vertex lost in roundtrip")
+
+let prop_dag_union_commutes =
+  QCheck.Test.make ~name:"dag union order-insensitive" ~count:100
+    QCheck.(pair (list (int_bound 2)) (list (int_bound 2)))
+    (fun (qs1, qs2) ->
+      let build qs =
+        let g = Dag.create ~n_s:3 in
+        List.iteri (fun i q -> ignore (Dag.add_sample g ~q (Value.int i))) qs;
+        g
+      in
+      let a1 = build qs1 and a2 = build qs2 in
+      let b1 = Dag.copy a1 and b2 = Dag.copy a2 in
+      Dag.union a1 a2;
+      Dag.union b2 b1;
+      Dag.max_seqs a1 = Dag.max_seqs b2
+      && Dag.n_vertices a1 = Dag.n_vertices b2)
+
+let suite =
+  [
+    Alcotest.test_case "trivial FD" `Quick test_trivial;
+    Alcotest.test_case "output encodings" `Quick test_encodings;
+    Alcotest.test_case "perfect property" `Quick test_perfect_property;
+    Alcotest.test_case "eventually perfect property" `Quick
+      test_eventually_perfect_property;
+    Alcotest.test_case "eventually perfect noisy early" `Quick
+      test_eventually_perfect_noisy_early;
+    Alcotest.test_case "omega property" `Quick test_omega_property;
+    Alcotest.test_case "omega leader correct" `Quick test_omega_leader_correct;
+    Alcotest.test_case "anti-omega-k property" `Quick test_anti_omega_k_property;
+    Alcotest.test_case "anti-omega sizes" `Quick test_anti_omega_sizes;
+    Alcotest.test_case "vector-omega-k property" `Quick test_vector_omega_property;
+    Alcotest.test_case "q1-else-q2 detector" `Quick test_q1_else_q2;
+    Alcotest.test_case "checker rejects bad omega" `Quick test_checker_rejects_bad_omega;
+    Alcotest.test_case "checker rejects flapping omega" `Quick
+      test_checker_rejects_flapping_omega;
+    Alcotest.test_case "checker rejects bad anti-omega" `Quick
+      test_checker_rejects_bad_anti_omega;
+    Alcotest.test_case "convert: anti of omega" `Quick test_convert_anti_of_omega;
+    Alcotest.test_case "convert: omega of anti-1" `Quick test_convert_omega_of_anti_1;
+    Alcotest.test_case "convert: vector of omega" `Quick test_convert_vector_of_omega;
+    Alcotest.test_case "convert: anti of vector" `Quick test_convert_anti_of_vector;
+    Alcotest.test_case "convert: complement" `Quick test_convert_complement;
+    Alcotest.test_case "dag add/frontier" `Quick test_dag_add_and_frontier;
+    Alcotest.test_case "dag succeeds" `Quick test_dag_succeeds;
+    Alcotest.test_case "dag union" `Quick test_dag_union;
+    Alcotest.test_case "dag next vertex" `Quick test_dag_next_vertex;
+    Alcotest.test_case "dag starves crashed" `Quick test_dag_starvation_of_crashed;
+    Alcotest.test_case "dag encode/decode" `Quick test_dag_encode_decode;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_dag_union_commutes ]
+
+let test_sigma_property () =
+  over_patterns_and_seeds ~n_s:4 (fun pattern seed ->
+      let table = tabulate (Classic.sigma ()) pattern seed in
+      check_bool "Sigma property" true (Props.sigma_ok pattern table ~suffix))
+
+let test_sigma_checker_rejects () =
+  (* disjoint quorums must be rejected *)
+  let pattern = Failure.failure_free 4 in
+  let bad =
+    History.make ~name:"bad-sigma" (fun q _ ->
+        Fd.encode_set [ (2 * q) mod 4 ])
+  in
+  let table = History.tabulate bad ~n_s:4 ~horizon in
+  check_bool "rejected" false (Props.sigma_ok pattern table ~suffix)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "sigma property" `Quick test_sigma_property;
+      Alcotest.test_case "sigma checker rejects" `Quick test_sigma_checker_rejects;
+    ]

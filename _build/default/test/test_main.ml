@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "wfa"
+    [
+      ("value", Test_value.suite);
+      ("simkit", Test_simkit.suite);
+      ("fdlib", Test_fdlib.suite);
+      ("tasklib", Test_tasklib.suite);
+      ("bglib", Test_bglib.suite);
+      ("sm-engine", Test_sm_engine.suite);
+      ("efd-basic", Test_efd_basic.suite);
+      ("efd-renaming", Test_efd_renaming.suite);
+      ("efd-thm9", Test_efd_thm9.suite);
+      ("efd-puzzle", Test_efd_puzzle.suite);
+      ("efd-extraction", Test_efd_extraction.suite);
+      ("efd-extras", Test_efd_extras.suite);
+      ("efd-substrates", Test_efd_substrates.suite);
+      ("closing", Test_closing.suite);
+      ("exhaustive", Test_exhaustive.suite);
+      ("properties", Test_properties.suite);
+    ]

@@ -1,0 +1,313 @@
+(* Cross-cutting property tests: invariants that must hold across random
+   schedules, seeds and even adversarial (junk) failure detectors. *)
+
+open Simkit
+open Tasklib
+open Efd
+
+let check_bool = Alcotest.(check bool)
+
+(* --- determinism: a run is a function of (codes, schedule, history) --- *)
+
+let prop_run_determinism =
+  QCheck.Test.make ~name:"runs are deterministic" ~count:40
+    QCheck.(pair (int_range 2 5) small_int)
+    (fun (n, seed) ->
+      let go () =
+        let task = Set_agreement.make ~n ~k:1 () in
+        let rng = Random.State.make [| seed |] in
+        let input = Task.sample_input task rng in
+        let r =
+          Run.execute ~task ~algo:(Ksa.consensus ())
+            ~fd:(Fdlib.Leader_fds.omega ~max_stab:40 ())
+            ~pattern:(Failure.failure_free n)
+            ~input ~seed ()
+        in
+        ( Array.map (Option.map Value.to_string) r.Run.r_output,
+          r.Run.r_steps )
+      in
+      go () = go ())
+
+(* --- the k-concurrent controller never exceeds its bound --- *)
+
+let prop_controller_bound =
+  QCheck.Test.make ~name:"k-concurrent controller bound" ~count:60
+    QCheck.(triple (int_range 1 4) (int_range 4 6) small_int)
+    (fun (k, n, seed) ->
+      let task = Set_agreement.make ~n ~k:n () in
+      let rng = Random.State.make [| seed |] in
+      let input = Task.sample_input task rng in
+      let r =
+        Run.execute
+          ~policy:(Run.k_concurrent_uniform_policy k)
+          ~task
+          ~algo:(Kconc_tasks.adoption ())
+          ~fd:Fdlib.Fd.trivial
+          ~pattern:(Failure.failure_free 1)
+          ~input ~seed ()
+      in
+      r.Run.r_max_conc <= k)
+
+(* --- safety of the consensus machinery under junk advice ---
+   A detector that outputs arbitrary never-stabilizing leader vectors must
+   never make the k-SA solver violate the task relation (liveness may
+   fail; we only check what DID get decided). *)
+
+let junk_vector_fd ~k =
+  Fdlib.Fd.make ~name:"junk-vector" (fun pattern _rng ->
+      let n_s = pattern.Simkit.Failure.n_s in
+      Simkit.History.make ~name:"junk" (fun q time ->
+          Fdlib.Fd.encode_vector
+            (Array.init k (fun pos -> (q + time + (3 * pos)) mod n_s))))
+
+let prop_ksa_safe_under_junk_advice =
+  QCheck.Test.make ~name:"k-SA safety under junk advice" ~count:30
+    QCheck.(triple (int_range 1 3) (int_range 3 5) small_int)
+    (fun (k, n, seed) ->
+      let task = Set_agreement.make ~n ~k () in
+      let rng = Random.State.make [| seed |] in
+      let input = Task.sample_input task rng in
+      let r =
+        Run.execute ~budget:60_000 ~task ~algo:(Ksa.make ~k ())
+          ~fd:(junk_vector_fd ~k)
+          ~pattern:(Failure.failure_free n)
+          ~input ~seed ()
+      in
+      (* whatever was decided must satisfy the relation *)
+      r.Run.r_task_ok)
+
+let prop_machine_ksa_safe_under_junk_advice =
+  QCheck.Test.make ~name:"machine k-SA safety under junk advice" ~count:15
+    QCheck.(pair (int_range 1 2) small_int)
+    (fun (k, seed) ->
+      let n = 3 in
+      let task = Set_agreement.make ~n ~k () in
+      let rng = Random.State.make [| seed |] in
+      let input = Task.sample_input task rng in
+      let r =
+        Run.execute ~budget:120_000 ~task ~algo:(Machine_ksa.make ~k ())
+          ~fd:(junk_vector_fd ~k)
+          ~pattern:(Failure.failure_free n)
+          ~input ~seed ()
+      in
+      r.Run.r_task_ok)
+
+(* --- leader consensus: rogue servers can never break agreement ---
+   every S-process serves every instance all the time (maximal races). *)
+
+let rogue_everyone_serves ~k =
+  {
+    Algorithm.algo_name = "ksa-with-rogue-serving";
+    make =
+      (fun ctx ->
+        let mem = ctx.Algorithm.mem in
+        let instances =
+          Array.init k (fun _ ->
+              Leader_consensus.create mem ~n_c:ctx.Algorithm.n_c ~max_rounds:256)
+        in
+        let c_run i input =
+          let clients =
+            Array.map (fun lc -> Leader_consensus.client lc ~me:i input) instances
+          in
+          let rec loop () =
+            let decided = ref None in
+            Array.iter
+              (fun cl ->
+                if !decided = None then
+                  match Leader_consensus.pump cl with
+                  | Leader_consensus.Decided v -> decided := Some v
+                  | _ -> ())
+              clients;
+            match !decided with
+            | Some v -> Simkit.Runtime.Op.decide v
+            | None -> loop ()
+          in
+          loop ()
+        in
+        let s_run _me =
+          let rec loop () =
+            Array.iter Leader_consensus.serve instances;
+            loop ()
+          in
+          loop ()
+        in
+        { Algorithm.c_run; s_run });
+  }
+
+let prop_rogue_servers_preserve_agreement =
+  QCheck.Test.make ~name:"rogue servers preserve k-SA safety" ~count:30
+    QCheck.(triple (int_range 1 3) (int_range 3 5) small_int)
+    (fun (k, n, seed) ->
+      let task = Set_agreement.make ~n ~k () in
+      let rng = Random.State.make [| seed |] in
+      let input = Task.sample_input task rng in
+      let r =
+        Run.execute ~budget:120_000 ~task ~algo:(rogue_everyone_serves ~k)
+          ~fd:Fdlib.Fd.trivial
+          ~pattern:(Failure.failure_free n)
+          ~input ~seed ()
+      in
+      r.Run.r_task_ok)
+
+(* --- snapshot containment: single-writer monotone counters give
+       pointwise-comparable scans --- *)
+
+let prop_snapshot_scans_comparable =
+  QCheck.Test.make ~name:"snapshot scans pointwise comparable" ~count:20
+    QCheck.small_int
+    (fun seed ->
+      let n = 3 in
+      let mem = Memory.create () in
+      let h = Snapshot.create mem ~n in
+      let scans = ref [] in
+      let c_code i () =
+        for v = 1 to 4 do
+          Snapshot.update h i (Value.int v);
+          let s = Snapshot.scan h in
+          scans := s :: !scans
+        done;
+        Runtime.Op.decide Value.unit
+      in
+      let rt =
+        Runtime.create
+          {
+            Runtime.n_c = n;
+            n_s = 1;
+            memory = mem;
+            pattern = Failure.failure_free 1;
+            history = History.trivial;
+            record_trace = false;
+          }
+          ~c_code
+          ~s_code:(fun _ () -> ())
+      in
+      let rng = Random.State.make [| seed |] in
+      let _ =
+        Schedule.run rt (Schedule.shuffled_rounds ~n_c:n ~n_s:1 rng)
+          ~budget:100_000
+      in
+      Runtime.destroy rt;
+      let as_int v = if Value.is_unit v then 0 else Value.to_int v in
+      let leq a b =
+        Array.for_all2 (fun x y -> as_int x <= as_int y) a b
+      in
+      List.for_all
+        (fun s1 -> List.for_all (fun s2 -> leq s1 s2 || leq s2 s1) !scans)
+        !scans)
+
+(* --- engine proposals: agreed views for one code grow over rounds and
+       always include the code's own latest write --- *)
+
+let prop_engine_views_monotone =
+  QCheck.Test.make ~name:"engine agreed views monotone + self-inclusive"
+    ~count:30 QCheck.small_int
+    (fun seed ->
+      let open Bglib in
+      let n_codes = 4 and k = 2 in
+      let algo = Fi_algos.adoption in
+      let machines = Sm_engine.engines ~k ~n_codes algo in
+      let env = Array.init n_codes (fun c -> Value.int c) in
+      let rng = Random.State.make [| seed |] in
+      let sys = ref (Machine.boot machines) in
+      for _ = 1 to 300 do
+        sys := Machine.step_pure machines !sys ~env (Random.State.int rng k)
+      done;
+      let histories =
+        Sm_engine.code_histories algo ~n_codes
+          ~states:!sys.Machine.sys_states ~env
+      in
+      Array.to_list histories
+      |> List.mapi (fun c (views, _) -> (c, views))
+      |> List.for_all (fun (c, views) ->
+             let rec monotone prev = function
+               | [] -> true
+               | view :: rest ->
+                 let sizes = Array.map List.length view in
+                 let own_ok = sizes.(c) >= 1 in
+                 let grow =
+                   match prev with
+                   | None -> true
+                   | Some p ->
+                     Array.for_all2 (fun a b -> a <= b) p sizes
+                 in
+                 own_ok && grow && monotone (Some sizes) rest
+             in
+             monotone None views))
+
+(* --- task axiom 3: inputs extend, outputs extend --- *)
+
+let prop_task_axiom_extension =
+  QCheck.Test.make ~name:"task axiom: input extension keeps outputs valid"
+    ~count:60
+    QCheck.(pair (int_range 0 3) small_int)
+    (fun (which, seed) ->
+      let task =
+        match which with
+        | 0 -> Set_agreement.make ~n:4 ~k:2 ()
+        | 1 -> Renaming.make ~n:5 ~j:3 ~l:4
+        | 2 -> Trivial_tasks.identity ~n:4 ()
+        | _ -> Leader_election.make ~n:4
+      in
+      let rng = Random.State.make [| seed |] in
+      let full = Task.sample_input task rng in
+      let prefix = Task.sample_prefix task rng ~min_participants:1 in
+      (* decide the prefix sequentially, then extend the input to [full]'s
+         participants that include the prefix — outputs stay valid and can
+         be extended to the new participants *)
+      if not (Vectors.is_prefix prefix full) then QCheck.assume_fail ()
+      else begin
+        let out = Task.choice_closure task ~input:prefix in
+        Task.satisfies task ~input:full ~output:out
+        &&
+        let extended =
+          List.fold_left
+            (fun acc i ->
+              if acc.(i) = None && full.(i) <> None then
+                Vectors.set acc i (task.Task.choose ~input:full ~output:acc i)
+              else acc)
+            out
+            (Vectors.participants full)
+        in
+        Task.satisfies task ~input:full ~output:extended
+      end)
+
+(* --- DAG: next_vertex respects causality --- *)
+
+let prop_dag_next_vertex_causal =
+  QCheck.Test.make ~name:"dag next_vertex causal" ~count:80
+    QCheck.(pair (list_of_size Gen.(int_range 5 30) (int_bound 2)) small_int)
+    (fun (qs, seed) ->
+      let open Fdlib in
+      let g = Dag.create ~n_s:3 in
+      List.iteri (fun i q -> ignore (Dag.add_sample g ~q (Value.int i))) qs;
+      let rng = Random.State.make [| seed |] in
+      let frontier =
+        Array.init 3 (fun q ->
+            let top = (Dag.max_seqs g).(q) in
+            if top = 0 then 0 else Random.State.int rng (top + 1))
+      in
+      List.for_all
+        (fun q ->
+          match Dag.next_vertex g ~q ~frontier with
+          | None -> true
+          | Some v ->
+            v.Dag.vseq > frontier.(q)
+            && Array.for_all Fun.id
+                 (Array.mapi
+                    (fun q' s -> Dag.succeeds v ~q:q' ~seq:s)
+                    frontier))
+        [ 0; 1; 2 ])
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_run_determinism;
+      prop_controller_bound;
+      prop_ksa_safe_under_junk_advice;
+      prop_machine_ksa_safe_under_junk_advice;
+      prop_rogue_servers_preserve_agreement;
+      prop_snapshot_scans_comparable;
+      prop_engine_views_monotone;
+      prop_task_axiom_extension;
+      prop_dag_next_vertex_causal;
+    ]

@@ -1,0 +1,212 @@
+open Bglib
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let const_env inputs ~step:_ = inputs
+let inputs_of l = Array.of_list (List.map (fun x -> Value.int x) l)
+
+(* Drive engines step by step, tracking the simulated run's concurrency:
+   started (has marks) and undecided codes at each instant. *)
+let drive ?(max_conc = ref 0) algo ~k ~n_codes ~env ~schedule =
+  let machines = Sm_engine.engines ~k ~n_codes algo in
+  let rec go sys step = function
+    | [] -> sys
+    | me :: rest ->
+      let e = env ~step in
+      let sys = Machine.step_pure machines sys ~env:e me in
+      let states = sys.Machine.sys_states in
+      let started = Sm_engine.simulated_started algo ~n_codes ~states ~env:e in
+      let undecided =
+        List.filter
+          (fun c -> Sm_engine.code_decision algo ~n_codes ~states ~env:e c = None)
+          started
+      in
+      max_conc := max !max_conc (List.length undecided);
+      go sys (step + 1) rest
+  in
+  let sys = go (Machine.boot machines) 0 schedule in
+  let final_env = env ~step:(List.length schedule) in
+  ( sys,
+    Array.init n_codes (fun c ->
+        Sm_engine.code_decision algo ~n_codes
+          ~states:sys.Machine.sys_states ~env:final_env c) )
+
+let round_robin k steps = List.init steps (fun i -> i mod k)
+
+let random_schedule ~k ~steps ~seed =
+  let rng = Random.State.make [| seed |] in
+  List.init steps (fun _ -> Random.State.int rng k)
+
+let test_echo_single_engine () =
+  let env = const_env (inputs_of [ 10; 20; 30 ]) in
+  let _, decisions =
+    drive Fi_algos.echo ~k:1 ~n_codes:3 ~env ~schedule:(round_robin 1 60)
+  in
+  Array.iteri
+    (fun c d ->
+      match d with
+      | Some v -> check_int "echoes input" ((c + 1) * 10) (Value.to_int v)
+      | None -> Alcotest.failf "code %d undecided" c)
+    decisions
+
+let test_adoption_two_engines () =
+  List.iter
+    (fun seed ->
+      let inputs = inputs_of [ 0; 1; 2; 3 ] in
+      let max_conc = ref 0 in
+      let _, decisions =
+        drive ~max_conc Fi_algos.adoption ~k:2 ~n_codes:4
+          ~env:(const_env inputs)
+          ~schedule:(random_schedule ~k:2 ~steps:400 ~seed)
+      in
+      let decided = Array.to_list decisions |> List.filter_map Fun.id in
+      check_int "all decide" 4 (List.length decided);
+      let distinct = List.sort_uniq Value.compare decided in
+      check_bool "at most 2 distinct (2 engines)" true (List.length distinct <= 2);
+      List.iter
+        (fun v ->
+          check_bool "validity" true
+            (Array.exists (fun i -> Value.equal i v) inputs))
+        decided;
+      check_bool "simulated run 2-concurrent" true (!max_conc <= 2))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let test_adoption_k_bound () =
+  (* k engines => at most k distinct decisions, for several k *)
+  List.iter
+    (fun k ->
+      List.iter
+        (fun seed ->
+          let inputs = inputs_of [ 0; 1; 2; 3; 4 ] in
+          let max_conc = ref 0 in
+          let _, decisions =
+            drive ~max_conc Fi_algos.adoption ~k ~n_codes:5
+              ~env:(const_env inputs)
+              ~schedule:(random_schedule ~k ~steps:600 ~seed)
+          in
+          let decided = Array.to_list decisions |> List.filter_map Fun.id in
+          check_int "all decide" 5 (List.length decided);
+          check_bool "<= k distinct" true
+            (List.length (List.sort_uniq Value.compare decided) <= k);
+          check_bool "<= k concurrent" true (!max_conc <= k))
+        [ 1; 2; 3 ])
+    [ 1; 2; 3 ]
+
+let test_staged_arrivals () =
+  (* inputs appear over time; late codes must still decide *)
+  let env ~step =
+    let inputs = Array.make 4 Value.unit in
+    if step >= 0 then inputs.(2) <- Value.int 2;
+    if step >= 30 then inputs.(0) <- Value.int 0;
+    if step >= 60 then inputs.(3) <- Value.int 3;
+    inputs
+  in
+  let _, decisions =
+    drive Fi_algos.adoption ~k:2 ~n_codes:4 ~env
+      ~schedule:(round_robin 2 300)
+  in
+  check_bool "non-participant stays undecided" true (decisions.(1) = None);
+  List.iter
+    (fun c ->
+      check_bool (Printf.sprintf "code %d decided" c) true (decisions.(c) <> None))
+    [ 0; 2; 3 ]
+
+let test_fig4_fi_names () =
+  (* j = 3 participants, k = 2 engines: distinct names within 1..j+k-1 = 4 *)
+  List.iter
+    (fun seed ->
+      let inputs = Array.make 5 Value.unit in
+      List.iter (fun c -> inputs.(c) <- Value.int (100 + c)) [ 0; 2; 4 ];
+      let max_conc = ref 0 in
+      let _, decisions =
+        drive ~max_conc Fi_algos.fig4_renaming ~k:2 ~n_codes:5
+          ~env:(const_env inputs)
+          ~schedule:(random_schedule ~k:2 ~steps:800 ~seed)
+      in
+      let names =
+        List.filter_map (fun c -> Option.map Value.to_int decisions.(c)) [ 0; 2; 4 ]
+      in
+      check_int "all three named" 3 (List.length names);
+      check_int "names distinct" 3 (List.length (List.sort_uniq Int.compare names));
+      check_bool "names within j+k-1" true (List.for_all (fun s -> s >= 1 && s <= 4) names);
+      check_bool "2-concurrent" true (!max_conc <= 2))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_stalled_engine_pins_one_code () =
+  (* engine 1 takes a few steps then stalls forever; engine 0 must finish
+     all codes except at most one pinned by engine 1's open doorway *)
+  List.iter
+    (fun stall_after ->
+      let inputs = inputs_of [ 0; 1; 2; 3 ] in
+      let schedule =
+        List.init stall_after (fun _ -> 1) @ List.init 400 (fun _ -> 0)
+      in
+      let _, decisions =
+        drive Fi_algos.adoption ~k:2 ~n_codes:4 ~env:(const_env inputs) ~schedule
+      in
+      let undecided =
+        Array.to_list decisions |> List.filter (fun d -> d = None) |> List.length
+      in
+      check_bool
+        (Printf.sprintf "stall@%d pins at most one code" stall_after)
+        true (undecided <= 1))
+    [ 0; 1; 2; 3; 4; 5; 7; 9 ]
+
+let test_solo_engine_finishes_everything () =
+  let inputs = inputs_of [ 5; 6; 7 ] in
+  let _, decisions =
+    drive Fi_algos.adoption ~k:3 ~n_codes:3 ~env:(const_env inputs)
+      ~schedule:(List.init 200 (fun _ -> 2))
+  in
+  Array.iter
+    (fun d -> check_bool "decided by solo engine" true (d <> None))
+    decisions
+
+let test_wsb_fi_engine () =
+  (* the WSB full-information algorithm through the pure engines: exactly
+     j participants, bits not all equal, 2-concurrent *)
+  List.iter
+    (fun seed ->
+      let j = 3 in
+      let inputs = Array.make 5 Value.unit in
+      List.iter (fun c -> inputs.(c) <- Value.int (100 + c)) [ 0; 2; 3 ];
+      let max_conc = ref 0 in
+      let _, decisions =
+        drive ~max_conc (Fi_algos.wsb ~j) ~k:2 ~n_codes:5
+          ~env:(const_env inputs)
+          ~schedule:(random_schedule ~k:2 ~steps:900 ~seed)
+      in
+      let bits =
+        List.filter_map (fun c -> Option.map Value.to_int decisions.(c)) [ 0; 2; 3 ]
+      in
+      check_int "all decided" 3 (List.length bits);
+      check_bool "bits legal" true (List.for_all (fun b -> b = 0 || b = 1) bits);
+      check_bool "not all equal" true (List.mem 0 bits && List.mem 1 bits);
+      check_bool "2-concurrent" true (!max_conc <= 2))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_engine_determinism () =
+  let run () =
+    let inputs = inputs_of [ 0; 1; 2 ] in
+    let _, decisions =
+      drive Fi_algos.adoption ~k:2 ~n_codes:3 ~env:(const_env inputs)
+        ~schedule:(random_schedule ~k:2 ~steps:200 ~seed:42)
+    in
+    Array.map (Option.map Value.to_string) decisions
+  in
+  check_bool "identical replay" true (run () = run ())
+
+let suite =
+  [
+    Alcotest.test_case "echo, single engine" `Quick test_echo_single_engine;
+    Alcotest.test_case "adoption, 2 engines" `Quick test_adoption_two_engines;
+    Alcotest.test_case "adoption k bound" `Quick test_adoption_k_bound;
+    Alcotest.test_case "staged arrivals" `Quick test_staged_arrivals;
+    Alcotest.test_case "fig4 fi names" `Quick test_fig4_fi_names;
+    Alcotest.test_case "wsb fi engine" `Quick test_wsb_fi_engine;
+    Alcotest.test_case "stalled engine pins <= 1 code" `Quick
+      test_stalled_engine_pins_one_code;
+    Alcotest.test_case "solo engine finishes" `Quick test_solo_engine_finishes_everything;
+    Alcotest.test_case "engine determinism" `Quick test_engine_determinism;
+  ]
