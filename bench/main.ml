@@ -16,7 +16,15 @@ let line () = Fmt.pr "  %s@." (String.make 72 '-')
 let header id title =
   Fmt.pr "@.=== %s: %s ===@.@." (String.uppercase_ascii id) title
 
-(* mean steps over the passing runs of a sweep-like loop *)
+(* mean steps (float, over the passing runs) of a sweep-like loop; the failed
+   count rides along so tables can surface it instead of silently averaging
+   over a subset *)
+let float_mean steps = function
+  | [] -> 0.
+  | passed ->
+    float_of_int (List.fold_left (fun acc r -> acc + steps r) 0 passed)
+    /. float_of_int (List.length passed)
+
 let run_batch ?budget ?policy ~task ~algo ~fd ~env ~n_seeds () =
   let results =
     List.map
@@ -28,14 +36,14 @@ let run_batch ?budget ?policy ~task ~algo ~fd ~env ~n_seeds () =
       (seeds n_seeds)
   in
   let passed = List.filter Run.ok results in
-  let mean_steps =
-    match passed with
-    | [] -> 0
-    | _ ->
-      List.fold_left (fun acc r -> acc + r.Run.r_steps) 0 passed
-      / List.length passed
-  in
-  (List.length passed, List.length results, mean_steps)
+  let failed = List.length results - List.length passed in
+  (List.length passed, failed, List.length results,
+   float_mean (fun r -> r.Run.r_steps) passed)
+
+(* "12/12   314.2" or "10/12   298.5 (2 failed)" *)
+let pp_batch ppf (pass, failed, total, mean) =
+  Fmt.pf ppf "%4d/%-3d %12.1f%s" pass total mean
+    (if failed = 0 then "" else Fmt.str " (%d failed)" failed)
 
 (* ------------------------------------------------------------------ E1 *)
 
@@ -46,7 +54,7 @@ let e1 () =
   List.iter
     (fun e ->
       let task = e.Registry.entry_task in
-      let pass, total, steps =
+      let batch =
         run_batch
           ~policy:(Run.k_concurrent_policy 1)
           ~task
@@ -55,7 +63,7 @@ let e1 () =
           ~env:(Failure.wait_free_env 4)
           ~n_seeds:12 ()
       in
-      Fmt.pr "  %-36s %4d/%-3d %12d@." task.Task.task_name pass total steps)
+      Fmt.pr "  %-36s %a@." task.Task.task_name pp_batch batch)
     (Registry.standard ~n:4)
 
 (* ------------------------------------------------------------------ E2 *)
@@ -84,7 +92,7 @@ let e2 () =
   line ();
   List.iter
     (fun (name, task, algo, expected) ->
-      let pass, total, _ =
+      let pass, _, total, _ =
         run_batch ~task ~algo ~fd:Fdlib.Fd.trivial
           ~env:(Failure.wait_free_env 4) ~n_seeds:25 ()
       in
@@ -110,14 +118,14 @@ let e3 () =
   List.iter
     (fun (n_s, t) ->
       let task = Set_agreement.make ~n:4 ~k:n_s () in
-      let pass, total, steps =
+      let batch =
         run_batch ~task
           ~algo:(Trivial_nsa.make ())
           ~fd:Fdlib.Fd.trivial
           ~env:(Failure.e_t ~n_s ~t)
           ~n_seeds:20 ()
       in
-      Fmt.pr "  E_%-12d %-10d %4d/%-3d %12d@." t n_s pass total steps)
+      Fmt.pr "  E_%-12d %-10d %a@." t n_s pp_batch batch)
     [ (2, 1); (3, 2); (4, 3); (5, 4) ]
 
 (* ------------------------------------------------------------------ E4 *)
@@ -169,13 +177,12 @@ let e5 () =
         (fun (solver_name, algo, budget) ->
           let task = Set_agreement.make ~n ~k () in
           let fd = Fdlib.Leader_fds.vector_omega_k ~max_stab:60 ~k () in
-          let pass, total, steps =
+          let batch =
             run_batch ~budget ~task ~algo ~fd
               ~env:(Failure.e_t ~n_s:n ~t:(n - 1))
               ~n_seeds:8 ()
           in
-          Fmt.pr "  %-6d %-4d %-22s %4d/%-3d %12d@." n k solver_name pass total
-            steps)
+          Fmt.pr "  %-6d %-4d %-22s %a@." n k solver_name pp_batch batch)
         (("leader-consensus", Ksa.make ~k (), 400_000)
          :: ("machine-consensus", Machine_ksa.make ~k (), 2_000_000)
          ::
@@ -206,15 +213,10 @@ let e6 () =
           (seeds 5)
       in
       let passed = List.filter Run.ok results in
-      let steps =
-        match passed with
-        | [] -> 0
-        | _ ->
-          List.fold_left (fun a r -> a + r.Run.r_steps) 0 passed
-          / List.length passed
-      in
-      Fmt.pr "  %-6d %-4d %-26s %4d/%-3d %12d@." n k label (List.length passed)
-        (List.length results) steps)
+      let failed = List.length results - List.length passed in
+      Fmt.pr "  %-6d %-4d %-26s %a@." n k label pp_batch
+        (List.length passed, failed, List.length results,
+         float_mean (fun r -> r.Run.r_steps) passed))
     [
       (3, 1, "random", 1);
       (4, 2, "random", 1);
@@ -272,12 +274,12 @@ let e8 () =
     (fun (task, k, fi) ->
       let algo = Kconcurrent.make ~k ~fi () in
       let fd = Fdlib.Leader_fds.vector_omega_k ~max_stab:50 ~k () in
-      let pass, total, steps =
+      let batch =
         run_batch ~budget:3_000_000 ~task ~algo ~fd
           ~env:(Failure.e_t ~n_s:task.Task.arity ~t:(task.Task.arity - 1))
           ~n_seeds:4 ()
       in
-      Fmt.pr "  %-28s %-4d %4d/%-3d %12d@." task.Task.task_name k pass total steps)
+      Fmt.pr "  %-28s %-4d %a@." task.Task.task_name k pp_batch batch)
     [
       (Set_agreement.make ~n:3 ~k:1 (), 1, Bglib.Fi_algos.adoption);
       (Set_agreement.make ~n:3 ~k:2 (), 2, Bglib.Fi_algos.adoption);
@@ -421,6 +423,118 @@ let e12 () =
   Fmt.pr "%a@.@." Classifier.pp_table table;
   Fmt.pr "  all rows consistent with the paper: %b@."
     (List.for_all Classifier.consistent table)
+
+(* --------------------------------------------------- exhaustive checker *)
+
+(* Replay-from-scratch baseline vs the incremental engine (with and without
+   the state-fingerprint memo, and with domain sharding), side by side on
+   E-series-style small configurations. The acceptance bar for the
+   incremental engine is steps_executed >= 3x lower than the baseline at
+   identical verdict and schedule count. *)
+let checker () =
+  header "checker" "exhaustive engines: replay baseline vs incremental";
+  let mk_rt ~n_c ~n_s mem c_code =
+    Runtime.create
+      {
+        Runtime.n_c;
+        n_s;
+        memory = mem;
+        pattern = Failure.failure_free (max 1 n_s);
+        history = History.trivial;
+        record_trace = false;
+      }
+      ~c_code
+      ~s_code:(fun _ () -> ())
+  in
+  (* the acceptance config: safe agreement, n_c=2, n_s=2, depth 8, every *)
+  let sa_build () =
+    let mem = Memory.create () in
+    let sa = Bglib.Safe_agreement.create mem ~n:2 in
+    let c_code i () =
+      Bglib.Safe_agreement.propose sa ~me:i (Value.int (100 + i));
+      let rec resolve () =
+        match Bglib.Safe_agreement.try_resolve sa with
+        | Some v -> Runtime.Op.decide v
+        | None -> resolve ()
+      in
+      resolve ()
+    in
+    mk_rt ~n_c:2 ~n_s:2 mem c_code
+  in
+  let sa_prop rt =
+    match (Runtime.decision rt 0, Runtime.decision rt 1) with
+    | Some a, Some b ->
+      Value.equal a b && (Value.to_int a = 100 || Value.to_int a = 101)
+    | Some a, None | None, Some a ->
+      let x = Value.to_int a in
+      x = 100 || x = 101
+    | None, None -> true
+  in
+  (* a register-race config with three C-processes *)
+  let race_build () =
+    let mem = Memory.create () in
+    let r = Memory.alloc1 mem () in
+    let c_code i () =
+      Runtime.Op.write r (Value.int i);
+      let v = Runtime.Op.read r in
+      Runtime.Op.decide v
+    in
+    mk_rt ~n_c:3 ~n_s:1 mem c_code
+  in
+  let race_prop rt =
+    List.for_all
+      (fun i ->
+        match Runtime.decision rt i with
+        | None -> true
+        | Some v -> Value.to_int v >= 0 && Value.to_int v < 3)
+      [ 0; 1; 2 ]
+  in
+  let configs =
+    [
+      ( "safe-agreement n_c=2 n_s=2 d=8",
+        sa_build, sa_prop,
+        Pid.all ~n_c:2 ~n_s:2, 8, Exhaustive.Every );
+      ( "register-race n_c=3 d=7",
+        race_build, race_prop,
+        Pid.all_c 3, 7, Exhaustive.Every );
+    ]
+  in
+  List.iter
+    (fun (name, build, prop, pids, depth, mode) ->
+      Fmt.pr "  %s@." name;
+      Fmt.pr "    %-26s %10s %10s %10s %8s %10s %9s@." "engine" "schedules"
+        "nodes" "steps" "replays" "memo-hits" "wall";
+      line ();
+      let show label (verdict, st) =
+        let scheds =
+          match verdict with
+          | Exhaustive.Ok n -> string_of_int n
+          | Exhaustive.Counterexample _ -> "CEX!"
+        in
+        Fmt.pr "    %-26s %10s %10d %10d %8d %10d %8.3fs@." label scheds
+          st.Exhaustive.nodes st.Exhaustive.steps_executed
+          st.Exhaustive.replays st.Exhaustive.memo_hits st.Exhaustive.wall_s;
+        st
+      in
+      let base =
+        show "replay baseline" (Exhaustive.run_replay ~mode ~build ~pids ~depth ~prop ())
+      in
+      let _ =
+        show "incremental"
+          (Exhaustive.run ~memo:false ~mode ~build ~pids ~depth ~prop ())
+      in
+      let inc =
+        show "incremental+memo"
+          (Exhaustive.run ~memo:true ~mode ~build ~pids ~depth ~prop ())
+      in
+      let _ =
+        show "incremental+memo x4 domains"
+          (Exhaustive.run ~domains:4 ~memo:true ~mode ~build ~pids ~depth ~prop ())
+      in
+      Fmt.pr "    step reduction vs baseline: x%.1f@.@."
+        (float_of_int base.Exhaustive.steps_executed
+        /. float_of_int (max 1 inc.Exhaustive.steps_executed)))
+    configs
 
 (* ------------------------------------------------------- micro-benches *)
 
@@ -669,12 +783,12 @@ let ablations () =
   List.iter
     (fun (label, algo, fd, t) ->
       let task = Set_agreement.make ~n:5 ~k:1 () in
-      let pass, total, steps =
+      let batch =
         run_batch ~budget:600_000 ~task ~algo ~fd
           ~env:(Failure.e_t ~n_s:5 ~t)
           ~n_seeds:8 ()
       in
-      Fmt.pr "      %-34s %4d/%-3d %10d steps@." label pass total steps)
+      Fmt.pr "      %-34s %a steps@." label pp_batch batch)
     [
       ( "CT <>S (majority, t=2)",
         Ct_consensus.make (),
@@ -714,7 +828,8 @@ let all : (string * (unit -> unit)) list =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("ablations", ablations); ("micro", micro);
+    ("e12", e12); ("ablations", ablations); ("checker", checker);
+    ("micro", micro);
   ]
 
 let () =

@@ -1,10 +1,287 @@
 type verdict = Ok of int | Counterexample of Pid.t list
+type mode = Every | Final
 
-(* Replay [sched] on a fresh runtime and evaluate the property — after
-   every step, or only after the last one. Rebuilding per branch is
-   O(depth) heavier than incremental checkpointing but needs no state
-   cloning, and runs are deterministic, so it is exact. *)
-let replay ~build ~prop ~every sched =
+type stats = {
+  nodes : int;
+  steps_executed : int;
+  replays : int;
+  runtimes_built : int;
+  memo_hits : int;
+  wall_s : float;
+}
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "nodes %d, steps %d, replays %d, builds %d, memo-hits %d, %.3fs"
+    s.nodes s.steps_executed s.replays s.runtimes_built s.memo_hits s.wall_s
+
+(* Mutable per-worker accumulator; summed into a [stats] after the run. *)
+type acc = {
+  mutable a_nodes : int;
+  mutable a_steps : int;
+  mutable a_replays : int;
+  mutable a_built : int;
+  mutable a_memo : int;
+  mutable a_count : int;  (* complete schedules accounted for *)
+}
+
+let fresh_acc () =
+  { a_nodes = 0; a_steps = 0; a_replays = 0; a_built = 0; a_memo = 0;
+    a_count = 0 }
+
+let stats_of ~wall_s accs =
+  List.fold_left
+    (fun s a ->
+      {
+        s with
+        nodes = s.nodes + a.a_nodes;
+        steps_executed = s.steps_executed + a.a_steps;
+        replays = s.replays + a.a_replays;
+        runtimes_built = s.runtimes_built + a.a_built;
+        memo_hits = s.memo_hits + a.a_memo;
+      })
+    { nodes = 0; steps_executed = 0; replays = 0; runtimes_built = 0;
+      memo_hits = 0; wall_s }
+    accs
+
+exception Cancelled
+
+type worker_result = W_ok | W_cex of Pid.t list | W_aborted
+
+(* ------------------------------------------------------------------ *)
+(* The incremental engine.
+
+   One live runtime is kept per DFS path: descending into the first child of
+   a node is a single [Runtime.step]; only when the DFS moves to a sibling is
+   the runtime rebuilt and the prefix replayed (runtimes hold effect
+   continuations, so they cannot be cloned — replay-on-backtrack keeps the
+   enumeration exact while the descent itself costs amortized O(1) steps per
+   node, against O(depth) for replay-from-scratch at every node).
+
+   On top, a state-fingerprint memo ({!Runtime.digest}) collapses converging
+   interleavings: when a node's state has been seen before at the same clock,
+   its whole subtree is skipped and the recorded number of complete schedules
+   below it is credited, so reported schedule counts stay exact. Only
+   fully-verified (counterexample-free) subtrees are memoized. *)
+
+let explore ~build ~pids ~depth ~prop ~mode ~memo ~cancelled ~tops acc =
+  let every = mode = Every in
+  let tbl = if memo then Some (Hashtbl.create 4096) else None in
+  let cur = ref None in
+  let destroy_cur () =
+    match !cur with
+    | Some rt ->
+      Runtime.destroy rt;
+      cur := None
+    | None -> ()
+  in
+  let build_fresh () =
+    acc.a_built <- acc.a_built + 1;
+    let rt = build () in
+    cur := Some rt;
+    rt
+  in
+  let step rt p =
+    Runtime.step rt p;
+    acc.a_steps <- acc.a_steps + 1
+  in
+  let replay prefix_rev =
+    destroy_cur ();
+    acc.a_replays <- acc.a_replays + 1;
+    let rt = build_fresh () in
+    List.iter (step rt) (List.rev prefix_rev);
+    rt
+  in
+  (* [expand rt prefix_rev d ~branch]: [rt] is live at the state reached by
+     [prefix_rev]; explore all extensions by up to [d] more steps, branching
+     over [branch] at this node and over [pids] below. *)
+  let rec expand rt prefix_rev d ~branch =
+    if d = 0 then begin
+      acc.a_count <- acc.a_count + 1;
+      if (not every) && prefix_rev <> [] && not (prop rt) then
+        Some (List.rev prefix_rev)
+      else None
+    end
+    else
+      let rec kids live = function
+        | [] -> None
+        | p :: rest ->
+          if cancelled () then raise Cancelled;
+          let rt = if live then rt else replay prefix_rev in
+          step rt p;
+          acc.a_nodes <- acc.a_nodes + 1;
+          let prefix_rev' = p :: prefix_rev in
+          if every && not (prop rt) then Some (List.rev prefix_rev')
+          else begin
+            let key =
+              match tbl with
+              | Some _ when d > 1 -> Some (Runtime.digest rt)
+              | _ -> None
+            in
+            match (key, tbl) with
+            | Some k, Some table when Hashtbl.mem table k ->
+              acc.a_memo <- acc.a_memo + 1;
+              acc.a_count <- acc.a_count + Hashtbl.find table k;
+              kids false rest
+            | _ -> (
+              let before = acc.a_count in
+              match expand rt prefix_rev' (d - 1) ~branch:pids with
+              | Some cex -> Some cex
+              | None ->
+                (match (key, tbl) with
+                | Some k, Some table ->
+                  Hashtbl.replace table k (acc.a_count - before)
+                | _ -> ());
+                kids false rest)
+          end
+      in
+      kids true branch
+  in
+  let result =
+    try
+      let rt = build_fresh () in
+      match expand rt [] depth ~branch:tops with
+      | Some cex -> W_cex cex
+      | None -> W_ok
+    with Cancelled -> W_aborted
+  in
+  destroy_cur ();
+  result
+
+(* ------------------------------------------------------------------ *)
+(* Top-level driver: optional domain sharding over the first-step pid. *)
+
+let run ?(domains = 1) ?(memo = true) ?(mode = Every) ~build ~pids ~depth
+    ~prop () =
+  let t0 = Unix.gettimeofday () in
+  let n_tops = List.length pids in
+  let n_workers = max 1 (min domains n_tops) in
+  let verdict, accs =
+    if n_workers <= 1 || depth = 0 then begin
+      let acc = fresh_acc () in
+      let r =
+        explore ~build ~pids ~depth ~prop ~mode ~memo
+          ~cancelled:(fun () -> false)
+          ~tops:pids acc
+      in
+      ( (match r with
+        | W_cex cex -> Counterexample cex
+        | W_ok | W_aborted -> Ok acc.a_count),
+        [ acc ] )
+    end
+    else begin
+      (* Shard the top-level branching factor: worker [w] owns the subtrees
+         whose first step is one of [tops.(w)]. Workers run independent DFSs
+         (each with its own memo table and runtimes); a found counterexample
+         raises a shared flag that the others poll, so the join is
+         first-counterexample-wins. *)
+      let tops = Array.make n_workers [] in
+      List.iteri
+        (fun i p -> tops.(i mod n_workers) <- p :: tops.(i mod n_workers))
+        pids;
+      let tops = Array.map List.rev tops in
+      let flag = Atomic.make false in
+      let cancelled () = Atomic.get flag in
+      let accs = Array.init n_workers (fun _ -> fresh_acc ()) in
+      let worker w () =
+        let r =
+          explore ~build ~pids ~depth ~prop ~mode ~memo ~cancelled
+            ~tops:tops.(w) accs.(w)
+        in
+        (match r with W_cex _ -> Atomic.set flag true | W_ok | W_aborted -> ());
+        r
+      in
+      let ds = Array.init n_workers (fun w -> Domain.spawn (worker w)) in
+      let results = Array.map Domain.join ds in
+      let cex =
+        Array.to_list results
+        |> List.filter_map (function W_cex c -> Some c | _ -> None)
+        |> function
+        | [] -> None
+        | cexs ->
+          (* Deterministic tie-break when several workers report: prefer the
+             counterexample whose first step comes earliest in [pids]. *)
+          let rank = function
+            | [] -> max_int
+            | p :: _ ->
+              let rec idx i = function
+                | [] -> max_int
+                | q :: qs -> if Pid.equal p q then i else idx (i + 1) qs
+              in
+              idx 0 pids
+          in
+          Some
+            (List.fold_left
+               (fun best c -> if rank c < rank best then c else best)
+               (List.hd cexs) (List.tl cexs))
+      in
+      let total =
+        Array.fold_left (fun n a -> n + a.a_count) 0 accs
+      in
+      ( (match cex with Some c -> Counterexample c | None -> Ok total),
+        Array.to_list accs )
+    end
+  in
+  (verdict, stats_of ~wall_s:(Unix.gettimeofday () -. t0) accs)
+
+(* ------------------------------------------------------------------ *)
+(* The replay-from-scratch baseline — the pre-incremental engine, kept (with
+   the same instrumentation) as differential-testing oracle and benchmark
+   yardstick. *)
+
+let run_replay ?(mode = Every) ~build ~pids ~depth ~prop () =
+  let t0 = Unix.gettimeofday () in
+  let acc = fresh_acc () in
+  let every = mode = Every in
+  let replay sched =
+    acc.a_replays <- acc.a_replays + 1;
+    acc.a_built <- acc.a_built + 1;
+    let rt = build () in
+    let rec go = function
+      | [] -> true
+      | p :: rest ->
+        Runtime.step rt p;
+        acc.a_steps <- acc.a_steps + 1;
+        if rest = [] && not (prop rt) then false else go rest
+    in
+    let ok = go sched in
+    Runtime.destroy rt;
+    ok
+  in
+  let rec go prefix d =
+    if d = 0 then begin
+      acc.a_count <- acc.a_count + 1;
+      if every then None
+      else
+        let sched = List.rev prefix in
+        if replay sched then None else Some sched
+    end
+    else
+      let rec try_pids = function
+        | [] -> None
+        | p :: rest ->
+          acc.a_nodes <- acc.a_nodes + 1;
+          let sched = List.rev (p :: prefix) in
+          if every && not (replay sched) then Some sched
+          else begin
+            match go (p :: prefix) (d - 1) with
+            | Some cex -> Some cex
+            | None -> try_pids rest
+          end
+      in
+      try_pids pids
+  in
+  let verdict =
+    match go [] depth with
+    | Some cex -> Counterexample cex
+    | None -> Ok acc.a_count
+  in
+  (verdict, stats_of ~wall_s:(Unix.gettimeofday () -. t0) [ acc ])
+
+(* ------------------------------------------------------------------ *)
+
+let replay_ok ?(mode = Every) ~build ~prop sched =
+  let every = mode = Every in
   let rt = build () in
   let rec go = function
     | [] -> true
@@ -16,40 +293,8 @@ let replay ~build ~prop ~every sched =
   Runtime.destroy rt;
   ok
 
-let enumerate ~build ~pids ~depth ~prop ~every =
-  let count = ref 0 in
-  (* DFS over schedules. In [every] mode each node's last step is checked
-     when the node is visited (prefix checks were done at shallower
-     nodes); in final mode only full-depth schedules are replayed. *)
-  let rec go prefix d =
-    if d = 0 then begin
-      incr count;
-      if every then None
-      else
-        let sched = List.rev prefix in
-        if replay ~build ~prop ~every:false sched then None else Some sched
-    end
-    else
-      let rec try_pids = function
-        | [] -> None
-        | p :: rest ->
-          let sched = List.rev (p :: prefix) in
-          if every && not (replay ~build ~prop ~every:false sched) then
-            Some sched
-          else begin
-            match go (p :: prefix) (d - 1) with
-            | Some cex -> Some cex
-            | None -> try_pids rest
-          end
-      in
-      try_pids pids
-  in
-  match go [] depth with
-  | Some cex -> Counterexample cex
-  | None -> Ok !count
-
 let check ~build ~pids ~depth ~prop =
-  enumerate ~build ~pids ~depth ~prop ~every:true
+  fst (run ~mode:Every ~build ~pids ~depth ~prop ())
 
 let check_final ~build ~pids ~depth ~prop =
-  enumerate ~build ~pids ~depth ~prop ~every:false
+  fst (run ~mode:Final ~build ~pids ~depth ~prop ())

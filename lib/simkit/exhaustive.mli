@@ -1,19 +1,94 @@
 (** Exhaustive schedule enumeration — model checking in miniature.
 
     For small systems and short horizons the sampled adversaries of
-    {!Schedule} can be replaced by full enumeration: every schedule over
-    the given processes up to a depth is replayed from scratch (runs are
-    deterministic, so replay is exact) and a property is checked at every
-    prefix. A returned counterexample is a concrete schedule, directly
-    replayable.
+    {!Schedule} can be replaced by full enumeration: every schedule over the
+    given processes up to a depth is executed (runs are deterministic, so the
+    enumeration is exact) and a property is checked at every prefix or at
+    full depth. A returned counterexample is a concrete schedule, directly
+    replayable with {!replay_ok}.
 
-    Cost is |pids|^depth runs of ≤ depth steps each: keep
-    |pids| ≤ 4 and depth ≤ 12 or so. Used to verify the agreement
-    primitives (safe agreement, commit–adopt, adoption set-agreement)
-    against {e all} interleavings rather than sampled ones. *)
+    The engine is {e incremental}: one live runtime is kept per DFS path, so
+    descending costs one step per node; the runtime is rebuilt and the prefix
+    replayed only when the search moves to a sibling branch (effect
+    continuations cannot be cloned). A state-fingerprint memo
+    ({!Runtime.digest}) prunes converging interleavings while keeping the
+    reported schedule count exact, and the top-level branching factor can be
+    sharded across OCaml domains. {!stats} makes the saved work observable.
 
-type verdict = Ok of int  (** number of complete schedules checked *)
-             | Counterexample of Pid.t list
+    Cost before pruning is |pids|^depth schedules: keep |pids| ≤ 4 and
+    depth ≤ 12 or so. Used to verify the agreement primitives (safe
+    agreement, commit–adopt, adoption set-agreement) against {e all}
+    interleavings rather than sampled ones.
+
+    Soundness requirements on the inputs (all hold for the usual
+    fresh-memory/fresh-algorithm builders):
+    - [build] must be deterministic and return independent runtimes;
+    - with the memo enabled, [prop] must be a function of the reached state
+      as captured by {!Runtime.digest} (memory, statuses, decisions, per
+      process observations) — not of absolute event times or the trace;
+    - with [domains > 1], [build] and [prop] must not share mutable state
+      across calls (each domain builds and steps its own runtimes). *)
+
+type verdict =
+  | Ok of int  (** number of complete schedules accounted for *)
+  | Counterexample of Pid.t list
+
+type mode =
+  | Every  (** the property must hold after every step of every schedule *)
+  | Final  (** the property is only required at full depth *)
+
+type stats = {
+  nodes : int;  (** DFS nodes visited (memo-skipped subtrees excluded) *)
+  steps_executed : int;  (** total {!Runtime.step} calls, replays included *)
+  replays : int;  (** rebuild-and-replay events (backtracks / baseline runs) *)
+  runtimes_built : int;  (** calls to [build] *)
+  memo_hits : int;  (** subtrees skipped via the state-fingerprint memo *)
+  wall_s : float;  (** wall-clock seconds for the whole check *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val run :
+  ?domains:int ->
+  ?memo:bool ->
+  ?mode:mode ->
+  build:(unit -> Runtime.t) ->
+  pids:Pid.t list ->
+  depth:int ->
+  prop:(Runtime.t -> bool) ->
+  unit ->
+  verdict * stats
+(** The incremental engine. [?domains] (default [1]) shards the top-level
+    branching factor across that many OCaml domains (capped at [|pids|]),
+    joined first-counterexample-wins: with several workers reporting, the
+    counterexample whose first step comes earliest in [pids] is returned, but
+    which counterexample is found within one worker's shard may differ from
+    the sequential engine's (all returned counterexamples are genuine).
+    [?memo] (default [true]) enables the state-fingerprint memo. Verdicts
+    (including exact schedule counts) are identical to {!run_replay} under
+    the soundness requirements above. *)
+
+val run_replay :
+  ?mode:mode ->
+  build:(unit -> Runtime.t) ->
+  pids:Pid.t list ->
+  depth:int ->
+  prop:(Runtime.t -> bool) ->
+  unit ->
+  verdict * stats
+(** The replay-from-scratch baseline (the pre-incremental engine): every
+    visited prefix is rebuilt via [build] and re-executed in full. Kept as a
+    differential-testing oracle and benchmark yardstick. *)
+
+val replay_ok :
+  ?mode:mode ->
+  build:(unit -> Runtime.t) ->
+  prop:(Runtime.t -> bool) ->
+  Pid.t list ->
+  bool
+(** Replay one concrete schedule on a fresh runtime and report whether the
+    property survives it ([Every]: checked after each step; [Final]: checked
+    after the last). [false] for a schedule returned as [Counterexample]. *)
 
 val check :
   build:(unit -> Runtime.t) ->
@@ -21,9 +96,7 @@ val check :
   depth:int ->
   prop:(Runtime.t -> bool) ->
   verdict
-(** Depth-first over all schedules: after every step of every schedule,
-    [prop rt] must hold. The runtime is rebuilt (and destroyed) per branch
-    via [build]; prefixes are replayed, so [build] must be deterministic. *)
+(** [run] with defaults, [Every] mode, verdict only. *)
 
 val check_final :
   build:(unit -> Runtime.t) ->
@@ -31,5 +104,4 @@ val check_final :
   depth:int ->
   prop:(Runtime.t -> bool) ->
   verdict
-(** Like {!check} but the property is only required at depth (for
-    properties that are meaningless mid-flight). *)
+(** [run] with defaults, [Final] mode, verdict only. *)

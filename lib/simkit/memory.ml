@@ -37,3 +37,14 @@ let write mem r v =
   mem.cells.(r) <- v
 
 let read_many mem rs = Array.map (read mem) rs
+
+let contents mem = Array.sub mem.cells 0 mem.used
+
+let hash mem =
+  (* FNV-1a over the per-cell value hashes; cheap enough to recompute per
+     checker node (memories stay small in exhaustively-checked systems). *)
+  let h = ref 0x811c9dc5 in
+  for i = 0 to mem.used - 1 do
+    h := (!h * 0x01000193) lxor Value.hash mem.cells.(i) land max_int
+  done;
+  !h

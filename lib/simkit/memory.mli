@@ -26,3 +26,12 @@ val write : t -> reg -> Value.t -> unit
 (** Direct write — runtime use only. *)
 
 val read_many : t -> reg array -> Value.t array
+
+val contents : t -> Value.t array
+(** Copy of the allocated cells, in register order — a structural snapshot of
+    the whole memory for state digests and debugging. *)
+
+val hash : t -> int
+(** Cheap content hash (FNV-1a over per-cell {!Value.hash}es). Two memories
+    with equal {!contents} hash equal; collisions are possible, so use
+    {!contents} where exactness matters. *)

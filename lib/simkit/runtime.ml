@@ -40,6 +40,7 @@ type pstate = {
   mutable scheds : int;
   mutable first_step : int option;
   mutable decide_at : int option;
+  mutable obs_hash : int;
 }
 
 type config = {
@@ -56,6 +57,7 @@ type t = {
   c_procs : pstate array;
   s_procs : pstate array;
   mutable now : int;
+  mutable steps_total : int;
   tr : Trace.t;
 }
 
@@ -73,6 +75,7 @@ let create cfg ~c_code ~s_code =
       scheds = 0;
       first_step = None;
       decide_at = None;
+      obs_hash = 0x811c9dc5;
     }
   in
   {
@@ -80,6 +83,7 @@ let create cfg ~c_code ~s_code =
     c_procs = Array.init cfg.n_c (fun i -> mk (Pid.c i) (c_code i));
     s_procs = Array.init cfg.n_s (fun i -> mk (Pid.s i) (s_code i));
     now = 0;
+    steps_total = 0;
     tr = Trace.create ~enabled:cfg.record_trace;
   }
 
@@ -125,6 +129,15 @@ let run_under (p : pstate) (f : unit -> unit) : unit =
 
 let record t p ev = Trace.record t.tr ~time:t.now ~pid:p.pid ev
 
+(* Per-process observation hash: folds in each executed operation together
+   with its result. Process code is deterministic and interacts with the
+   world only through its effects, so two processes of the same code with
+   equal observation hashes are (modulo hash collisions) in the same local
+   state — the basis of {!digest}. *)
+let obs p tag x =
+  p.obs_hash <- (((p.obs_hash * 0x01000193) lxor tag) * 0x01000193) lxor x
+                land max_int
+
 (* Execute the pending operation of [p] at the current time, then resume the
    code until its next suspension point. One call = one (non-null) step. *)
 let execute t (p : pstate) (op : pending) : unit =
@@ -137,14 +150,17 @@ let execute t (p : pstate) (op : pending) : unit =
   match op with
   | K_read (r, k) ->
     let v = Memory.read t.cfg.memory r in
+    obs p 1 ((r * 0x01000193) lxor Value.hash v);
     record t p (Trace.Read (r, v));
     Effect.Deep.continue k v
   | K_write (r, v, k) ->
     Memory.write t.cfg.memory r v;
+    obs p 2 ((r * 0x01000193) lxor Value.hash v);
     record t p (Trace.Write (r, v));
     Effect.Deep.continue k ()
   | K_snapshot (rs, k) ->
     let vs = Memory.read_many t.cfg.memory rs in
+    Array.iteri (fun i r -> obs p 3 ((r * 0x01000193) lxor Value.hash vs.(i))) rs;
     record t p (Trace.Snapshot rs);
     Effect.Deep.continue k vs
   | K_query k ->
@@ -152,18 +168,23 @@ let execute t (p : pstate) (op : pending) : unit =
     | Pid.C _ -> raise (Forbidden_query p.pid)
     | Pid.S i ->
       let v = History.get t.cfg.history ~q:i ~time:t.now in
+      obs p 4 (Value.hash v);
       record t p (Trace.Query v);
       Effect.Deep.continue k v)
   | K_decide (v, k) ->
     p.decided <- Some v;
     p.decide_at <- Some t.now;
+    obs p 5 (Value.hash v);
     record t p (Trace.Decide v);
     Effect.Deep.discontinue k Halted
-  | K_yield k -> Effect.Deep.continue k ()
+  | K_yield k ->
+    obs p 6 0;
+    Effect.Deep.continue k ()
 
 let step t pid =
   let p = proc t pid in
   p.scheds <- p.scheds + 1;
+  t.steps_total <- t.steps_total + 1;
   let alive =
     match pid with
     | Pid.C _ -> true
@@ -173,10 +194,12 @@ let step t pid =
   else begin
     (* A Fresh process first runs its code up to the first operation, then
        performs that operation within this same step, so that step #1 of a
-       process is its first shared-memory action. *)
+       process is its first shared-memory action. [first_step] is set in
+       [execute] only: a process whose code performs no operation (or whose
+       first operation never runs) takes a null step and does not count as
+       participating. *)
     if p.status = Fresh then begin
       p.status <- Runnable;
-      if p.first_step = None then p.first_step <- Some t.now;
       run_under p p.code
     end;
     match p.pending with
@@ -230,3 +253,25 @@ let sched_count t pid = (proc t pid).scheds
 let first_step_time t i = t.c_procs.(i).first_step
 let decide_time t i = t.c_procs.(i).decide_at
 let trace t = t.tr
+let steps_total t = t.steps_total
+
+let digest t =
+  (* Captures everything that determines future behaviour and the usual
+     checker-visible present: the clock, exact memory contents, and for every
+     process its status, step/sched counters, decision and observation hash.
+     Deliberately excludes absolute event times (first_step, decide_at) and
+     the trace, so that converging interleavings digest equal. *)
+  let psum p =
+    ( (match p.status with Fresh -> 0 | Runnable -> 1 | Done -> 2),
+      p.steps,
+      p.scheds,
+      p.obs_hash,
+      p.decided )
+  in
+  let repr =
+    ( t.now,
+      Memory.contents t.cfg.memory,
+      Array.map psum t.c_procs,
+      Array.map psum t.s_procs )
+  in
+  Digest.string (Marshal.to_string repr [])

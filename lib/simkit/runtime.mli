@@ -92,7 +92,8 @@ val decision : t -> int -> Value.t option
 val decisions : t -> Value.t option array
 val all_c_done : t -> bool
 val participating : t -> int -> bool
-(** Has C-process [p_i] taken at least one step? *)
+(** Has C-process [p_i] executed at least one operation? Null steps (a
+    scheduled process whose code performs no operation) do not count. *)
 
 val undecided_participants : t -> int list
 (** C-process indices that participate but have not decided. *)
@@ -106,3 +107,17 @@ val sched_count : t -> Pid.t -> int
 val first_step_time : t -> int -> int option
 val decide_time : t -> int -> int option
 val trace : t -> Trace.t
+
+val steps_total : t -> int
+(** Total number of {!step} calls on this runtime (incl. null steps) — the
+    work counter used by the exhaustive checker's statistics. *)
+
+val digest : t -> string
+(** Cheap state fingerprint: a digest of (time, memory contents, and per
+    process its status, counters, decision and the running hash of its
+    executed operations with their results). Process code is deterministic,
+    so two runtimes of the same configuration with equal digests behave
+    identically under any common schedule suffix (modulo hash collisions,
+    which are negligible). Absolute event times ({!first_step_time},
+    {!decide_time}) and the trace are {e not} captured: runs that converge to
+    the same state through different interleavings digest equal. *)

@@ -7,20 +7,48 @@ type event =
   | Null
 
 type entry = { time : int; pid : Pid.t; event : event }
-type t = { enabled : bool; mutable rev_entries : entry list; mutable len : int }
 
-let create ~enabled = { enabled; rev_entries = []; len = 0 }
+(* Entries live in a growable array in chronological order: recording is
+   amortized O(1) and queries walk the buffer directly instead of re-reversing
+   a cons list per call. *)
+type t = { enabled : bool; mutable buf : entry array; mutable len : int }
+
+let dummy = { time = 0; pid = Pid.C 0; event = Null }
+let create ~enabled = { enabled; buf = [||]; len = 0 }
 let enabled t = t.enabled
 
 let record t ~time ~pid event =
   if t.enabled then begin
-    t.rev_entries <- { time; pid; event } :: t.rev_entries;
+    if t.len = Array.length t.buf then begin
+      let cap = max 64 (2 * Array.length t.buf) in
+      let buf = Array.make cap dummy in
+      Array.blit t.buf 0 buf 0 t.len;
+      t.buf <- buf
+    end;
+    t.buf.(t.len) <- { time; pid; event };
     t.len <- t.len + 1
   end
 
-let entries t = List.rev t.rev_entries
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Trace.get";
+  t.buf.(i)
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.buf.(i)
+  done
+
+let fold t ~init f =
+  let acc = ref init in
+  iter t (fun e -> acc := f !acc e);
+  !acc
+
+let entries t = List.init t.len (fun i -> t.buf.(i))
 let length t = t.len
-let steps_of t pid = List.filter (fun e -> Pid.equal e.pid pid) (entries t)
+
+let steps_of t pid =
+  List.rev
+    (fold t ~init:[] (fun acc e -> if Pid.equal e.pid pid then e :: acc else acc))
 
 let pp_event ppf = function
   | Read (r, v) -> Fmt.pf ppf "read r%d -> %a" r Value.pp v
@@ -33,4 +61,8 @@ let pp_event ppf = function
 let pp_entry ppf e =
   Fmt.pf ppf "[%4d] %a: %a" e.time Pid.pp e.pid pp_event e.event
 
-let pp ppf t = Fmt.(list ~sep:(any "@\n") pp_entry) ppf (entries t)
+let pp ppf t =
+  let first = ref true in
+  iter t (fun e ->
+      if !first then first := false else Fmt.pf ppf "@\n";
+      pp_entry ppf e)

@@ -15,9 +15,19 @@ val create : enabled:bool -> t
 val enabled : t -> bool
 val record : t -> time:int -> pid:Pid.t -> event -> unit
 val entries : t -> entry list
-(** In chronological order. *)
+(** In chronological order. Allocates a fresh list; for scans prefer {!iter}
+    or {!fold}, which walk the underlying buffer without building one. *)
 
 val length : t -> int
+
+val get : t -> int -> entry
+(** [get t i] is the [i]-th entry in chronological order, O(1). *)
+
+val iter : t -> (entry -> unit) -> unit
+val fold : t -> init:'a -> ('a -> entry -> 'a) -> 'a
+
 val steps_of : t -> Pid.t -> entry list
+(** Entries of one process, chronological: one filtered pass over the buffer. *)
+
 val pp_entry : Format.formatter -> entry -> unit
 val pp : Format.formatter -> t -> unit

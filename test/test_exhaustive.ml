@@ -184,6 +184,163 @@ let test_splitter_exhaustive () =
       Fmt.(list ~sep:(any " ") Simkit.Pid.pp)
       cex
 
+(* --- differential: incremental engine (+/- memo, +/- domains) must agree
+       with the replay-from-scratch baseline, verdict and count alike --- *)
+
+let mk_ns ~n_c ~n_s mem c_code =
+  Runtime.create
+    {
+      Runtime.n_c;
+      n_s;
+      memory = mem;
+      pattern = Failure.failure_free (max 1 n_s);
+      history = History.trivial;
+      record_trace = false;
+    }
+    ~c_code
+    ~s_code:(fun _ () -> ())
+
+let race_build ~n_c ~n_s () =
+  let mem = Memory.create () in
+  let r = Memory.alloc1 mem () in
+  let c_code i () =
+    Runtime.Op.write r (Value.int i);
+    let v = Runtime.Op.read r in
+    Runtime.Op.decide v
+  in
+  mk_ns ~n_c ~n_s mem c_code
+
+let race_prop_valid ~n_c rt =
+  List.for_all
+    (fun i ->
+      match Runtime.decision rt i with
+      | None -> true
+      | Some v -> Value.to_int v >= 0 && Value.to_int v < n_c)
+    (List.init n_c Fun.id)
+
+(* the deliberately false claim: the two decisions always differ *)
+let race_prop_false rt =
+  match (Runtime.decision rt 0, Runtime.decision rt 1) with
+  | Some a, Some b -> not (Value.equal a b)
+  | _ -> true
+
+let verdict_str = function
+  | Exhaustive.Ok n -> Fmt.str "Ok %d" n
+  | Exhaustive.Counterexample cex ->
+    Fmt.str "Counterexample [%a]" Fmt.(list ~sep:(any " ") Pid.pp) cex
+
+let test_engines_agree () =
+  List.iter
+    (fun (n_c, n_s, depth) ->
+      List.iter
+        (fun mode ->
+          let build = race_build ~n_c ~n_s in
+          let prop = race_prop_valid ~n_c in
+          let pids = Pid.all ~n_c ~n_s in
+          let label =
+            Fmt.str "n_c=%d n_s=%d depth=%d %s" n_c n_s depth
+              (match mode with Exhaustive.Every -> "every" | Final -> "final")
+          in
+          let oracle, _ = Exhaustive.run_replay ~mode ~build ~pids ~depth ~prop () in
+          List.iter
+            (fun (variant, memo) ->
+              let v, _ = Exhaustive.run ~memo ~mode ~build ~pids ~depth ~prop () in
+              Alcotest.(check string)
+                (label ^ " " ^ variant)
+                (verdict_str oracle) (verdict_str v))
+            [ ("incremental", false); ("incremental+memo", true) ])
+        [ Exhaustive.Every; Exhaustive.Final ])
+    [ (2, 1, 6); (3, 1, 5); (2, 2, 4); (3, 2, 4) ]
+
+let test_engines_agree_on_violation () =
+  let build = race_build ~n_c:2 ~n_s:1 in
+  let pids = Pid.all_c 2 in
+  let oracle, _ =
+    Exhaustive.run_replay ~build ~pids ~depth:6 ~prop:race_prop_false ()
+  in
+  List.iter
+    (fun memo ->
+      let v, _ =
+        Exhaustive.run ~memo ~build ~pids ~depth:6 ~prop:race_prop_false ()
+      in
+      Alcotest.(check string) "same counterexample" (verdict_str oracle)
+        (verdict_str v))
+    [ false; true ]
+
+let test_parallel_engine_agrees () =
+  let build = race_build ~n_c:3 ~n_s:1 in
+  let pids = Pid.all ~n_c:3 ~n_s:1 in
+  let prop = race_prop_valid ~n_c:3 in
+  let seq, _ = Exhaustive.run ~build ~pids ~depth:6 ~prop () in
+  let par, _ = Exhaustive.run ~domains:4 ~build ~pids ~depth:6 ~prop () in
+  Alcotest.(check string) "sharded count = sequential count" (verdict_str seq)
+    (verdict_str par);
+  (* violation case: any domain's counterexample must be genuine *)
+  match
+    Exhaustive.run ~domains:4 ~build:(race_build ~n_c:2 ~n_s:1)
+      ~pids:(Pid.all_c 2) ~depth:6 ~prop:race_prop_false ()
+  with
+  | Exhaustive.Ok _, _ -> Alcotest.fail "expected a counterexample"
+  | Exhaustive.Counterexample cex, _ ->
+    check_bool "parallel counterexample reproduces the violation" false
+      (Exhaustive.replay_ok ~build:(race_build ~n_c:2 ~n_s:1)
+         ~prop:race_prop_false cex)
+
+(* --- determinism: a reported counterexample replays to the same violation,
+       and re-running the checker reports the same schedule --- *)
+
+let test_counterexample_replays () =
+  let build = race_build ~n_c:2 ~n_s:1 in
+  let pids = Pid.all_c 2 in
+  match Exhaustive.run ~build ~pids ~depth:6 ~prop:race_prop_false () with
+  | Exhaustive.Ok _, _ -> Alcotest.fail "expected a counterexample"
+  | Exhaustive.Counterexample cex, _ ->
+    check_bool "replaying the counterexample violates the property" false
+      (Exhaustive.replay_ok ~build ~prop:race_prop_false cex);
+    (match Exhaustive.run ~build ~pids ~depth:6 ~prop:race_prop_false () with
+    | Exhaustive.Counterexample cex', _ ->
+      Alcotest.(check string) "second run reports the same schedule"
+        (verdict_str (Exhaustive.Counterexample cex))
+        (verdict_str (Exhaustive.Counterexample cex'))
+    | Exhaustive.Ok _, _ -> Alcotest.fail "second run found no counterexample")
+
+(* --- the acceptance bar: on the fixed seed config (n_c=2, n_s=2, depth 8,
+       every mode) the incremental engine executes >= 3x fewer steps than the
+       replay baseline, at identical verdict and schedule count --- *)
+
+let test_incremental_speedup () =
+  let build () =
+    let mem = Memory.create () in
+    let sa = Safe_agreement.create mem ~n:2 in
+    let c_code i () =
+      Safe_agreement.propose sa ~me:i (Value.int (100 + i));
+      let rec resolve () =
+        match Safe_agreement.try_resolve sa with
+        | Some v -> Runtime.Op.decide v
+        | None -> resolve ()
+      in
+      resolve ()
+    in
+    mk_ns ~n_c:2 ~n_s:2 mem c_code
+  in
+  let prop rt =
+    match (Runtime.decision rt 0, Runtime.decision rt 1) with
+    | Some a, Some b -> Value.equal a b
+    | _ -> true
+  in
+  let pids = Pid.all ~n_c:2 ~n_s:2 in
+  let base_v, base_st = Exhaustive.run_replay ~build ~pids ~depth:8 ~prop () in
+  let inc_v, inc_st = Exhaustive.run ~build ~pids ~depth:8 ~prop () in
+  Alcotest.(check string) "identical verdict and count" (verdict_str base_v)
+    (verdict_str inc_v);
+  check_bool
+    (Fmt.str "steps %d >= 3x steps %d" base_st.Exhaustive.steps_executed
+       inc_st.Exhaustive.steps_executed)
+    true
+    (base_st.Exhaustive.steps_executed
+    >= 3 * inc_st.Exhaustive.steps_executed);
+  check_bool "memo observed hits" true (inc_st.Exhaustive.memo_hits > 0)
+
 let suite =
   [
     Alcotest.test_case "safe agreement (all schedules)" `Slow
@@ -195,4 +352,14 @@ let suite =
     Alcotest.test_case "checker finds violations" `Quick
       test_exhaustive_finds_violations;
     Alcotest.test_case "splitter (all schedules)" `Slow test_splitter_exhaustive;
+    Alcotest.test_case "engines agree (differential grid)" `Quick
+      test_engines_agree;
+    Alcotest.test_case "engines agree on violations" `Quick
+      test_engines_agree_on_violation;
+    Alcotest.test_case "parallel sharding agrees" `Quick
+      test_parallel_engine_agrees;
+    Alcotest.test_case "counterexamples replay deterministically" `Quick
+      test_counterexample_replays;
+    Alcotest.test_case "incremental engine >= 3x fewer steps" `Quick
+      test_incremental_speedup;
   ]

@@ -275,6 +275,60 @@ let test_runtime_yield () =
   check_bool "decided after yield" true (Runtime.decision rt 0 <> None);
   Runtime.destroy rt
 
+let test_participating_requires_op () =
+  (* A scheduled process whose code performs no operation takes a null step
+     and must NOT count as participating (first_step is set only when an
+     operation executes). *)
+  let mem = Memory.create () in
+  let c_code i () = if i = 0 then () else Runtime.Op.decide (Value.int i) in
+  let rt =
+    Runtime.create (mk_config ~n_c:2 ~n_s:1 mem) ~c_code
+      ~s_code:(fun _ () -> ())
+  in
+  Runtime.step rt (Pid.c 0);
+  check_bool "no-op code does not participate" false (Runtime.participating rt 0);
+  check_bool "no first-step time" true (Runtime.first_step_time rt 0 = None);
+  Alcotest.(check (list int)) "not an undecided participant" []
+    (Runtime.undecided_participants rt);
+  Runtime.step rt (Pid.c 1);
+  check_bool "op-performing code participates" true (Runtime.participating rt 1);
+  check_int "steps_total counts every step call" 2 (Runtime.steps_total rt);
+  Runtime.destroy rt
+
+let test_digest_convergence () =
+  (* Interleavings that commute (ops on distinct registers) digest equal;
+     genuinely different outcomes digest differently. *)
+  let build () =
+    let mem = Memory.create () in
+    let rs = Memory.alloc mem 2 in
+    let c_code i () =
+      Runtime.Op.write rs.(i) (Value.int (10 + i));
+      Runtime.Op.decide (Value.int i)
+    in
+    Runtime.create (mk_config ~n_c:2 ~n_s:1 mem) ~c_code
+      ~s_code:(fun _ () -> ())
+  in
+  let after sched =
+    let rt = build () in
+    List.iter (Runtime.step rt) sched;
+    let d = Runtime.digest rt in
+    Runtime.destroy rt;
+    d
+  in
+  Alcotest.(check string) "commuting writes converge"
+    (after [ Pid.c 0; Pid.c 1 ])
+    (after [ Pid.c 1; Pid.c 0 ]);
+  check_bool "different progress differs" true
+    (after [ Pid.c 0; Pid.c 0 ] <> after [ Pid.c 0; Pid.c 1 ]);
+  (* memory introspection used by the digest *)
+  let mem = Memory.create () in
+  let rs = Memory.alloc mem 2 in
+  Memory.write mem rs.(1) (Value.int 3);
+  let h0 = Memory.hash mem in
+  Alcotest.(check int) "contents length" 2 (Array.length (Memory.contents mem));
+  Memory.write mem rs.(1) (Value.int 4);
+  check_bool "hash tracks contents" true (Memory.hash mem <> h0)
+
 let test_trace_recording () =
   let mem = Memory.create () in
   let r = Memory.alloc1 mem () in
@@ -689,6 +743,9 @@ let suite =
     Alcotest.test_case "snapshot primitive" `Quick test_runtime_snapshot_primitive;
     Alcotest.test_case "determinism" `Quick test_runtime_determinism;
     Alcotest.test_case "yield" `Quick test_runtime_yield;
+    Alcotest.test_case "participation requires an operation" `Quick
+      test_participating_requires_op;
+    Alcotest.test_case "state digest convergence" `Quick test_digest_convergence;
     Alcotest.test_case "trace recording" `Quick test_trace_recording;
     Alcotest.test_case "round robin fair" `Quick test_round_robin_fair;
     Alcotest.test_case "shuffled rounds fair" `Quick test_shuffled_rounds_fair;
