@@ -13,8 +13,53 @@ open Efd
 let seeds n = List.init n (fun i -> i + 1)
 let line () = Fmt.pr "  %s@." (String.make 72 '-')
 
+(* ------------------------------------------------- machine-readable mode *)
+
+(* With --record, every experiment additionally serializes its table through
+   Obs.Bench_record into BENCH_<id>.json (schema "wfa.bench", versioned; see
+   EXPERIMENTS.md). The recorder is threaded through [header] and the driver
+   loop so each experiment body only has to call [Rec.row]. *)
+
+let recording = ref false
+
+module Rec = struct
+  let current : Obs.Bench_record.t option ref = ref None
+
+  let start id ~title =
+    if !recording then current := Some (Obs.Bench_record.create ~id ~title ())
+
+  let meta k v =
+    match !current with None -> () | Some r -> Obs.Bench_record.meta r k v
+
+  let row ?labels metrics =
+    match !current with
+    | None -> ()
+    | Some r -> Obs.Bench_record.row r ?labels metrics
+
+  let finish () =
+    match !current with
+    | None -> ()
+    | Some r ->
+      let path = Obs.Bench_record.write r in
+      Fmt.pr "  [recorded %d rows -> %s]@." (Obs.Bench_record.rows r) path;
+      current := None
+end
+
+let jint i = Obs.Json.Int i
+let jfloat f = Obs.Json.Float f
+let jbool b = Obs.Json.Bool b
+
+let batch_metrics (pass, failed, total, mean) =
+  [
+    ("pass", jint pass);
+    ("failed", jint failed);
+    ("total", jint total);
+    ("mean_steps", jfloat mean);
+  ]
+
 let header id title =
-  Fmt.pr "@.=== %s: %s ===@.@." (String.uppercase_ascii id) title
+  Fmt.pr "@.=== %s: %s ===@.@." (String.uppercase_ascii id) title;
+  Rec.start id ~title
 
 (* mean steps (float, over the passing runs) of a sweep-like loop; the failed
    count rides along so tables can surface it instead of silently averaging
@@ -63,6 +108,7 @@ let e1 () =
           ~env:(Failure.wait_free_env 4)
           ~n_seeds:12 ()
       in
+      Rec.row ~labels:[ ("task", task.Task.task_name) ] (batch_metrics batch);
       Fmt.pr "  %-36s %a@." task.Task.task_name pp_batch batch)
     (Registry.standard ~n:4)
 
@@ -105,6 +151,12 @@ let e2 () =
           ~seeds:(seeds 40) ()
       in
       let solves = pass = total && crafted = None in
+      Rec.row ~labels:[ ("task", name) ]
+        [
+          ("solves", jbool solves);
+          ("expected", jbool expected);
+          ("consistent", jbool (solves = expected));
+        ];
       Fmt.pr "  %-24s %18b %10b%s@." name solves expected
         (if solves = expected then "" else "   <-- MISMATCH"))
     rows
@@ -125,6 +177,9 @@ let e3 () =
           ~env:(Failure.e_t ~n_s ~t)
           ~n_seeds:20 ()
       in
+      Rec.row
+        ~labels:[ ("env", Fmt.str "E_%d" t); ("n_s", string_of_int n_s) ]
+        (batch_metrics batch);
       Fmt.pr "  E_%-12d %-10d %a@." t n_s pp_batch batch)
     [ (2, 1); (3, 2); (4, 3); (5, 4) ]
 
@@ -148,12 +203,15 @@ let e4 () =
   List.iter
     (fun (name, pattern, u) ->
       match pattern with
-      | None -> Fmt.pr "  %-40s %12s@." name "vacuous"
+      | None ->
+        Rec.row ~labels:[ ("case", name) ] [ ("decides", Obs.Json.Null) ];
+        Fmt.pr "  %-40s %12s@." name "vacuous"
       | Some pattern ->
         let task = Set_agreement.make ~u ~n:3 ~k:1 () in
         let rng = Random.State.make [| 5 |] in
         let input = Task.sample_input task rng in
         let r = Run.execute ~task ~algo ~fd ~pattern ~input ~seed:5 () in
+        Rec.row ~labels:[ ("case", name) ] [ ("decides", jbool (Run.ok r)) ];
         Fmt.pr "  %-40s %12b@." name (Run.ok r))
     cases;
   Fmt.pr "@.  EFD run, q1 and q2 crashed, p1 and p2 must still decide:@.";
@@ -162,6 +220,12 @@ let e4 () =
   let rng = Random.State.make [| 5 |] in
   let input = Task.sample_input task rng in
   let r = Run.execute ~budget:150_000 ~task ~algo ~fd ~pattern ~input ~seed:5 () in
+  Rec.row
+    ~labels:[ ("case", "efd q1,q2 crashed") ]
+    [
+      ("decided", jbool r.Run.r_outcome.Schedule.all_decided);
+      ("wait_free", jbool r.Run.r_wait_free);
+    ];
   Fmt.pr "  decided: %b, wait-free: %b  (the task is NOT EFD-solvable with D)@."
     r.Run.r_outcome.Schedule.all_decided r.Run.r_wait_free
 
@@ -182,6 +246,14 @@ let e5 () =
               ~env:(Failure.e_t ~n_s:n ~t:(n - 1))
               ~n_seeds:8 ()
           in
+          Rec.row
+            ~labels:
+              [
+                ("n", string_of_int n);
+                ("k", string_of_int k);
+                ("solver", solver_name);
+              ]
+            (batch_metrics batch);
           Fmt.pr "  %-6d %-4d %-22s %a@." n k solver_name pp_batch batch)
         (("leader-consensus", Ksa.make ~k (), 400_000)
          :: ("machine-consensus", Machine_ksa.make ~k (), 2_000_000)
@@ -214,9 +286,19 @@ let e6 () =
       in
       let passed = List.filter Run.ok results in
       let failed = List.length results - List.length passed in
-      Fmt.pr "  %-6d %-4d %-26s %a@." n k label pp_batch
+      let batch =
         (List.length passed, failed, List.length results,
-         float_mean (fun r -> r.Run.r_steps) passed))
+         float_mean (fun r -> r.Run.r_steps) passed)
+      in
+      Rec.row
+        ~labels:
+          [
+            ("n", string_of_int n);
+            ("k", string_of_int k);
+            ("participants", label);
+          ]
+        (batch_metrics batch);
+      Fmt.pr "  %-6d %-4d %-26s %a@." n k label pp_batch batch)
     [
       (3, 1, "random", 1);
       (4, 2, "random", 1);
@@ -250,6 +332,16 @@ let e7 () =
         Fdlib.Props.anti_omega_k_witnesses pattern result.Extraction.x_outputs
           ~suffix:4_000
       in
+      Rec.row
+        ~labels:
+          [
+            ("k", string_of_int k);
+            ("pattern", Fmt.str "%a" Failure.pp_pattern pattern);
+          ]
+        [
+          ("property", jbool ok);
+          ("witnesses", jint (List.length witnesses));
+        ];
       Fmt.pr "  %-8d %-28s %10b %14s@." k
         (Fmt.str "%a" Failure.pp_pattern pattern)
         ok
@@ -279,6 +371,9 @@ let e8 () =
           ~env:(Failure.e_t ~n_s:task.Task.arity ~t:(task.Task.arity - 1))
           ~n_seeds:4 ()
       in
+      Rec.row
+        ~labels:[ ("task", task.Task.task_name); ("k", string_of_int k) ]
+        (batch_metrics batch);
       Fmt.pr "  %-28s %-4d %a@." task.Task.task_name k pp_batch batch)
     [
       (Set_agreement.make ~n:3 ~k:1 (), 1, Bglib.Fi_algos.adoption);
@@ -296,18 +391,33 @@ let e9 () =
   let all = seeds 500 in
   List.iter
     (fun j ->
+      let labels =
+        [ ("kind", "strong-renaming"); ("j", string_of_int j) ]
+      in
       match Adversary.strong_renaming_witness ~seeds:all ~n:5 ~j () with
       | Some w ->
+        Rec.row ~labels
+          [ ("found", jbool true); ("witness_seed", jint w.Adversary.w_seed) ];
         Fmt.pr "  strong %d-renaming, 2-concurrent: witness at seed %d (%s)@."
           j w.Adversary.w_seed w.Adversary.w_desc;
         Fmt.pr "    output %a@." Tasklib.Vectors.pp w.Adversary.w_report.Run.r_output
-      | None -> Fmt.pr "  strong %d-renaming: NO witness found (unexpected)@." j)
+      | None ->
+        Rec.row ~labels
+          [ ("found", jbool false); ("witness_seed", Obs.Json.Null) ];
+        Fmt.pr "  strong %d-renaming: NO witness found (unexpected)@." j)
     [ 2; 3 ];
   (match Adversary.consensus_reduction_witness ~seeds:all ~n:4 () with
   | Some w ->
+    Rec.row
+      ~labels:[ ("kind", "consensus-reduction") ]
+      [ ("found", jbool true); ("witness_seed", jint w.Adversary.w_seed) ];
     Fmt.pr "  consensus-from-renaming reduction: witness at seed %d (%s)@."
       w.Adversary.w_seed w.Adversary.w_desc
-  | None -> Fmt.pr "  reduction: NO witness found (unexpected)@.");
+  | None ->
+    Rec.row
+      ~labels:[ ("kind", "consensus-reduction") ]
+      [ ("found", jbool false); ("witness_seed", Obs.Json.Null) ];
+    Fmt.pr "  reduction: NO witness found (unexpected)@.");
   let s =
     Run.sweep
       ~policy:(Run.k_concurrent_policy 1)
@@ -317,6 +427,9 @@ let e9 () =
       ~env:(Failure.crash_free 1)
       ~seeds:(seeds 20) ()
   in
+  Rec.row
+    ~labels:[ ("kind", "control-1-concurrent") ]
+    [ ("pass", jint s.Run.passed); ("total", jint s.Run.total) ];
   Fmt.pr "  control: strong 3-renaming 1-concurrently: %d/%d ok@." s.Run.passed
     s.Run.total
 
@@ -355,9 +468,20 @@ let e10 () =
       Fmt.pr "  %4d |" j;
       List.iter
         (fun k ->
-          if k > j then Fmt.pr "    -"
+          let labels = [ ("j", string_of_int j); ("k", string_of_int k) ] in
+          if k > j then begin
+            Rec.row ~labels
+              [ ("max_name", Obs.Json.Null); ("violation", jbool false) ];
+            Fmt.pr "    -"
+          end
           else
             let m = max_name ~j ~k in
+            Rec.row ~labels
+              [
+                ("max_name", if m = max_int then Obs.Json.Null else jint m);
+                ("violation", jbool (m = max_int));
+                ("bound", jint (j + k - 1));
+              ];
             if m = max_int then Fmt.pr "    !" else Fmt.pr " %4d" m)
         [ 1; 2; 3; 4 ];
       Fmt.pr "@.")
@@ -411,6 +535,9 @@ let e11 () =
               in
               if live_ok then incr pass)
             (seeds 10);
+          Rec.row
+            ~labels:[ ("j", string_of_int j); ("mode", mode) ]
+            [ ("pass", jint !pass); ("total", jint !total) ];
           Fmt.pr "  %-6d %-22s %4d/%-3d@." j mode !pass !total)
         [ ("all live", false, 0); ("one starved @40", true, 40) ])
     [ 3; 4 ]
@@ -420,6 +547,23 @@ let e11 () =
 let e12 () =
   header "e12" "Theorem 10 - the task hierarchy";
   let table = Classifier.table ~seeds_per_level:15 ~n:4 () in
+  List.iter
+    (fun m ->
+      Rec.row
+        ~labels:[ ("task", m.Classifier.m_task_name) ]
+        [
+          ( "expected",
+            Obs.Json.Str
+              (Fmt.str "%a" Registry.pp_expectation m.Classifier.m_expected) );
+          ("weakest_fd", Obs.Json.Str m.Classifier.m_weakest_fd);
+          ("passes_up_to", jint m.Classifier.m_passes_up_to);
+          ( "breaks_at",
+            match m.Classifier.m_breaks_at with
+            | Some k -> jint k
+            | None -> Obs.Json.Null );
+          ("consistent", jbool (Classifier.consistent m));
+        ])
+    table;
   Fmt.pr "%a@.@." Classifier.pp_table table;
   Fmt.pr "  all rows consistent with the paper: %b@."
     (List.for_all Classifier.consistent table)
@@ -511,6 +655,21 @@ let checker () =
           | Exhaustive.Ok n -> string_of_int n
           | Exhaustive.Counterexample _ -> "CEX!"
         in
+        Rec.row
+          ~labels:[ ("config", name); ("engine", label) ]
+          [
+            ( "schedules",
+              match verdict with
+              | Exhaustive.Ok n -> jint n
+              | Exhaustive.Counterexample _ -> Obs.Json.Null );
+            ("counterexample",
+             jbool (match verdict with Exhaustive.Counterexample _ -> true | _ -> false));
+            ("nodes", jint st.Exhaustive.nodes);
+            ("steps_executed", jint st.Exhaustive.steps_executed);
+            ("replays", jint st.Exhaustive.replays);
+            ("memo_hits", jint st.Exhaustive.memo_hits);
+            ("wall_s", jfloat st.Exhaustive.wall_s);
+          ];
         Fmt.pr "    %-26s %10s %10d %10d %8d %10d %8.3fs@." label scheds
           st.Exhaustive.nodes st.Exhaustive.steps_executed
           st.Exhaustive.replays st.Exhaustive.memo_hits st.Exhaustive.wall_s;
@@ -531,9 +690,14 @@ let checker () =
         show "incremental+memo x4 domains"
           (Exhaustive.run ~domains:4 ~memo:true ~mode ~build ~pids ~depth ~prop ())
       in
-      Fmt.pr "    step reduction vs baseline: x%.1f@.@."
-        (float_of_int base.Exhaustive.steps_executed
-        /. float_of_int (max 1 inc.Exhaustive.steps_executed)))
+      let reduction =
+        float_of_int base.Exhaustive.steps_executed
+        /. float_of_int (max 1 inc.Exhaustive.steps_executed)
+      in
+      Rec.row
+        ~labels:[ ("config", name); ("engine", "reduction") ]
+        [ ("step_reduction_vs_baseline", jfloat reduction) ];
+      Fmt.pr "    step reduction vs baseline: x%.1f@.@." reduction)
     configs
 
 (* ------------------------------------------------------- micro-benches *)
@@ -658,6 +822,7 @@ let micro () =
               else if est > 1e3 then Fmt.str "%8.2f us" (est /. 1e3)
               else Fmt.str "%8.0f ns" est
             in
+            Rec.row ~labels:[ ("benchmark", name) ] [ ("ns_per_run", jfloat est) ];
             Fmt.pr "  %-26s %16s@." name pretty
           | _ -> Fmt.pr "  %-26s %16s@." name "n/a")
         stats)
@@ -822,6 +987,103 @@ let ablations () =
       ("two staggered crashes", Failure.pattern ~n_s:4 [ (1, 100); (3, 30) ]);
     ]
 
+(* -------------------------------------------- obs instrumentation cost *)
+
+(* The ?obs acceptance bar: with the hook disabled the instrumented runtime
+   must step at the same rate as before the hook existed (one [option] match
+   per step). Measured against a no-op hook as the noise yardstick: disabled
+   throughput must be at least [floor] of no-op-hook throughput — a real
+   regression in the disabled path would show up as disabled being *slower*
+   than dispatching through a live hook, which no noise can explain. *)
+let obs_overhead () =
+  header "obs" "runtime ?obs hook: step throughput, disabled vs live hooks";
+  let n_c = 4 in
+  let steps = 300_000 in
+  let build ?obs () =
+    let mem = Memory.create () in
+    let regs = Memory.alloc mem n_c in
+    let c_code i () =
+      let rec loop () =
+        Runtime.Op.write regs.(i) (Value.int i);
+        ignore (Runtime.Op.read regs.((i + 1) mod n_c));
+        loop ()
+      in
+      loop ()
+    in
+    Runtime.create ?obs
+      {
+        Runtime.n_c;
+        n_s = 1;
+        memory = mem;
+        pattern = Failure.failure_free 1;
+        history = History.trivial;
+        record_trace = false;
+      }
+      ~c_code
+      ~s_code:(fun _ () -> ())
+  in
+  let throughput ?obs () =
+    (* best-of-5: the max filters scheduler noise out of a rate comparison *)
+    let best = ref 0. in
+    for _ = 1 to 5 do
+      let rt = build ?obs () in
+      let sp = Obs.Span.start () in
+      for t = 0 to steps - 1 do
+        Runtime.step rt (Pid.c (t mod n_c))
+      done;
+      let s = Obs.Span.elapsed_s sp in
+      Runtime.destroy rt;
+      if s > 0. then begin
+        let rate = float_of_int steps /. s in
+        if rate > !best then best := rate
+      end
+    done;
+    !best
+  in
+  let disabled = throughput () in
+  let noop =
+    throughput
+      ~obs:
+        {
+          Runtime.on_sched = (fun _ ~time:_ -> ());
+          on_event = (fun _ ~time:_ _ -> ());
+        }
+      ()
+  in
+  let reg = Obs.Metrics.registry () in
+  let counters = throughput ~obs:(Runtime.obs_counters reg) () in
+  let buf, _events = Obs.Sink.buffer () in
+  let events = throughput ~obs:(Runtime.obs_events buf) () in
+  let floor = 0.7 in
+  let within_noise = disabled >= floor *. noop in
+  let show label rate =
+    Fmt.pr "  %-28s %10.2f Msteps/s (x%.2f vs disabled)@." label (rate /. 1e6)
+      (rate /. disabled)
+  in
+  show "?obs disabled" disabled;
+  show "no-op hook" noop;
+  show "counters hook" counters;
+  show "event-sink hook" events;
+  Fmt.pr "  disabled >= %.1fx no-op hook (no measurable slowdown): %b%s@." floor
+    within_noise
+    (if within_noise then "" else "   <-- REGRESSION");
+  Rec.meta "steps_per_trial" (jint steps);
+  Rec.meta "within_noise" (jbool within_noise);
+  List.iter
+    (fun (variant, rate) ->
+      Rec.row ~labels:[ ("variant", variant) ]
+        [
+          ("steps_per_s", jfloat rate);
+          ("relative_to_disabled", jfloat (rate /. disabled));
+        ])
+    [
+      ("disabled", disabled);
+      ("noop-hook", noop);
+      ("counters-hook", counters);
+      ("event-sink-hook", events);
+    ];
+  assert within_noise
+
 (* -------------------------------------------------------------- driver *)
 
 let all : (string * (unit -> unit)) list =
@@ -829,20 +1091,29 @@ let all : (string * (unit -> unit)) list =
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("ablations", ablations); ("checker", checker);
-    ("micro", micro);
+    ("micro", micro); ("obs", obs_overhead);
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ -> List.map fst all
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--record" then begin
+          recording := true;
+          false
+        end
+        else true)
+      args
   in
+  let requested = match args with [] -> List.map fst all | ids -> ids in
   Fmt.pr "Wait-Freedom with Advice - experiment harness@.";
   List.iter
     (fun id ->
       match List.assoc_opt id all with
-      | Some f -> f ()
+      | Some f ->
+        f ();
+        Rec.finish ()
       | None ->
         Fmt.epr "unknown experiment %S (known: %s)@." id
           (String.concat " " (List.map fst all)))

@@ -35,10 +35,48 @@ let seeds_arg =
 let budget_arg =
   Arg.(value & opt int 400_000 & info [ "budget" ] ~docv:"STEPS" ~doc:"Step budget per run.")
 
+(* --crashes and --policy parse through Arg.conv: a malformed value is a
+   cmdliner parse error (usage + clean nonzero exit), not an escaping
+   exception with a backtrace. *)
+
+let crashes_conv : (int * int) list Arg.conv =
+  let parse s =
+    if s = "" then Ok []
+    else
+      let item it =
+        let err () =
+          Error
+            (`Msg
+               (Fmt.str "invalid crash %S, expected I:T (0-based index, time)"
+                  it))
+        in
+        match String.split_on_char ':' it with
+        | [ i; t ] -> (
+          match (int_of_string_opt i, int_of_string_opt t) with
+          | Some i, Some t when i >= 0 && t >= 0 -> Ok (i, t)
+          | _ -> err ())
+        | _ -> err ()
+      in
+      List.fold_left
+        (fun acc it ->
+          match (acc, item it) with
+          | Error e, _ -> Error e
+          | _, Error e -> Error e
+          | Ok l, Ok c -> Ok (l @ [ c ]))
+        (Ok [])
+        (String.split_on_char ',' s)
+  in
+  let print ppf l =
+    Fmt.pf ppf "%a"
+      Fmt.(list ~sep:(any ",") (pair ~sep:(any ":") int int))
+      l
+  in
+  Arg.conv (parse, print)
+
 let crashes_arg =
   Arg.(
     value
-    & opt string ""
+    & opt crashes_conv []
     & info [ "crashes" ] ~docv:"I:T,I:T"
         ~doc:"Crash S-process qI+1 at time T (comma-separated, 0-based indices).")
 
@@ -60,32 +98,68 @@ let fd_arg =
         `Vector
     & info [ "fd" ] ~docv:"FD" ~doc:"Failure detector: omega | vector | silent | trivial | perfect.")
 
+type policy_spec = Fair | Kconc of int | Uniform of int
+
+let policy_conv : policy_spec Arg.conv =
+  let parse s =
+    let conc kind k =
+      match int_of_string_opt k with
+      | Some k when k >= 1 -> Ok (kind k)
+      | _ -> Error (`Msg (Fmt.str "invalid concurrency %S, expected K >= 1" k))
+    in
+    match String.split_on_char ':' s with
+    | [ "fair" ] -> Ok Fair
+    | [ "kconc"; k ] -> conc (fun k -> Kconc k) k
+    | [ "uniform"; k ] -> conc (fun k -> Uniform k) k
+    | _ ->
+      Error
+        (`Msg
+           (Fmt.str "invalid policy %S, expected fair | kconc:K | uniform:K" s))
+  in
+  let print ppf = function
+    | Fair -> Fmt.string ppf "fair"
+    | Kconc k -> Fmt.pf ppf "kconc:%d" k
+    | Uniform k -> Fmt.pf ppf "uniform:%d" k
+  in
+  Arg.conv (parse, print)
+
 let policy_arg =
   Arg.(
     value
-    & opt string "fair"
+    & opt policy_conv Fair
     & info [ "policy" ] ~docv:"POLICY" ~doc:"Schedule: fair | kconc:K | uniform:K.")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc:"Also write the result as JSON to $(docv).")
 
 (* ------------------------------------------------------------- helpers *)
 
-let parse_crashes ~n_s s =
-  if s = "" then Failure.failure_free n_s
-  else
-    let crashes =
-      String.split_on_char ',' s
-      |> List.map (fun item ->
-             match String.split_on_char ':' item with
-             | [ i; t ] -> (int_of_string i, int_of_string t)
-             | _ -> Fmt.failwith "bad --crashes item %S (want I:T)" item)
-    in
-    Failure.pattern ~n_s crashes
+let policy_of_spec = function
+  | Fair -> Run.fair_policy
+  | Kconc k -> Run.k_concurrent_policy k
+  | Uniform k -> Run.k_concurrent_uniform_policy k
 
-let parse_policy s =
-  match String.split_on_char ':' s with
-  | [ "fair" ] -> Run.fair_policy
-  | [ "kconc"; k ] -> Run.k_concurrent_policy (int_of_string k)
-  | [ "uniform"; k ] -> Run.k_concurrent_uniform_policy (int_of_string k)
-  | _ -> Fmt.failwith "bad --policy %S (want fair | kconc:K | uniform:K)" s
+(* Range-checking a crash index needs [n_s], known only at run time: report
+   cleanly on stderr and exit nonzero without a backtrace. *)
+let with_pattern ~n_s crashes f =
+  match List.find_opt (fun (i, _) -> i >= n_s) crashes with
+  | Some (i, _) ->
+    Fmt.epr "wfa: --crashes index %d out of range (S-processes: 0..%d)@." i
+      (n_s - 1);
+    2
+  | None ->
+    f
+      (if crashes = [] then Failure.failure_free n_s
+       else Failure.pattern ~n_s crashes)
+
+let write_json path json =
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string_pretty json);
+  close_out oc;
+  Fmt.pr "wrote %s@." path
 
 let build_task kind ~n ~k ~j ~l =
   match kind with
@@ -115,22 +189,28 @@ let build_fd kind ~k =
 
 (* ------------------------------------------------------------ commands *)
 
-let solve task_kind fd_kind policy n k j l seed budget crashes =
+let solve task_kind fd_kind policy n k j l seed budget crashes json =
   let task = build_task task_kind ~n ~k ~j ~l in
   let algo = build_algo task_kind task ~k in
   let fd = build_fd fd_kind ~k in
-  let pattern = parse_crashes ~n_s:n crashes in
-  let rng = Random.State.make [| seed |] in
-  let input = Task.sample_input task rng in
-  let r =
-    Run.execute ~budget ~policy:(parse_policy policy) ~task ~algo ~fd ~pattern
-      ~input ~seed ()
-  in
-  Fmt.pr "task     %s@.algo     %s@.fd       %s@.pattern  %a@.%a@.verdict  %s@."
-    task.Task.task_name algo.Algorithm.algo_name (Fdlib.Fd.name fd)
-    Failure.pp_pattern pattern Run.pp_report r
-    (if Run.ok r then "OK" else "FAILED");
-  if Run.ok r then 0 else 1
+  with_pattern ~n_s:n crashes (fun pattern ->
+      let rng = Random.State.make [| seed |] in
+      let input = Task.sample_input task rng in
+      let r =
+        Run.execute ~budget ~policy:(policy_of_spec policy) ~task ~algo ~fd
+          ~pattern ~input ~seed ()
+      in
+      Fmt.pr
+        "task     %s@.algo     %s@.fd       %s@.pattern  %a@.%a@.verdict  %s@."
+        task.Task.task_name algo.Algorithm.algo_name (Fdlib.Fd.name fd)
+        Failure.pp_pattern pattern Run.pp_report r
+        (if Run.ok r then "OK" else "FAILED");
+      Option.iter
+        (fun path ->
+          write_json path
+            (Run.report_json ~labels:(Run.labels ~task ~algo ~fd ~seed) r))
+        json;
+      if Run.ok r then 0 else 1)
 
 let classify n seeds =
   let table = Classifier.table ~seeds_per_level:seeds ~n () in
@@ -166,7 +246,7 @@ let witness kind n j seeds explain =
     1
 
 let extract n k seed crashes =
-  let pattern = parse_crashes ~n_s:n crashes in
+  with_pattern ~n_s:n crashes @@ fun pattern ->
   let task = Set_agreement.make ~n ~k () in
   let algo = Ksa.make ~max_rounds:128 ~k () in
   let fd = Fdlib.Leader_fds.vector_omega_k_silent ~max_stab:25 ~k () in
@@ -194,7 +274,7 @@ let extract n k seed crashes =
   if ok then 0 else 1
 
 let emulate n seed crashes budget =
-  let pattern = parse_crashes ~n_s:n crashes in
+  with_pattern ~n_s:n crashes @@ fun pattern ->
   let result =
     Emulation.run ~budget
       ~fd:(Fdlib.Classic.eventually_strong ~max_stab:60 ())
@@ -252,6 +332,113 @@ let modelcheck depth =
       cex;
     1
 
+(* A fast, machine-readable slice of the bench suite (the full tables live
+   in bench/main.exe --record): an E1-style batch, an E5-style batch and a
+   low-depth exhaustive-engine comparison, serialized as one wfa.bench
+   record. *)
+let bench json =
+  let record =
+    Obs.Bench_record.create ~id:"smoke"
+      ~title:"wfa bench smoke: 1-concurrent, ksa, exhaustive engines" ()
+  in
+  let failures = ref 0 in
+  let batch ~section ~policy ~task ~algo ~fd ~env ~n_seeds () =
+    let results =
+      List.init n_seeds (fun i ->
+          let seed = i + 1 in
+          let rng = Random.State.make [| seed; 0xbe |] in
+          let pattern = env.Failure.sample rng ~horizon:2_000 in
+          let input = Task.sample_input task rng in
+          Run.execute ~policy ~task ~algo ~fd ~pattern ~input ~seed ())
+    in
+    let pass = List.length (List.filter Run.ok results) in
+    let total = List.length results in
+    if pass < total then incr failures;
+    Obs.Bench_record.row record
+      ~labels:
+        [
+          ("section", section);
+          ("task", task.Task.task_name);
+          ("fd", Fdlib.Fd.name fd);
+        ]
+      [ ("pass", Obs.Json.Int pass); ("total", Obs.Json.Int total) ];
+    Fmt.pr "%-16s %-28s %d/%d@." section task.Task.task_name pass total
+  in
+  let consensus = Set_agreement.consensus ~n:3 () in
+  batch ~section:"1-concurrent"
+    ~policy:(Run.k_concurrent_policy 1)
+    ~task:consensus
+    ~algo:(One_concurrent.make consensus)
+    ~fd:Fdlib.Fd.trivial
+    ~env:(Failure.wait_free_env 3) ~n_seeds:4 ();
+  let ksa = Set_agreement.make ~n:3 ~k:1 () in
+  batch ~section:"ksa" ~policy:Run.fair_policy ~task:ksa
+    ~algo:(Ksa.make ~k:1 ())
+    ~fd:(Fdlib.Leader_fds.vector_omega_k ~max_stab:40 ~k:1 ())
+    ~env:(Failure.e_t ~n_s:3 ~t:2)
+    ~n_seeds:4 ();
+  (* low-depth checker comparison: replay baseline vs incremental+memo *)
+  let build () =
+    let mem = Memory.create () in
+    let sa = Bglib.Safe_agreement.create mem ~n:2 in
+    let c_code i () =
+      Bglib.Safe_agreement.propose sa ~me:i (Value.int (100 + i));
+      let rec resolve () =
+        match Bglib.Safe_agreement.try_resolve sa with
+        | Some v -> Runtime.Op.decide v
+        | None -> resolve ()
+      in
+      resolve ()
+    in
+    Runtime.create
+      {
+        Runtime.n_c = 2;
+        n_s = 1;
+        memory = mem;
+        pattern = Failure.failure_free 1;
+        history = History.trivial;
+        record_trace = false;
+      }
+      ~c_code
+      ~s_code:(fun _ () -> ())
+  in
+  let prop rt =
+    match (Runtime.decision rt 0, Runtime.decision rt 1) with
+    | Some a, Some b -> Value.equal a b
+    | _ -> true
+  in
+  let pids = [ Pid.c 0; Pid.c 1 ] in
+  let engine label run =
+    let verdict, st = run () in
+    let ok = match verdict with Exhaustive.Ok _ -> true | _ -> false in
+    if not ok then incr failures;
+    Obs.Bench_record.row record
+      ~labels:[ ("section", "checker"); ("engine", label) ]
+      [
+        ( "schedules",
+          match verdict with
+          | Exhaustive.Ok n -> Obs.Json.Int n
+          | Exhaustive.Counterexample _ -> Obs.Json.Null );
+        ("steps_executed", Obs.Json.Int st.Exhaustive.steps_executed);
+        ("memo_hits", Obs.Json.Int st.Exhaustive.memo_hits);
+      ];
+    Fmt.pr "%-16s %-28s %d steps@." "checker" label
+      st.Exhaustive.steps_executed
+  in
+  engine "replay-baseline" (fun () ->
+      Exhaustive.run_replay ~build ~pids ~depth:6 ~prop ());
+  engine "incremental-memo" (fun () ->
+      Exhaustive.run ~memo:true ~build ~pids ~depth:6 ~prop ());
+  let path =
+    match json with
+    | Some p ->
+      write_json p (Obs.Bench_record.to_json record);
+      p
+    | None -> Obs.Bench_record.write record
+  in
+  Fmt.pr "recorded %d rows -> %s@." (Obs.Bench_record.rows record) path;
+  if !failures = 0 then 0 else 1
+
 (* ---------------------------------------------------------------- main *)
 
 let solve_cmd =
@@ -260,7 +447,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc)
     Term.(
       const solve $ task_arg $ fd_arg $ policy_arg $ n_arg $ k_arg $ j_arg
-      $ l_arg $ seed_arg $ budget_arg $ crashes_arg)
+      $ l_arg $ seed_arg $ budget_arg $ crashes_arg $ json_arg)
 
 let classify_cmd =
   let doc = "Measure the task hierarchy (Theorem 10)." in
@@ -305,6 +492,12 @@ let modelcheck_cmd =
     Term.(const modelcheck
           $ Arg.(value & opt int 10 & info [ "depth" ] ~docv:"DEPTH" ~doc:"Schedule depth."))
 
+let bench_cmd =
+  let doc =
+    "Run the bench smoke suite and record it as a wfa.bench JSON file."
+  in
+  Cmd.v (Cmd.info "bench" ~doc) Term.(const bench $ json_arg)
+
 let () =
   let doc = "Wait-Freedom with Advice (PODC 2012) — executable model" in
   let info = Cmd.info "wfa" ~version:"1.0.0" ~doc in
@@ -312,4 +505,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ solve_cmd; classify_cmd; witness_cmd; extract_cmd; emulate_cmd;
-            modelcheck_cmd ]))
+            modelcheck_cmd; bench_cmd ]))

@@ -20,17 +20,44 @@ let describe r =
     "some participant never decided"
   else "wait-freedom violated"
 
-let search ?budget ?(policy = Run.fair_policy) ~task ~algo ~fd ~env ~seeds () =
+let witness_json ?(labels = []) w =
+  Obs.Json.Obj
+    [
+      ("labels", Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Str v)) labels));
+      ("seed", Obs.Json.Int w.w_seed);
+      ("desc", Obs.Json.Str w.w_desc);
+      ("pattern", Obs.Json.Str (Fmt.str "%a" Failure.pp_pattern w.w_pattern));
+      ("report", Run.report_json w.w_report);
+    ]
+
+let search ?budget ?(policy = Run.fair_policy) ?sink ~task ~algo ~fd ~env
+    ~seeds () =
+  let emit ev fields =
+    match sink with
+    | None -> ()
+    | Some sink ->
+      let tags =
+        List.map
+          (fun (k, v) -> (k, Obs.Json.Str v))
+          (Run.labels ~task ~algo ~fd ~seed:0)
+        |> List.remove_assoc "seed"
+      in
+      Obs.Sink.emit sink (Obs.Event.make ev (tags @ fields))
+  in
+  let tried = ref 0 in
   let rec go = function
-    | [] -> None
+    | [] ->
+      emit "adversary.exhausted" [ ("seeds_tried", Obs.Json.Int !tried) ];
+      None
     | seed :: rest ->
+      incr tried;
       let rng = Random.State.make [| seed; 0xadef |] in
       let pattern = env.Failure.sample rng ~horizon:2_000 in
       let input = Task.sample_input task rng in
       let r = Run.execute ?budget ~policy ~task ~algo ~fd ~pattern ~input ~seed () in
       if Run.ok r then go rest
-      else
-        Some
+      else begin
+        let w =
           {
             w_seed = seed;
             w_desc = describe r;
@@ -38,6 +65,15 @@ let search ?budget ?(policy = Run.fair_policy) ~task ~algo ~fd ~env ~seeds () =
             w_pattern = pattern;
             w_input = input;
           }
+        in
+        emit "adversary.witness"
+          [
+            ("seed", Obs.Json.Int seed);
+            ("seeds_tried", Obs.Json.Int !tried);
+            ("desc", Obs.Json.Str w.w_desc);
+          ];
+        Some w
+      end
   in
   go seeds
 
@@ -84,18 +120,20 @@ let consensus_via_strong_renaming () =
 
 let default_seeds = List.init 60 (fun i -> i + 1)
 
-let strong_renaming_witness ?(seeds = default_seeds) ~n ~j () =
+let strong_renaming_witness ?(seeds = default_seeds) ?sink ~n ~j () =
   search
     ~policy:(Run.k_concurrent_uniform_policy 2)
+    ?sink
     ~task:(Tasklib.Renaming.strong ~n ~j)
     ~algo:(Renaming_algos.fig4 ())
     ~fd:Fdlib.Fd.trivial
     ~env:(Failure.crash_free 1)
     ~seeds ()
 
-let consensus_reduction_witness ?(seeds = default_seeds) ~n () =
+let consensus_reduction_witness ?(seeds = default_seeds) ?sink ~n () =
   search
     ~policy:(Run.k_concurrent_uniform_policy 2)
+    ?sink
     ~task:(Tasklib.Set_agreement.make ~u:[ 0; 1 ] ~n ~k:1 ())
     ~algo:(consensus_via_strong_renaming ())
     ~fd:Fdlib.Fd.trivial

@@ -30,6 +30,7 @@ val explain :
 val search :
   ?budget:int ->
   ?policy:Run.policy_factory ->
+  ?sink:Obs.Sink.t ->
   task:Tasklib.Task.t ->
   algo:Algorithm.t ->
   fd:Fdlib.Fd.t ->
@@ -38,7 +39,15 @@ val search :
   unit ->
   witness option
 (** First seed whose run fails ({!Run.ok} is false). Samples a pattern from
-    [env] and a maximal input per seed. *)
+    [env] and a maximal input per seed. With [?sink], the search emits
+    structured events tagged with the run's task/algo/fd labels:
+    [adversary.witness] (with the winning seed, seeds tried and the
+    violation description) when one is found, [adversary.exhausted]
+    otherwise. *)
+
+val witness_json : ?labels:(string * string) list -> witness -> Obs.Json.t
+(** Machine-readable witness: seed, description, pattern and the full
+    {!Run.report_json}, tagged with [?labels]. *)
 
 val consensus_via_strong_renaming : unit -> Algorithm.t
 (** The Lemma-11 reduction: two processes solve consensus from a strong
@@ -49,12 +58,12 @@ val consensus_via_strong_renaming : unit -> Algorithm.t
     consensus ⇒ strong 2-renaming (both 2-concurrently unsolvable). *)
 
 val strong_renaming_witness :
-  ?seeds:int list -> n:int -> j:int -> unit -> witness option
+  ?seeds:int list -> ?sink:Obs.Sink.t -> n:int -> j:int -> unit -> witness option
 (** Theorem 12 witness: Figure 4 run as a strong-renaming solver (ℓ = j)
     under 2-concurrent schedules — searches for a run that leaves the name
     range or duplicates a name. *)
 
 val consensus_reduction_witness :
-  ?seeds:int list -> n:int -> unit -> witness option
+  ?seeds:int list -> ?sink:Obs.Sink.t -> n:int -> unit -> witness option
 (** Lemma 11 witness: the reduction algorithm under 2-concurrent schedules —
     searches for an agreement/validity violation or non-termination. *)

@@ -58,7 +58,7 @@ let pp_report ppf r =
     r.r_outcome.Schedule.all_decided r.r_task_ok r.r_wait_free r.r_max_conc
 
 let execute ?(budget = 400_000) ?(min_scheds = 2_000) ?(record_trace = false)
-    ?(policy = fair_policy) ~task ~algo ~fd ~pattern ~input ~seed () =
+    ?(policy = fair_policy) ?obs ~task ~algo ~fd ~pattern ~input ~seed () =
   let n_c = task.Task.arity in
   let n_s = pattern.Failure.n_s in
   if Array.length input <> n_c then invalid_arg "Run.execute: input arity";
@@ -76,7 +76,7 @@ let execute ?(budget = 400_000) ?(min_scheds = 2_000) ?(record_trace = false)
   let s_code i () = inst.Algorithm.s_run i in
   let history = Fdlib.Fd.draw fd pattern ~seed in
   let rt =
-    Runtime.create
+    Runtime.create ?obs
       { Runtime.n_c; n_s; memory = mem; pattern; history; record_trace }
       ~c_code ~s_code
   in
@@ -114,6 +114,31 @@ let execute ?(budget = 400_000) ?(min_scheds = 2_000) ?(record_trace = false)
   in
   Runtime.destroy rt;
   report
+
+(* ----------------------------------------------- structured reporting *)
+
+let labels ~task ~algo ~fd ~seed =
+  [
+    ("task", task.Task.task_name);
+    ("algo", algo.Algorithm.algo_name);
+    ("fd", Fdlib.Fd.name fd);
+    ("seed", string_of_int seed);
+  ]
+
+let report_json ?(labels = []) r =
+  Obs.Json.Obj
+    [
+      ("labels", Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Str v)) labels));
+      ("input", Obs.Json.Str (Fmt.str "%a" Vectors.pp r.r_input));
+      ("output", Obs.Json.Str (Fmt.str "%a" Vectors.pp r.r_output));
+      ("steps", Obs.Json.Int r.r_steps);
+      ("all_decided", Obs.Json.Bool r.r_outcome.Schedule.all_decided);
+      ("task_ok", Obs.Json.Bool r.r_task_ok);
+      ("wait_free", Obs.Json.Bool r.r_wait_free);
+      ("max_concurrency", Obs.Json.Int r.r_max_conc);
+      ("min_s_scheds", Obs.Json.Int r.r_min_s_scheds);
+      ("ok", Obs.Json.Bool (ok r));
+    ]
 
 type sweep = { total : int; passed : int; failures : string list }
 

@@ -46,6 +46,7 @@ val execute :
   ?min_scheds:int ->
   ?record_trace:bool ->
   ?policy:policy_factory ->
+  ?obs:Simkit.Runtime.obs ->
   task:Tasklib.Task.t ->
   algo:Algorithm.t ->
   fd:Fdlib.Fd.t ->
@@ -57,7 +58,19 @@ val execute :
 (** One run. [seed] determines the failure-detector history draw and the
     schedule randomness. [budget] (default 400_000) bounds total steps;
     [min_scheds] (default 2_000) is the wait-freedom threshold: a
-    participant scheduled at least that often must have decided. *)
+    participant scheduled at least that often must have decided.
+    [?obs] installs a {!Simkit.Runtime.obs} instrumentation hook on the
+    run's runtime (counters / structured events; disabled and free when
+    omitted). *)
+
+val labels : task:Tasklib.Task.t -> algo:Algorithm.t -> fd:Fdlib.Fd.t ->
+  seed:int -> (string * string) list
+(** The canonical label set tagging one run: task, algo, fd, seed. *)
+
+val report_json : ?labels:(string * string) list -> report -> Obs.Json.t
+(** The report's machine-readable face (verdicts, steps, concurrency;
+    input/output rendered as strings), tagged with [?labels] — pair with
+    {!labels} for the standard tagging. *)
 
 type sweep = { total : int; passed : int; failures : string list }
 

@@ -1,0 +1,53 @@
+type row = { r_labels : (string * string) list; r_metrics : (string * Json.t) list }
+
+type t = {
+  b_id : string;
+  b_title : string;
+  mutable b_meta : (string * Json.t) list;  (* insertion order *)
+  mutable b_rows : row list;  (* reverse insertion order *)
+}
+
+let schema_name = "wfa.bench"
+let schema_version = 1
+
+let create ~id ?(title = "") () =
+  { b_id = id; b_title = title; b_meta = []; b_rows = [] }
+
+let id t = t.b_id
+
+let meta t k v =
+  if List.mem_assoc k t.b_meta then
+    t.b_meta <- List.map (fun (k', v') -> if k' = k then (k, v) else (k', v')) t.b_meta
+  else t.b_meta <- t.b_meta @ [ (k, v) ]
+
+let row t ?(labels = []) metrics =
+  t.b_rows <- { r_labels = labels; r_metrics = metrics } :: t.b_rows
+
+let rows t = List.length t.b_rows
+
+let row_json r =
+  Json.Obj
+    [
+      ("labels", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) r.r_labels));
+      ("metrics", Json.Obj r.r_metrics);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema_name);
+      ("version", Json.Int schema_version);
+      ("id", Json.Str t.b_id);
+      ("title", Json.Str t.b_title);
+      ("meta", Json.Obj t.b_meta);
+      ("rows", Json.List (List.rev_map row_json t.b_rows));
+    ]
+
+let filename ~id = "BENCH_" ^ id ^ ".json"
+
+let write ?(dir = ".") t =
+  let path = Filename.concat dir (filename ~id:t.b_id) in
+  let oc = open_out path in
+  output_string oc (Json.to_string_pretty (to_json t));
+  close_out oc;
+  path

@@ -1,0 +1,51 @@
+(** Machine-readable bench records: [BENCH_<id>.json].
+
+    One record per experiment table. The schema is versioned and stable so
+    CI can diff performance trajectories across commits:
+
+    {v
+    {
+      "schema": "wfa.bench",          // constant discriminator
+      "version": 1,                   // bumped on breaking change
+      "id": "e5",                     // experiment id; file is BENCH_e5.json
+      "title": "...",                 // human title, may be ""
+      "meta": { ... },                // free-form record-level fields
+      "rows": [                       // one per printed table row
+        { "labels":  { "task": "...", ... },   // string dimensions
+          "metrics": { "pass": 12, ... } }     // numeric/JSON measurements
+      ]
+    }
+    v}
+
+    Rows, labels, metrics and meta fields serialize in insertion order;
+    given deterministic inputs (fixed seeds, no wall-clock metrics) the
+    bytes are identical across runs — the golden test relies on that. *)
+
+type t
+
+val schema_name : string
+(** ["wfa.bench"]. *)
+
+val schema_version : int
+(** [1]. *)
+
+val create : id:string -> ?title:string -> unit -> t
+
+val id : t -> string
+
+val meta : t -> string -> Json.t -> unit
+(** Add (or overwrite, keeping position) a record-level meta field. *)
+
+val row : t -> ?labels:(string * string) list -> (string * Json.t) list -> unit
+(** Append one row. *)
+
+val rows : t -> int
+
+val to_json : t -> Json.t
+
+val filename : id:string -> string
+(** ["BENCH_<id>.json"]. *)
+
+val write : ?dir:string -> t -> string
+(** Serialize ({!Json.to_string_pretty}) to [dir/BENCH_<id>.json]
+    (default [dir] = current directory); returns the path written. *)

@@ -1,0 +1,19 @@
+(** Monotonic time.
+
+    [gettimeofday] is wall time: it jumps when NTP slews or steps the
+    system clock, so durations measured with it can come out negative or
+    wildly wrong. Everything in [obs] that measures time (spans, bench
+    records, the exhaustive checker's [wall_s]) goes through this module,
+    which reads [CLOCK_MONOTONIC] via a one-line C stub. The epoch is
+    arbitrary (boot time on Linux): only differences are meaningful. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock, arbitrary epoch. *)
+
+val elapsed_ns : since:int64 -> int64
+(** [elapsed_ns ~since] is [now_ns () - since]; never negative. *)
+
+val elapsed_s : since:int64 -> float
+(** Same, in seconds. *)
+
+val ns_to_s : int64 -> float

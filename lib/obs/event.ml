@@ -1,0 +1,11 @@
+type t = { name : string; fields : (string * Json.t) list }
+
+let make name fields = { name; fields }
+
+let equal a b =
+  String.equal a.name b.name
+  && Json.equal (Json.Obj a.fields) (Json.Obj b.fields)
+
+let to_json e = Json.Obj (("ev", Json.Str e.name) :: e.fields)
+let to_line e = Json.to_string (to_json e)
+let pp ppf e = Format.pp_print_string ppf (to_line e)

@@ -1,0 +1,21 @@
+(** Structured events: a name plus ordered JSON fields.
+
+    Events deliberately carry no wall-clock timestamp of their own:
+    simulation runs are deterministic, and an event stream that is a pure
+    function of the run diffs cleanly across machines and replays (the
+    live-emitted and trace-bridged streams of the same run compare equal).
+    Emitters that want real time attach a field explicitly. *)
+
+type t = { name : string; fields : (string * Json.t) list }
+
+val make : string -> (string * Json.t) list -> t
+val equal : t -> t -> bool
+
+val to_json : t -> Json.t
+(** An object with ["ev"] first, then the fields in order. *)
+
+val to_line : t -> string
+(** One line of JSON, no trailing newline — the JSON-lines encoding used
+    by the stdout/file sinks. *)
+
+val pp : Format.formatter -> t -> unit

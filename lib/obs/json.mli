@@ -1,0 +1,55 @@
+(** A hand-rolled JSON tree, writer and reader — no new dependencies.
+
+    Everything [obs] serializes (events, metric dumps, bench records) goes
+    through this one representation, so machine consumers see one dialect:
+    UTF-8, escaped control characters, non-finite floats encoded as [null]
+    (JSON has no representation for them), object fields in insertion
+    order (output is deterministic — goldens diff cleanly). The reader
+    exists so the test suite and CI can check that everything the library
+    emits parses back ({!of_string} ∘ {!to_string} = identity on the
+    emitted subset). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val equal : t -> t -> bool
+
+(** {1 Writing} *)
+
+val to_string : t -> string
+(** Compact, single line. *)
+
+val to_string_pretty : t -> string
+(** 2-space indentation, trailing newline — the format of the
+    [BENCH_*.json] files. *)
+
+val to_buffer : Buffer.t -> t -> unit
+val pp : Format.formatter -> t -> unit
+(** [pp] prints the compact form. *)
+
+val escape_string : string -> string
+(** The quoted, escaped form of a string literal, quotes included. *)
+
+(** {1 Reading} *)
+
+val of_string : string -> (t, string) result
+(** Strict parser for the dialect above (standard JSON; numbers without
+    [.], [e] or leading signs beyond [-] parse as [Int]). The error string
+    carries a character offset. *)
+
+(** {1 Accessors (for tests and small consumers)} *)
+
+val member : string -> t -> t option
+(** Field of an [Obj], [None] otherwise. *)
+
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+(** [Int]s widen to float. *)
+
+val to_string_opt : t -> string option

@@ -1,0 +1,192 @@
+type labels = (string * string) list
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  gamma : float;
+  log_gamma : float;
+  buckets : (int, int ref) Hashtbl.t;  (* bucket index -> count *)
+  mutable nonpos : int;  (* observations <= 0 *)
+  mutable nonpos_min : float;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type metric =
+  | M_counter of counter
+  | M_gauge of gauge
+  | M_histogram of histogram
+
+type entry = { e_name : string; e_labels : labels; e_metric : metric }
+
+type registry = {
+  by_key : (string, entry) Hashtbl.t;
+  mutable order : entry list;  (* reverse creation order *)
+}
+
+let registry () = { by_key = Hashtbl.create 64; order = [] }
+
+let key name labels =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf name;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf '\000';
+      Buffer.add_string buf k;
+      Buffer.add_char buf '\001';
+      Buffer.add_string buf v)
+    labels;
+  Buffer.contents buf
+
+let find_or_add reg name labels mk classify =
+  let k = key name labels in
+  match Hashtbl.find_opt reg.by_key k with
+  | Some e -> (
+    match classify e.e_metric with
+    | Some m -> m
+    | None -> invalid_arg (Printf.sprintf "Obs.Metrics: %S registered with another type" name))
+  | None ->
+    let m = mk () in
+    let e = { e_name = name; e_labels = labels; e_metric = m } in
+    Hashtbl.add reg.by_key k e;
+    reg.order <- e :: reg.order;
+    (match classify m with Some m -> m | None -> assert false)
+
+let counter reg ?(labels = []) name =
+  find_or_add reg name labels
+    (fun () -> M_counter { c = 0 })
+    (function M_counter c -> Some c | _ -> None)
+
+let incr ?(by = 1) c =
+  if by < 0 then invalid_arg "Obs.Metrics.incr: negative increment";
+  c.c <- c.c + by
+
+let counter_value c = c.c
+
+let gauge reg ?(labels = []) name =
+  find_or_add reg name labels
+    (fun () -> M_gauge { g = 0. })
+    (function M_gauge g -> Some g | _ -> None)
+
+let set g v = g.g <- v
+let gauge_value g = g.g
+
+let histogram reg ?(labels = []) ?(gamma = 1.25) name =
+  if not (gamma > 1.) then invalid_arg "Obs.Metrics.histogram: gamma <= 1";
+  find_or_add reg name labels
+    (fun () ->
+      M_histogram
+        {
+          gamma;
+          log_gamma = log gamma;
+          buckets = Hashtbl.create 32;
+          nonpos = 0;
+          nonpos_min = 0.;
+          h_count = 0;
+          h_sum = 0.;
+          h_min = Float.nan;
+          h_max = Float.nan;
+        })
+    (function M_histogram h -> Some h | _ -> None)
+
+let bucket_idx h v = int_of_float (Float.floor (log v /. h.log_gamma))
+
+let observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if Float.is_nan h.h_min || v < h.h_min then h.h_min <- v;
+  if Float.is_nan h.h_max || v > h.h_max then h.h_max <- v;
+  if v > 0. then begin
+    let i = bucket_idx h v in
+    match Hashtbl.find_opt h.buckets i with
+    | Some r -> r := !r + 1
+    | None -> Hashtbl.add h.buckets i (ref 1)
+  end
+  else begin
+    h.nonpos <- h.nonpos + 1;
+    if v < h.nonpos_min then h.nonpos_min <- v
+  end
+
+let hist_count h = h.h_count
+let hist_sum h = h.h_sum
+let hist_min h = h.h_min
+let hist_max h = h.h_max
+
+(* The bucket (as a closed [lo, hi] interval) containing the sample of the
+   given 1-based rank, clipped to the observed min/max. *)
+let rank_bucket h rank =
+  if h.nonpos >= rank then (h.nonpos_min, 0.)
+  else begin
+    let idxs =
+      Hashtbl.fold (fun i _ acc -> i :: acc) h.buckets []
+      |> List.sort compare
+    in
+    let rec walk cum = function
+      | [] ->
+        (* rank <= h_count, so the walk always lands in a bucket *)
+        assert false
+      | i :: rest ->
+        let cum = cum + !(Hashtbl.find h.buckets i) in
+        if cum >= rank then
+          (h.gamma ** float_of_int i, h.gamma ** float_of_int (i + 1))
+        else walk cum rest
+    in
+    let lo, hi = walk h.nonpos idxs in
+    (* bucket-edge float error: a sample can land a hair outside its
+       recomputed bounds, so widen by one ulp-ish factor before clipping *)
+    let lo = lo *. (1. -. 1e-12) and hi = hi *. (1. +. 1e-12) in
+    (max lo h.h_min, min hi h.h_max)
+  end
+
+let exact_rank h q =
+  let r = int_of_float (Float.ceil (q *. float_of_int h.h_count)) in
+  max 1 (min h.h_count r)
+
+let quantile_bounds h q =
+  if h.h_count = 0 then (Float.nan, Float.nan)
+  else rank_bucket h (exact_rank h q)
+
+let quantile h q =
+  if h.h_count = 0 then Float.nan
+  else
+    let lo, hi = quantile_bounds h q in
+    if lo > 0. then sqrt (lo *. hi) else (lo +. hi) /. 2.
+
+(* ---------------------------------------------------------------- export *)
+
+let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let entry_json e =
+  let base = [ ("name", Json.Str e.e_name); ("labels", labels_json e.e_labels) ] in
+  let rest =
+    match e.e_metric with
+    | M_counter c -> [ ("type", Json.Str "counter"); ("value", Json.Int c.c) ]
+    | M_gauge g -> [ ("type", Json.Str "gauge"); ("value", Json.Float g.g) ]
+    | M_histogram h ->
+      [
+        ("type", Json.Str "histogram");
+        ("count", Json.Int h.h_count);
+        ("sum", Json.Float h.h_sum);
+        ("min", Json.Float h.h_min);
+        ("max", Json.Float h.h_max);
+        ("p50", Json.Float (quantile h 0.5));
+        ("p90", Json.Float (quantile h 0.9));
+        ("p99", Json.Float (quantile h 0.99));
+      ]
+  in
+  Json.Obj (base @ rest)
+
+let to_json reg =
+  Json.Obj
+    [ ("metrics", Json.List (List.rev_map entry_json reg.order)) ]
+
+let iter_counters reg f =
+  List.iter
+    (fun e ->
+      match e.e_metric with
+      | M_counter c -> f e.e_name e.e_labels c.c
+      | _ -> ())
+    (List.rev reg.order)

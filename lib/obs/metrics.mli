@@ -1,0 +1,72 @@
+(** Labeled metrics: counters, gauges, quantile histograms in a registry.
+
+    A registry is an in-process, deterministic metric store: metrics are
+    keyed by (name, labels), created on first touch, and serialized in
+    creation order (same program, same JSON — dumps are diffable).
+    Histograms use geometric buckets with growth factor [gamma]
+    (default 1.25): a quantile estimate is accurate to within one bucket,
+    and {!quantile_bounds} returns that bucket, so callers who need error
+    bars get sound ones rather than a point estimate of unknown quality.
+    Not thread-safe; use one registry per domain (as the exhaustive
+    checker uses one accumulator per worker). *)
+
+type registry
+type counter
+type gauge
+type histogram
+
+type labels = (string * string) list
+(** Ordered; part of the metric identity, serialized in the given order. *)
+
+val registry : unit -> registry
+
+(** {1 Counters} — monotone integers *)
+
+val counter : registry -> ?labels:labels -> string -> counter
+(** Get or create. Same (name, labels) returns the same counter. *)
+
+val incr : ?by:int -> counter -> unit
+(** [by] defaults to 1 and must be non-negative. *)
+
+val counter_value : counter -> int
+
+(** {1 Gauges} — set-to-current-value floats *)
+
+val gauge : registry -> ?labels:labels -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms} *)
+
+val histogram : registry -> ?labels:labels -> ?gamma:float -> string -> histogram
+(** [gamma] (> 1, default 1.25) is the bucket growth factor, fixed at
+    creation: positive observations land in buckets
+    [[gamma^i, gamma^(i+1))]; non-positive ones share one underflow
+    bucket. *)
+
+val observe : histogram -> float -> unit
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val hist_min : histogram -> float
+(** [nan] when empty, likewise {!hist_max}. *)
+
+val hist_max : histogram -> float
+
+val quantile_bounds : histogram -> float -> float * float
+(** [quantile_bounds h q] for [q ∈ \[0,1\]]: a closed interval (one
+    bucket, clipped to the observed min/max) guaranteed to contain the
+    exact q-quantile of the observed samples — where the exact
+    q-quantile of [count] sorted samples is the one of rank
+    [max 1 (ceil (q * count))]. [(nan, nan)] when empty. *)
+
+val quantile : histogram -> float -> float
+(** Point estimate: the midpoint (geometric for positive buckets) of
+    {!quantile_bounds}. *)
+
+(** {1 Export} *)
+
+val to_json : registry -> Json.t
+(** [{"metrics": [{"name", "labels", "type", ...} ...]}] in creation
+    order. Histograms carry count/sum/min/max and p50/p90/p99. *)
+
+val iter_counters : registry -> (string -> labels -> int -> unit) -> unit

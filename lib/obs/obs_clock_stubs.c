@@ -1,0 +1,22 @@
+/* Monotonic clock for Obs.Clock: CLOCK_MONOTONIC nanoseconds.
+
+   gettimeofday (the only clock in OCaml's Unix) is wall time and jumps
+   under NTP adjustment; benchmark and span measurements need a clock that
+   only moves forward. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value obs_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+#if defined(CLOCK_MONOTONIC)
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  (void)unit;
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000LL +
+                         (int64_t)ts.tv_nsec);
+}

@@ -1,0 +1,20 @@
+type t = { sp_name : string; start_ns : int64 }
+
+let start ?(name = "span") () = { sp_name = name; start_ns = Clock.now_ns () }
+let name t = t.sp_name
+let elapsed_ns t = Clock.elapsed_ns ~since:t.start_ns
+let elapsed_s t = Clock.elapsed_s ~since:t.start_ns
+
+let finish ?sink t =
+  let s = elapsed_s t in
+  (match sink with
+  | None -> ()
+  | Some sink ->
+    Sink.emit sink
+      (Event.make "span" [ ("name", Json.Str t.sp_name); ("s", Json.Float s) ]));
+  s
+
+let timed ?name ?sink f =
+  let sp = start ?name () in
+  let x = f () in
+  (x, finish ?sink sp)

@@ -1,0 +1,23 @@
+(** Monotonic-clock spans: measure a duration, optionally emit it.
+
+    [let sp = Span.start ~name:"e5" () in ... Span.finish sp] — the
+    elapsed time comes from {!Clock}, so it never goes backwards under
+    NTP adjustment. *)
+
+type t
+
+val start : ?name:string -> unit -> t
+(** Default name ["span"]. *)
+
+val name : t -> string
+
+val elapsed_ns : t -> int64
+val elapsed_s : t -> float
+(** Elapsed so far; the span keeps running. *)
+
+val finish : ?sink:Sink.t -> t -> float
+(** Elapsed seconds. With [?sink], also emits an event
+    [{"ev":"span","name":<name>,"s":<seconds>}]. *)
+
+val timed : ?name:string -> ?sink:Sink.t -> (unit -> 'a) -> 'a * float
+(** Run a thunk under a fresh span; returns (result, seconds). *)

@@ -15,6 +15,26 @@ let pp_stats ppf s =
     "nodes %d, steps %d, replays %d, builds %d, memo-hits %d, %.3fs"
     s.nodes s.steps_executed s.replays s.runtimes_built s.memo_hits s.wall_s
 
+let stats_json s =
+  Obs.Json.Obj
+    [
+      ("nodes", Obs.Json.Int s.nodes);
+      ("steps_executed", Obs.Json.Int s.steps_executed);
+      ("replays", Obs.Json.Int s.replays);
+      ("runtimes_built", Obs.Json.Int s.runtimes_built);
+      ("memo_hits", Obs.Json.Int s.memo_hits);
+      ("wall_s", Obs.Json.Float s.wall_s);
+    ]
+
+let record_stats ?(labels = []) reg s =
+  let c name v = Obs.Metrics.incr ~by:v (Obs.Metrics.counter reg ~labels name) in
+  c "exhaustive.nodes" s.nodes;
+  c "exhaustive.steps_executed" s.steps_executed;
+  c "exhaustive.replays" s.replays;
+  c "exhaustive.runtimes_built" s.runtimes_built;
+  c "exhaustive.memo_hits" s.memo_hits;
+  Obs.Metrics.set (Obs.Metrics.gauge reg ~labels "exhaustive.wall_s") s.wall_s
+
 (* Mutable per-worker accumulator; summed into a [stats] after the run. *)
 type acc = {
   mutable a_nodes : int;
@@ -153,7 +173,7 @@ let explore ~build ~pids ~depth ~prop ~mode ~memo ~cancelled ~tops acc =
 
 let run ?(domains = 1) ?(memo = true) ?(mode = Every) ~build ~pids ~depth
     ~prop () =
-  let t0 = Unix.gettimeofday () in
+  let sp = Obs.Span.start ~name:"exhaustive.run" () in
   let n_tops = List.length pids in
   let n_workers = max 1 (min domains n_tops) in
   let verdict, accs =
@@ -222,7 +242,7 @@ let run ?(domains = 1) ?(memo = true) ?(mode = Every) ~build ~pids ~depth
         Array.to_list accs )
     end
   in
-  (verdict, stats_of ~wall_s:(Unix.gettimeofday () -. t0) accs)
+  (verdict, stats_of ~wall_s:(Obs.Span.elapsed_s sp) accs)
 
 (* ------------------------------------------------------------------ *)
 (* The replay-from-scratch baseline — the pre-incremental engine, kept (with
@@ -230,7 +250,7 @@ let run ?(domains = 1) ?(memo = true) ?(mode = Every) ~build ~pids ~depth
    yardstick. *)
 
 let run_replay ?(mode = Every) ~build ~pids ~depth ~prop () =
-  let t0 = Unix.gettimeofday () in
+  let sp = Obs.Span.start ~name:"exhaustive.run_replay" () in
   let acc = fresh_acc () in
   let every = mode = Every in
   let replay sched =
@@ -276,7 +296,7 @@ let run_replay ?(mode = Every) ~build ~pids ~depth ~prop () =
     | Some cex -> Counterexample cex
     | None -> Ok acc.a_count
   in
-  (verdict, stats_of ~wall_s:(Unix.gettimeofday () -. t0) [ acc ])
+  (verdict, stats_of ~wall_s:(Obs.Span.elapsed_s sp) [ acc ])
 
 (* ------------------------------------------------------------------ *)
 

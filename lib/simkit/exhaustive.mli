@@ -43,10 +43,20 @@ type stats = {
   replays : int;  (** rebuild-and-replay events (backtracks / baseline runs) *)
   runtimes_built : int;  (** calls to [build] *)
   memo_hits : int;  (** subtrees skipped via the state-fingerprint memo *)
-  wall_s : float;  (** wall-clock seconds for the whole check *)
+  wall_s : float;  (** elapsed seconds ({!Obs.Clock}, monotonic) for the check *)
 }
 
 val pp_stats : Format.formatter -> stats -> unit
+
+val stats_json : stats -> Obs.Json.t
+(** The record as a JSON object, field names as above. *)
+
+val record_stats : ?labels:(string * string) list -> Obs.Metrics.registry -> stats -> unit
+(** Export into a metric registry: counters [exhaustive.nodes],
+    [exhaustive.steps_executed], [exhaustive.replays],
+    [exhaustive.runtimes_built], [exhaustive.memo_hits] (incremented, so
+    repeated checks accumulate) and gauge [exhaustive.wall_s], all under
+    [?labels]. *)
 
 val run :
   ?domains:int ->

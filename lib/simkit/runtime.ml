@@ -52,6 +52,49 @@ type config = {
   record_trace : bool;
 }
 
+type obs = {
+  on_sched : Pid.t -> time:int -> unit;
+  on_event : Pid.t -> time:int -> Trace.event -> unit;
+}
+
+let obs_merge hooks =
+  {
+    on_sched = (fun pid ~time -> List.iter (fun o -> o.on_sched pid ~time) hooks);
+    on_event =
+      (fun pid ~time ev -> List.iter (fun o -> o.on_event pid ~time ev) hooks);
+  }
+
+let obs_events sink =
+  {
+    on_sched = (fun _ ~time:_ -> ());
+    on_event =
+      (fun pid ~time ev -> Obs.Sink.emit sink (Trace.event_to_obs ~time ~pid ev));
+  }
+
+let obs_counters reg =
+  (* counters are looked up once here, not per event *)
+  let c name = Obs.Metrics.counter reg name in
+  let scheds = c "runtime.scheds"
+  and reads = c "runtime.reads"
+  and writes = c "runtime.writes"
+  and snapshots = c "runtime.snapshots"
+  and queries = c "runtime.queries"
+  and decides = c "runtime.decides"
+  and nulls = c "runtime.nulls" in
+  {
+    on_sched = (fun _ ~time:_ -> Obs.Metrics.incr scheds);
+    on_event =
+      (fun _ ~time:_ ev ->
+        Obs.Metrics.incr
+          (match ev with
+          | Trace.Read _ -> reads
+          | Trace.Write _ -> writes
+          | Trace.Snapshot _ -> snapshots
+          | Trace.Query _ -> queries
+          | Trace.Decide _ -> decides
+          | Trace.Null -> nulls));
+  }
+
 type t = {
   cfg : config;
   c_procs : pstate array;
@@ -59,9 +102,10 @@ type t = {
   mutable now : int;
   mutable steps_total : int;
   tr : Trace.t;
+  obs : obs option;
 }
 
-let create cfg ~c_code ~s_code =
+let create ?obs cfg ~c_code ~s_code =
   if cfg.pattern.Failure.n_s <> cfg.n_s then
     invalid_arg "Runtime.create: pattern size mismatch";
   let mk pid code =
@@ -85,6 +129,7 @@ let create cfg ~c_code ~s_code =
     now = 0;
     steps_total = 0;
     tr = Trace.create ~enabled:cfg.record_trace;
+    obs;
   }
 
 let proc t = function
@@ -127,7 +172,11 @@ let run_under (p : pstate) (f : unit -> unit) : unit =
           | _ -> None);
     }
 
-let record t p ev = Trace.record t.tr ~time:t.now ~pid:p.pid ev
+let record t p ev =
+  Trace.record t.tr ~time:t.now ~pid:p.pid ev;
+  match t.obs with
+  | None -> ()
+  | Some o -> o.on_event p.pid ~time:t.now ev
 
 (* Per-process observation hash: folds in each executed operation together
    with its result. Process code is deterministic and interacts with the
@@ -185,6 +234,7 @@ let step t pid =
   let p = proc t pid in
   p.scheds <- p.scheds + 1;
   t.steps_total <- t.steps_total + 1;
+  (match t.obs with None -> () | Some o -> o.on_sched pid ~time:t.now);
   let alive =
     match pid with
     | Pid.C _ -> true

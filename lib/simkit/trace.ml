@@ -66,3 +66,29 @@ let pp ppf t =
   iter t (fun e ->
       if !first then first := false else Fmt.pf ppf "@\n";
       pp_entry ppf e)
+
+(* --------------------------------------------- structured-event export *)
+
+let value_json v = Obs.Json.Str (Fmt.str "%a" Value.pp v)
+
+let event_to_obs ~time ~pid event =
+  let base = [ ("t", Obs.Json.Int time); ("pid", Obs.Json.Str (Pid.to_string pid)) ] in
+  let op kind extra = base @ (("op", Obs.Json.Str kind) :: extra) in
+  let fields =
+    match event with
+    | Read (r, v) -> op "read" [ ("reg", Obs.Json.Int r); ("value", value_json v) ]
+    | Write (r, v) -> op "write" [ ("reg", Obs.Json.Int r); ("value", value_json v) ]
+    | Snapshot rs ->
+      op "snapshot"
+        [ ("regs", Obs.Json.List (Array.to_list (Array.map (fun r -> Obs.Json.Int r) rs))) ]
+    | Query v -> op "query" [ ("value", value_json v) ]
+    | Decide v -> op "decide" [ ("value", value_json v) ]
+    | Null -> op "null" []
+  in
+  Obs.Event.make "step" fields
+
+let to_events t =
+  List.map (fun e -> event_to_obs ~time:e.time ~pid:e.pid e.event) (entries t)
+
+let emit t sink =
+  iter t (fun e -> Obs.Sink.emit sink (event_to_obs ~time:e.time ~pid:e.pid e.event))

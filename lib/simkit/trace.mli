@@ -31,3 +31,19 @@ val steps_of : t -> Pid.t -> entry list
 
 val pp_entry : Format.formatter -> entry -> unit
 val pp : Format.formatter -> t -> unit
+
+(** {1 Structured-event export}
+
+    Bridge into {!Obs}: the canonical event encoding of a step, shared by
+    the live {!Runtime} instrumentation hook and the post-hoc export of a
+    recorded trace — the two streams of the same run compare equal. *)
+
+val event_to_obs : time:int -> pid:Pid.t -> event -> Obs.Event.t
+(** [{"ev":"step","t":time,"pid":"p1","op":"write","reg":3,"value":"7"}] —
+    [reg]/[regs]/[value] fields appear as applicable per event kind. *)
+
+val to_events : t -> Obs.Event.t list
+(** The whole recorded trace, chronological. *)
+
+val emit : t -> Obs.Sink.t -> unit
+(** Stream the recorded trace through a sink (post-hoc replay export). *)

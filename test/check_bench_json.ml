@@ -1,0 +1,75 @@
+(* Standalone validator for wfa.bench files: CI runs it over the recorded
+   BENCH_*.json artifacts and fails the build on invalid JSON or a record
+   that does not match the documented schema (EXPERIMENTS.md).
+
+   $ check_bench_json.exe BENCH_e1.json BENCH_e5.json ...                  *)
+
+let errors = ref 0
+
+let err path fmt =
+  Fmt.kstr
+    (fun msg ->
+      incr errors;
+      Fmt.epr "%s: %s@." path msg)
+    fmt
+
+let check_row path i row =
+  match row with
+  | Obs.Json.Obj fields ->
+    (match List.assoc_opt "labels" fields with
+    | Some (Obs.Json.Obj labels) ->
+      if
+        List.exists
+          (fun (_, v) -> match v with Obs.Json.Str _ -> false | _ -> true)
+          labels
+      then err path "row %d: non-string label value" i
+    | Some _ -> err path "row %d: labels is not an object" i
+    | None -> err path "row %d: missing labels" i);
+    (match List.assoc_opt "metrics" fields with
+    | Some (Obs.Json.Obj _) -> ()
+    | Some _ -> err path "row %d: metrics is not an object" i
+    | None -> err path "row %d: missing metrics" i)
+  | _ -> err path "row %d: not an object" i
+
+let check path =
+  let before = !errors in
+  match
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  with
+  | exception Sys_error e -> err path "unreadable: %s" e
+  | contents -> (
+    match Obs.Json.of_string contents with
+    | Error e -> err path "invalid JSON: %s" e
+    | Ok json ->
+      let str field =
+        Obs.Json.member field json |> Fun.flip Option.bind Obs.Json.to_string_opt
+      in
+      let int field =
+        Obs.Json.member field json |> Fun.flip Option.bind Obs.Json.to_int_opt
+      in
+      if str "schema" <> Some Obs.Bench_record.schema_name then
+        err path "schema is not %S" Obs.Bench_record.schema_name;
+      (match int "version" with
+      | Some v when v >= 1 && v <= Obs.Bench_record.schema_version -> ()
+      | Some v -> err path "unsupported version %d" v
+      | None -> err path "missing version");
+      (match str "id" with
+      | Some id when id <> "" -> ()
+      | _ -> err path "missing or empty id");
+      (match Obs.Json.member "rows" json with
+      | Some (Obs.Json.List rows) -> List.iteri (check_row path) rows
+      | Some _ -> err path "rows is not a list"
+      | None -> err path "missing rows");
+      if !errors = before then Fmt.pr "%s: ok@." path)
+
+let () =
+  let paths = List.tl (Array.to_list Sys.argv) in
+  if paths = [] then begin
+    Fmt.epr "usage: check_bench_json FILE.json ...@.";
+    exit 2
+  end;
+  List.iter check paths;
+  exit (if !errors > 0 then 1 else 0)

@@ -16,5 +16,6 @@ let () =
       ("efd-substrates", Test_efd_substrates.suite);
       ("closing", Test_closing.suite);
       ("exhaustive", Test_exhaustive.suite);
+      ("obs", Test_obs.suite);
       ("properties", Test_properties.suite);
     ]
