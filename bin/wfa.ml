@@ -245,6 +245,61 @@ let witness kind n j seeds explain =
     Fmt.pr "no witness found in %d seeds@." (List.length seeds);
     1
 
+let fuzz kind n j seed trials domains do_shrink explain json =
+  let target =
+    match kind with
+    | `Strong_renaming -> Adversary.strong_renaming_target ~n ~j
+    | `Consensus_reduction -> Adversary.consensus_reduction_target ~n
+  in
+  let res = Adversary.fuzz_target ~domains ~seed ~budget:trials target () in
+  Fmt.pr "target   %s@.trials   %d/%d (%d domain%s, %.3fs, %.0f seeds/s)@."
+    target.Adversary.t_name res.Adversary.f_trials res.Adversary.f_budget
+    res.Adversary.f_domains
+    (if res.Adversary.f_domains = 1 then "" else "s")
+    res.Adversary.f_wall_s
+    (float_of_int res.Adversary.f_trials /. Float.max 1e-9 res.Adversary.f_wall_s);
+  match res.Adversary.f_witness with
+  | None ->
+    Fmt.pr "no witness found in %d trials@." res.Adversary.f_trials;
+    Option.iter
+      (fun path ->
+        write_json path
+          (Obs.Json.Obj [ ("fuzz", Adversary.fuzz_result_json res) ]))
+      json;
+    1
+  | Some w ->
+    Fmt.pr "trial    %d@.%a@." (Option.get res.Adversary.f_trial)
+      Adversary.pp_witness w;
+    let shrunk =
+      if not do_shrink then None
+      else begin
+        let w', sh = Adversary.shrink_target target w in
+        Fmt.pr "shrink   %a@.%a@." Adversary.pp_shrink_report sh
+          Adversary.pp_witness w';
+        Some (w', sh)
+      end
+    in
+    if explain then begin
+      let w = match shrunk with Some (w', _) -> w' | None -> w in
+      Adversary.explain_target target w Fmt.stdout;
+      Fmt.pr "@."
+    end;
+    Option.iter
+      (fun path ->
+        write_json path
+          (Obs.Json.Obj
+             (("fuzz", Adversary.fuzz_result_json res)
+             ::
+             (match shrunk with
+             | None -> []
+             | Some (w', sh) ->
+               [
+                 ("shrunk", Adversary.witness_json w');
+                 ("shrink", Adversary.shrink_report_json sh);
+               ]))))
+      json;
+    0
+
 let extract n k seed crashes =
   with_pattern ~n_s:n crashes @@ fun pattern ->
   let task = Set_agreement.make ~n ~k () in
@@ -472,6 +527,30 @@ let witness_cmd =
           $ Arg.(value & opt int 500 & info [ "seeds" ] ~docv:"COUNT" ~doc:"Seeds to try.")
           $ Arg.(value & flag & info [ "explain" ] ~doc:"Replay the witness with tracing and print the violating interleaving."))
 
+let fuzz_cmd =
+  let doc =
+    "Domain-parallel randomized fuzzing for an impossibility witness, with \
+     optional delta-debugging shrinking."
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(
+      const fuzz $ witness_kind_arg $ n_arg $ j_arg $ seed_arg
+      $ Arg.(value & opt int 2_000
+             & info [ "budget" ] ~docv:"TRIALS" ~doc:"Fuzz trials to run.")
+      $ Arg.(value & opt int 1
+             & info [ "domains" ] ~docv:"D"
+                 ~doc:"Worker domains (the witness is identical for any D).")
+      $ Arg.(value & flag
+             & info [ "shrink" ]
+                 ~doc:"Minimize the witness (crashes, schedule, inputs) by \
+                       delta debugging.")
+      $ Arg.(value & flag
+             & info [ "explain" ]
+                 ~doc:"Replay the (shrunk) witness with tracing and print \
+                       the violating interleaving.")
+      $ json_arg)
+
 let extract_cmd =
   let doc = "Extract anti-Omega-k from a detector solving k-set agreement (Theorem 8)." in
   Cmd.v
@@ -504,5 +583,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ solve_cmd; classify_cmd; witness_cmd; extract_cmd; emulate_cmd;
-            modelcheck_cmd; bench_cmd ]))
+          [ solve_cmd; classify_cmd; witness_cmd; fuzz_cmd; extract_cmd;
+            emulate_cmd; modelcheck_cmd; bench_cmd ]))

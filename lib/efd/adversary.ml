@@ -1,4 +1,5 @@
 module Failure = Simkit.Failure
+module Sprng = Simkit.Sprng
 module Op = Simkit.Runtime.Op
 module Task = Tasklib.Task
 
@@ -8,17 +9,24 @@ type witness = {
   w_report : Run.report;
   w_pattern : Failure.pattern;
   w_input : Tasklib.Vectors.t;
+  w_budget : int option;
+  w_shrink_steps : int;
 }
 
 let pp_witness ppf w =
-  Fmt.pf ppf "@[<v>witness (seed %d): %s@,%a@]" w.w_seed w.w_desc Run.pp_report
-    w.w_report
+  Fmt.pf ppf "@[<v>witness (seed %d%s): %s@,%a@]" w.w_seed
+    (if w.w_shrink_steps = 0 then ""
+     else Fmt.str ", shrunk x%d" w.w_shrink_steps)
+    w.w_desc Run.pp_report w.w_report
 
 let describe r =
-  if not r.Run.r_task_ok then "task relation violated"
-  else if not r.Run.r_outcome.Simkit.Schedule.all_decided then
-    "some participant never decided"
-  else "wait-freedom violated"
+  match Run.violation_of_report r with
+  | Some v -> Run.violation_desc v
+  | None -> "no violation"
+
+let sched_len w = w.w_report.Run.r_steps
+let crash_count w = Failure.num_faulty w.w_pattern
+let input_count w = Tasklib.Vectors.count w.w_input
 
 let witness_json ?(labels = []) w =
   Obs.Json.Obj
@@ -27,27 +35,50 @@ let witness_json ?(labels = []) w =
       ("seed", Obs.Json.Int w.w_seed);
       ("desc", Obs.Json.Str w.w_desc);
       ("pattern", Obs.Json.Str (Fmt.str "%a" Failure.pp_pattern w.w_pattern));
+      ("crashes", Obs.Json.Int (crash_count w));
+      ("schedule_steps", Obs.Json.Int (sched_len w));
+      ("input_participants", Obs.Json.Int (input_count w));
+      ( "budget",
+        match w.w_budget with Some b -> Obs.Json.Int b | None -> Obs.Json.Null );
+      ("shrink_steps", Obs.Json.Int w.w_shrink_steps);
       ("report", Run.report_json w.w_report);
     ]
 
+(* tag events with the run's task/algo/fd labels, seed label dropped (the
+   seed is a per-event field where it matters) *)
+let emit_via sink ~task ~algo ~fd ev fields =
+  match sink with
+  | None -> ()
+  | Some sink ->
+    let tags =
+      List.map
+        (fun (k, v) -> (k, Obs.Json.Str v))
+        (Run.labels ~task ~algo ~fd ~seed:0)
+      |> List.remove_assoc "seed"
+    in
+    Obs.Sink.emit sink (Obs.Event.make ev (tags @ fields))
+
 let search ?budget ?(policy = Run.fair_policy) ?sink ~task ~algo ~fd ~env
     ~seeds () =
-  let emit ev fields =
-    match sink with
-    | None -> ()
-    | Some sink ->
-      let tags =
-        List.map
-          (fun (k, v) -> (k, Obs.Json.Str v))
-          (Run.labels ~task ~algo ~fd ~seed:0)
-        |> List.remove_assoc "seed"
-      in
-      Obs.Sink.emit sink (Obs.Event.make ev (tags @ fields))
+  let emit = emit_via sink ~task ~algo ~fd in
+  (* dedupe, keeping first-occurrence order: a duplicated seed would re-run
+     the identical trial and inflate the reported attempt count *)
+  let seen = Hashtbl.create 16 in
+  let seeds =
+    List.filter
+      (fun s ->
+        if Hashtbl.mem seen s then false
+        else begin
+          Hashtbl.add seen s ();
+          true
+        end)
+      seeds
   in
   let tried = ref 0 in
   let rec go = function
     | [] ->
-      emit "adversary.exhausted" [ ("seeds_tried", Obs.Json.Int !tried) ];
+      emit Obs.Event.Name.adversary_exhausted
+        [ ("seeds_tried", Obs.Json.Int !tried) ];
       None
     | seed :: rest ->
       incr tried;
@@ -64,9 +95,11 @@ let search ?budget ?(policy = Run.fair_policy) ?sink ~task ~algo ~fd ~env
             w_report = r;
             w_pattern = pattern;
             w_input = input;
+            w_budget = budget;
+            w_shrink_steps = 0;
           }
         in
-        emit "adversary.witness"
+        emit Obs.Event.Name.adversary_witness
           [
             ("seed", Obs.Json.Int seed);
             ("seeds_tried", Obs.Json.Int !tried);
@@ -79,6 +112,7 @@ let search ?budget ?(policy = Run.fair_policy) ?sink ~task ~algo ~fd ~env
 
 let explain ?budget ?(policy = Run.fair_policy) ?(last = 40) ~task ~algo ~fd w
     ppf =
+  let budget = match budget with Some _ as b -> b | None -> w.w_budget in
   let r =
     Run.execute ?budget ~record_trace:true ~policy ~task ~algo ~fd
       ~pattern:w.w_pattern ~input:w.w_input ~seed:w.w_seed ()
@@ -92,6 +126,267 @@ let explain ?budget ?(policy = Run.fair_policy) ?(last = 40) ~task ~algo ~fd w
       if i >= total - last then Fmt.pf ppf "  %a@," Simkit.Trace.pp_entry e)
     entries;
   Fmt.pf ppf "@]"
+
+(* ------------------------------------------------------------ the fuzzer *)
+
+type fuzz_result = {
+  f_witness : witness option;
+  f_trial : int option;
+  f_trials : int;
+  f_budget : int;
+  f_domains : int;
+  f_witnesses : int;
+  f_wall_s : float;
+}
+
+let fuzz_result_json r =
+  Obs.Json.Obj
+    [
+      ("found", Obs.Json.Bool (r.f_witness <> None));
+      ( "trial",
+        match r.f_trial with Some t -> Obs.Json.Int t | None -> Obs.Json.Null );
+      ("trials", Obs.Json.Int r.f_trials);
+      ("budget", Obs.Json.Int r.f_budget);
+      ("domains", Obs.Json.Int r.f_domains);
+      ("witnesses", Obs.Json.Int r.f_witnesses);
+      ("wall_s", Obs.Json.Float r.f_wall_s);
+      ( "witness",
+        match r.f_witness with
+        | Some w -> witness_json w
+        | None -> Obs.Json.Null );
+    ]
+
+(* Trial [i] is a pure function of (root seed, i): its PRNG stream is
+   derived with {!Sprng.stream}, never from domain-local state, so the
+   outcome is identical no matter which domain runs it or how many domains
+   exist. Domain [d] of [n] owns the trial indices congruent to [d] mod
+   [n] — a static, disjoint split of the seed space. *)
+let fuzz_trial ~root ~run_budget ~policy ~horizon ~task ~algo ~fd ~env i =
+  let st = Sprng.stream root i in
+  let run_seed = Sprng.next st in
+  let rng = Sprng.to_random_state st in
+  let pattern = env.Failure.sample rng ~horizon in
+  let input = Task.sample_input task rng in
+  let r =
+    Run.execute ?budget:run_budget ~policy ~task ~algo ~fd ~pattern ~input
+      ~seed:run_seed ()
+  in
+  if Run.ok r then None
+  else
+    Some
+      {
+        w_seed = run_seed;
+        w_desc = describe r;
+        w_report = r;
+        w_pattern = pattern;
+        w_input = input;
+        w_budget = run_budget;
+        w_shrink_steps = 0;
+      }
+
+let fuzz ?(domains = 1) ?(exhaust = false) ?run_budget
+    ?(policy = Run.fair_policy) ?(horizon = 2_000) ?sink ~seed ~budget ~task
+    ~algo ~fd ~env () =
+  if budget < 0 then invalid_arg "Adversary.fuzz: negative budget";
+  let sp = Obs.Span.start ~name:"adversary.fuzz" () in
+  let emit = emit_via sink ~task ~algo ~fd in
+  let root = Sprng.make seed in
+  let trial = fuzz_trial ~root ~run_budget ~policy ~horizon ~task ~algo ~fd ~env in
+  let n_workers = max 1 (min domains (max 1 budget)) in
+  (* Lowest witness trial index found so far, across domains. A domain may
+     stop as soon as its next index exceeds it: every trial below the
+     current best still runs, so the final winner is the globally minimal
+     violating index — the same trial a 1-domain scan would stop at. *)
+  let best = Atomic.make max_int in
+  let rec lower i =
+    let cur = Atomic.get best in
+    if i < cur && not (Atomic.compare_and_set best cur i) then lower i
+  in
+  let worker d () =
+    let found = ref [] in
+    let executed = ref 0 in
+    let i = ref d in
+    while
+      !i < budget && (exhaust || Atomic.get best > !i)
+    do
+      incr executed;
+      (match trial !i with
+      | Some w ->
+        found := (!i, w) :: !found;
+        lower !i
+      | None -> ());
+      i := !i + n_workers
+    done;
+    (List.rev !found, !executed)
+  in
+  let results =
+    if n_workers = 1 then [ worker 0 () ]
+    else
+      Array.init n_workers (fun d -> Domain.spawn (worker d))
+      |> Array.map Domain.join |> Array.to_list
+  in
+  let witnesses = List.concat_map fst results in
+  let trials = List.fold_left (fun n (_, e) -> n + e) 0 results in
+  let winner =
+    List.fold_left
+      (fun acc (i, w) ->
+        match acc with
+        | Some (j, _) when j <= i -> acc
+        | _ -> Some (i, w))
+      None witnesses
+  in
+  let result =
+    {
+      f_witness = Option.map snd winner;
+      f_trial = Option.map fst winner;
+      f_trials = trials;
+      f_budget = budget;
+      f_domains = n_workers;
+      f_witnesses = List.length witnesses;
+      f_wall_s = Obs.Span.elapsed_s sp;
+    }
+  in
+  (match winner with
+  | Some (i, w) ->
+    emit Obs.Event.Name.adversary_fuzz_witness
+      [
+        ("trial", Obs.Json.Int i);
+        ("seed", Obs.Json.Int w.w_seed);
+        ("trials", Obs.Json.Int trials);
+        ("domains", Obs.Json.Int n_workers);
+        ("desc", Obs.Json.Str w.w_desc);
+      ]
+  | None ->
+    emit Obs.Event.Name.adversary_fuzz_exhausted
+      [
+        ("trials", Obs.Json.Int trials);
+        ("domains", Obs.Json.Int n_workers);
+      ]);
+  result
+
+(* ----------------------------------------------------------- the shrinker *)
+
+type shrink_report = {
+  sh_steps : int;
+  sh_attempts : int;
+  sh_sched : int * int;
+  sh_crashes : int * int;
+  sh_input : int * int;
+}
+
+let pp_shrink_report ppf s =
+  let pair ppf (b, a) = Fmt.pf ppf "%d -> %d" b a in
+  Fmt.pf ppf "%d reductions (%d attempts): schedule %a, crashes %a, inputs %a"
+    s.sh_steps s.sh_attempts pair s.sh_sched pair s.sh_crashes pair s.sh_input
+
+let shrink_report_json s =
+  let pair (b, a) =
+    Obs.Json.Obj [ ("before", Obs.Json.Int b); ("after", Obs.Json.Int a) ]
+  in
+  Obs.Json.Obj
+    [
+      ("steps", Obs.Json.Int s.sh_steps);
+      ("attempts", Obs.Json.Int s.sh_attempts);
+      ("schedule_steps", pair s.sh_sched);
+      ("crashes", pair s.sh_crashes);
+      ("input_participants", pair s.sh_input);
+    ]
+
+let shrink ?(policy = Run.fair_policy) ?sink ~task ~algo ~fd w =
+  match Run.violation_of_report w.w_report with
+  | None -> (w, { sh_steps = 0; sh_attempts = 0;
+                  sh_sched = (sched_len w, sched_len w);
+                  sh_crashes = (crash_count w, crash_count w);
+                  sh_input = (input_count w, input_count w) })
+  | Some target ->
+    let attempts = ref 0 and steps = ref 0 in
+    (* current minimal witness state; every accepted candidate re-ran the
+       deterministic replay and reproduced the same violation kind *)
+    let pattern = ref w.w_pattern in
+    let input = ref w.w_input in
+    let budget = ref (Option.value w.w_budget ~default:400_000) in
+    let report = ref w.w_report in
+    let try_candidate ?pattern:(p = !pattern) ?input:(i = !input)
+        ?budget:(b = !budget) () =
+      incr attempts;
+      let r =
+        Run.execute ~budget:b ~policy ~task ~algo ~fd ~pattern:p ~input:i
+          ~seed:w.w_seed ()
+      in
+      if Run.violation_of_report r = Some target then begin
+        incr steps;
+        pattern := p;
+        input := i;
+        budget := b;
+        report := r;
+        true
+      end
+      else false
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      (* axis 1: fewer crashes in the failure pattern *)
+      List.iter
+        (fun (q, _) ->
+          if try_candidate ~pattern:(Failure.without_crash !pattern q) () then
+            changed := true)
+        (Failure.crashes !pattern);
+      (* axis 2: smaller input vector (at least one participant remains) *)
+      List.iter
+        (fun i ->
+          if Tasklib.Vectors.count !input > 1 then begin
+            let candidate = Array.copy !input in
+            candidate.(i) <- None;
+            if try_candidate ~input:candidate () then changed := true
+          end)
+        (Tasklib.Vectors.participants !input);
+      (* axis 3: shorter schedule prefix — cut the replay budget to below
+         the current violating run's length (halving first, then nibbling) *)
+      let cut () =
+        let len = !report.Run.r_steps in
+        len > 1
+        && (try_candidate ~budget:(len / 2) ()
+           || try_candidate ~budget:(len - 1) ())
+      in
+      while cut () do
+        changed := true
+      done
+    done;
+    let w' =
+      {
+        w with
+        w_pattern = !pattern;
+        w_input = !input;
+        w_report = !report;
+        w_budget = Some !budget;
+        w_shrink_steps = w.w_shrink_steps + !steps;
+      }
+    in
+    let sh =
+      {
+        sh_steps = !steps;
+        sh_attempts = !attempts;
+        sh_sched = (sched_len w, sched_len w');
+        sh_crashes = (crash_count w, crash_count w');
+        sh_input = (input_count w, input_count w');
+      }
+    in
+    emit_via sink ~task ~algo ~fd Obs.Event.Name.adversary_shrunk
+      [
+        ("seed", Obs.Json.Int w.w_seed);
+        ("steps", Obs.Json.Int sh.sh_steps);
+        ("attempts", Obs.Json.Int sh.sh_attempts);
+        ("sched_before", Obs.Json.Int (fst sh.sh_sched));
+        ("sched_after", Obs.Json.Int (snd sh.sh_sched));
+        ("crashes_before", Obs.Json.Int (fst sh.sh_crashes));
+        ("crashes_after", Obs.Json.Int (snd sh.sh_crashes));
+        ("input_before", Obs.Json.Int (fst sh.sh_input));
+        ("input_after", Obs.Json.Int (snd sh.sh_input));
+      ];
+    (w', sh)
+
+(* -------------------------------------------------- the paper's targets *)
 
 let consensus_via_strong_renaming () =
   Algorithm.restricted ~name:"consensus-from-2-renaming" (fun ctx ->
@@ -117,6 +412,50 @@ let consensus_via_strong_renaming () =
           | Some (_, v) -> Op.decide v
           | None -> Op.decide input (* unreachable when the reduction is sound *)
         end)
+
+type target = {
+  t_name : string;
+  t_task : Tasklib.Task.t;
+  t_algo : Algorithm.t;
+  t_fd : Fdlib.Fd.t;
+  t_env : Failure.env;
+  t_policy : Run.policy_factory;
+}
+
+(* The fuzz targets sample from a crashy environment (E_1 over two
+   S-processes) even though the trivial detector makes S-crashes irrelevant
+   to these algorithms: sampled crashes are exactly the spurious witness
+   content the shrinker's crash axis is there to delete. *)
+let strong_renaming_target ~n ~j =
+  {
+    t_name = "strong-renaming";
+    t_task = Tasklib.Renaming.strong ~n ~j;
+    t_algo = Renaming_algos.fig4 ();
+    t_fd = Fdlib.Fd.trivial;
+    t_env = Failure.e_t ~n_s:2 ~t:1;
+    t_policy = Run.k_concurrent_uniform_policy 2;
+  }
+
+let consensus_reduction_target ~n =
+  {
+    t_name = "consensus-reduction";
+    t_task = Tasklib.Set_agreement.make ~u:[ 0; 1 ] ~n ~k:1 ();
+    t_algo = consensus_via_strong_renaming ();
+    t_fd = Fdlib.Fd.trivial;
+    t_env = Failure.e_t ~n_s:2 ~t:1;
+    t_policy = Run.k_concurrent_uniform_policy 2;
+  }
+
+let fuzz_target ?domains ?exhaust ?run_budget ?sink ~seed ~budget t () =
+  fuzz ?domains ?exhaust ?run_budget ?sink ~policy:t.t_policy ~seed ~budget
+    ~task:t.t_task ~algo:t.t_algo ~fd:t.t_fd ~env:t.t_env ()
+
+let shrink_target ?sink t w =
+  shrink ?sink ~policy:t.t_policy ~task:t.t_task ~algo:t.t_algo ~fd:t.t_fd w
+
+let explain_target ?last t w ppf =
+  explain ?last ~policy:t.t_policy ~task:t.t_task ~algo:t.t_algo ~fd:t.t_fd w
+    ppf
 
 let default_seeds = List.init 60 (fun i -> i + 1)
 

@@ -1,14 +1,24 @@
 (** Adversarial schedule search — the executable face of the paper's
     impossibility results. An impossibility cannot be "run"; what can be
     exhibited is a witness run in which a concrete algorithm, executed
-    outside its hypotheses, violates the task or fails to terminate. *)
+    outside its hypotheses, violates the task or fails to terminate.
+
+    Two search engines produce witnesses: {!search}, a sequential sweep
+    over an explicit seed list, and {!fuzz}, a domain-parallel randomized
+    fuzzer over a splittable-PRNG seed space. {!shrink} then minimizes a
+    witness by delta debugging. *)
 
 type witness = {
-  w_seed : int;
-  w_desc : string;
+  w_seed : int;  (** schedule/FD seed for the deterministic replay *)
+  w_desc : string;  (** {!Run.violation_desc} of the violation *)
   w_report : Run.report;
   w_pattern : Simkit.Failure.pattern;
   w_input : Tasklib.Vectors.t;
+  w_budget : int option;
+      (** step budget the replay needs ([None] = {!Run.execute} default);
+          set by the shrinker when it cuts the schedule prefix *)
+  w_shrink_steps : int;
+      (** provenance: accepted shrink reductions ([0] = raw witness) *)
 }
 
 val pp_witness : Format.formatter -> witness -> unit
@@ -25,7 +35,7 @@ val explain :
   unit
 (** Replay the witness run deterministically with tracing on and print its
     final [last] (default 40) steps - the interleaving that produced the
-    violation. *)
+    violation. Replays under [w_budget] unless [?budget] overrides. *)
 
 val search :
   ?budget:int ->
@@ -38,16 +48,99 @@ val search :
   seeds:int list ->
   unit ->
   witness option
-(** First seed whose run fails ({!Run.ok} is false). Samples a pattern from
-    [env] and a maximal input per seed. With [?sink], the search emits
-    structured events tagged with the run's task/algo/fd labels:
-    [adversary.witness] (with the winning seed, seeds tried and the
-    violation description) when one is found, [adversary.exhausted]
-    otherwise. *)
+(** First seed whose run fails ({!Run.ok} is false). Duplicate seeds are
+    skipped (first occurrence wins). Samples a pattern from [env] and a
+    maximal input per seed. With [?sink], the search emits structured
+    events tagged with the run's task/algo/fd labels:
+    [adversary.witness] (with the winning seed, distinct seeds tried and
+    the violation description) when one is found, [adversary.exhausted]
+    (with the distinct seeds tried) otherwise. *)
 
 val witness_json : ?labels:(string * string) list -> witness -> Obs.Json.t
-(** Machine-readable witness: seed, description, pattern and the full
-    {!Run.report_json}, tagged with [?labels]. *)
+(** Machine-readable witness: seed, description, pattern, the three shrink
+    axis sizes ([crashes], [schedule_steps], [input_participants]), budget,
+    shrink provenance and the full {!Run.report_json}, tagged with
+    [?labels]. *)
+
+(** {1 The domain-parallel fuzzer} *)
+
+type fuzz_result = {
+  f_witness : witness option;  (** the winning (lowest-trial) witness *)
+  f_trial : int option;  (** its trial index *)
+  f_trials : int;  (** trials executed, summed over domains *)
+  f_budget : int;  (** trials requested *)
+  f_domains : int;  (** workers actually used *)
+  f_witnesses : int;  (** violating trials observed (≥ 1 if found) *)
+  f_wall_s : float;
+}
+
+val fuzz_result_json : fuzz_result -> Obs.Json.t
+
+val fuzz :
+  ?domains:int ->
+  ?exhaust:bool ->
+  ?run_budget:int ->
+  ?policy:Run.policy_factory ->
+  ?horizon:int ->
+  ?sink:Obs.Sink.t ->
+  seed:int ->
+  budget:int ->
+  task:Tasklib.Task.t ->
+  algo:Algorithm.t ->
+  fd:Fdlib.Fd.t ->
+  env:Simkit.Failure.env ->
+  unit ->
+  fuzz_result
+(** Randomized schedule/crash fuzzing over the trial space
+    [0 .. budget-1]. Trial [i]'s failure pattern, input vector and run
+    seed derive from {!Simkit.Sprng.stream}[ seed i] — a pure function of
+    [(seed, i)] — and the [domains] workers (default 1) own disjoint
+    residue classes of the trial space, so the winning witness is
+    {e identical for every domain count}: it is always the violating trial
+    of minimal index. Cancellation is first-witness-wins via a shared
+    atomic best-index — a worker stops once every index it still owns
+    exceeds the best, so no trial below the eventual winner is skipped.
+
+    With [exhaust] (default false) the budget is always fully executed and
+    [f_witnesses] counts every violating trial — the mode benchmarks use
+    to measure seeds/sec without cancellation noise. [f_trials] in
+    non-exhaust mode depends on the domain count (workers past the winner
+    stop at different points); only the winner is invariant.
+
+    With [?sink], emits [adversary.fuzz.witness] or
+    [adversary.fuzz.exhausted] (from the calling domain, after the join). *)
+
+(** {1 The delta-debugging shrinker} *)
+
+type shrink_report = {
+  sh_steps : int;  (** accepted reductions *)
+  sh_attempts : int;  (** candidate replays executed *)
+  sh_sched : int * int;  (** schedule length, before/after *)
+  sh_crashes : int * int;  (** crash count, before/after *)
+  sh_input : int * int;  (** input participants, before/after *)
+}
+
+val pp_shrink_report : Format.formatter -> shrink_report -> unit
+val shrink_report_json : shrink_report -> Obs.Json.t
+
+val shrink :
+  ?policy:Run.policy_factory ->
+  ?sink:Obs.Sink.t ->
+  task:Tasklib.Task.t ->
+  algo:Algorithm.t ->
+  fd:Fdlib.Fd.t ->
+  witness ->
+  witness * shrink_report
+(** Minimize a witness along three axes — fewer crashes in the failure
+    pattern, smaller input vector, shorter schedule prefix (a tighter
+    replay budget) — to a fixpoint. Each candidate reduction re-runs the
+    deterministic replay and is kept only if the {e same}
+    {!Run.violation} kind persists, so shrinking never changes the
+    verdict and never grows an axis. The result carries [w_shrink_steps]
+    provenance and the budget needed to replay it; with [?sink], emits one
+    [adversary.shrunk] event with before/after sizes. *)
+
+(** {1 The paper's impossibility targets} *)
 
 val consensus_via_strong_renaming : unit -> Algorithm.t
 (** The Lemma-11 reduction: two processes solve consensus from a strong
@@ -56,6 +149,44 @@ val consensus_via_strong_renaming : unit -> Algorithm.t
     decide the other participant's. Running it 2-concurrently and searching
     for agreement violations witnesses the impossibility chain
     consensus ⇒ strong 2-renaming (both 2-concurrently unsolvable). *)
+
+type target = {
+  t_name : string;
+  t_task : Tasklib.Task.t;
+  t_algo : Algorithm.t;
+  t_fd : Fdlib.Fd.t;
+  t_env : Simkit.Failure.env;
+  t_policy : Run.policy_factory;
+}
+(** A packaged violation search: everything {!fuzz}/{!shrink}/{!explain}
+    need about one impossibility configuration. *)
+
+val strong_renaming_target : n:int -> j:int -> target
+(** Theorem 12: Figure 4 as a strong-renaming solver under 2-concurrent
+    uniform schedules. The environment allows one S-crash (irrelevant to
+    the trivial-FD algorithm — it exists to exercise the shrinker's crash
+    axis on spurious sampled crashes). *)
+
+val consensus_reduction_target : n:int -> target
+(** Lemma 11: the consensus-from-renaming reduction as a (U,1)-set
+    agreement solver under 2-concurrent uniform schedules. *)
+
+val fuzz_target :
+  ?domains:int ->
+  ?exhaust:bool ->
+  ?run_budget:int ->
+  ?sink:Obs.Sink.t ->
+  seed:int ->
+  budget:int ->
+  target ->
+  unit ->
+  fuzz_result
+
+val shrink_target : ?sink:Obs.Sink.t -> target -> witness -> witness * shrink_report
+
+val explain_target : ?last:int -> target -> witness -> Format.formatter -> unit
+
+(** {1 Seed-list searches (the pre-fuzzer interface)} *)
 
 val strong_renaming_witness :
   ?seeds:int list -> ?sink:Obs.Sink.t -> n:int -> j:int -> unit -> witness option

@@ -50,6 +50,19 @@ type report = {
 let ok r =
   r.r_task_ok && r.r_wait_free && r.r_outcome.Schedule.all_decided
 
+type violation = Task_violation | Undecided | Not_wait_free
+
+let violation_of_report r =
+  if not r.r_task_ok then Some Task_violation
+  else if not r.r_outcome.Schedule.all_decided then Some Undecided
+  else if not r.r_wait_free then Some Not_wait_free
+  else None
+
+let violation_desc = function
+  | Task_violation -> "task relation violated"
+  | Undecided -> "some participant never decided"
+  | Not_wait_free -> "wait-freedom violated"
+
 let pp_report ppf r =
   Fmt.pf ppf
     "@[<v>input    %a@,output   %a@,steps    %d (decided: %b)@,task ok  %b@,\

@@ -39,6 +39,18 @@ type report = {
 val ok : report -> bool
 (** Task satisfied, wait-freedom respected, and every participant decided. *)
 
+type violation = Task_violation | Undecided | Not_wait_free
+(** Why a report is not {!ok}, in checking order: the task relation is
+    violated; some participant never decided; wait-freedom is violated. *)
+
+val violation_of_report : report -> violation option
+(** [None] iff {!ok}. The shrinker keys on this: a candidate reduction is
+    kept only if it reproduces the {e same} violation kind. *)
+
+val violation_desc : violation -> string
+(** Human-readable one-liner (stable; used in witness descriptions and
+    event payloads). *)
+
 val pp_report : Format.formatter -> report -> unit
 
 val execute :

@@ -6,6 +6,14 @@ let equal a b =
   String.equal a.name b.name
   && Json.equal (Json.Obj a.fields) (Json.Obj b.fields)
 
+module Name = struct
+  let adversary_witness = "adversary.witness"
+  let adversary_exhausted = "adversary.exhausted"
+  let adversary_fuzz_witness = "adversary.fuzz.witness"
+  let adversary_fuzz_exhausted = "adversary.fuzz.exhausted"
+  let adversary_shrunk = "adversary.shrunk"
+end
+
 let to_json e = Json.Obj (("ev", Json.Str e.name) :: e.fields)
 let to_line e = Json.to_string (to_json e)
 let pp ppf e = Format.pp_print_string ppf (to_line e)

@@ -11,6 +11,30 @@ type t = { name : string; fields : (string * Json.t) list }
 val make : string -> (string * Json.t) list -> t
 val equal : t -> t -> bool
 
+(** Well-known event names. Emitters are free to mint ad-hoc names, but
+    events consumed across module boundaries (tests, external tooling)
+    should use these constants so renames stay atomic. *)
+module Name : sig
+  val adversary_witness : string
+  (** A randomized search found a violating run (fields: seed, seeds_tried,
+      desc). *)
+
+  val adversary_exhausted : string
+  (** A randomized search ran out of seeds (field: seeds_tried — distinct
+      seeds actually executed). *)
+
+  val adversary_fuzz_witness : string
+  (** The domain-parallel fuzzer found a witness (fields: trial, seed,
+      trials, domains, desc). *)
+
+  val adversary_fuzz_exhausted : string
+  (** The fuzzer exhausted its trial budget (fields: trials, domains). *)
+
+  val adversary_shrunk : string
+  (** The delta-debugging shrinker minimized a witness (fields: steps plus
+      before/after sizes of the three axes). *)
+end
+
 val to_json : t -> Json.t
 (** An object with ["ev"] first, then the fields in order. *)
 

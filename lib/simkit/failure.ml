@@ -31,6 +31,17 @@ let is_correct f i = Option.is_none f.crash_time.(i)
 let num_faulty f =
   Array.fold_left (fun acc c -> if Option.is_some c then acc + 1 else acc) 0 f.crash_time
 
+let crashes f =
+  Array.to_list f.crash_time
+  |> List.mapi (fun i c -> (i, c))
+  |> List.filter_map (fun (i, c) -> Option.map (fun tau -> (i, tau)) c)
+
+let without_crash f i =
+  if i < 0 || i >= f.n_s then invalid_arg "Failure.without_crash: index";
+  let crash_time = Array.copy f.crash_time in
+  crash_time.(i) <- None;
+  { f with crash_time }
+
 let pp_pattern ppf f =
   let pp_one ppf (i, c) =
     match c with

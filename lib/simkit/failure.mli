@@ -32,6 +32,15 @@ val correct : pattern -> int list
 
 val is_correct : pattern -> int -> bool
 val num_faulty : pattern -> int
+
+val crashes : pattern -> (int * int) list
+(** The [(index, crash time)] pairs of the faulty S-processes, in index
+    order — the inverse of {!pattern}'s input. *)
+
+val without_crash : pattern -> int -> pattern
+(** Same pattern with [q_i]'s crash removed (no-op if [q_i] is correct) —
+    the crash axis of witness shrinking. *)
+
 val pp_pattern : Format.formatter -> pattern -> unit
 
 (** {1 Environments} *)

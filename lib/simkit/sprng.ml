@@ -1,0 +1,50 @@
+(* SplitMix64 (Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators", OOPSLA 2014). State is a seed advanced by an odd gamma;
+   output is a finalizing mix of the seed. Splitting draws a fresh seed and
+   a fresh gamma from the parent, so child streams are decorrelated. *)
+
+type t = { mutable seed : int64; gamma : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* gamma must be odd; mix with a distinct finalizer and force the low bit *)
+let mix_gamma z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  Int64.logor z 1L
+
+let make seed = { seed = mix64 (Int64.of_int seed); gamma = golden_gamma }
+
+let next_int64 t =
+  t.seed <- Int64.add t.seed t.gamma;
+  mix64 t.seed
+
+let split t =
+  let seed = next_int64 t in
+  let gamma = mix_gamma (Int64.add seed t.gamma) in
+  { seed; gamma }
+
+let stream t i =
+  (* pure in (t, i): derive from the parent's current seed without
+     advancing it, offsetting by (i+1) gammas *)
+  let seed =
+    Int64.add t.seed (Int64.mul t.gamma (Int64.of_int (i + 1)))
+  in
+  let seed = mix64 seed in
+  let gamma = mix_gamma (Int64.add seed (Int64.of_int i)) in
+  { seed; gamma }
+
+let next t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Sprng.int: bound must be positive";
+  next t mod bound
+
+let to_random_state t =
+  let a = next t and b = next t in
+  Random.State.make [| a; b |]

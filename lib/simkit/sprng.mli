@@ -1,0 +1,41 @@
+(** Splittable pseudo-random streams (SplitMix64).
+
+    The fuzzer's seed-space is a flat array of trial indices; each trial
+    must see the same random draws no matter which domain executes it, or
+    results would depend on the core count. A splittable PRNG gives exactly
+    that: [stream root i] derives the [i]-th child stream as a pure
+    function of the root seed and [i] — two domains deriving the same
+    [(root, i)] get identical streams, and distinct [i]s get statistically
+    independent ones (SplitMix64's golden-gamma construction, Steele,
+    Lea & Flood, OOPSLA 2014).
+
+    Streams are cheap (two int64s) and mutable: [next] advances the
+    stream it is called on. Derivation ([split], [stream]) does not
+    advance the parent. *)
+
+type t
+
+val make : int -> t
+(** Root stream from an integer seed. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** A child stream; advances the parent by one draw. *)
+
+val stream : t -> int -> t
+(** [stream t i]: the [i]-th child of [t], derived without advancing [t].
+    Pure in ([t]'s current state, [i]): repeated calls with the same [i]
+    return streams that generate identical draws. *)
+
+val next_int64 : t -> int64
+(** Next 64-bit draw. *)
+
+val next : t -> int
+(** Next non-negative 62-bit draw (usable as a [Run.execute] seed). *)
+
+val int : t -> int -> int
+(** [int t bound]: next draw in [0, bound)]. [bound] must be positive. *)
+
+val to_random_state : t -> Random.State.t
+(** A stdlib [Random.State.t] seeded from the next two draws — the bridge
+    to samplers ({!Failure.env}, [Task.sample_input]) that take
+    [Random.State.t]. Advances the stream by two draws. *)

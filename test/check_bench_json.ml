@@ -2,7 +2,16 @@
    BENCH_*.json artifacts and fails the build on invalid JSON or a record
    that does not match the documented schema (EXPERIMENTS.md).
 
-   $ check_bench_json.exe BENCH_e1.json BENCH_e5.json ...                  *)
+   $ check_bench_json.exe BENCH_e1.json BENCH_e5.json ...
+
+   With --baseline DIR, each FILE is additionally compared against
+   DIR/basename(FILE): rows are matched by their full label set, and any
+   throughput metric (name ending in "_per_s") that dropped below a third
+   of its baseline value fails the check. Rows or metrics present on only
+   one side are ignored — the gate catches regressions, not schema drift
+   (the schema check above does that).
+
+   $ check_bench_json.exe --baseline baseline/ BENCH_e1.json ...           *)
 
 let errors = ref 0
 
@@ -31,19 +40,104 @@ let check_row path i row =
     | None -> err path "row %d: missing metrics" i)
   | _ -> err path "row %d: not an object" i
 
-let check path =
-  let before = !errors in
+(* -- baseline regression gate ------------------------------------------- *)
+
+(* A row's identity is its full label set, order-insensitive. *)
+let row_key row =
+  match Obs.Json.member "labels" row with
+  | Some (Obs.Json.Obj labels) ->
+    List.filter_map
+      (fun (k, v) ->
+        match v with Obs.Json.Str s -> Some (k, s) | _ -> None)
+      labels
+    |> List.sort compare
+  | _ -> []
+
+let row_metrics row =
+  match Obs.Json.member "metrics" row with
+  | Some (Obs.Json.Obj metrics) -> metrics
+  | _ -> []
+
+let rows_of json =
+  match Obs.Json.member "rows" json with
+  | Some (Obs.Json.List rows) -> rows
+  | _ -> []
+
+let is_throughput name =
+  String.length name >= 6
+  && String.sub name (String.length name - 6) 6 = "_per_s"
+
+let pp_key ppf key =
+  Fmt.pf ppf "{%a}"
+    (Fmt.list ~sep:(Fmt.any ",") (Fmt.pair ~sep:(Fmt.any "=") Fmt.string Fmt.string))
+    key
+
+(* Fail when a throughput metric fell below a third of its baseline. *)
+let compare_against_baseline path fresh base =
+  let base_rows =
+    List.map (fun row -> (row_key row, row_metrics row)) (rows_of base)
+  in
+  let compared = ref 0 in
+  List.iter
+    (fun row ->
+      let key = row_key row in
+      match List.assoc_opt key base_rows with
+      | None -> ()
+      | Some base_metrics ->
+        List.iter
+          (fun (name, v) ->
+            if is_throughput name then
+              match
+                (Obs.Json.to_float_opt v,
+                 Option.bind (List.assoc_opt name base_metrics)
+                   Obs.Json.to_float_opt)
+              with
+              | Some fresh_v, Some base_v ->
+                incr compared;
+                if fresh_v < base_v /. 3. then
+                  err path "row %a: %s regressed >3x: %.0f -> %.0f (floor %.0f)"
+                    pp_key key name base_v fresh_v (base_v /. 3.)
+              | _ -> ())
+          (row_metrics row))
+    (rows_of fresh);
+  !compared
+
+let read_json path =
   match
     let ic = open_in_bin path in
     let s = really_input_string ic (in_channel_length ic) in
     close_in ic;
     s
   with
-  | exception Sys_error e -> err path "unreadable: %s" e
+  | exception Sys_error e ->
+    err path "unreadable: %s" e;
+    None
   | contents -> (
     match Obs.Json.of_string contents with
-    | Error e -> err path "invalid JSON: %s" e
-    | Ok json ->
+    | Error e ->
+      err path "invalid JSON: %s" e;
+      None
+    | Ok json -> Some json)
+
+let check_baseline dir path json =
+  let base_path = Filename.concat dir (Filename.basename path) in
+  if not (Sys.file_exists base_path) then
+    Fmt.pr "%s: no baseline %s, skipping gate@." path base_path
+  else
+    match read_json base_path with
+    | None -> ()
+    | Some base ->
+      let before = !errors in
+      let compared = compare_against_baseline path json base in
+      if !errors = before then
+        Fmt.pr "%s: baseline ok (%d throughput metrics >= %s / 3)@." path
+          compared base_path
+
+let check ?baseline path =
+  let before = !errors in
+  match read_json path with
+  | None -> ()
+  | Some json ->
       let str field =
         Obs.Json.member field json |> Fun.flip Option.bind Obs.Json.to_string_opt
       in
@@ -63,13 +157,18 @@ let check path =
       | Some (Obs.Json.List rows) -> List.iteri (check_row path) rows
       | Some _ -> err path "rows is not a list"
       | None -> err path "missing rows");
-      if !errors = before then Fmt.pr "%s: ok@." path)
+      if !errors = before then Fmt.pr "%s: ok@." path;
+      Option.iter (fun dir -> check_baseline dir path json) baseline
 
 let () =
-  let paths = List.tl (Array.to_list Sys.argv) in
+  let baseline, paths =
+    match List.tl (Array.to_list Sys.argv) with
+    | "--baseline" :: dir :: rest -> (Some dir, rest)
+    | args -> (None, args)
+  in
   if paths = [] then begin
-    Fmt.epr "usage: check_bench_json FILE.json ...@.";
+    Fmt.epr "usage: check_bench_json [--baseline DIR] FILE.json ...@.";
     exit 2
   end;
-  List.iter check paths;
+  List.iter (check ?baseline) paths;
   exit (if !errors > 0 then 1 else 0)

@@ -1,0 +1,220 @@
+(* The domain-parallel fuzzer and the delta-debugging shrinker: splittable
+   PRNG determinism, domain-count invariance of the winning witness,
+   shrink soundness (verdict preserved, no axis grows), the committed
+   shrunk witness (strictly smaller than its raw form), and the
+   seed-dedupe fix in Adversary.search. *)
+
+open Simkit
+open Tasklib
+open Efd
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---------------------------------------------------------------- sprng *)
+
+let test_sprng_stream_pure () =
+  (* stream is a pure function of (root state, i): two identical roots
+     give identical children, and a child is insensitive to its siblings *)
+  let a = Sprng.make 42 and b = Sprng.make 42 in
+  for i = 0 to 20 do
+    let ca = Sprng.stream a i and cb = Sprng.stream b i in
+    check_bool "same child draw" true
+      (Sprng.next_int64 ca = Sprng.next_int64 cb)
+  done;
+  let lone = Sprng.stream (Sprng.make 42) 7 in
+  let crowded =
+    let r = Sprng.make 42 in
+    List.iter (fun i -> ignore (Sprng.stream r i)) [ 0; 1; 2; 3 ];
+    Sprng.stream r 7
+  in
+  check_bool "sibling derivations do not perturb a child" true
+    (Sprng.next_int64 lone = Sprng.next_int64 crowded)
+
+let test_sprng_streams_differ () =
+  let root = Sprng.make 9 in
+  let draws =
+    List.init 64 (fun i -> Sprng.next_int64 (Sprng.stream root i))
+  in
+  let distinct = List.sort_uniq compare draws in
+  check_int "64 streams, 64 first draws" 64 (List.length distinct)
+
+let test_sprng_bounds () =
+  let r = Sprng.make 3 in
+  for _ = 1 to 1000 do
+    let v = Sprng.next r in
+    check_bool "next is non-negative" true (v >= 0);
+    let b = Sprng.int r 17 in
+    check_bool "int in bound" true (b >= 0 && b < 17)
+  done;
+  check_bool "split advances the parent deterministically" true
+    (let p1 = Sprng.make 5 and p2 = Sprng.make 5 in
+     ignore (Sprng.split p1);
+     ignore (Sprng.split p2);
+     Sprng.next_int64 p1 = Sprng.next_int64 p2)
+
+(* ----------------------------------------------- domain-count invariance *)
+
+let target () = Adversary.strong_renaming_target ~n:5 ~j:3
+
+let test_fuzz_witness_domain_invariant () =
+  (* root seed 4 finds a witness at trial 4 (the committed golden); the
+     winning trial and its replay seed must not depend on the domain count *)
+  let run domains =
+    Adversary.fuzz_target ~domains ~seed:4 ~budget:200 (target ()) ()
+  in
+  let r1 = run 1 and r3 = run 3 in
+  (match (r1.Adversary.f_witness, r3.Adversary.f_witness) with
+  | Some w1, Some w3 ->
+    check_bool "same replay seed" true (w1.Adversary.w_seed = w3.Adversary.w_seed);
+    check_bool "same description" true (w1.Adversary.w_desc = w3.Adversary.w_desc)
+  | _ -> Alcotest.fail "expected a witness at both domain counts");
+  check_bool "same winning trial" true
+    (r1.Adversary.f_trial = r3.Adversary.f_trial)
+
+let test_fuzz_exhaust_domain_invariant () =
+  (* exhaust mode: every trial runs; the violating-trial count is a pure
+     function of (root seed, budget), whatever the parallelism *)
+  let run domains =
+    Adversary.fuzz_target ~domains ~exhaust:true ~seed:7 ~budget:150
+      (target ()) ()
+  in
+  let r1 = run 1 and r4 = run 4 in
+  check_int "all trials executed (1 domain)" 150 r1.Adversary.f_trials;
+  check_int "all trials executed (4 domains)" 150 r4.Adversary.f_trials;
+  check_int "same witness count" r1.Adversary.f_witnesses r4.Adversary.f_witnesses
+
+let test_fuzz_exhaustion_domain_invariant () =
+  (* a correct algorithm never yields a witness: both domain counts must
+     report clean exhaustion of the full budget *)
+  let t =
+    {
+      Adversary.t_name = "identity-echo";
+      t_task = Trivial_tasks.identity ~n:4 ();
+      t_algo = Kconc_tasks.echo ();
+      t_fd = Fdlib.Fd.trivial;
+      t_env = Failure.crash_free 1;
+      t_policy = Run.fair_policy;
+    }
+  in
+  let run domains = Adversary.fuzz_target ~domains ~seed:11 ~budget:40 t () in
+  let r1 = run 1 and r2 = run 2 in
+  check_bool "no witness (1 domain)" true (r1.Adversary.f_witness = None);
+  check_bool "no witness (2 domains)" true (r2.Adversary.f_witness = None);
+  check_int "budget exhausted (1 domain)" 40 r1.Adversary.f_trials;
+  check_int "budget exhausted (2 domains)" 40 r2.Adversary.f_trials
+
+(* ------------------------------------------------------------- shrinking *)
+
+let shrink_sound =
+  QCheck.Test.make ~name:"shrinking preserves the verdict, never grows an axis"
+    ~count:8
+    QCheck.(int_range 1 1_000)
+    (fun root ->
+      let t = target () in
+      match
+        (Adversary.fuzz_target ~seed:root ~budget:120 t ()).Adversary.f_witness
+      with
+      | None -> QCheck.assume_fail ()
+      | Some w ->
+        let w', sh = Adversary.shrink_target t w in
+        let ( <=! ) (b, a) () = a <= b in
+        w'.Adversary.w_desc = w.Adversary.w_desc
+        && (sh.Adversary.sh_sched <=! ()) && (sh.Adversary.sh_crashes <=! ())
+        && (sh.Adversary.sh_input <=! ())
+        && w'.Adversary.w_shrink_steps = sh.Adversary.sh_steps
+        && not (Run.ok w'.Adversary.w_report))
+
+let read_json path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Obs.Json.of_string s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "%s: invalid JSON: %s" path e
+
+let jpath json keys =
+  List.fold_left
+    (fun acc key ->
+      match Option.bind acc (Obs.Json.member key) with
+      | Some v -> Some v
+      | None -> None)
+    (Some json) keys
+  |> Fun.flip Option.bind Obs.Json.to_int_opt
+  |> function
+  | Some v -> v
+  | None -> Alcotest.failf "missing %s" (String.concat "." keys)
+
+let test_committed_witness () =
+  (* the committed artifact: the shrunk Lemma-11-chain witness must be
+     strictly smaller than its raw form on the schedule AND crash axes, and
+     regenerating from the recorded parameters must reproduce its sizes
+     (regenerate with:
+      wfa fuzz --kind strong-renaming -n 5 -j 3 --seed 4 --budget 2000
+        --shrink --json test/golden/witness_lemma11.json) *)
+  let j = read_json "golden/witness_lemma11.json" in
+  let raw_sched = jpath j [ "fuzz"; "witness"; "schedule_steps" ] in
+  let raw_crashes = jpath j [ "fuzz"; "witness"; "crashes" ] in
+  let sh_sched = jpath j [ "shrunk"; "schedule_steps" ] in
+  let sh_crashes = jpath j [ "shrunk"; "crashes" ] in
+  check_bool "schedule strictly shrank" true (sh_sched < raw_sched);
+  check_bool "crashes strictly shrank" true (sh_crashes < raw_crashes);
+  let t = target () in
+  match
+    (Adversary.fuzz_target ~seed:4 ~budget:2_000 t ()).Adversary.f_witness
+  with
+  | None -> Alcotest.fail "root seed 4 no longer yields a witness"
+  | Some w ->
+    let w', _ = Adversary.shrink_target t w in
+    check_int "raw schedule reproduces" raw_sched
+      w.Adversary.w_report.Run.r_steps;
+    check_int "raw crashes reproduce" raw_crashes
+      (List.length (Failure.crashes w.Adversary.w_pattern));
+    check_int "shrunk schedule reproduces" sh_sched
+      w'.Adversary.w_report.Run.r_steps;
+    check_int "shrunk crashes reproduce" sh_crashes
+      (List.length (Failure.crashes w'.Adversary.w_pattern))
+
+(* ---------------------------------------------------------- search dedupe *)
+
+let test_search_dedupes_seeds () =
+  (* regression: duplicate seeds used to re-run identical trials and
+     inflate the reported attempt count *)
+  let sink, drain = Obs.Sink.buffer () in
+  let t = Trivial_tasks.identity ~n:4 () in
+  let found =
+    Adversary.search ~sink ~task:t ~algo:(Kconc_tasks.echo ())
+      ~fd:Fdlib.Fd.trivial ~env:(Failure.crash_free 1)
+      ~seeds:[ 5; 5; 5; 7; 7; 5 ] ()
+  in
+  check_bool "correct algorithm yields no witness" true (found = None);
+  match drain () with
+  | [ ev ] ->
+    check_bool "exhausted event" true
+      (ev.Obs.Event.name = Obs.Event.Name.adversary_exhausted);
+    check_int "distinct seeds tried" 2
+      (match List.assoc_opt "seeds_tried" ev.Obs.Event.fields with
+      | Some (Obs.Json.Int n) -> n
+      | _ -> -1)
+  | evs -> Alcotest.failf "expected one event, got %d" (List.length evs)
+
+let suite =
+  [
+    Alcotest.test_case "sprng: stream is pure in (root, i)" `Quick
+      test_sprng_stream_pure;
+    Alcotest.test_case "sprng: streams are pairwise distinct" `Quick
+      test_sprng_streams_differ;
+    Alcotest.test_case "sprng: bounds and split determinism" `Quick
+      test_sprng_bounds;
+    Alcotest.test_case "fuzz: witness invariant under domain count" `Quick
+      test_fuzz_witness_domain_invariant;
+    Alcotest.test_case "fuzz: exhaust counts invariant under domain count"
+      `Quick test_fuzz_exhaust_domain_invariant;
+    Alcotest.test_case "fuzz: clean exhaustion invariant under domain count"
+      `Quick test_fuzz_exhaustion_domain_invariant;
+    QCheck_alcotest.to_alcotest shrink_sound;
+    Alcotest.test_case "shrink: committed witness strictly smaller" `Quick
+      test_committed_witness;
+    Alcotest.test_case "search: duplicate seeds deduped" `Quick
+      test_search_dedupes_seeds;
+  ]

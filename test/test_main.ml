@@ -17,5 +17,6 @@ let () =
       ("closing", Test_closing.suite);
       ("exhaustive", Test_exhaustive.suite);
       ("obs", Test_obs.suite);
+      ("fuzz", Test_fuzz.suite);
       ("properties", Test_properties.suite);
     ]
