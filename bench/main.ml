@@ -635,19 +635,21 @@ let checker () =
   in
   let configs =
     [
+      (* symmetry class: the two idle S-processes are interchangeable *)
       ( "safe-agreement n_c=2 n_s=2 d=8",
         sa_build, sa_prop,
-        Pid.all ~n_c:2 ~n_s:2, 8, Exhaustive.Every );
+        Pid.all ~n_c:2 ~n_s:2, 8, Exhaustive.Every, [ Pid.all_s 2 ] );
+      (* the three C-processes write distinct values: no symmetry *)
       ( "register-race n_c=3 d=7",
         race_build, race_prop,
-        Pid.all_c 3, 7, Exhaustive.Every );
+        Pid.all_c 3, 7, Exhaustive.Every, [] );
     ]
   in
   List.iter
-    (fun (name, build, prop, pids, depth, mode) ->
+    (fun (name, build, prop, pids, depth, mode, symmetry) ->
       Fmt.pr "  %s@." name;
-      Fmt.pr "    %-26s %10s %10s %10s %8s %10s %9s@." "engine" "schedules"
-        "nodes" "steps" "replays" "memo-hits" "wall";
+      Fmt.pr "    %-26s %10s %9s %9s %7s %9s %7s %7s %8s@." "engine"
+        "schedules" "nodes" "steps" "replays" "memo" "sleep" "orbits" "wall";
       line ();
       let show label (verdict, st) =
         let scheds =
@@ -668,11 +670,15 @@ let checker () =
             ("steps_executed", jint st.Exhaustive.steps_executed);
             ("replays", jint st.Exhaustive.replays);
             ("memo_hits", jint st.Exhaustive.memo_hits);
+            ("sleep_pruned", jint st.Exhaustive.sleep_pruned);
+            ("orbits_collapsed", jint st.Exhaustive.orbits_collapsed);
             ("wall_s", jfloat st.Exhaustive.wall_s);
           ];
-        Fmt.pr "    %-26s %10s %10d %10d %8d %10d %8.3fs@." label scheds
+        Fmt.pr "    %-26s %10s %9d %9d %7d %9d %7d %7d %7.3fs@." label scheds
           st.Exhaustive.nodes st.Exhaustive.steps_executed
-          st.Exhaustive.replays st.Exhaustive.memo_hits st.Exhaustive.wall_s;
+          st.Exhaustive.replays st.Exhaustive.memo_hits
+          st.Exhaustive.sleep_pruned st.Exhaustive.orbits_collapsed
+          st.Exhaustive.wall_s;
         st
       in
       let base =
@@ -690,14 +696,29 @@ let checker () =
         show "incremental+memo x4 domains"
           (Exhaustive.run ~domains:4 ~memo:true ~mode ~build ~pids ~depth ~prop ())
       in
-      let reduction =
-        float_of_int base.Exhaustive.steps_executed
-        /. float_of_int (max 1 inc.Exhaustive.steps_executed)
+      let reduce = { Exhaustive.sleep = true; symmetry } in
+      let red =
+        show "reduced (sleep+symmetry)"
+          (Exhaustive.run ~reduce ~mode ~build ~pids ~depth ~prop ())
       in
+      let _ =
+        show "reduced x4 domains"
+          (Exhaustive.run ~domains:4 ~reduce ~mode ~build ~pids ~depth ~prop ())
+      in
+      let ratio a b =
+        float_of_int a.Exhaustive.steps_executed
+        /. float_of_int (max 1 b.Exhaustive.steps_executed)
+      in
+      let vs_baseline = ratio base inc and vs_memo = ratio inc red in
       Rec.row
         ~labels:[ ("config", name); ("engine", "reduction") ]
-        [ ("step_reduction_vs_baseline", jfloat reduction) ];
-      Fmt.pr "    step reduction vs baseline: x%.1f@.@." reduction)
+        [
+          ("step_reduction_vs_baseline", jfloat vs_baseline);
+          ("step_reduction_vs_memo", jfloat vs_memo);
+        ];
+      Fmt.pr "    step reduction: incremental+memo x%.1f vs baseline, \
+              reduced x%.1f vs memo@.@."
+        vs_baseline vs_memo)
     configs
 
 (* ------------------------------------------------------- fuzzer bench *)

@@ -345,8 +345,11 @@ let emulate n seed crashes budget =
   Fmt.pr "omega property     %b@." ok;
   if ok then 0 else 1
 
-let modelcheck depth =
-  (* exhaustively check 2-process safe agreement over every schedule *)
+let modelcheck depth n_s reduce json =
+  (* exhaustively check 2-process safe agreement over every schedule; the
+     S-processes are idle and symmetric, so --reduce declares them one
+     symmetry class on top of sleep-set pruning *)
+  let n_s = max 1 n_s in
   let build () =
     let mem = Memory.create () in
     let sa = Bglib.Safe_agreement.create mem ~n:2 in
@@ -362,9 +365,9 @@ let modelcheck depth =
     Runtime.create
       {
         Runtime.n_c = 2;
-        n_s = 1;
+        n_s;
         memory = mem;
-        pattern = Failure.failure_free 1;
+        pattern = Failure.failure_free n_s;
         history = History.trivial;
         record_trace = false;
       }
@@ -376,7 +379,39 @@ let modelcheck depth =
     | Some a, Some b -> Value.equal a b
     | _ -> true
   in
-  match Exhaustive.check ~build ~pids:[ Pid.c 0; Pid.c 1 ] ~depth ~prop with
+  let reduce =
+    if reduce then
+      Some { Exhaustive.sleep = true; symmetry = [ Pid.all_s n_s ] }
+    else None
+  in
+  let verdict, stats =
+    Exhaustive.run ?reduce ~build ~pids:(Pid.all ~n_c:2 ~n_s) ~depth ~prop ()
+  in
+  Fmt.pr "engine: %s@."
+    (if reduce = None then "incremental+memo"
+     else "incremental+memo+sleep+symmetry");
+  Fmt.pr "stats:  %a@." Exhaustive.pp_stats stats;
+  Option.iter
+    (fun path ->
+      write_json path
+        (Obs.Json.Obj
+           [
+             ("depth", Obs.Json.Int depth);
+             ("n_s", Obs.Json.Int n_s);
+             ("reduce", Obs.Json.Bool (reduce <> None));
+             ( "verdict",
+               Obs.Json.Str
+                 (match verdict with
+                 | Exhaustive.Ok _ -> "ok"
+                 | Exhaustive.Counterexample _ -> "counterexample") );
+             ( "schedules",
+               match verdict with
+               | Exhaustive.Ok n -> Obs.Json.Int n
+               | Exhaustive.Counterexample _ -> Obs.Json.Null );
+             ("stats", Exhaustive.stats_json stats);
+           ]))
+    json;
+  match verdict with
   | Exhaustive.Ok n ->
     Fmt.pr "safe agreement: %d schedules of depth <= %d, agreement holds@." n
       depth;
@@ -569,7 +604,10 @@ let modelcheck_cmd =
   Cmd.v
     (Cmd.info "modelcheck" ~doc)
     Term.(const modelcheck
-          $ Arg.(value & opt int 10 & info [ "depth" ] ~docv:"DEPTH" ~doc:"Schedule depth."))
+          $ Arg.(value & opt int 10 & info [ "depth" ] ~docv:"DEPTH" ~doc:"Schedule depth.")
+          $ Arg.(value & opt int 1 & info [ "n-s" ] ~docv:"N" ~doc:"Number of (idle) S-processes in the schedule.")
+          $ Arg.(value & flag & info [ "reduce" ] ~doc:"Enable sleep-set partial-order reduction and S-process symmetry collapsing.")
+          $ json_arg)
 
 let bench_cmd =
   let doc =

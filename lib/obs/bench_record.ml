@@ -43,6 +43,80 @@ let to_json t =
       ("rows", Json.List (List.rev_map row_json t.b_rows));
     ]
 
+(* -- baseline regression gate ------------------------------------------- *)
+
+type regression = {
+  reg_key : (string * string) list;
+  reg_metric : string;
+  reg_base : float;
+  reg_fresh : float;
+  reg_floor : float;
+}
+
+(* A row's identity is its full label set, order-insensitive. *)
+let parsed_row_key row =
+  match Json.member "labels" row with
+  | Some (Json.Obj labels) ->
+    List.filter_map
+      (fun (k, v) -> match v with Json.Str s -> Some (k, s) | _ -> None)
+      labels
+    |> List.sort compare
+  | _ -> []
+
+let parsed_row_metrics row =
+  match Json.member "metrics" row with
+  | Some (Json.Obj metrics) -> metrics
+  | _ -> []
+
+let parsed_rows json =
+  match Json.member "rows" json with
+  | Some (Json.List rows) -> rows
+  | _ -> []
+
+let is_throughput name =
+  String.length name >= 6
+  && String.sub name (String.length name - 6) 6 = "_per_s"
+
+let baseline_regressions ?(tolerance = 3.) ~fresh ~base () =
+  if not (tolerance >= 1.) then
+    invalid_arg "Bench_record.baseline_regressions: tolerance must be >= 1";
+  let base_rows =
+    List.map (fun row -> (parsed_row_key row, parsed_row_metrics row))
+      (parsed_rows base)
+  in
+  let compared = ref 0 and regs = ref [] in
+  List.iter
+    (fun row ->
+      let key = parsed_row_key row in
+      match List.assoc_opt key base_rows with
+      | None -> ()
+      | Some base_metrics ->
+        List.iter
+          (fun (name, v) ->
+            if is_throughput name then
+              match
+                ( Json.to_float_opt v,
+                  Option.bind (List.assoc_opt name base_metrics)
+                    Json.to_float_opt )
+              with
+              | Some fresh_v, Some base_v ->
+                incr compared;
+                let floor = base_v /. tolerance in
+                if fresh_v < floor then
+                  regs :=
+                    {
+                      reg_key = key;
+                      reg_metric = name;
+                      reg_base = base_v;
+                      reg_fresh = fresh_v;
+                      reg_floor = floor;
+                    }
+                    :: !regs
+              | _ -> ())
+          (parsed_row_metrics row))
+    (parsed_rows fresh);
+  (List.rev !regs, !compared)
+
 let filename ~id = "BENCH_" ^ id ^ ".json"
 
 let write ?(dir = ".") t =

@@ -43,6 +43,32 @@ val rows : t -> int
 
 val to_json : t -> Json.t
 
+(** {1 Baseline regression gate}
+
+    The comparison behind [check_bench_json --baseline]: pure over two
+    parsed records, so the pass and fail sides are unit-testable without
+    spawning the validator. *)
+
+type regression = {
+  reg_key : (string * string) list;  (** row labels, sorted *)
+  reg_metric : string;
+  reg_base : float;
+  reg_fresh : float;
+  reg_floor : float;  (** [reg_base /. tolerance] *)
+}
+
+val baseline_regressions :
+  ?tolerance:float -> fresh:Json.t -> base:Json.t -> unit ->
+  regression list * int
+(** Match [fresh] rows against [base] rows by their full label set
+    (order-insensitive) and compare every throughput metric (name ending in
+    [_per_s]) present on both sides: a metric regresses when
+    [fresh < base /. tolerance] (default tolerance [3.]). Returns the
+    regressions in row order and the number of metrics compared. Rows or
+    metrics present on only one side are ignored — the gate catches
+    regressions, not schema drift. Raises [Invalid_argument] if
+    [tolerance < 1]. *)
+
 val filename : id:string -> string
 (** ["BENCH_<id>.json"]. *)
 

@@ -7,13 +7,17 @@ type stats = {
   replays : int;
   runtimes_built : int;
   memo_hits : int;
+  sleep_pruned : int;
+  orbits_collapsed : int;
   wall_s : float;
 }
 
 let pp_stats ppf s =
   Fmt.pf ppf
-    "nodes %d, steps %d, replays %d, builds %d, memo-hits %d, %.3fs"
-    s.nodes s.steps_executed s.replays s.runtimes_built s.memo_hits s.wall_s
+    "nodes %d, steps %d, replays %d, builds %d, memo-hits %d, sleep-pruned \
+     %d, orbits-collapsed %d, %.3fs"
+    s.nodes s.steps_executed s.replays s.runtimes_built s.memo_hits
+    s.sleep_pruned s.orbits_collapsed s.wall_s
 
 let stats_json s =
   Obs.Json.Obj
@@ -23,6 +27,8 @@ let stats_json s =
       ("replays", Obs.Json.Int s.replays);
       ("runtimes_built", Obs.Json.Int s.runtimes_built);
       ("memo_hits", Obs.Json.Int s.memo_hits);
+      ("sleep_pruned", Obs.Json.Int s.sleep_pruned);
+      ("orbits_collapsed", Obs.Json.Int s.orbits_collapsed);
       ("wall_s", Obs.Json.Float s.wall_s);
     ]
 
@@ -33,6 +39,8 @@ let record_stats ?(labels = []) reg s =
   c "exhaustive.replays" s.replays;
   c "exhaustive.runtimes_built" s.runtimes_built;
   c "exhaustive.memo_hits" s.memo_hits;
+  c "exhaustive.sleep_pruned" s.sleep_pruned;
+  c "exhaustive.orbits_collapsed" s.orbits_collapsed;
   Obs.Metrics.set (Obs.Metrics.gauge reg ~labels "exhaustive.wall_s") s.wall_s
 
 (* Mutable per-worker accumulator; summed into a [stats] after the run. *)
@@ -42,12 +50,14 @@ type acc = {
   mutable a_replays : int;
   mutable a_built : int;
   mutable a_memo : int;
+  mutable a_sleep : int;
+  mutable a_orbits : int;
   mutable a_count : int;  (* complete schedules accounted for *)
 }
 
 let fresh_acc () =
   { a_nodes = 0; a_steps = 0; a_replays = 0; a_built = 0; a_memo = 0;
-    a_count = 0 }
+    a_sleep = 0; a_orbits = 0; a_count = 0 }
 
 let stats_of ~wall_s accs =
   List.fold_left
@@ -59,9 +69,11 @@ let stats_of ~wall_s accs =
         replays = s.replays + a.a_replays;
         runtimes_built = s.runtimes_built + a.a_built;
         memo_hits = s.memo_hits + a.a_memo;
+        sleep_pruned = s.sleep_pruned + a.a_sleep;
+        orbits_collapsed = s.orbits_collapsed + a.a_orbits;
       })
     { nodes = 0; steps_executed = 0; replays = 0; runtimes_built = 0;
-      memo_hits = 0; wall_s }
+      memo_hits = 0; sleep_pruned = 0; orbits_collapsed = 0; wall_s }
     accs
 
 exception Cancelled
@@ -169,18 +181,292 @@ let explore ~build ~pids ~depth ~prop ~mode ~memo ~cancelled ~tops acc =
   result
 
 (* ------------------------------------------------------------------ *)
+(* Sound state-space reduction: sleep-set partial-order reduction over the
+   step-footprint independence relation ({!Runtime.footprint}), and symmetry
+   reduction over caller-declared classes of interchangeable pids.
+
+   Both layers prune whole subtrees while crediting exactly the number of
+   complete schedules the subtree holds, so reported counts stay |pids|^depth
+   — identical to the unreduced engines, which the differential suite
+   checks.
+
+   Soundness notes (the load-bearing arguments, in one place):
+
+   - Footprint stability: a parked operation names its registers up front and
+     cannot be changed by other processes' steps, so the independence of two
+     processes' next steps, evaluated at a node, holds across any
+     interleaving of other processes below that node. Time-sensitive steps
+     (FD queries; any step of a live S-process that crashes inside the
+     pattern) are [F_timedep] and never commute, because every step advances
+     the clock.
+
+   - Sleep sets prune transitions, not states: every state reachable in the
+     full tree at a given clock is still visited (classical result for
+     acyclic spaces), so [Every]-mode per-prefix checking is preserved. The
+     lexicographically least violating schedule is never pruned — a pruned
+     child is trace-equivalent to a lex-smaller schedule, so the first
+     counterexample found equals the unreduced engines' (DFS order is lex
+     order).
+
+   - Sleep × memo: a memoized subtree was verified minus what its sleep set
+     pruned, so an entry records the sleep mask it was explored under and a
+     hit is taken only when stored ⊆ current (the stored exploration skipped
+     nothing the current node is not itself entitled to skip). Otherwise the
+     subtree is re-explored under the intersection and the entry tightened —
+     monotone, so this converges.
+
+   - Symmetry: at any state, the not-yet-scheduled members of a class are in
+     identical (peeked) local states, so continuations that differ only by
+     renaming them are prop-equivalent; exploring the first unused member
+     with multiplier (m - u) covers all m - u renamings. Per class the
+     explored children's multipliers sum to the class size, keeping counts
+     exact. Which members a prefix has used is digest-determined (scheds
+     counters), so memoized counts transfer between digest-equal nodes.
+
+   - Peeking: footprints force Fresh processes to their first suspension
+     point. That is behaviour-neutral but digest-visible, so the reduced
+     engine peeks every pid after every step and replay — digests compared
+     within its (private, per-worker) memo are taken at uniform peek points.
+     The unreduced paths never peek and are byte-for-byte unchanged. *)
+
+type reduction = { sleep : bool; symmetry : Pid.t list list }
+
+let no_reduction = { sleep = false; symmetry = [] }
+
+(* Compiled, read-only reduction context, shared across workers. *)
+type rctx = {
+  r_sleep : bool;
+  r_pids : Pid.t array;
+  r_cls : int array;  (* pid index -> class id, -1 if in no class *)
+  r_pos : int array;  (* pid index -> canonical position within its class *)
+  r_size : int array;  (* class id -> member count *)
+  r_pow : int array;  (* r_pow.(d) = |pids|^d *)
+}
+
+let compile_reduction ~pids ~depth (r : reduction) =
+  let arr = Array.of_list pids in
+  let n = Array.length arr in
+  let idx p =
+    let rec go i =
+      if i = n then
+        invalid_arg "Exhaustive.run: symmetry class member not in pids"
+      else if Pid.equal arr.(i) p then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  let cls = Array.make n (-1) and pos = Array.make n (-1) in
+  let size =
+    List.mapi
+      (fun c members ->
+        let is = List.sort compare (List.map idx members) in
+        (* Canonical order within a class is pids order, so the canonical
+           representative of an orbit is also its lex-least schedule. *)
+        List.iteri
+          (fun j i ->
+            if cls.(i) <> -1 then
+              invalid_arg "Exhaustive.run: symmetry classes overlap";
+            cls.(i) <- c;
+            pos.(i) <- j)
+          is;
+        List.length is)
+      r.symmetry
+  in
+  let pow = Array.make (depth + 1) 1 in
+  for d = 1 to depth do
+    pow.(d) <- pow.(d - 1) * n
+  done;
+  { r_sleep = r.sleep; r_pids = arr; r_cls = cls; r_pos = pos;
+    r_size = Array.of_list size; r_pow = pow }
+
+let explore_reduced ~build ~depth ~prop ~mode ~memo ~rctx ~cancelled ~tops acc
+    =
+  let every = mode = Every in
+  let n = Array.length rctx.r_pids in
+  let pidx p =
+    let rec go i = if Pid.equal rctx.r_pids.(i) p then i else go (i + 1) in
+    go 0
+  in
+  let tops = List.map pidx tops in
+  let all = List.init n Fun.id in
+  (* memo entry: (complete schedules below, divided by the factor in force
+     when the subtree was entered; sleep mask the subtree was explored
+     under). *)
+  let tbl : (string, int * int) Hashtbl.t option =
+    if memo then Some (Hashtbl.create 4096) else None
+  in
+  let used = Array.map (fun _ -> 0) rctx.r_size in
+  let cur = ref None in
+  let destroy_cur () =
+    match !cur with
+    | Some rt ->
+      Runtime.destroy rt;
+      cur := None
+    | None -> ()
+  in
+  let peek_all rt = Array.iter (Runtime.peek rt) rctx.r_pids in
+  let build_fresh () =
+    acc.a_built <- acc.a_built + 1;
+    let rt = build () in
+    cur := Some rt;
+    rt
+  in
+  let step rt i =
+    Runtime.step rt rctx.r_pids.(i);
+    acc.a_steps <- acc.a_steps + 1;
+    peek_all rt
+  in
+  let replay prefix_rev =
+    destroy_cur ();
+    acc.a_replays <- acc.a_replays + 1;
+    let rt = build_fresh () in
+    List.iter (step rt) (List.rev prefix_rev);
+    peek_all rt;
+    rt
+  in
+  let cex_of prefix_rev = List.rev_map (fun i -> rctx.r_pids.(i)) prefix_rev in
+  let rec expand rt prefix_rev d ~branch ~z ~factor =
+    if d = 0 then begin
+      acc.a_count <- acc.a_count + factor;
+      if (not every) && prefix_rev <> [] && not (prop rt) then
+        Some (cex_of prefix_rev)
+      else None
+    end
+    else begin
+      (* Footprints of everyone's next step at this node: stable below it,
+         valid after replays (which reconstruct this very state). *)
+      let fp = Array.map (Runtime.footprint rt) rctx.r_pids in
+      let rec kids live before = function
+        | [] -> None
+        | i :: rest -> (
+          if cancelled () then raise Cancelled;
+          let c = rctx.r_cls.(i) in
+          let sym =
+            if c < 0 then Some 1
+            else
+              let j = rctx.r_pos.(i) and u = used.(c) in
+              if j < u then Some 1
+              else if j = u then Some (rctx.r_size.(c) - u)
+              else None
+          in
+          match sym with
+          | None ->
+            (* Non-canonical fresh class member: its subtree is a renaming
+               of the canonical representative's, already counted in that
+               child's multiplier. *)
+            acc.a_orbits <- acc.a_orbits + 1;
+            kids live before rest
+          | Some mult ->
+            if rctx.r_sleep && z land (1 lsl i) <> 0 then begin
+              (* Sleep-pruned: every continuation is trace-equivalent to a
+                 lex-smaller explored schedule; credit the whole subtree. *)
+              acc.a_sleep <- acc.a_sleep + 1;
+              acc.a_count <-
+                acc.a_count + (factor * mult * rctx.r_pow.(d - 1));
+              kids live before rest
+            end
+            else begin
+              let rt = if live then rt else replay prefix_rev in
+              step rt i;
+              acc.a_nodes <- acc.a_nodes + 1;
+              let prefix_rev' = i :: prefix_rev in
+              if every && not (prop rt) then Some (cex_of prefix_rev')
+              else begin
+                let z' =
+                  if not rctx.r_sleep then 0
+                  else begin
+                    let zin = z lor before and m = ref 0 in
+                    for q = 0 to n - 1 do
+                      if
+                        zin land (1 lsl q) <> 0
+                        && Runtime.commute fp.(q) fp.(i)
+                      then m := !m lor (1 lsl q)
+                    done;
+                    !m
+                  end
+                in
+                let key =
+                  match tbl with
+                  | Some _ when d > 1 -> Some (Runtime.digest rt)
+                  | _ -> None
+                in
+                let stored =
+                  match (key, tbl) with
+                  | Some k, Some table -> Hashtbl.find_opt table k
+                  | _ -> None
+                in
+                match stored with
+                | Some (raw, zs) when zs land lnot z' = 0 ->
+                  acc.a_memo <- acc.a_memo + 1;
+                  acc.a_count <- acc.a_count + (factor * mult * raw);
+                  kids false (before lor (1 lsl i)) rest
+                | _ ->
+                  (* Miss, or the stored exploration slept on steps this
+                     node may not skip: (re-)explore under the intersection
+                     and tighten the entry. *)
+                  let z_explore =
+                    match stored with Some (_, zs) -> zs land z' | None -> z'
+                  in
+                  let fresh_member = c >= 0 && rctx.r_pos.(i) = used.(c) in
+                  if fresh_member then used.(c) <- used.(c) + 1;
+                  let count0 = acc.a_count in
+                  let sub =
+                    expand rt prefix_rev' (d - 1) ~branch:all ~z:z_explore
+                      ~factor:(factor * mult)
+                  in
+                  if fresh_member then used.(c) <- used.(c) - 1;
+                  (match sub with
+                  | Some cex -> Some cex
+                  | None ->
+                    (match (key, tbl) with
+                    | Some k, Some table ->
+                      let fm = factor * mult in
+                      Hashtbl.replace table k
+                        ((acc.a_count - count0) / fm, z_explore)
+                    | _ -> ());
+                    kids false (before lor (1 lsl i)) rest)
+              end
+            end)
+      in
+      kids true 0 branch
+    end
+  in
+  let result =
+    try
+      let rt = build_fresh () in
+      peek_all rt;
+      match expand rt [] depth ~branch:tops ~z:0 ~factor:1 with
+      | Some cex -> W_cex cex
+      | None -> W_ok
+    with Cancelled -> W_aborted
+  in
+  destroy_cur ();
+  result
+
+(* ------------------------------------------------------------------ *)
 (* Top-level driver: optional domain sharding over the first-step pid. *)
 
-let run ?(domains = 1) ?(memo = true) ?(mode = Every) ~build ~pids ~depth
-    ~prop () =
+let run ?(domains = 1) ?(memo = true) ?(mode = Every) ?reduce ~build ~pids
+    ~depth ~prop () =
   let sp = Obs.Span.start ~name:"exhaustive.run" () in
+  let explore =
+    match reduce with
+    | Some r when r.sleep || r.symmetry <> [] ->
+      let rctx = compile_reduction ~pids ~depth r in
+      fun ~cancelled ~tops acc ->
+        explore_reduced ~build ~depth ~prop ~mode ~memo ~rctx ~cancelled
+          ~tops acc
+    | Some _ | None ->
+      fun ~cancelled ~tops acc ->
+        explore ~build ~pids ~depth ~prop ~mode ~memo ~cancelled ~tops acc
+  in
   let n_tops = List.length pids in
   let n_workers = max 1 (min domains n_tops) in
   let verdict, accs =
     if n_workers <= 1 || depth = 0 then begin
       let acc = fresh_acc () in
       let r =
-        explore ~build ~pids ~depth ~prop ~mode ~memo
+        explore
           ~cancelled:(fun () -> false)
           ~tops:pids acc
       in
@@ -204,10 +490,7 @@ let run ?(domains = 1) ?(memo = true) ?(mode = Every) ~build ~pids ~depth
       let cancelled () = Atomic.get flag in
       let accs = Array.init n_workers (fun _ -> fresh_acc ()) in
       let worker w () =
-        let r =
-          explore ~build ~pids ~depth ~prop ~mode ~memo ~cancelled
-            ~tops:tops.(w) accs.(w)
-        in
+        let r = explore ~cancelled ~tops:tops.(w) accs.(w) in
         (match r with W_cex _ -> Atomic.set flag true | W_ok | W_aborted -> ());
         r
       in

@@ -43,6 +43,12 @@ type stats = {
   replays : int;  (** rebuild-and-replay events (backtracks / baseline runs) *)
   runtimes_built : int;  (** calls to [build] *)
   memo_hits : int;  (** subtrees skipped via the state-fingerprint memo *)
+  sleep_pruned : int;
+      (** subtrees skipped (and credited) by sleep-set partial-order
+          reduction; [0] unless {!run} is given [~reduce] with [sleep] *)
+  orbits_collapsed : int;
+      (** children skipped as non-canonical renamings of an explored class
+          member; [0] unless [~reduce] declares symmetry classes *)
   wall_s : float;  (** elapsed seconds ({!Obs.Clock}, monotonic) for the check *)
 }
 
@@ -58,10 +64,39 @@ val record_stats : ?labels:(string * string) list -> Obs.Metrics.registry -> sta
     repeated checks accumulate) and gauge [exhaustive.wall_s], all under
     [?labels]. *)
 
+(** {1 Sound state-space reduction}
+
+    Optional pruning layers for {!run}, composing with the memo and with
+    [?domains] sharding. Both are {e credited}: a pruned subtree's complete
+    schedules are added to the count, so verdicts — including exact counts
+    and, in the sequential engine, the identity of the first counterexample
+    (DFS order is lexicographic, and the lex-least violating schedule is
+    never pruned) — match the unreduced engines. *)
+
+type reduction = {
+  sleep : bool;
+      (** sleep-set partial-order reduction over the step-footprint
+          independence relation ({!Runtime.footprint}): of two adjacent
+          independent steps, orders that differ only by commuting them are
+          explored once *)
+  symmetry : Pid.t list list;
+      (** disjoint classes of interchangeable pids: same code, same input,
+          and crash/FD behaviour invariant under renaming within the class
+          (e.g. idle S-processes under a symmetric failure pattern and
+          {!History.trivial}). One schedule per renaming orbit is explored
+          and credited with the orbit size. [prop] must be invariant under
+          renaming within each class. *)
+}
+
+val no_reduction : reduction
+(** [{ sleep = false; symmetry = [] }] — [run ~reduce:no_reduction] takes
+    the exact unreduced code path. *)
+
 val run :
   ?domains:int ->
   ?memo:bool ->
   ?mode:mode ->
+  ?reduce:reduction ->
   build:(unit -> Runtime.t) ->
   pids:Pid.t list ->
   depth:int ->
@@ -74,9 +109,13 @@ val run :
     counterexample whose first step comes earliest in [pids] is returned, but
     which counterexample is found within one worker's shard may differ from
     the sequential engine's (all returned counterexamples are genuine).
-    [?memo] (default [true]) enables the state-fingerprint memo. Verdicts
-    (including exact schedule counts) are identical to {!run_replay} under
-    the soundness requirements above. *)
+    [?memo] (default [true]) enables the state-fingerprint memo. [?reduce]
+    (default off) enables the reduction layers above; reduction forces every
+    process to its first suspension point eagerly ({!Runtime.peek}), so
+    [prop] must additionally not distinguish a [Fresh] process from a peeked
+    one (true of properties over memory, decisions and participation).
+    Verdicts (including exact schedule counts) are identical to
+    {!run_replay} under the soundness requirements above. *)
 
 val run_replay :
   ?mode:mode ->

@@ -230,6 +230,56 @@ let execute t (p : pstate) (op : pending) : unit =
     obs p 6 0;
     Effect.Deep.continue k ()
 
+(* ------------------------------------------------------------------ *)
+(* Per-step footprints — the static face of the next step of each process,
+   used by the exhaustive checker's independence relation. *)
+
+type footprint =
+  | F_local
+  | F_read of Memory.reg array
+  | F_write of Memory.reg
+  | F_timedep
+
+let start_if_fresh (p : pstate) =
+  if p.status = Fresh then begin
+    p.status <- Runnable;
+    run_under p p.code
+  end
+
+let peek t pid = start_if_fresh (proc t pid)
+
+let footprint t pid =
+  let p = proc t pid in
+  match pid with
+  | Pid.S i when Failure.crashed t.cfg.pattern ~time:t.now i ->
+    (* crash-stop: crashed stays crashed, so every later step is null *)
+    F_local
+  | Pid.S i when not (Failure.is_correct t.cfg.pattern i) ->
+    (* alive now but crashes later: whether the parked op or a null step
+       executes depends on when the process is scheduled *)
+    F_timedep
+  | _ -> (
+    start_if_fresh p;
+    match p.pending with
+    | None -> F_local (* done or returned: null step *)
+    | Some (K_read (r, _)) -> F_read [| r |]
+    | Some (K_snapshot (rs, _)) -> F_read rs
+    | Some (K_write (r, _, _)) -> F_write r
+    | Some (K_query _) -> F_timedep (* result sampled at the step's time *)
+    | Some (K_decide _) | Some (K_yield _) -> F_local)
+
+let commute a b =
+  match (a, b) with
+  | F_timedep, _ | _, F_timedep -> false
+  | F_local, _ | _, F_local -> true
+  | F_read _, F_read _ -> true
+  | F_read rs, F_write w | F_write w, F_read rs ->
+    not (Memory.overlaps rs [| w |])
+  | F_write r1, F_write r2 -> r1 <> r2
+
+let independent t p q =
+  (not (Pid.equal p q)) && commute (footprint t p) (footprint t q)
+
 let step t pid =
   let p = proc t pid in
   p.scheds <- p.scheds + 1;
@@ -248,10 +298,7 @@ let step t pid =
        [execute] only: a process whose code performs no operation (or whose
        first operation never runs) takes a null step and does not count as
        participating. *)
-    if p.status = Fresh then begin
-      p.status <- Runnable;
-      run_under p p.code
-    end;
+    start_if_fresh p;
     match p.pending with
     | Some op -> execute t p op
     | None -> record t p Trace.Null

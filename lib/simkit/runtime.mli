@@ -108,6 +108,53 @@ val step : t -> Pid.t -> unit
 (** Execute one step of the given process (null if crashed / done) and
     advance time. *)
 
+(** {1 Step footprints}
+
+    The shared-state face of a process's {e next} step, knowable without
+    executing it: a parked operation names its registers up front, and a
+    process's own pending operation cannot be changed by other processes'
+    steps. This is what makes the relation below stable enough for the
+    exhaustive checker's partial-order reduction ({!Exhaustive}). *)
+
+type footprint =
+  | F_local
+      (** touches no shared state and is time-insensitive: a null step
+          (done, returned, or crashed-forever), [yield], or [decide]
+          (which writes only process-local state) *)
+  | F_read of Memory.reg array  (** [read] (one register) or [snapshot] *)
+  | F_write of Memory.reg
+  | F_timedep
+      (** effect depends on the global time of execution: an FD [query]
+          (the history is sampled at the step's time), or any step of a
+          live S-process that crashes later in the pattern *)
+
+val footprint : t -> Pid.t -> footprint
+(** Footprint of the process's next step. Forces a [Fresh] process to its
+    first suspension point (the behaviour-neutral prefix of its first
+    {!step}: pure local computation only, no operation executes and
+    {!participating}/{!steps_taken} are unchanged — but {!status} moves off
+    [Fresh], so callers hashing states with {!digest} must call it at
+    consistent points; see {!peek}). *)
+
+val peek : t -> Pid.t -> unit
+(** Force a [Fresh] process to its first suspension point without executing
+    anything (no-op otherwise) — what {!footprint} does on the way to the
+    parked operation, exposed so a checker replaying a prefix can restore
+    the same peeked-everywhere state shape before comparing digests. *)
+
+val commute : footprint -> footprint -> bool
+(** Do steps with these footprints commute? [F_local] commutes with
+    everything except [F_timedep]; reads commute with reads; register
+    operations commute iff their footprints are disjoint; [F_timedep]
+    commutes with nothing (every step advances the clock, so reordering
+    moves a time-dependent effect). Sound, not complete: two writes of the
+    same value are declared dependent. *)
+
+val independent : t -> Pid.t -> Pid.t -> bool
+(** [independent t p q]: are the next steps of two {e distinct} processes
+    independent at the current state — i.e. do they {!commute}, so both
+    execution orders reach {!digest}-equal states? [false] if [p = q]. *)
+
 val destroy : t -> unit
 (** Discontinue all parked process continuations (releases fibers). The
     runtime remains observable but no longer steppable. *)

@@ -168,6 +168,48 @@ let s_first ~n_c ~n_s ~s_steps rng =
   let everyone = shuffled_rounds ~n_c ~n_s rng in
   seq s_only ~steps:s_steps everyone
 
+(* Symmetry over interchangeable pids: pure list utilities, shared by the
+   exhaustive checker's orbit collapsing and by the tests that validate it
+   by brute-force enumeration. *)
+
+let class_of classes p =
+  List.find_opt (fun cls -> List.exists (Pid.equal p) cls) classes
+
+let canonicalize ~classes sched =
+  (* Per class, map members to class order by first appearance. *)
+  let seen = List.map (fun cls -> (cls, ref [])) classes in
+  List.map
+    (fun p ->
+      match class_of classes p with
+      | None -> p
+      | Some cls ->
+        let tbl = List.assq cls seen in
+        (match List.find_opt (fun (q, _) -> Pid.equal p q) !tbl with
+        | Some (_, canon) -> canon
+        | None ->
+          let canon = List.nth cls (List.length !tbl) in
+          tbl := !tbl @ [ (p, canon) ];
+          canon))
+    sched
+
+let orbit_size ~classes sched =
+  (* The group ∏ Sym(class) acts by renaming class members; a schedule
+     touching k distinct members of an m-member class has stabilizer
+     (m-k)!, hence orbit factor m!/(m-k)! — the falling factorial. *)
+  List.fold_left
+    (fun acc cls ->
+      let m = List.length cls in
+      let k =
+        List.length
+          (List.filter
+             (fun q ->
+               List.exists (Pid.equal q) sched)
+             cls)
+      in
+      let rec falling m k = if k = 0 then 1 else m * falling (m - 1) (k - 1) in
+      acc * falling m k)
+    1 classes
+
 type outcome = {
   total_steps : int;
   all_decided : bool;

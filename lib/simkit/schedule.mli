@@ -51,6 +51,25 @@ val s_first : n_c:int -> n_s:int -> s_steps:int -> Random.State.t -> t
 (** Adversary flavour: S-processes only for [s_steps] steps, then shuffled
     rounds of everyone. *)
 
+(** {1 Symmetry over interchangeable processes}
+
+    Pure utilities over schedules-as-pid-lists, used by the exhaustive
+    checker's symmetry reduction ({!Exhaustive}) and by the tests that
+    validate its orbit accounting by enumeration. A {e symmetry class} is a
+    list of pids declared interchangeable (same code, same input, no
+    pid-dependent failure or FD behaviour); classes must be disjoint. *)
+
+val canonicalize : classes:Pid.t list list -> Pid.t list -> Pid.t list
+(** Orbit representative of a schedule under renaming within each class:
+    class members are relabelled so that, per class, they first appear in
+    class order. Idempotent; pids outside every class are untouched. *)
+
+val orbit_size : classes:Pid.t list list -> Pid.t list -> int
+(** Number of schedules in the orbit of the given schedule under renaming
+    within each class: the product over classes of m!/(m-k)! where [m] is
+    the class size and [k] the number of distinct class members the
+    schedule touches. *)
+
 (** {1 Driving a run} *)
 
 type outcome = {

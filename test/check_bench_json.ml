@@ -6,12 +6,14 @@
 
    With --baseline DIR, each FILE is additionally compared against
    DIR/basename(FILE): rows are matched by their full label set, and any
-   throughput metric (name ending in "_per_s") that dropped below a third
-   of its baseline value fails the check. Rows or metrics present on only
-   one side are ignored — the gate catches regressions, not schema drift
-   (the schema check above does that).
+   throughput metric (name ending in "_per_s") that dropped below
+   baseline / tolerance fails the check (--tolerance F, default 3). Rows
+   or metrics present on only one side are ignored — the gate catches
+   regressions, not schema drift (the schema check above does that). The
+   comparison itself is Obs.Bench_record.baseline_regressions, unit-tested
+   in test_obs.
 
-   $ check_bench_json.exe --baseline baseline/ BENCH_e1.json ...           *)
+   $ check_bench_json.exe --baseline baseline/ --tolerance 2.5 BENCH_e1.json ... *)
 
 let errors = ref 0
 
@@ -42,65 +44,24 @@ let check_row path i row =
 
 (* -- baseline regression gate ------------------------------------------- *)
 
-(* A row's identity is its full label set, order-insensitive. *)
-let row_key row =
-  match Obs.Json.member "labels" row with
-  | Some (Obs.Json.Obj labels) ->
-    List.filter_map
-      (fun (k, v) ->
-        match v with Obs.Json.Str s -> Some (k, s) | _ -> None)
-      labels
-    |> List.sort compare
-  | _ -> []
-
-let row_metrics row =
-  match Obs.Json.member "metrics" row with
-  | Some (Obs.Json.Obj metrics) -> metrics
-  | _ -> []
-
-let rows_of json =
-  match Obs.Json.member "rows" json with
-  | Some (Obs.Json.List rows) -> rows
-  | _ -> []
-
-let is_throughput name =
-  String.length name >= 6
-  && String.sub name (String.length name - 6) 6 = "_per_s"
-
 let pp_key ppf key =
   Fmt.pf ppf "{%a}"
     (Fmt.list ~sep:(Fmt.any ",") (Fmt.pair ~sep:(Fmt.any "=") Fmt.string Fmt.string))
     key
 
-(* Fail when a throughput metric fell below a third of its baseline. *)
-let compare_against_baseline path fresh base =
-  let base_rows =
-    List.map (fun row -> (row_key row, row_metrics row)) (rows_of base)
+(* Fail when a throughput metric fell below baseline / tolerance. *)
+let compare_against_baseline ~tolerance path fresh base =
+  let regressions, compared =
+    Obs.Bench_record.baseline_regressions ~tolerance ~fresh ~base ()
   in
-  let compared = ref 0 in
   List.iter
-    (fun row ->
-      let key = row_key row in
-      match List.assoc_opt key base_rows with
-      | None -> ()
-      | Some base_metrics ->
-        List.iter
-          (fun (name, v) ->
-            if is_throughput name then
-              match
-                (Obs.Json.to_float_opt v,
-                 Option.bind (List.assoc_opt name base_metrics)
-                   Obs.Json.to_float_opt)
-              with
-              | Some fresh_v, Some base_v ->
-                incr compared;
-                if fresh_v < base_v /. 3. then
-                  err path "row %a: %s regressed >3x: %.0f -> %.0f (floor %.0f)"
-                    pp_key key name base_v fresh_v (base_v /. 3.)
-              | _ -> ())
-          (row_metrics row))
-    (rows_of fresh);
-  !compared
+    (fun r ->
+      err path "row %a: %s regressed >%gx: %.0f -> %.0f (floor %.0f)" pp_key
+        r.Obs.Bench_record.reg_key r.Obs.Bench_record.reg_metric tolerance
+        r.Obs.Bench_record.reg_base r.Obs.Bench_record.reg_fresh
+        r.Obs.Bench_record.reg_floor)
+    regressions;
+  compared
 
 let read_json path =
   match
@@ -119,7 +80,7 @@ let read_json path =
       None
     | Ok json -> Some json)
 
-let check_baseline dir path json =
+let check_baseline ~tolerance dir path json =
   let base_path = Filename.concat dir (Filename.basename path) in
   if not (Sys.file_exists base_path) then
     Fmt.pr "%s: no baseline %s, skipping gate@." path base_path
@@ -128,12 +89,12 @@ let check_baseline dir path json =
     | None -> ()
     | Some base ->
       let before = !errors in
-      let compared = compare_against_baseline path json base in
+      let compared = compare_against_baseline ~tolerance path json base in
       if !errors = before then
-        Fmt.pr "%s: baseline ok (%d throughput metrics >= %s / 3)@." path
-          compared base_path
+        Fmt.pr "%s: baseline ok (%d throughput metrics >= %s / %g)@." path
+          compared base_path tolerance
 
-let check ?baseline path =
+let check ?baseline ~tolerance path =
   let before = !errors in
   match read_json path with
   | None -> ()
@@ -158,17 +119,28 @@ let check ?baseline path =
       | Some _ -> err path "rows is not a list"
       | None -> err path "missing rows");
       if !errors = before then Fmt.pr "%s: ok@." path;
-      Option.iter (fun dir -> check_baseline dir path json) baseline
+      Option.iter (fun dir -> check_baseline ~tolerance dir path json) baseline
+
+let usage () =
+  Fmt.epr
+    "usage: check_bench_json [--baseline DIR] [--tolerance F] FILE.json ...@.";
+  exit 2
 
 let () =
-  let baseline, paths =
-    match List.tl (Array.to_list Sys.argv) with
-    | "--baseline" :: dir :: rest -> (Some dir, rest)
-    | args -> (None, args)
+  let rec parse baseline tolerance = function
+    | "--baseline" :: dir :: rest -> parse (Some dir) tolerance rest
+    | "--tolerance" :: f :: rest -> (
+      match float_of_string_opt f with
+      | Some t when t >= 1. -> parse baseline t rest
+      | _ ->
+        Fmt.epr "--tolerance: expected a number >= 1, got %S@." f;
+        exit 2)
+    | ("--baseline" | "--tolerance") :: [] -> usage ()
+    | paths -> (baseline, tolerance, paths)
   in
-  if paths = [] then begin
-    Fmt.epr "usage: check_bench_json [--baseline DIR] FILE.json ...@.";
-    exit 2
-  end;
-  List.iter (check ?baseline) paths;
+  let baseline, tolerance, paths =
+    parse None 3. (List.tl (Array.to_list Sys.argv))
+  in
+  if paths = [] then usage ();
+  List.iter (check ?baseline ~tolerance) paths;
   exit (if !errors > 0 then 1 else 0)

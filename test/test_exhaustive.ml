@@ -341,6 +341,50 @@ let test_incremental_speedup () =
     >= 3 * inc_st.Exhaustive.steps_executed);
   check_bool "memo observed hits" true (inc_st.Exhaustive.memo_hits > 0)
 
+(* --- and the same bar for the reduction layers: on the same config,
+       sleep sets + symmetry must execute >= 3x fewer steps than the
+       memoized engine they sit on, at identical verdict and count --- *)
+
+let test_reduction_speedup () =
+  let build () =
+    let mem = Memory.create () in
+    let sa = Safe_agreement.create mem ~n:2 in
+    let c_code i () =
+      Safe_agreement.propose sa ~me:i (Value.int (100 + i));
+      let rec resolve () =
+        match Safe_agreement.try_resolve sa with
+        | Some v -> Runtime.Op.decide v
+        | None -> resolve ()
+      in
+      resolve ()
+    in
+    mk_ns ~n_c:2 ~n_s:2 mem c_code
+  in
+  let prop rt =
+    match (Runtime.decision rt 0, Runtime.decision rt 1) with
+    | Some a, Some b -> Value.equal a b
+    | _ -> true
+  in
+  let pids = Pid.all ~n_c:2 ~n_s:2 in
+  let memo_v, memo_st = Exhaustive.run ~build ~pids ~depth:8 ~prop () in
+  let red_v, red_st =
+    Exhaustive.run
+      ~reduce:{ Exhaustive.sleep = true; symmetry = [ Pid.all_s 2 ] }
+      ~build ~pids ~depth:8 ~prop ()
+  in
+  Alcotest.(check string) "identical verdict and count" (verdict_str memo_v)
+    (verdict_str red_v);
+  check_bool
+    (Fmt.str "steps %d >= 3x steps %d" memo_st.Exhaustive.steps_executed
+       red_st.Exhaustive.steps_executed)
+    true
+    (memo_st.Exhaustive.steps_executed
+    >= 3 * red_st.Exhaustive.steps_executed);
+  check_bool "sleep pruning observed" true
+    (red_st.Exhaustive.sleep_pruned > 0);
+  check_bool "orbit collapsing observed" true
+    (red_st.Exhaustive.orbits_collapsed > 0)
+
 let suite =
   [
     Alcotest.test_case "safe agreement (all schedules)" `Slow
@@ -362,4 +406,6 @@ let suite =
       test_counterexample_replays;
     Alcotest.test_case "incremental engine >= 3x fewer steps" `Quick
       test_incremental_speedup;
+    Alcotest.test_case "reduction >= 3x fewer steps than memo" `Quick
+      test_reduction_speedup;
   ]

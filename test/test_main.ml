@@ -16,6 +16,7 @@ let () =
       ("efd-substrates", Test_efd_substrates.suite);
       ("closing", Test_closing.suite);
       ("exhaustive", Test_exhaustive.suite);
+      ("reduction", Test_reduction.suite);
       ("obs", Test_obs.suite);
       ("fuzz", Test_fuzz.suite);
       ("properties", Test_properties.suite);

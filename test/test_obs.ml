@@ -216,6 +216,65 @@ let test_bench_record_golden () =
   close_in ic;
   check_string "golden bytes" want got
 
+(* the comparison behind check_bench_json --baseline: pass and fail sides of
+   the tolerance gate, on hand-built records *)
+let test_baseline_regressions () =
+  let record rate extra_row =
+    let r = Obs.Bench_record.create ~id:"gate" () in
+    Obs.Bench_record.row r
+      ~labels:[ ("engine", "incremental"); ("config", "sa") ]
+      [
+        ("steps_per_s", Obs.Json.Float rate);
+        ("nodes", Obs.Json.Int 9);  (* not a throughput metric: never gated *)
+      ];
+    if extra_row then
+      Obs.Bench_record.row r
+        ~labels:[ ("engine", "fresh-only") ]
+        [ ("steps_per_s", Obs.Json.Float 1.) ];
+    Obs.Bench_record.to_json r
+  in
+  let base = record 300. false in
+  (* pass side: exactly at the floor (300 / 3 = 100) is not a regression *)
+  let regs, compared =
+    Obs.Bench_record.baseline_regressions ~fresh:(record 100. true) ~base ()
+  in
+  Alcotest.(check int) "one metric compared (unmatched row ignored)" 1
+    compared;
+  check_bool "at the floor passes" true (regs = []);
+  (* fail side: just under the floor regresses, with the numbers reported *)
+  (match
+     Obs.Bench_record.baseline_regressions ~fresh:(record 99. false) ~base ()
+   with
+  | [ r ], 1 ->
+    check_string "metric" "steps_per_s" r.Obs.Bench_record.reg_metric;
+    check_bool "key carries the sorted labels" true
+      (r.Obs.Bench_record.reg_key
+      = [ ("config", "sa"); ("engine", "incremental") ]);
+    check_bool "floor is base / tolerance" true
+      (abs_float (r.Obs.Bench_record.reg_floor -. 100.) < 1e-9)
+  | regs, n ->
+    Alcotest.failf "expected exactly one regression, got %d (%d compared)"
+      (List.length regs) n);
+  (* the tolerance is a parameter: at 2.0 the same drop fails, a mild one
+     passes *)
+  (match
+     Obs.Bench_record.baseline_regressions ~tolerance:2. ~fresh:(record 149. false)
+       ~base ()
+   with
+  | [ _ ], 1 -> ()
+  | _ -> Alcotest.fail "expected a regression at tolerance 2");
+  let regs, _ =
+    Obs.Bench_record.baseline_regressions ~tolerance:2. ~fresh:(record 151. false)
+      ~base ()
+  in
+  check_bool "151 >= 300/2 passes at tolerance 2" true (regs = []);
+  check_bool "tolerance < 1 rejected" true
+    (match
+       Obs.Bench_record.baseline_regressions ~tolerance:0.5 ~fresh:base ~base ()
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 let test_bench_record_roundtrip () =
   let r = golden_record () in
   let j = Obs.Bench_record.to_json r in
@@ -324,6 +383,8 @@ let suite =
     Alcotest.test_case "span" `Quick test_span;
     Alcotest.test_case "bench record golden bytes" `Quick test_bench_record_golden;
     Alcotest.test_case "bench record round-trip" `Quick test_bench_record_roundtrip;
+    Alcotest.test_case "baseline tolerance gate (pass + fail)" `Quick
+      test_baseline_regressions;
     Alcotest.test_case "live vs bridged event streams" `Quick test_live_vs_bridged;
     Alcotest.test_case "runtime counters hook" `Quick test_runtime_counters;
     Alcotest.test_case "exhaustive stats export" `Quick test_exhaustive_stats_export;
