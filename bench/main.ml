@@ -1192,6 +1192,218 @@ let obs_overhead () =
     ];
   assert within_noise
 
+(* --------------------------------------------------------- serve bench *)
+
+(* The job-server subsystem (lib/svc, DESIGN.md §5): solve req/s at 1 and 4
+   workers, the bounded queue's saturation behaviour (reject-fast, so
+   accepted requests keep a bounded wait), a zero-loss drain check, and the
+   per-request allocation cost of the event paths under a null sink. *)
+
+let serve_bench () =
+  header "serve" "job server: req/s vs workers, saturation, drain, alloc";
+  Rec.meta "cores" (jint (Domain.recommended_domain_count ()));
+  let sock_n = ref 0 in
+  let cfg ?(workers = 1) ?(queue = 64) () =
+    incr sock_n;
+    let socket_path =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "wfa-bench-%d-%d.sock" (Unix.getpid ()) !sock_n)
+    in
+    {
+      (Svc.Server.default_config ~socket_path) with
+      Svc.Server.workers;
+      queue_bound = queue;
+    }
+  in
+  let solve_params =
+    Obs.Json.Obj
+      [
+        ("task", Obs.Json.Str "consensus");
+        ("n", Obs.Json.Int 3);
+        ("fd", Obs.Json.Str "omega");
+        ("seed", Obs.Json.Int 1);
+      ]
+  in
+  (* [threads] synchronous clients, [per_thread] solve calls each; returns
+     (ok, overloaded, other, max ok-latency, wall) *)
+  let blast ~threads ~per_thread ~params path =
+    let ok = Atomic.make 0
+    and overloaded = Atomic.make 0
+    and other = Atomic.make 0 in
+    let lat_max = Array.make threads 0. in
+    let sp = Obs.Span.start () in
+    let run t () =
+      let c = Svc.Client.connect path in
+      for _ = 1 to per_thread do
+        let q = Obs.Span.start () in
+        match Svc.Client.call ~params c Svc.Protocol.Solve with
+        | Ok _ ->
+          let s = Obs.Span.elapsed_s q in
+          if s > lat_max.(t) then lat_max.(t) <- s;
+          Atomic.incr ok
+        | Error (Svc.Client.Server (Svc.Protocol.Overloaded, _)) ->
+          Atomic.incr overloaded
+        | Error _ -> Atomic.incr other
+      done;
+      Svc.Client.close c
+    in
+    let ts = List.init threads (fun t -> Thread.create (run t) ()) in
+    List.iter Thread.join ts;
+    let wall = Obs.Span.elapsed_s sp in
+    ( Atomic.get ok,
+      Atomic.get overloaded,
+      Atomic.get other,
+      Array.fold_left Float.max 0. lat_max,
+      wall )
+  in
+  Fmt.pr "  solve throughput (consensus n=3, 4 clients x 40 requests):@.";
+  Fmt.pr "  %-10s %8s %8s %10s %12s@." "workers" "used" "ok" "wall" "req/s";
+  line ();
+  let throughput requested =
+    (* same clamp as the fuzz bench: worker domains beyond the hardware
+       measure scheduler thrash, not pool sharding *)
+    let used = max 1 (min requested (Domain.recommended_domain_count ())) in
+    let c = cfg ~workers:used ~queue:128 () in
+    let t = Svc.Server.start c in
+    let ok, over, other, _lat, wall =
+      blast ~threads:4 ~per_thread:40 ~params:solve_params
+        c.Svc.Server.socket_path
+    in
+    Svc.Server.shutdown t;
+    Svc.Server.wait t;
+    (* queue 128 >> 4 in flight: nothing may be rejected here *)
+    assert (over = 0 && other = 0);
+    let rate = float_of_int ok /. Float.max 1e-9 wall in
+    Rec.row
+      ~labels:[ ("verb", "solve"); ("workers", string_of_int requested) ]
+      [
+        ("workers_used", jint used);
+        ("ok", jint ok);
+        ("wall_s", jfloat wall);
+        ("req_per_s", jfloat rate);
+      ];
+    Fmt.pr "  %-10d %8d %8d %9.3fs %12.0f@." requested used ok wall rate;
+    rate
+  in
+  let r1 = throughput 1 in
+  let r4 = throughput 4 in
+  let speedup = r4 /. Float.max 1e-9 r1 in
+  Rec.row
+    ~labels:[ ("verb", "solve"); ("workers", "4v1") ]
+    [ ("speedup_vs_1_worker", jfloat speedup) ];
+  Fmt.pr "  %-10s %8s %8s %10s %11.2fx@." "4v1" "" "" "" speedup;
+
+  Fmt.pr "@.  saturation (1 worker, queue bound 2, 8 clients x 6 requests):@.";
+  let c = cfg ~workers:1 ~queue:2 () in
+  let t = Svc.Server.start c in
+  let ok, over, other, lat, wall =
+    blast ~threads:8 ~per_thread:6 ~params:solve_params
+      c.Svc.Server.socket_path
+  in
+  Svc.Server.shutdown t;
+  Svc.Server.wait t;
+  Rec.row
+    ~labels:[ ("verb", "solve"); ("scenario", "saturation") ]
+    [
+      ("queue_bound", jint 2);
+      ("ok", jint ok);
+      ("overloaded", jint over);
+      ("other", jint other);
+      ("max_ok_latency_s", jfloat lat);
+      ("wall_s", jfloat wall);
+    ];
+  Fmt.pr "  ok %d, overloaded %d, other %d, max ok-latency %.4fs@." ok over
+    other lat;
+  (* the backpressure contract: beyond the high-watermark the queue rejects
+     instead of buffering, so overload shows up as explicit [overloaded]
+     errors while accepted requests wait at most (bound+1) job times *)
+  assert (ok >= 1 && over >= 1 && ok + over + other = 48);
+
+  Fmt.pr "@.  drain (shutdown with accepted jobs in flight):@.";
+  let c = cfg ~workers:1 ~queue:8 () in
+  let t = Svc.Server.start c in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX c.Svc.Server.socket_path);
+  let jobs = 4 in
+  for id = 1 to jobs do
+    Svc.Frame.write fd
+      (Obs.Json.to_string
+         (Svc.Protocol.request_json
+            (Svc.Protocol.request ~params:solve_params ~id Svc.Protocol.Solve)))
+  done;
+  let accepted () =
+    match Svc.Server.stats_json t with
+    | Obs.Json.Obj kvs -> (
+      match List.assoc_opt "accepted" kvs with
+      | Some (Obs.Json.Int n) -> n
+      | _ -> 0)
+    | _ -> 0
+  in
+  let t0 = Unix.gettimeofday () in
+  while accepted () < jobs && Unix.gettimeofday () -. t0 < 10. do
+    Unix.sleepf 0.002
+  done;
+  Svc.Server.shutdown t;
+  let answered = ref 0 in
+  (try
+     for _ = 1 to jobs do
+       match Svc.Frame.read fd with
+       | Ok _ -> incr answered
+       | Error _ -> raise Exit
+     done
+   with Exit | Unix.Unix_error _ -> ());
+  Svc.Server.wait t;
+  Unix.close fd;
+  let lost = jobs - !answered in
+  Rec.row
+    ~labels:[ ("scenario", "drain") ]
+    [ ("accepted", jint jobs); ("answered", jint !answered); ("lost", jint lost) ];
+  Fmt.pr "  accepted %d, answered %d, lost %d@." jobs !answered lost;
+  assert (lost = 0);
+
+  Fmt.pr "@.  per-request allocation, ping (inline domain-0 path):@.";
+  let pings path n =
+    let cl = Svc.Client.connect path in
+    for _ = 1 to n do
+      match Svc.Client.call cl Svc.Protocol.Ping with
+      | Ok _ -> ()
+      | Error e -> failwith (Svc.Client.error_string e)
+    done;
+    Svc.Client.close cl
+  in
+  (* client, conn thread and accept thread all run on domain 0, so the
+     domain-local minor counter sees the whole request path; the idle
+     worker domain contributes nothing *)
+  let words_per_req ?sink () =
+    let c = cfg ~workers:1 () in
+    let t = Svc.Server.start ?sink c in
+    pings c.Svc.Server.socket_path 50;
+    let n = 400 in
+    let w0 = Gc.minor_words () in
+    pings c.Svc.Server.socket_path n;
+    let w1 = Gc.minor_words () in
+    Svc.Server.shutdown t;
+    Svc.Server.wait t;
+    (w1 -. w0) /. float_of_int n
+  in
+  let bare = words_per_req () in
+  let null = words_per_req ~sink:(Obs.Sink.null ()) () in
+  let delta = null -. bare in
+  Fmt.pr "  no sink   %8.1f words/req@." bare;
+  Fmt.pr "  null sink %8.1f words/req (delta %+.1f)@." null delta;
+  Rec.row
+    ~labels:[ ("verb", "ping"); ("sink", "none") ]
+    [ ("minor_words_per_req", jfloat bare) ];
+  Rec.row
+    ~labels:[ ("verb", "ping"); ("sink", "null") ]
+    [ ("minor_words_per_req", jfloat null) ];
+  Rec.meta "alloc_delta_words_per_req" (jfloat delta);
+  (* a sink may add at most a small constant per request (ping emits no
+     events; conn open/close amortize over the run) — anything larger is a
+     hotspot on the hot path *)
+  assert (delta < 128.)
+
 (* -------------------------------------------------------------- driver *)
 
 let all : (string * (unit -> unit)) list =
@@ -1200,6 +1412,7 @@ let all : (string * (unit -> unit)) list =
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("ablations", ablations); ("checker", checker);
     ("fuzz", fuzz_bench); ("micro", micro); ("obs", obs_overhead);
+    ("serve", serve_bench);
   ]
 
 let () =

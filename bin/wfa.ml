@@ -155,11 +155,18 @@ let with_pattern ~n_s crashes f =
       (if crashes = [] then Failure.failure_free n_s
        else Failure.pattern ~n_s crashes)
 
+(* An unwritable --json path must be a one-line diagnostic and a nonzero
+   exit, not an uncaught Sys_error with a backtrace. *)
 let write_json path json =
-  let oc = open_out path in
-  output_string oc (Obs.Json.to_string_pretty json);
-  close_out oc;
-  Fmt.pr "wrote %s@." path
+  match
+    let oc = open_out path in
+    output_string oc (Obs.Json.to_string_pretty json);
+    close_out oc
+  with
+  | () -> Fmt.pr "wrote %s@." path
+  | exception Sys_error msg ->
+    Fmt.epr "wfa: cannot write --json output: %s@." msg;
+    exit 2
 
 let build_task kind ~n ~k ~j ~l =
   match kind with
@@ -529,6 +536,50 @@ let bench json =
   Fmt.pr "recorded %d rows -> %s@." (Obs.Bench_record.rows record) path;
   if !failures = 0 then 0 else 1
 
+(* ------------------------------------------------------- serve / call *)
+
+let serve socket workers queue deadline_ms max_frame events =
+  let cfg =
+    {
+      Svc.Server.socket_path = socket;
+      workers;
+      queue_bound = queue;
+      default_deadline_ms = deadline_ms;
+      max_frame;
+    }
+  in
+  let sink = if events then Some (Obs.Sink.stdout ()) else None in
+  Fmt.pr "wfa serve: listening on %s (workers %d, queue %d)@." socket workers
+    queue;
+  Svc.Server.run ?sink cfg;
+  Fmt.pr "wfa serve: drained and stopped@.";
+  0
+
+let call socket verb params deadline_ms =
+  match Obs.Json.of_string params with
+  | Error msg ->
+    Fmt.epr "wfa call: invalid --params JSON: %s@." msg;
+    2
+  | Ok params -> (
+    match Svc.Client.connect socket with
+    | exception Unix.Unix_error (e, _, _) ->
+      Fmt.epr "wfa call: cannot connect to %s: %s@." socket
+        (Unix.error_message e);
+      2
+    | client ->
+      let r = Svc.Client.call ?deadline_ms ~params client verb in
+      Svc.Client.close client;
+      (match r with
+      | Ok result ->
+        Fmt.pr "%s@?" (Obs.Json.to_string_pretty result);
+        0
+      | Error (Svc.Client.Server (code, msg)) ->
+        Fmt.epr "wfa call: %s: %s@." (Svc.Protocol.err_code_string code) msg;
+        1
+      | Error (Svc.Client.Transport _ as e) ->
+        Fmt.epr "wfa call: %s@." (Svc.Client.error_string e);
+        2))
+
 (* ---------------------------------------------------------------- main *)
 
 let solve_cmd =
@@ -609,6 +660,60 @@ let modelcheck_cmd =
           $ Arg.(value & flag & info [ "reduce" ] ~doc:"Enable sleep-set partial-order reduction and S-process symmetry collapsing.")
           $ json_arg)
 
+let socket_arg =
+  Arg.(
+    value
+    & opt string "/tmp/wfa.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let doc =
+    "Run the concurrent job server: solve/modelcheck/fuzz over a \
+     Unix-domain socket with worker pools, backpressure and deadlines."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const serve $ socket_arg
+      $ Arg.(value & opt int 2
+             & info [ "workers" ] ~docv:"N" ~doc:"Worker domains.")
+      $ Arg.(value & opt int 64
+             & info [ "queue" ] ~docv:"N"
+                 ~doc:"Queue bound; requests beyond it are rejected with \
+                       overloaded.")
+      $ Arg.(value & opt (some int) None
+             & info [ "deadline-ms" ] ~docv:"MS"
+                 ~doc:"Default per-request deadline (requests may carry \
+                       their own).")
+      $ Arg.(value & opt int Svc.Frame.default_max_len
+             & info [ "max-frame" ] ~docv:"BYTES"
+                 ~doc:"Largest accepted request frame.")
+      $ Arg.(value & flag
+             & info [ "events" ]
+                 ~doc:"Emit svc.* events as JSON lines on stdout."))
+
+let verb_conv : Svc.Protocol.verb Arg.conv =
+  let parse s =
+    match Svc.Protocol.verb_of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Fmt.str "unknown verb %S" s))
+  in
+  Arg.conv (parse, fun ppf v -> Fmt.string ppf (Svc.Protocol.verb_string v))
+
+let call_cmd =
+  let doc = "Send one request to a running wfa serve and print the result." in
+  Cmd.v
+    (Cmd.info "call" ~doc)
+    Term.(
+      const call $ socket_arg
+      $ Arg.(value & pos 0 verb_conv Svc.Protocol.Ping
+             & info [] ~docv:"VERB"
+                 ~doc:"ping | stats | solve | modelcheck | fuzz | shutdown.")
+      $ Arg.(value & opt string "{}"
+             & info [ "params" ] ~docv:"JSON" ~doc:"Request parameters.")
+      $ Arg.(value & opt (some int) None
+             & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Request deadline."))
+
 let bench_cmd =
   let doc =
     "Run the bench smoke suite and record it as a wfa.bench JSON file."
@@ -622,4 +727,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ solve_cmd; classify_cmd; witness_cmd; fuzz_cmd; extract_cmd;
-            emulate_cmd; modelcheck_cmd; bench_cmd ]))
+            emulate_cmd; modelcheck_cmd; serve_cmd; call_cmd; bench_cmd ]))

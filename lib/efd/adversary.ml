@@ -184,11 +184,29 @@ let fuzz_trial ~root ~run_budget ~policy ~horizon ~task ~algo ~fd ~env i =
         w_shrink_steps = 0;
       }
 
+exception Cancelled
+
+let never_cancel () = false
+
 let fuzz ?(domains = 1) ?(exhaust = false) ?run_budget
-    ?(policy = Run.fair_policy) ?(horizon = 2_000) ?sink ~seed ~budget ~task
-    ~algo ~fd ~env () =
+    ?(policy = Run.fair_policy) ?(horizon = 2_000) ?sink
+    ?(cancel = never_cancel) ~seed ~budget ~task ~algo ~fd ~env () =
   if budget < 0 then invalid_arg "Adversary.fuzz: negative budget";
   let sp = Obs.Span.start ~name:"adversary.fuzz" () in
+  (* Cooperative cancellation, polled between trials in every worker. The
+     sticky [ext] flag makes one worker's observation visible to all and
+     outlives transient hook answers; a cancelled fuzz raises instead of
+     reporting, so a partial scan can never masquerade as exhaustion. *)
+  let ext = Atomic.make false in
+  let cancelled () =
+    Atomic.get ext
+    ||
+    if cancel () then begin
+      Atomic.set ext true;
+      true
+    end
+    else false
+  in
   let emit = emit_via sink ~task ~algo ~fd in
   let root = Sprng.make seed in
   let trial = fuzz_trial ~root ~run_budget ~policy ~horizon ~task ~algo ~fd ~env in
@@ -207,7 +225,7 @@ let fuzz ?(domains = 1) ?(exhaust = false) ?run_budget
     let executed = ref 0 in
     let i = ref d in
     while
-      !i < budget && (exhaust || Atomic.get best > !i)
+      !i < budget && (exhaust || Atomic.get best > !i) && not (cancelled ())
     do
       incr executed;
       (match trial !i with
@@ -225,6 +243,7 @@ let fuzz ?(domains = 1) ?(exhaust = false) ?run_budget
       Array.init n_workers (fun d -> Domain.spawn (worker d))
       |> Array.map Domain.join |> Array.to_list
   in
+  if Atomic.get ext then raise Cancelled;
   let witnesses = List.concat_map fst results in
   let trials = List.fold_left (fun n (_, e) -> n + e) 0 results in
   let winner =
@@ -446,9 +465,10 @@ let consensus_reduction_target ~n =
     t_policy = Run.k_concurrent_uniform_policy 2;
   }
 
-let fuzz_target ?domains ?exhaust ?run_budget ?sink ~seed ~budget t () =
-  fuzz ?domains ?exhaust ?run_budget ?sink ~policy:t.t_policy ~seed ~budget
-    ~task:t.t_task ~algo:t.t_algo ~fd:t.t_fd ~env:t.t_env ()
+let fuzz_target ?domains ?exhaust ?run_budget ?sink ?cancel ~seed ~budget t ()
+    =
+  fuzz ?domains ?exhaust ?run_budget ?sink ?cancel ~policy:t.t_policy ~seed
+    ~budget ~task:t.t_task ~algo:t.t_algo ~fd:t.t_fd ~env:t.t_env ()
 
 let shrink_target ?sink t w =
   shrink ?sink ~policy:t.t_policy ~task:t.t_task ~algo:t.t_algo ~fd:t.t_fd w

@@ -76,6 +76,12 @@ type fuzz_result = {
 
 val fuzz_result_json : fuzz_result -> Obs.Json.t
 
+exception Cancelled
+(** Raised by {!fuzz} when its [?cancel] hook fired: the trial scan was
+    abandoned, so no result — witness or exhaustion — is reported.
+    Re-running the same [(seed, budget)] without [?cancel] reproduces the
+    deterministic result. *)
+
 val fuzz :
   ?domains:int ->
   ?exhaust:bool ->
@@ -83,6 +89,7 @@ val fuzz :
   ?policy:Run.policy_factory ->
   ?horizon:int ->
   ?sink:Obs.Sink.t ->
+  ?cancel:(unit -> bool) ->
   seed:int ->
   budget:int ->
   task:Tasklib.Task.t ->
@@ -108,7 +115,12 @@ val fuzz :
     stop at different points); only the winner is invariant.
 
     With [?sink], emits [adversary.fuzz.witness] or
-    [adversary.fuzz.exhausted] (from the calling domain, after the join). *)
+    [adversary.fuzz.exhausted] (from the calling domain, after the join).
+
+    [?cancel] (default never) is polled between trials in every worker;
+    once it returns [true] all workers stop and the call raises
+    {!Cancelled} — the hook the service layer's per-request deadlines
+    plug into. *)
 
 (** {1 The delta-debugging shrinker} *)
 
@@ -176,6 +188,7 @@ val fuzz_target :
   ?exhaust:bool ->
   ?run_budget:int ->
   ?sink:Obs.Sink.t ->
+  ?cancel:(unit -> bool) ->
   seed:int ->
   budget:int ->
   target ->

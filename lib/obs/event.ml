@@ -12,6 +12,15 @@ module Name = struct
   let adversary_fuzz_witness = "adversary.fuzz.witness"
   let adversary_fuzz_exhausted = "adversary.fuzz.exhausted"
   let adversary_shrunk = "adversary.shrunk"
+  let svc_start = "svc.start"
+  let svc_stop = "svc.stop"
+  let svc_conn_open = "svc.conn.open"
+  let svc_conn_close = "svc.conn.close"
+  let svc_request = "svc.request"
+  let svc_reject = "svc.reject"
+  let svc_done = "svc.done"
+  let svc_timeout = "svc.timeout"
+  let svc_drain = "svc.drain"
 end
 
 let to_json e = Json.Obj (("ev", Json.Str e.name) :: e.fields)

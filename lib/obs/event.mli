@@ -33,6 +33,39 @@ module Name : sig
   val adversary_shrunk : string
   (** The delta-debugging shrinker minimized a witness (fields: steps plus
       before/after sizes of the three axes). *)
+
+  (** {2 Service layer ([Svc.Server])} *)
+
+  val svc_start : string
+  (** The job server is listening (fields: socket, workers, queue_bound). *)
+
+  val svc_stop : string
+  (** The server finished draining and stopped (fields: served, drained). *)
+
+  val svc_conn_open : string
+  (** A client connection was accepted (field: conn). *)
+
+  val svc_conn_close : string
+  (** A client connection ended (fields: conn, requests). *)
+
+  val svc_request : string
+  (** A request was accepted into the queue (fields: conn, id, verb). *)
+
+  val svc_reject : string
+  (** A request was rejected without running (fields: conn, id, code) —
+      backpressure ([overloaded]), drain ([shutting_down]), malformed or
+      oversized frames. *)
+
+  val svc_done : string
+  (** A request completed (fields: conn, id, verb, status, ms). *)
+
+  val svc_timeout : string
+  (** A request hit its deadline before or during execution (fields: conn,
+      id, verb, ms). *)
+
+  val svc_drain : string
+  (** Graceful shutdown began (field: pending — queued + in-flight jobs
+      that will still be served). *)
 end
 
 val to_json : t -> Json.t

@@ -133,7 +133,12 @@ let pp ppf j = Format.pp_print_string ppf (to_string j)
 
 exception Parse of int * string
 
-let of_string s =
+let default_max_depth = 512
+let default_max_string = 16 * 1024 * 1024
+let default_max_number = 512
+
+let of_string ?(max_depth = default_max_depth)
+    ?(max_string = default_max_string) ?(max_number = default_max_number) s =
   let n = String.length s in
   let pos = ref 0 in
   let fail msg = raise (Parse (!pos, msg)) in
@@ -171,6 +176,8 @@ let of_string s =
     expect '"';
     let buf = Buffer.create 16 in
     let rec go () =
+      if Buffer.length buf > max_string then
+        fail (Printf.sprintf "string longer than %d bytes" max_string);
       if !pos >= n then fail "unterminated string";
       let c = s.[!pos] in
       advance ();
@@ -234,6 +241,8 @@ let of_string s =
       (match peek () with Some ('+' | '-') -> advance () | _ -> ());
       digits ()
     | _ -> ());
+    if !pos - start > max_number then
+      fail (Printf.sprintf "number literal longer than %d bytes" max_number);
     let lit = String.sub s start (!pos - start) in
     if !is_float then Float (float_of_string lit)
     else
@@ -241,7 +250,12 @@ let of_string s =
       | Some i -> Int i
       | None -> Float (float_of_string lit)
   in
-  let rec parse_value () =
+  (* [depth] counts open containers; bounding it keeps recursion depth — and
+     hence native stack use — proportional to [max_depth], so adversarial
+     ["[[[[..."] input is a clean [Error], not a stack overflow. *)
+  let rec parse_value depth =
+    if depth > max_depth then
+      fail (Printf.sprintf "nesting deeper than %d" max_depth);
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -258,7 +272,7 @@ let of_string s =
           let k = parse_string () in
           skip_ws ();
           expect ':';
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' -> advance (); fields ((k, v) :: acc)
@@ -275,7 +289,7 @@ let of_string s =
       end
       else
         let rec elems acc =
-          let v = parse_value () in
+          let v = parse_value (depth + 1) in
           skip_ws ();
           match peek () with
           | Some ',' -> advance (); elems (v :: acc)
@@ -291,7 +305,7 @@ let of_string s =
     | Some c -> fail (Printf.sprintf "unexpected %C" c)
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then fail "trailing garbage";
     v

@@ -38,10 +38,20 @@ val escape_string : string -> string
 
 (** {1 Reading} *)
 
-val of_string : string -> (t, string) result
+val of_string :
+  ?max_depth:int -> ?max_string:int -> ?max_number:int -> string ->
+  (t, string) result
 (** Strict parser for the dialect above (standard JSON; numbers without
     [.], [e] or leading signs beyond [-] parse as [Int]). The error string
-    carries a character offset. *)
+    carries a character offset.
+
+    Safe on untrusted input: container nesting beyond [max_depth] (default
+    512 — recursion depth is proportional to it, so adversarial
+    ["[[[[..."] bytes cannot overflow the stack), a string literal longer
+    than [max_string] bytes (default 16 MiB) or a number literal longer
+    than [max_number] bytes (default 512) all produce a clean [Error].
+    The service wire protocol ({!Svc.Frame}) parses every frame through
+    these guards. *)
 
 (** {1 Accessors (for tests and small consumers)} *)
 

@@ -446,9 +446,24 @@ let explore_reduced ~build ~depth ~prop ~mode ~memo ~rctx ~cancelled ~tops acc
 (* ------------------------------------------------------------------ *)
 (* Top-level driver: optional domain sharding over the first-step pid. *)
 
-let run ?(domains = 1) ?(memo = true) ?(mode = Every) ?reduce ~build ~pids
-    ~depth ~prop () =
+let never_cancel () = false
+
+let run ?(domains = 1) ?(memo = true) ?(mode = Every) ?reduce
+    ?(cancel = never_cancel) ~build ~pids ~depth ~prop () =
   let sp = Obs.Span.start ~name:"exhaustive.run" () in
+  (* [ext] records that the caller's [cancel] fired (as opposed to the
+     internal first-counterexample-wins flag between domain workers): only
+     then does the whole run raise [Cancelled] instead of reporting. *)
+  let ext = Atomic.make false in
+  let cancel () =
+    Atomic.get ext
+    ||
+    if cancel () then begin
+      Atomic.set ext true;
+      true
+    end
+    else false
+  in
   let explore =
     match reduce with
     | Some r when r.sleep || r.symmetry <> [] ->
@@ -465,11 +480,7 @@ let run ?(domains = 1) ?(memo = true) ?(mode = Every) ?reduce ~build ~pids
   let verdict, accs =
     if n_workers <= 1 || depth = 0 then begin
       let acc = fresh_acc () in
-      let r =
-        explore
-          ~cancelled:(fun () -> false)
-          ~tops:pids acc
-      in
+      let r = explore ~cancelled:cancel ~tops:pids acc in
       ( (match r with
         | W_cex cex -> Counterexample cex
         | W_ok | W_aborted -> Ok acc.a_count),
@@ -487,7 +498,7 @@ let run ?(domains = 1) ?(memo = true) ?(mode = Every) ?reduce ~build ~pids
         pids;
       let tops = Array.map List.rev tops in
       let flag = Atomic.make false in
-      let cancelled () = Atomic.get flag in
+      let cancelled () = Atomic.get flag || cancel () in
       let accs = Array.init n_workers (fun _ -> fresh_acc ()) in
       let worker w () =
         let r = explore ~cancelled ~tops:tops.(w) accs.(w) in
@@ -525,6 +536,7 @@ let run ?(domains = 1) ?(memo = true) ?(mode = Every) ?reduce ~build ~pids
         Array.to_list accs )
     end
   in
+  if Atomic.get ext then raise Cancelled;
   (verdict, stats_of ~wall_s:(Obs.Span.elapsed_s sp) accs)
 
 (* ------------------------------------------------------------------ *)

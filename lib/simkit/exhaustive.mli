@@ -92,18 +92,29 @@ val no_reduction : reduction
 (** [{ sleep = false; symmetry = [] }] — [run ~reduce:no_reduction] takes
     the exact unreduced code path. *)
 
+exception Cancelled
+(** Raised by {!run} when its [?cancel] hook fired: the search was
+    abandoned mid-enumeration, so {e no} verdict — not even a partial
+    count — is reported. Re-running the same configuration without
+    [?cancel] reproduces the full deterministic verdict. *)
+
 val run :
   ?domains:int ->
   ?memo:bool ->
   ?mode:mode ->
   ?reduce:reduction ->
+  ?cancel:(unit -> bool) ->
   build:(unit -> Runtime.t) ->
   pids:Pid.t list ->
   depth:int ->
   prop:(Runtime.t -> bool) ->
   unit ->
   verdict * stats
-(** The incremental engine. [?domains] (default [1]) shards the top-level
+(** The incremental engine. [?cancel] (default never) is a cooperative
+    cancellation hook polled once per DFS child, in every worker: the
+    moment it returns [true] the whole run raises {!Cancelled} (after
+    stopping all domains) instead of returning — the hook the service
+    layer uses for per-request deadlines. [?domains] (default [1]) shards the top-level
     branching factor across that many OCaml domains (capped at [|pids|]),
     joined first-counterexample-wins: with several workers reporting, the
     counterexample whose first step comes earliest in [pids] is returned, but

@@ -1,0 +1,55 @@
+module J = Obs.Json
+module P = Protocol
+
+type t = { fd : Unix.file_descr; mutable next_id : int; mutable closed : bool }
+
+type error = Server of P.err_code * string | Transport of string
+
+let error_string = function
+  | Server (code, msg) -> Printf.sprintf "%s: %s" (P.err_code_string code) msg
+  | Transport msg -> "transport: " ^ msg
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; next_id = 0; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+(* Replies may be large (fuzz witnesses embed full run reports): read with a
+   generous frame cap rather than the server-side default. *)
+let reply_max_len = 64 * 1024 * 1024
+
+let call ?deadline_ms ?params t verb =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let rq = P.request ?deadline_ms ?params ~id verb in
+  match Frame.write t.fd (J.to_string (P.request_json rq)) with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Transport ("write: " ^ Unix.error_message e))
+  | () -> (
+    match Frame.read ~max_len:reply_max_len t.fd with
+    | exception Unix.Unix_error (e, _, _) ->
+      Error (Transport ("read: " ^ Unix.error_message e))
+    | Error e -> Error (Transport (Frame.error_string e))
+    | Ok payload -> (
+      match P.parse payload with
+      | Error msg -> Error (Transport ("invalid JSON: " ^ msg))
+      | Ok json -> (
+        match P.response_of_json json with
+        | Error msg -> Error (Transport msg)
+        | Ok rs when rs.P.rs_id <> id && rs.P.rs_id <> -1 ->
+          Error
+            (Transport
+               (Printf.sprintf "response id %d for request %d" rs.P.rs_id id))
+        | Ok rs -> (
+          match rs.P.rs_result with
+          | Ok result -> Ok result
+          | Error (code, msg) -> Error (Server (code, msg))))))

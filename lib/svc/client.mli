@@ -1,0 +1,26 @@
+(** A small synchronous client for the service protocol — what [wfa call]
+    and the tests use. One request in flight at a time per connection. *)
+
+type t
+
+type error =
+  | Server of Protocol.err_code * string
+      (** the server answered with an error response *)
+  | Transport of string
+      (** connection-level failure: framing, parse, id mismatch, EOF *)
+
+val error_string : error -> string
+
+val connect : string -> t
+(** Connect to the server's socket path. Raises [Unix.Unix_error] if
+    nothing is listening. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val call :
+  ?deadline_ms:int -> ?params:Obs.Json.t -> t -> Protocol.verb ->
+  (Obs.Json.t, error) result
+(** Send one request (ids auto-increment per connection) and block for its
+    response. Accepts replies carrying the request's id or [-1] (the
+    server's id for requests it could not parse). *)

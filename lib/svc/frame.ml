@@ -1,0 +1,73 @@
+let default_max_len = 1024 * 1024
+let max_wire_len = 0x7fffffff
+
+type error = Eof | Truncated | Oversized of int
+
+let error_string = function
+  | Eof -> "end of stream"
+  | Truncated -> "truncated frame"
+  | Oversized n -> Printf.sprintf "oversized frame (%d bytes)" n
+
+let write fd payload =
+  let n = String.length payload in
+  if n > max_wire_len then invalid_arg "Frame.write: payload too long";
+  let hdr = Bytes.create 4 in
+  Bytes.set_uint8 hdr 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 hdr 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 hdr 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 hdr 3 (n land 0xff);
+  let write_all buf off len =
+    let off = ref off and len = ref len in
+    while !len > 0 do
+      let w = Unix.write fd buf !off !len in
+      off := !off + w;
+      len := !len - w
+    done
+  in
+  write_all hdr 0 4;
+  write_all (Bytes.unsafe_of_string payload) 0 n
+
+(* Read exactly [len] bytes into [buf]; [`Eof n] reports how many arrived
+   before the stream ended. *)
+let read_exactly fd buf len =
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < len do
+    let r = Unix.read fd buf !got (len - !got) in
+    if r = 0 then eof := true else got := !got + r
+  done;
+  if !eof then `Eof !got else `Ok
+
+let discard fd len =
+  let chunk = Bytes.create 65536 in
+  let left = ref len in
+  let eof = ref false in
+  while (not !eof) && !left > 0 do
+    let r = Unix.read fd chunk 0 (min !left (Bytes.length chunk)) in
+    if r = 0 then eof := true else left := !left - r
+  done;
+  not !eof
+
+let read ?(max_len = default_max_len) fd =
+  let hdr = Bytes.create 4 in
+  match read_exactly fd hdr 4 with
+  | `Eof 0 -> Error Eof
+  | `Eof _ -> Error Truncated
+  | `Ok ->
+    let n =
+      (Bytes.get_uint8 hdr 0 lsl 24)
+      lor (Bytes.get_uint8 hdr 1 lsl 16)
+      lor (Bytes.get_uint8 hdr 2 lsl 8)
+      lor Bytes.get_uint8 hdr 3
+    in
+    (* The top bit on the wire would be a negative 32-bit length; report the
+       cap itself rather than a nonsense size. *)
+    if n > max_wire_len then Error (Oversized max_wire_len)
+    else if n > max_len then
+      if discard fd n then Error (Oversized n) else Error Truncated
+    else begin
+      let buf = Bytes.create n in
+      match read_exactly fd buf n with
+      | `Ok -> Ok (Bytes.unsafe_to_string buf)
+      | `Eof _ -> Error Truncated
+    end

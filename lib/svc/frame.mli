@@ -1,0 +1,35 @@
+(** Length-prefixed frames over a file descriptor.
+
+    The wire unit of the service protocol: a 4-byte big-endian payload
+    length followed by that many payload bytes (UTF-8 JSON, but this layer
+    does not care). Framing is what lets the server bound work {e before}
+    parsing: an adversarial or misconfigured client announcing a frame
+    beyond [max_len] is rejected after reading (and discarding) exactly
+    that frame — the stream stays synchronized, the connection stays up,
+    and the payload never reaches the JSON parser. *)
+
+val default_max_len : int
+(** 1 MiB. *)
+
+val max_wire_len : int
+(** The largest length the 4-byte header can carry ([2^31 - 1]); a header
+    with the top bit set is reported as [Oversized] of this. *)
+
+type error =
+  | Eof  (** clean end of stream at a frame boundary *)
+  | Truncated  (** end of stream inside a header or payload *)
+  | Oversized of int
+      (** announced length exceeded [max_len]; the payload was read and
+          discarded, so the next frame can still be read *)
+
+val error_string : error -> string
+
+val write : Unix.file_descr -> string -> unit
+(** Write one frame (header + payload), looping over partial writes.
+    Raises [Unix.Unix_error] as the underlying syscalls do; raises
+    [Invalid_argument] on a payload longer than {!max_wire_len}. *)
+
+val read : ?max_len:int -> Unix.file_descr -> (string, error) result
+(** Read one frame. [max_len] defaults to {!default_max_len}. Blocking;
+    raises [Unix.Unix_error] on transport errors other than orderly
+    shutdown. *)

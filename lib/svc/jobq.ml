@@ -1,0 +1,52 @@
+type 'a t = {
+  q : 'a Queue.t;
+  bound : int;
+  mutable closed : bool;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+}
+
+let create ~bound =
+  if bound < 1 then invalid_arg "Jobq.create: bound must be >= 1";
+  {
+    q = Queue.create ();
+    bound;
+    closed = false;
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+  }
+
+let try_push t x =
+  Mutex.lock t.mutex;
+  let r =
+    if t.closed then `Closed
+    else if Queue.length t.q >= t.bound then `Full
+    else begin
+      Queue.push x t.q;
+      Condition.signal t.nonempty;
+      `Ok
+    end
+  in
+  Mutex.unlock t.mutex;
+  r
+
+let pop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.q && not t.closed do
+    Condition.wait t.nonempty t.mutex
+  done;
+  let r = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+  Mutex.unlock t.mutex;
+  r
+
+let close t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.q in
+  Mutex.unlock t.mutex;
+  n

@@ -1,0 +1,27 @@
+(** A bounded multi-producer/multi-consumer queue — the server's
+    backpressure point.
+
+    Producers (connection threads) never block: {!try_push} fails fast with
+    [`Full] at the high-watermark so the server can reply [overloaded]
+    immediately instead of letting latency grow without bound. Consumers
+    (pool workers) block in {!pop}; after {!close} they drain whatever was
+    already accepted and then see [None] — the drain half of graceful
+    shutdown is built into the queue. *)
+
+type 'a t
+
+val create : bound:int -> 'a t
+(** [bound] ≥ 1 (raises [Invalid_argument] otherwise). *)
+
+val try_push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
+
+val pop : 'a t -> 'a option
+(** Blocks while the queue is empty and open. [None] once the queue is
+    closed {e and} drained — the consumer's signal to exit. *)
+
+val close : 'a t -> unit
+(** Idempotent. Pending and future {!try_push} calls see [`Closed]; blocked
+    {!pop} calls wake and drain. *)
+
+val length : 'a t -> int
+(** Instantaneous depth (racy by nature; for gauges). *)

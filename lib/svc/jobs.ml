@@ -1,0 +1,229 @@
+open Simkit
+open Tasklib
+open Efd
+module J = Obs.Json
+module P = Protocol
+
+(* ------------------------------------------------------ param extraction *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let int_param ~default name params =
+  match J.member name params with
+  | None -> default
+  | Some v -> (
+    match J.to_int_opt v with
+    | Some n -> n
+    | None -> bad "param %S is not an integer" name)
+
+let int_opt_param name params =
+  match J.member name params with
+  | None -> None
+  | Some v -> (
+    match J.to_int_opt v with
+    | Some n -> Some n
+    | None -> bad "param %S is not an integer" name)
+
+let str_param ~default name params =
+  match J.member name params with
+  | None -> default
+  | Some (J.Str s) -> s
+  | Some _ -> bad "param %S is not a string" name
+
+let bool_param ~default name params =
+  match J.member name params with
+  | None -> default
+  | Some (J.Bool b) -> b
+  | Some _ -> bad "param %S is not a boolean" name
+
+let pos_param ~default name params =
+  let v = int_param ~default name params in
+  if v < 1 then bad "param %S must be >= 1" name;
+  v
+
+(* --------------------------------------------- builders (as in the CLI) *)
+
+let task_kind = function
+  | "consensus" -> `Consensus
+  | "ksa" -> `Ksa
+  | "renaming" -> `Renaming
+  | "wsb" -> `Wsb
+  | "identity" -> `Identity
+  | s -> bad "unknown task %S (consensus|ksa|renaming|wsb|identity)" s
+
+let fd_kind = function
+  | "omega" -> `Omega
+  | "vector" -> `Vector
+  | "silent" -> `Silent
+  | "trivial" -> `Trivial
+  | "perfect" -> `Perfect
+  | s -> bad "unknown fd %S (omega|vector|silent|trivial|perfect)" s
+
+let policy_of_string s =
+  let conc mk k =
+    match int_of_string_opt k with
+    | Some k when k >= 1 -> mk k
+    | _ -> bad "invalid concurrency %S in policy" k
+  in
+  match String.split_on_char ':' s with
+  | [ "fair" ] -> Run.fair_policy
+  | [ "kconc"; k ] -> conc Run.k_concurrent_policy k
+  | [ "uniform"; k ] -> conc Run.k_concurrent_uniform_policy k
+  | _ -> bad "invalid policy %S (fair|kconc:K|uniform:K)" s
+
+let build_task kind ~n ~k ~j ~l =
+  match kind with
+  | `Consensus -> Set_agreement.consensus ~n ()
+  | `Ksa -> Set_agreement.make ~n ~k ()
+  | `Renaming ->
+    let l = Option.value l ~default:(j + k - 1) in
+    Renaming.make ~n ~j ~l
+  | `Wsb -> Wsb.make ~n ~j
+  | `Identity -> Trivial_tasks.identity ~n ()
+
+let build_algo kind task ~k =
+  match kind with
+  | `Consensus -> Ksa.consensus ()
+  | `Ksa -> Ksa.make ~k ()
+  | `Renaming -> Renaming_algos.fig4 ()
+  | `Wsb -> One_concurrent.make task
+  | `Identity -> Kconc_tasks.echo ()
+
+let build_fd kind ~k =
+  match kind with
+  | `Omega -> Fdlib.Leader_fds.omega ()
+  | `Vector -> Fdlib.Leader_fds.vector_omega_k ~k ()
+  | `Silent -> Fdlib.Leader_fds.vector_omega_k_silent ~k ()
+  | `Trivial -> Fdlib.Fd.trivial
+  | `Perfect -> Fdlib.Classic.perfect ()
+
+(* --------------------------------------------------------------- verbs *)
+
+let solve params =
+  let kind = task_kind (str_param ~default:"consensus" "task" params) in
+  let fd_k = fd_kind (str_param ~default:"vector" "fd" params) in
+  let policy = policy_of_string (str_param ~default:"fair" "policy" params) in
+  let n = pos_param ~default:4 "n" params in
+  let k = pos_param ~default:1 "k" params in
+  let j = pos_param ~default:3 "j" params in
+  let l = int_opt_param "l" params in
+  let seed = int_param ~default:1 "seed" params in
+  let budget = pos_param ~default:400_000 "budget" params in
+  let task = build_task kind ~n ~k ~j ~l in
+  let algo = build_algo kind task ~k in
+  let fd = build_fd fd_k ~k in
+  let pattern = Failure.failure_free n in
+  let rng = Random.State.make [| seed |] in
+  let input = Task.sample_input task rng in
+  let r = Run.execute ~budget ~policy ~task ~algo ~fd ~pattern ~input ~seed () in
+  J.Obj
+    [
+      ("ok", J.Bool (Run.ok r));
+      ("report", Run.report_json ~labels:(Run.labels ~task ~algo ~fd ~seed) r);
+    ]
+
+let modelcheck ~cancel params =
+  let depth = pos_param ~default:8 "depth" params in
+  let n_s = pos_param ~default:1 "n_s" params in
+  let reduce = bool_param ~default:false "reduce" params in
+  let build () =
+    let mem = Memory.create () in
+    let sa = Bglib.Safe_agreement.create mem ~n:2 in
+    let c_code i () =
+      Bglib.Safe_agreement.propose sa ~me:i (Value.int (100 + i));
+      let rec resolve () =
+        match Bglib.Safe_agreement.try_resolve sa with
+        | Some v -> Runtime.Op.decide v
+        | None -> resolve ()
+      in
+      resolve ()
+    in
+    Runtime.create
+      {
+        Runtime.n_c = 2;
+        n_s;
+        memory = mem;
+        pattern = Failure.failure_free n_s;
+        history = History.trivial;
+        record_trace = false;
+      }
+      ~c_code
+      ~s_code:(fun _ () -> ())
+  in
+  let prop rt =
+    match (Runtime.decision rt 0, Runtime.decision rt 1) with
+    | Some a, Some b -> Value.equal a b
+    | _ -> true
+  in
+  let reduce =
+    if reduce then Some { Exhaustive.sleep = true; symmetry = [ Pid.all_s n_s ] }
+    else None
+  in
+  let verdict, stats =
+    Exhaustive.run ?reduce ~cancel ~build ~pids:(Pid.all ~n_c:2 ~n_s) ~depth
+      ~prop ()
+  in
+  J.Obj
+    [
+      ("depth", J.Int depth);
+      ("n_s", J.Int n_s);
+      ("reduce", J.Bool (reduce <> None));
+      ( "verdict",
+        J.Str
+          (match verdict with
+          | Exhaustive.Ok _ -> "ok"
+          | Exhaustive.Counterexample _ -> "counterexample") );
+      ( "schedules",
+        match verdict with
+        | Exhaustive.Ok n -> J.Int n
+        | Exhaustive.Counterexample _ -> J.Null );
+      ("stats", Exhaustive.stats_json stats);
+    ]
+
+let fuzz ~cancel params =
+  let kind = str_param ~default:"strong-renaming" "kind" params in
+  let n = pos_param ~default:4 "n" params in
+  let j = pos_param ~default:3 "j" params in
+  let seed = int_param ~default:1 "seed" params in
+  let budget = pos_param ~default:500 "budget" params in
+  let domains = pos_param ~default:1 "domains" params in
+  let target =
+    match kind with
+    | "strong-renaming" -> Adversary.strong_renaming_target ~n ~j
+    | "consensus-reduction" -> Adversary.consensus_reduction_target ~n
+    | s -> bad "unknown kind %S (strong-renaming|consensus-reduction)" s
+  in
+  let res = Adversary.fuzz_target ~domains ~cancel ~seed ~budget target () in
+  J.Obj
+    ([
+       ("found", J.Bool (res.Adversary.f_witness <> None));
+       ("fuzz", Adversary.fuzz_result_json res);
+     ]
+    @
+    match res.Adversary.f_witness with
+    | None -> []
+    | Some w -> [ ("witness", Adversary.witness_json w) ])
+
+let never_cancel () = false
+
+let run ?(cancel = never_cancel) verb params =
+  match verb with
+  | P.Ping | P.Stats | P.Shutdown ->
+    Error
+      ( P.Internal,
+        Printf.sprintf "verb %S is not a pool job" (P.verb_string verb) )
+  | P.Solve | P.Modelcheck | P.Fuzz -> (
+    try
+      Ok
+        (match verb with
+        | P.Solve -> solve params
+        | P.Modelcheck -> modelcheck ~cancel params
+        | P.Fuzz -> fuzz ~cancel params
+        | _ -> assert false)
+    with
+    | Bad msg -> Error (P.Bad_request, msg)
+    | Exhaustive.Cancelled | Adversary.Cancelled ->
+      Error (P.Deadline_exceeded, "deadline exceeded during execution")
+    | exn -> Error (P.Internal, Printexc.to_string exn))

@@ -1,0 +1,27 @@
+(** Execution of the service verbs that carry real work.
+
+    One function per queued verb, mapping JSON params to the same engine
+    entry points the CLI uses and back to a JSON result. Handlers validate
+    params up front ([Bad_request] on anything malformed — an invalid
+    request must never crash a worker) and thread the pool's [cancel] hook
+    into the cancellable engines, translating {!Simkit.Exhaustive.Cancelled}
+    and {!Efd.Adversary.Cancelled} into [Deadline_exceeded]. *)
+
+val run :
+  ?cancel:(unit -> bool) ->
+  Protocol.verb ->
+  Obs.Json.t ->
+  (Obs.Json.t, Protocol.err_code * string) result
+(** Dispatch on the verb. [Ping]/[Stats]/[Shutdown] are server-side verbs
+    and return [Internal] here; the queued verbs accept:
+
+    - [solve]: [task], [fd], [policy], [n], [k], [j], [l], [seed],
+      [budget] — one {!Efd.Run.execute}; result
+      [{ "ok": bool, "report": <run report> }]. Bounded by [budget], not
+      cancellable mid-run.
+    - [modelcheck]: [depth], [n_s], [reduce] — exhaustive safe-agreement
+      check; result [{ "verdict": "ok"|"counterexample", ... }].
+      Cancellable between schedules.
+    - [fuzz]: [kind], [n], [j], [seed], [budget], [domains] — adversary
+      fuzzing; result [{ "found": bool, "fuzz": ..., "witness": ... }].
+      Cancellable between trials. *)

@@ -1,0 +1,83 @@
+type job = {
+  jb_req : Protocol.request;
+  jb_conn : int;
+  jb_enq_ns : int64;
+  jb_deadline_ns : int64 option;
+  jb_reply : Protocol.response -> float -> unit;
+}
+
+type t = {
+  queue : job Jobq.t;
+  workers : unit Domain.t array;
+  mutable drained : bool;
+  drain_mutex : Mutex.t;
+}
+
+let past deadline_ns = Obs.Clock.now_ns () >= deadline_ns
+
+(* Polled between schedules / fuzz trials — hot paths. Reading the clock is
+   a syscall-cheap vdso call but still worth throttling. *)
+let deadline_cancel deadline_ns =
+  let calls = ref 0 in
+  let tripped = ref false in
+  fun () ->
+    !tripped
+    ||
+    begin
+      incr calls;
+      if !calls land 0xff = 0 && past deadline_ns then tripped := true;
+      !tripped
+    end
+
+let run_job job =
+  let id = job.jb_req.Protocol.rq_id in
+  let respond rs =
+    job.jb_reply rs (Obs.Clock.elapsed_s ~since:job.jb_enq_ns)
+  in
+  match job.jb_deadline_ns with
+  | Some d when past d ->
+    respond
+      (Protocol.error ~id Protocol.Deadline_exceeded
+         "deadline exceeded while queued")
+  | deadline ->
+    let cancel = Option.map deadline_cancel deadline in
+    let result =
+      Jobs.run ?cancel job.jb_req.Protocol.rq_verb job.jb_req.Protocol.rq_params
+    in
+    respond { Protocol.rs_id = id; rs_result = result }
+
+let worker queue () =
+  let rec loop () =
+    match Jobq.pop queue with
+    | None -> ()
+    | Some job ->
+      (* jb_reply must not raise; a handler exception is already folded
+         into the response by Jobs.run. Belt and braces anyway: a dead
+         worker would strand the queue. *)
+      (try run_job job with _ -> ());
+      loop ()
+  in
+  loop ()
+
+let create ~workers ~queue_bound =
+  if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  let queue = Jobq.create ~bound:queue_bound in
+  {
+    queue;
+    workers = Array.init workers (fun _ -> Domain.spawn (worker queue));
+    drained = false;
+    drain_mutex = Mutex.create ();
+  }
+
+let submit t job = Jobq.try_push t.queue job
+let queue_length t = Jobq.length t.queue
+
+let drain t =
+  Mutex.lock t.drain_mutex;
+  let first = not t.drained in
+  t.drained <- true;
+  Mutex.unlock t.drain_mutex;
+  if first then begin
+    Jobq.close t.queue;
+    Array.iter Domain.join t.workers
+  end

@@ -1,0 +1,35 @@
+(** The worker pool: [Domain]s draining the bounded {!Jobq}.
+
+    Each worker pops a job, checks its deadline (a job whose deadline
+    passed while it sat in the queue is answered [deadline_exceeded]
+    without being started), runs it through {!Jobs.run} with a cancel hook
+    that trips once the deadline passes mid-execution, and hands the
+    response to the job's [jb_reply] — the server-provided closure that
+    owns the socket write and the metrics.
+
+    {!drain} is the graceful half of shutdown: close the queue, let the
+    workers finish every job that was already accepted (each gets a
+    reply), then join them. *)
+
+type job = {
+  jb_req : Protocol.request;
+  jb_conn : int;  (** connection id, for events *)
+  jb_enq_ns : int64;  (** {!Obs.Clock.now_ns} at enqueue, for latency *)
+  jb_deadline_ns : int64 option;  (** absolute monotonic deadline *)
+  jb_reply : Protocol.response -> float -> unit;
+      (** response and queue+run latency in seconds; must not raise *)
+}
+
+type t
+
+val create : workers:int -> queue_bound:int -> t
+(** Spawns [workers] ≥ 1 domains immediately. *)
+
+val submit : t -> job -> [ `Ok | `Full | `Closed ]
+(** Non-blocking; [`Full] is the backpressure signal. *)
+
+val queue_length : t -> int
+
+val drain : t -> unit
+(** Close the queue, run every already-accepted job to a reply, join the
+    workers. Idempotent. *)

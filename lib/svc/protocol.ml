@@ -1,0 +1,167 @@
+module J = Obs.Json
+
+type verb = Ping | Stats | Solve | Modelcheck | Fuzz | Shutdown
+
+let verb_string = function
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Solve -> "solve"
+  | Modelcheck -> "modelcheck"
+  | Fuzz -> "fuzz"
+  | Shutdown -> "shutdown"
+
+let verb_of_string = function
+  | "ping" -> Some Ping
+  | "stats" -> Some Stats
+  | "solve" -> Some Solve
+  | "modelcheck" -> Some Modelcheck
+  | "fuzz" -> Some Fuzz
+  | "shutdown" -> Some Shutdown
+  | _ -> None
+
+type err_code =
+  | Bad_request
+  | Oversized
+  | Overloaded
+  | Deadline_exceeded
+  | Shutting_down
+  | Internal
+
+let err_code_string = function
+  | Bad_request -> "bad_request"
+  | Oversized -> "oversized"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+let err_code_of_string = function
+  | "bad_request" -> Some Bad_request
+  | "oversized" -> Some Oversized
+  | "overloaded" -> Some Overloaded
+  | "deadline_exceeded" -> Some Deadline_exceeded
+  | "shutting_down" -> Some Shutting_down
+  | "internal" -> Some Internal
+  | _ -> None
+
+type request = {
+  rq_id : int;
+  rq_verb : verb;
+  rq_params : J.t;
+  rq_deadline_ms : int option;
+}
+
+type response = { rs_id : int; rs_result : (J.t, err_code * string) result }
+
+let request ?deadline_ms ?(params = J.Obj []) ~id verb =
+  { rq_id = id; rq_verb = verb; rq_params = params; rq_deadline_ms = deadline_ms }
+
+let ok ~id result = { rs_id = id; rs_result = Ok result }
+let error ~id code msg = { rs_id = id; rs_result = Error (code, msg) }
+
+let request_json rq =
+  J.Obj
+    ([
+       ("v", J.Int 1);
+       ("id", J.Int rq.rq_id);
+       ("verb", J.Str (verb_string rq.rq_verb));
+       ("params", rq.rq_params);
+     ]
+    @
+    match rq.rq_deadline_ms with
+    | None -> []
+    | Some ms -> [ ("deadline_ms", J.Int ms) ])
+
+let response_json rs =
+  J.Obj
+    ([ ("v", J.Int 1); ("id", J.Int rs.rs_id) ]
+    @
+    match rs.rs_result with
+    | Ok result -> [ ("ok", J.Bool true); ("result", result) ]
+    | Error (code, msg) ->
+      [
+        ("ok", J.Bool false);
+        ( "error",
+          J.Obj [ ("code", J.Str (err_code_string code)); ("msg", J.Str msg) ]
+        );
+      ])
+
+let check_version j =
+  match J.member "v" j with
+  | Some (J.Int 1) -> Ok ()
+  | Some _ -> Error "unsupported protocol version"
+  | None -> Error "missing field \"v\""
+
+let int_field name j =
+  match J.member name j with
+  | Some v -> (
+    match J.to_int_opt v with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "field %S is not an integer" name))
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let ( let* ) = Result.bind
+
+let request_of_json j =
+  match j with
+  | J.Obj _ ->
+    let* () = check_version j in
+    let* id = int_field "id" j in
+    let* verb =
+      match J.member "verb" j with
+      | Some (J.Str s) -> (
+        match verb_of_string s with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "unknown verb %S" s))
+      | Some _ -> Error "field \"verb\" is not a string"
+      | None -> Error "missing field \"verb\""
+    in
+    let* params =
+      match J.member "params" j with
+      | None -> Ok (J.Obj [])
+      | Some (J.Obj _ as p) -> Ok p
+      | Some _ -> Error "field \"params\" is not an object"
+    in
+    let* deadline_ms =
+      match J.member "deadline_ms" j with
+      | None -> Ok None
+      | Some v -> (
+        match J.to_int_opt v with
+        | Some ms when ms > 0 -> Ok (Some ms)
+        | Some _ -> Error "field \"deadline_ms\" must be positive"
+        | None -> Error "field \"deadline_ms\" is not an integer")
+    in
+    Ok { rq_id = id; rq_verb = verb; rq_params = params; rq_deadline_ms = deadline_ms }
+  | _ -> Error "request is not an object"
+
+let response_of_json j =
+  match j with
+  | J.Obj _ ->
+    let* () = check_version j in
+    let* id = int_field "id" j in
+    let* result =
+      match J.member "ok" j with
+      | Some (J.Bool true) -> (
+        match J.member "result" j with
+        | Some r -> Ok (Ok r)
+        | None -> Error "missing field \"result\"")
+      | Some (J.Bool false) -> (
+        match J.member "error" j with
+        | Some (J.Obj _ as e) -> (
+          match (J.member "code" e, J.member "msg" e) with
+          | Some (J.Str c), Some (J.Str msg) -> (
+            match err_code_of_string c with
+            | Some code -> Ok (Error (code, msg))
+            | None -> Error (Printf.sprintf "unknown error code %S" c))
+          | _ -> Error "malformed \"error\" object")
+        | Some _ -> Error "field \"error\" is not an object"
+        | None -> Error "missing field \"error\"")
+      | Some _ -> Error "field \"ok\" is not a boolean"
+      | None -> Error "missing field \"ok\""
+    in
+    Ok { rs_id = id; rs_result = result }
+  | _ -> Error "response is not an object"
+
+(* Frames are already bounded by Frame.read's max_len; the depth guard here
+   is the one that matters for adversarial payloads. *)
+let parse s = J.of_string ~max_depth:64 s

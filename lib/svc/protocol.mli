@@ -1,0 +1,64 @@
+(** The service wire protocol: JSON request/response envelopes.
+
+    One frame ({!Frame}) carries one envelope. The grammar (DESIGN.md §5):
+
+    {v
+    request  ::= { "v": 1, "id": <int>, "verb": <verb>,
+                   "params": <object>?, "deadline_ms": <int>? }
+    verb     ::= "ping" | "stats" | "solve" | "modelcheck" | "fuzz"
+               | "shutdown"
+    response ::= { "v": 1, "id": <int>, "ok": true,  "result": <value> }
+               | { "v": 1, "id": <int>, "ok": false,
+                   "error": { "code": <code>, "msg": <string> } }
+    code     ::= "bad_request" | "oversized" | "overloaded"
+               | "deadline_exceeded" | "shutting_down" | "internal"
+    v}
+
+    [id] is chosen by the client and echoed verbatim; responses to frames
+    whose request could not be identified (oversized, unparseable) carry
+    [id = -1]. [deadline_ms] is relative to the server's receipt of the
+    request; the server falls back to its configured default when absent.
+    Unknown fields are ignored — the schema can grow compatibly. *)
+
+type verb = Ping | Stats | Solve | Modelcheck | Fuzz | Shutdown
+
+val verb_string : verb -> string
+val verb_of_string : string -> verb option
+
+type err_code =
+  | Bad_request  (** unparseable frame, unknown verb, invalid params *)
+  | Oversized  (** frame longer than the server's [max_frame] *)
+  | Overloaded  (** bounded queue at its high-watermark — backpressure *)
+  | Deadline_exceeded  (** deadline passed while queued or mid-execution *)
+  | Shutting_down  (** server is draining; request was not accepted *)
+  | Internal  (** handler raised; the message carries the exception *)
+
+val err_code_string : err_code -> string
+val err_code_of_string : string -> err_code option
+
+type request = {
+  rq_id : int;
+  rq_verb : verb;
+  rq_params : Obs.Json.t;  (** [Obj []] when absent *)
+  rq_deadline_ms : int option;
+}
+
+type response = {
+  rs_id : int;
+  rs_result : (Obs.Json.t, err_code * string) result;
+}
+
+val request : ?deadline_ms:int -> ?params:Obs.Json.t -> id:int -> verb -> request
+val ok : id:int -> Obs.Json.t -> response
+val error : id:int -> err_code -> string -> response
+
+val request_json : request -> Obs.Json.t
+val response_json : response -> Obs.Json.t
+
+val request_of_json : Obs.Json.t -> (request, string) result
+val response_of_json : Obs.Json.t -> (response, string) result
+
+val parse : string -> (Obs.Json.t, string) result
+(** {!Obs.Json.of_string} under wire-appropriate guards (nesting ≤ 64):
+    the only JSON entry point the server and client use on bytes read from
+    a socket. *)

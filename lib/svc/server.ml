@@ -1,0 +1,398 @@
+module J = Obs.Json
+module P = Protocol
+
+type config = {
+  socket_path : string;
+  workers : int;
+  queue_bound : int;
+  default_deadline_ms : int option;
+  max_frame : int;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    workers = 2;
+    queue_bound = 64;
+    default_deadline_ms = None;
+    max_frame = Frame.default_max_len;
+  }
+
+type conn = { c_id : int; c_fd : Unix.file_descr; mutable c_thread : Thread.t option }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  stop : bool Atomic.t;
+  pool : Pool.t;
+  mutable accept_thread : Thread.t option;
+  conns : (int, conn) Hashtbl.t;
+  conns_mutex : Mutex.t;
+  next_conn : int Atomic.t;
+  (* plain atomics back the stats verb; the registry mirrors them for
+     export but is not thread-safe, so every registry touch holds obs_mutex
+     (sinks share it — the stock ones are not thread-safe either) *)
+  accepted : int Atomic.t;
+  rejected : int Atomic.t;
+  served : int Atomic.t;
+  timed_out : int Atomic.t;
+  inflight : int Atomic.t;
+  sink : Obs.Sink.t option;
+  registry : Obs.Metrics.registry;
+  obs_mutex : Mutex.t;
+  mutable waited : bool;
+  wait_mutex : Mutex.t;
+}
+
+(* ------------------------------------------------------- instrumentation *)
+
+let with_obs t f =
+  Mutex.lock t.obs_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.obs_mutex) f
+
+(* Guarded by the match on t.sink at every call site: when the server runs
+   without a sink, no event (or field list) is ever allocated. *)
+let emit t sink name fields =
+  with_obs t (fun () -> Obs.Sink.emit sink (Obs.Event.make name fields))
+
+let gauges t =
+  with_obs t (fun () ->
+      Obs.Metrics.set
+        (Obs.Metrics.gauge t.registry "svc.queue.depth")
+        (float_of_int (Pool.queue_length t.pool));
+      Obs.Metrics.set
+        (Obs.Metrics.gauge t.registry "svc.inflight")
+        (float_of_int (Atomic.get t.inflight)))
+
+let count_reject t code =
+  Atomic.incr t.rejected;
+  with_obs t (fun () ->
+      Obs.Metrics.incr
+        (Obs.Metrics.counter t.registry
+           ~labels:[ ("code", P.err_code_string code) ]
+           "svc.requests.rejected"))
+
+let count_accept t =
+  Atomic.incr t.accepted;
+  Atomic.incr t.inflight;
+  with_obs t (fun () ->
+      Obs.Metrics.incr (Obs.Metrics.counter t.registry "svc.requests.accepted"));
+  gauges t
+
+let count_done t verb latency_s ~timeout =
+  Atomic.decr t.inflight;
+  Atomic.incr t.served;
+  if timeout then Atomic.incr t.timed_out;
+  with_obs t (fun () ->
+      Obs.Metrics.observe
+        (Obs.Metrics.histogram t.registry
+           ~labels:[ ("verb", P.verb_string verb) ]
+           "svc.latency_s")
+        latency_s;
+      if timeout then
+        Obs.Metrics.incr
+          (Obs.Metrics.counter t.registry "svc.requests.timeout"));
+  gauges t
+
+let stats_json t =
+  J.Obj
+    [
+      ("accepted", J.Int (Atomic.get t.accepted));
+      ("rejected", J.Int (Atomic.get t.rejected));
+      ("served", J.Int (Atomic.get t.served));
+      ("timed_out", J.Int (Atomic.get t.timed_out));
+      ("inflight", J.Int (Atomic.get t.inflight));
+      ("queue_depth", J.Int (Pool.queue_length t.pool));
+      ("workers", J.Int t.cfg.workers);
+    ]
+
+(* ------------------------------------------------------------- replies *)
+
+(* The conn thread and any pool worker may reply on the same socket; the
+   per-connection mutex keeps frames whole. A client that hung up makes
+   Frame.write raise — swallow it, the read side will see EOF and close. *)
+type replier = { r_mutex : Mutex.t; r_fd : Unix.file_descr }
+
+let reply replier rs =
+  let payload = J.to_string (P.response_json rs) in
+  Mutex.lock replier.r_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock replier.r_mutex)
+    (fun () -> try Frame.write replier.r_fd payload with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------ dispatch *)
+
+let deadline_of t rq =
+  match
+    match rq.P.rq_deadline_ms with
+    | Some _ as d -> d
+    | None -> t.cfg.default_deadline_ms
+  with
+  | None -> None
+  | Some ms ->
+    Some (Int64.add (Obs.Clock.now_ns ()) (Int64.of_int (ms * 1_000_000)))
+
+let reject t replier conn_id ~id code msg =
+  count_reject t code;
+  (match t.sink with
+  | None -> ()
+  | Some s ->
+    emit t s Obs.Event.Name.svc_reject
+      [
+        ("conn", J.Int conn_id);
+        ("id", J.Int id);
+        ("code", J.Str (P.err_code_string code));
+      ]);
+  reply replier (P.error ~id code msg)
+
+let submit t replier conn_id rq =
+  let verb = rq.P.rq_verb in
+  let jb_reply rs latency_s =
+    let timeout =
+      match rs.P.rs_result with
+      | Error (P.Deadline_exceeded, _) -> true
+      | _ -> false
+    in
+    count_done t verb latency_s ~timeout;
+    (match t.sink with
+    | None -> ()
+    | Some s ->
+      let ms = J.Float (latency_s *. 1e3) in
+      let base =
+        [
+          ("conn", J.Int conn_id);
+          ("id", J.Int rq.P.rq_id);
+          ("verb", J.Str (P.verb_string verb));
+        ]
+      in
+      if timeout then emit t s Obs.Event.Name.svc_timeout (base @ [ ("ms", ms) ])
+      else
+        let status =
+          match rs.P.rs_result with
+          | Ok _ -> "ok"
+          | Error (code, _) -> P.err_code_string code
+        in
+        emit t s Obs.Event.Name.svc_done
+          (base @ [ ("status", J.Str status); ("ms", ms) ]));
+    reply replier rs
+  in
+  let job =
+    {
+      Pool.jb_req = rq;
+      jb_conn = conn_id;
+      jb_enq_ns = Obs.Clock.now_ns ();
+      jb_deadline_ns = deadline_of t rq;
+      jb_reply;
+    }
+  in
+  if Atomic.get t.stop then
+    reject t replier conn_id ~id:rq.P.rq_id P.Shutting_down "server is draining"
+  else
+    match Pool.submit t.pool job with
+    | `Ok ->
+      count_accept t;
+      (match t.sink with
+      | None -> ()
+      | Some s ->
+        emit t s Obs.Event.Name.svc_request
+          [
+            ("conn", J.Int conn_id);
+            ("id", J.Int rq.P.rq_id);
+            ("verb", J.Str (P.verb_string verb));
+          ])
+    | `Full ->
+      reject t replier conn_id ~id:rq.P.rq_id P.Overloaded
+        (Printf.sprintf "queue full (bound %d)" t.cfg.queue_bound)
+    | `Closed ->
+      reject t replier conn_id ~id:rq.P.rq_id P.Shutting_down
+        "server is draining"
+
+let wake t = try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1) with _ -> ()
+
+let shutdown t =
+  if not (Atomic.exchange t.stop true) then wake t
+
+let dispatch t replier conn_id rq requests =
+  incr requests;
+  match rq.P.rq_verb with
+  | P.Ping -> reply replier (P.ok ~id:rq.P.rq_id (J.Str "pong"))
+  | P.Stats -> reply replier (P.ok ~id:rq.P.rq_id (stats_json t))
+  | P.Shutdown ->
+    reply replier (P.ok ~id:rq.P.rq_id (J.Str "draining"));
+    shutdown t
+  | P.Solve | P.Modelcheck | P.Fuzz -> submit t replier conn_id rq
+
+(* -------------------------------------------------------------- threads *)
+
+let conn_loop t conn =
+  let replier = { r_mutex = Mutex.create (); r_fd = conn.c_fd } in
+  let requests = ref 0 in
+  let rec loop () =
+    match Frame.read ~max_len:t.cfg.max_frame conn.c_fd with
+    | exception Unix.Unix_error _ -> ()
+    | Error (Frame.Eof | Frame.Truncated) -> ()
+    | Error (Frame.Oversized n) ->
+      reject t replier conn.c_id ~id:(-1) P.Oversized
+        (Printf.sprintf "frame of %d bytes exceeds limit %d" n t.cfg.max_frame);
+      loop ()
+    | Ok payload ->
+      (match P.parse payload with
+      | Error msg ->
+        reject t replier conn.c_id ~id:(-1) P.Bad_request
+          ("invalid JSON: " ^ msg)
+      | Ok json -> (
+        match P.request_of_json json with
+        | Error msg -> reject t replier conn.c_id ~id:(-1) P.Bad_request msg
+        | Ok rq -> dispatch t replier conn.c_id rq requests));
+      loop ()
+  in
+  loop ();
+  Mutex.lock t.conns_mutex;
+  Hashtbl.remove t.conns conn.c_id;
+  Mutex.unlock t.conns_mutex;
+  (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+  match t.sink with
+  | None -> ()
+  | Some s ->
+    emit t s Obs.Event.Name.svc_conn_close
+      [ ("conn", J.Int conn.c_id); ("requests", J.Int !requests) ]
+
+let accept_loop t () =
+  let rec loop () =
+    if Atomic.get t.stop then ()
+    else
+      match Unix.select [ t.listen_fd; t.wake_r ] [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | ready, _, _ ->
+        if Atomic.get t.stop then ()
+        else if List.mem t.listen_fd ready then begin
+          (match Unix.accept t.listen_fd with
+          | exception Unix.Unix_error _ -> ()
+          | fd, _ ->
+            let conn =
+              { c_id = Atomic.fetch_and_add t.next_conn 1; c_fd = fd;
+                c_thread = None }
+            in
+            Mutex.lock t.conns_mutex;
+            Hashtbl.replace t.conns conn.c_id conn;
+            conn.c_thread <- Some (Thread.create (conn_loop t) conn);
+            Mutex.unlock t.conns_mutex;
+            match t.sink with
+            | None -> ()
+            | Some s ->
+              emit t s Obs.Event.Name.svc_conn_open
+                [ ("conn", J.Int conn.c_id) ]);
+          loop ()
+        end
+        else loop ()
+  in
+  loop ();
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------ lifecycle *)
+
+let start ?sink ?registry cfg =
+  if cfg.workers < 1 then invalid_arg "Server.start: workers must be >= 1";
+  if cfg.queue_bound < 1 then
+    invalid_arg "Server.start: queue_bound must be >= 1";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  (try
+     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     raise e);
+  let wake_r, wake_w = Unix.pipe () in
+  let t =
+    {
+      cfg;
+      listen_fd;
+      wake_r;
+      wake_w;
+      stop = Atomic.make false;
+      pool = Pool.create ~workers:cfg.workers ~queue_bound:cfg.queue_bound;
+      accept_thread = None;
+      conns = Hashtbl.create 16;
+      conns_mutex = Mutex.create ();
+      next_conn = Atomic.make 0;
+      accepted = Atomic.make 0;
+      rejected = Atomic.make 0;
+      served = Atomic.make 0;
+      timed_out = Atomic.make 0;
+      inflight = Atomic.make 0;
+      sink;
+      registry = (match registry with Some r -> r | None -> Obs.Metrics.registry ());
+      obs_mutex = Mutex.create ();
+      waited = false;
+      wait_mutex = Mutex.create ();
+    }
+  in
+  (match t.sink with
+  | None -> ()
+  | Some s ->
+    emit t s Obs.Event.Name.svc_start
+      [
+        ("socket", J.Str cfg.socket_path);
+        ("workers", J.Int cfg.workers);
+        ("queue_bound", J.Int cfg.queue_bound);
+      ]);
+  t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  t
+
+let wait t =
+  Mutex.lock t.wait_mutex;
+  let first = not t.waited in
+  t.waited <- true;
+  Mutex.unlock t.wait_mutex;
+  if first then begin
+    Option.iter Thread.join t.accept_thread;
+    (match t.sink with
+    | None -> ()
+    | Some s ->
+      emit t s Obs.Event.Name.svc_drain
+        [ ("pending", J.Int (Atomic.get t.inflight)) ]);
+    (* every job already in the queue runs to a reply before the workers
+       exit; only then do we tear the connections down *)
+    Pool.drain t.pool;
+    let conns =
+      Mutex.lock t.conns_mutex;
+      let l = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+      Mutex.unlock t.conns_mutex;
+      l
+    in
+    List.iter
+      (fun c ->
+        try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns;
+    List.iter (fun c -> Option.iter Thread.join c.c_thread) conns;
+    (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+    (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+    gauges t;
+    match t.sink with
+    | None -> ()
+    | Some s ->
+      emit t s Obs.Event.Name.svc_stop
+        [
+          ("served", J.Int (Atomic.get t.served));
+          ("drained", J.Bool true);
+        ]
+  end
+
+let run ?sink ?registry cfg =
+  let t = start ?sink ?registry cfg in
+  let stop _ = shutdown t in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  (* OCaml signal handlers only run when a thread of the main domain
+     reaches a safepoint, and every other thread here may be parked in a
+     blocking syscall (select, read, cond_wait) — parking this thread in
+     Thread.join too would postpone the handler indefinitely. Poll. *)
+  while not (Atomic.get t.stop) do
+    try Unix.sleepf 0.05 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  wait t

@@ -1,0 +1,58 @@
+(** The job server: a Unix-domain-socket front end over {!Pool}.
+
+    One accept thread multiplexes the listening socket against a self-pipe
+    (so {!shutdown} can interrupt it from a signal handler); one systhread
+    per connection reads frames, parses and validates them, answers
+    [ping]/[stats]/[shutdown] inline and submits the rest to the pool.
+    Submission never blocks: a full queue is an immediate [overloaded]
+    reply — the backpressure contract — and a draining server answers
+    [shutting_down].
+
+    Graceful shutdown ({!shutdown} then {!wait}, or a signal under
+    {!run}): stop accepting, drain the pool so every accepted job is
+    answered, shut the connection sockets down, join the threads. Zero
+    accepted in-flight jobs are lost.
+
+    Instrumentation: per-verb latency histograms, queue-depth and
+    in-flight gauges and accepted/rejected/timed-out counters in the
+    registry, [svc.*] events ({!Obs.Event.Name}) to the optional sink.
+    With no sink, the event paths allocate nothing per request. *)
+
+type config = {
+  socket_path : string;
+  workers : int;
+  queue_bound : int;
+  default_deadline_ms : int option;
+      (** applied when a request carries no [deadline_ms]; [None] = no
+          deadline *)
+  max_frame : int;  (** request frames beyond this are rejected unread *)
+}
+
+val default_config : socket_path:string -> config
+(** workers = 2, queue_bound = 64, no default deadline,
+    max_frame = {!Frame.default_max_len}. *)
+
+type t
+
+val start : ?sink:Obs.Sink.t -> ?registry:Obs.Metrics.registry -> config -> t
+(** Bind, listen, spawn the pool and the accept thread, return
+    immediately. Replaces a stale socket file at [socket_path]. Ignores
+    [SIGPIPE] process-wide (a client hanging up mid-reply must not kill
+    the server). *)
+
+val shutdown : t -> unit
+(** Trigger graceful shutdown; returns immediately; idempotent.
+    Async-signal-safe in the OCaml sense (an atomic store and a pipe
+    write), so it can be called from a [Sys.Signal_handle]. *)
+
+val wait : t -> unit
+(** Block until shutdown completes: accept loop joined, pool drained
+    (every accepted job replied), connections closed and joined. *)
+
+val stats_json : t -> Obs.Json.t
+(** The live counters the [stats] verb reports: accepted, rejected,
+    served, timed-out, in-flight, queue depth, workers. *)
+
+val run : ?sink:Obs.Sink.t -> ?registry:Obs.Metrics.registry -> config -> unit
+(** {!start}, install [SIGTERM]/[SIGINT] handlers that {!shutdown}, then
+    {!wait} — the body of [wfa serve]. *)

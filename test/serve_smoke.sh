@@ -1,0 +1,61 @@
+#!/bin/sh
+# CI smoke test for the job server (DESIGN.md §5): start `wfa serve` in the
+# background, script `wfa call` against it, check that an oversized frame is
+# rejected without desynchronizing the connection, and that SIGTERM drains
+# gracefully -- an in-flight call still gets its reply and the server exits 0
+# with the socket unlinked.
+set -eu
+
+WFA=${WFA:-_build/default/bin/wfa.exe}
+SOCK="/tmp/wfa-smoke-$$.sock"
+OUT="/tmp/wfa-smoke-$$.out"
+
+cleanup() {
+  kill "$SRV" 2>/dev/null || true
+  rm -f "$SOCK" "$OUT"
+}
+
+"$WFA" serve --socket "$SOCK" --workers 2 --max-frame 4096 &
+SRV=$!
+trap cleanup EXIT
+
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "serve_smoke: socket never appeared" >&2; exit 1; }
+  sleep 0.1
+done
+
+echo "serve_smoke: solve"
+"$WFA" call --socket "$SOCK" solve \
+  --params '{"task":"consensus","n":3,"fd":"omega"}'
+
+echo "serve_smoke: modelcheck"
+"$WFA" call --socket "$SOCK" modelcheck --params '{"depth":8}'
+
+echo "serve_smoke: oversized frame is rejected"
+BIG=$(head -c 8192 /dev/zero | tr '\0' 'a')
+if "$WFA" call --socket "$SOCK" ping --params "{\"pad\":\"$BIG\"}"; then
+  echo "serve_smoke: oversized frame unexpectedly accepted" >&2
+  exit 1
+fi
+
+# the connection-level reject must not have broken the server
+echo "serve_smoke: server still answers after the reject"
+"$WFA" call --socket "$SOCK" stats
+
+echo "serve_smoke: SIGTERM drains the in-flight call"
+"$WFA" call --socket "$SOCK" fuzz \
+  --params '{"kind":"strong-renaming","n":5,"j":3,"budget":20000}' \
+  > "$OUT" &
+CALL=$!
+sleep 0.3
+kill -TERM "$SRV"
+wait "$CALL" # the accepted in-flight call must still get its reply
+wait "$SRV"  # and the server must drain and exit 0
+[ -s "$OUT" ] || { echo "serve_smoke: in-flight reply missing" >&2; exit 1; }
+[ ! -S "$SOCK" ] || { echo "serve_smoke: socket not unlinked" >&2; exit 1; }
+
+trap - EXIT
+rm -f "$OUT"
+echo "serve_smoke: ok"

@@ -20,4 +20,6 @@ let () =
       ("obs", Test_obs.suite);
       ("fuzz", Test_fuzz.suite);
       ("properties", Test_properties.suite);
+      ("cancel", Test_cancel.suite);
+      ("svc", Test_svc.suite);
     ]

@@ -144,6 +144,50 @@ let test_json_roundtrip () =
       | Ok _ -> Alcotest.failf "accepted malformed %S" s)
     [ "{"; "[1,]"; "\"unterminated"; "tru"; "1 2"; "{\"a\" 1}" ]
 
+(* Untrusted-input guards: the parser the service layer aims at wire bytes
+   must fail cleanly — never a stack overflow or escaping exception. *)
+let test_json_untrusted_guards () =
+  let err = function Error _ -> true | Ok _ -> false in
+  (* a million open brackets would previously recurse a million deep *)
+  let bombs =
+    [
+      String.make 1_000_000 '[';
+      String.make 1_000_000 '{';
+      String.concat "" (List.init 200_000 (fun _ -> "[{\"a\":"));
+    ]
+  in
+  List.iter
+    (fun s -> check_bool "nesting bomb is a clean error" true
+        (err (Obs.Json.of_string s)))
+    bombs;
+  (* the limits are tunable per call site *)
+  check_bool "depth 3 under limit 4" true
+    (Obs.Json.of_string ~max_depth:4 "[[[1]]]" |> Result.is_ok);
+  check_bool "depth 5 over limit 4" true
+    (err (Obs.Json.of_string ~max_depth:4 "[[[[[1]]]]]"));
+  check_bool "string over limit" true
+    (err (Obs.Json.of_string ~max_string:8 "\"123456789abc\""));
+  check_bool "string under limit" true
+    (Obs.Json.of_string ~max_string:32 "\"short\"" |> Result.is_ok);
+  check_bool "number literal over limit" true
+    (err (Obs.Json.of_string ~max_number:8 (String.make 100 '1')));
+  check_bool "number under limit" true
+    (Obs.Json.of_string ~max_number:8 "1234567" |> Result.is_ok);
+  (* guard errors carry a message, and legitimate deep-ish data still
+     parses under the defaults *)
+  (match Obs.Json.of_string ~max_depth:2 "[[[1]]]" with
+  | Error msg -> check_bool "error mentions nesting" true
+      (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "expected depth error");
+  let nested depth =
+    String.concat ""
+      (List.concat
+         [ List.init depth (fun _ -> "["); [ "0" ];
+           List.init depth (fun _ -> "]") ])
+  in
+  check_bool "depth 100 parses under defaults" true
+    (Obs.Json.of_string (nested 100) |> Result.is_ok)
+
 (* --------------------------------------------------------------- sinks *)
 
 let test_sinks () =
@@ -379,6 +423,8 @@ let suite =
     Alcotest.test_case "metrics json export" `Quick test_metrics_json;
     Alcotest.test_case "json escaping" `Quick test_json_escaping;
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json untrusted-input guards" `Quick
+      test_json_untrusted_guards;
     Alcotest.test_case "sinks" `Quick test_sinks;
     Alcotest.test_case "span" `Quick test_span;
     Alcotest.test_case "bench record golden bytes" `Quick test_bench_record_golden;

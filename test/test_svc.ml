@@ -1,0 +1,392 @@
+(* The service layer: framing, protocol codecs, the bounded queue, and
+   in-process end-to-end runs of the job server — backpressure, deadlines,
+   graceful drain, events and metrics. *)
+
+module J = Obs.Json
+module P = Svc.Protocol
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let socket_path =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "%s/wfa-test-%d-%d.sock" (Filename.get_temp_dir_name ())
+      (Unix.getpid ()) !n
+
+(* ------------------------------------------------------------- framing *)
+
+let test_frame_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let payloads = [ ""; "x"; String.make 100_000 'y'; "{\"v\":1}" ] in
+  let writer = Thread.create (fun () -> List.iter (Svc.Frame.write a) payloads) () in
+  List.iter
+    (fun expect ->
+      match Svc.Frame.read b with
+      | Ok got -> check_string "payload" expect got
+      | Error e -> Alcotest.failf "read: %s" (Svc.Frame.error_string e))
+    payloads;
+  Thread.join writer;
+  Unix.close a;
+  (match Svc.Frame.read b with
+  | Error Svc.Frame.Eof -> ()
+  | _ -> Alcotest.fail "expected Eof at clean boundary");
+  Unix.close b
+
+let test_frame_oversized_keeps_sync () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let big = String.make 100_000 'z' in
+  let writer =
+    Thread.create
+      (fun () ->
+        Svc.Frame.write a big;
+        Svc.Frame.write a "next";
+        Unix.close a)
+      ()
+  in
+  (match Svc.Frame.read ~max_len:1024 b with
+  | Error (Svc.Frame.Oversized n) -> check_int "announced length" 100_000 n
+  | _ -> Alcotest.fail "expected Oversized");
+  (* the oversized payload was discarded: the stream is still framed *)
+  (match Svc.Frame.read ~max_len:1024 b with
+  | Ok got -> check_string "next frame" "next" got
+  | Error e -> Alcotest.failf "read after oversized: %s" (Svc.Frame.error_string e));
+  Thread.join writer;
+  Unix.close b
+
+let test_frame_truncated () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* a header promising 100 bytes, then only 3, then EOF *)
+  let hdr = Bytes.of_string "\x00\x00\x00\x64abc" in
+  ignore (Unix.write a hdr 0 (Bytes.length hdr));
+  Unix.close a;
+  (match Svc.Frame.read b with
+  | Error Svc.Frame.Truncated -> ()
+  | _ -> Alcotest.fail "expected Truncated");
+  Unix.close b
+
+(* ------------------------------------------------------------ protocol *)
+
+let test_protocol_roundtrip () =
+  let rq =
+    P.request ~deadline_ms:250
+      ~params:(J.Obj [ ("depth", J.Int 8) ])
+      ~id:7 P.Modelcheck
+  in
+  (match P.request_of_json (P.request_json rq) with
+  | Ok rq' ->
+    check_int "id" 7 rq'.P.rq_id;
+    check_bool "verb" true (rq'.P.rq_verb = P.Modelcheck);
+    check_bool "deadline" true (rq'.P.rq_deadline_ms = Some 250);
+    check_bool "params" true (J.equal rq'.P.rq_params rq.P.rq_params)
+  | Error e -> Alcotest.failf "request round-trip: %s" e);
+  List.iter
+    (fun rs ->
+      match P.response_of_json (P.response_json rs) with
+      | Ok rs' ->
+        check_int "id" rs.P.rs_id rs'.P.rs_id;
+        check_bool "result" true (rs'.P.rs_result = rs.P.rs_result)
+      | Error e -> Alcotest.failf "response round-trip: %s" e)
+    [ P.ok ~id:3 (J.Str "pong"); P.error ~id:(-1) P.Overloaded "queue full" ]
+
+let test_protocol_rejects () =
+  let bad s =
+    match P.parse s with
+    | Error _ -> true
+    | Ok j -> Result.is_error (P.request_of_json j)
+  in
+  List.iter
+    (fun (label, s) -> check_bool label true (bad s))
+    [
+      ("not json", "]");
+      ("not an object", "[1,2]");
+      ("missing version", "{\"id\":1,\"verb\":\"ping\"}");
+      ("wrong version", "{\"v\":2,\"id\":1,\"verb\":\"ping\"}");
+      ("missing id", "{\"v\":1,\"verb\":\"ping\"}");
+      ("unknown verb", "{\"v\":1,\"id\":1,\"verb\":\"dance\"}");
+      ("params not object", "{\"v\":1,\"id\":1,\"verb\":\"ping\",\"params\":3}");
+      ( "non-positive deadline",
+        "{\"v\":1,\"id\":1,\"verb\":\"ping\",\"deadline_ms\":0}" );
+    ]
+
+(* --------------------------------------------------------------- jobq *)
+
+let test_jobq_bound_and_order () =
+  let q = Svc.Jobq.create ~bound:2 in
+  check_bool "push 1" true (Svc.Jobq.try_push q 1 = `Ok);
+  check_bool "push 2" true (Svc.Jobq.try_push q 2 = `Ok);
+  check_bool "push 3 is Full" true (Svc.Jobq.try_push q 3 = `Full);
+  check_int "length" 2 (Svc.Jobq.length q);
+  check_bool "pop 1" true (Svc.Jobq.pop q = Some 1);
+  check_bool "push 4 after pop" true (Svc.Jobq.try_push q 4 = `Ok);
+  Svc.Jobq.close q;
+  check_bool "push after close" true (Svc.Jobq.try_push q 5 = `Closed);
+  (* close drains: already-accepted items still come out, then None *)
+  check_bool "drain 2" true (Svc.Jobq.pop q = Some 2);
+  check_bool "drain 4" true (Svc.Jobq.pop q = Some 4);
+  check_bool "empty after drain" true (Svc.Jobq.pop q = None)
+
+let test_jobq_blocking_pop () =
+  let q = Svc.Jobq.create ~bound:4 in
+  let got = Atomic.make (-1) in
+  let consumer =
+    Thread.create
+      (fun () ->
+        match Svc.Jobq.pop q with
+        | Some v -> Atomic.set got v
+        | None -> Atomic.set got (-2))
+      ()
+  in
+  Thread.delay 0.02;
+  check_bool "push wakes" true (Svc.Jobq.try_push q 42 = `Ok);
+  Thread.join consumer;
+  check_int "popped" 42 (Atomic.get got)
+
+(* ----------------------------------------------------------- end-to-end *)
+
+let with_server ?sink ?registry cfg f =
+  let t = Svc.Server.start ?sink ?registry cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Svc.Server.shutdown t;
+      Svc.Server.wait t)
+    (fun () -> f t)
+
+let default_cfg path =
+  { (Svc.Server.default_config ~socket_path:path) with workers = 1 }
+
+let test_server_ping_solve_stats () =
+  let path = socket_path () in
+  with_server (default_cfg path) (fun _ ->
+      let c = Svc.Client.connect path in
+      (match Svc.Client.call c P.Ping with
+      | Ok (J.Str "pong") -> ()
+      | r ->
+        Alcotest.failf "ping: %s"
+          (match r with
+          | Ok j -> J.to_string j
+          | Error e -> Svc.Client.error_string e));
+      (match
+         Svc.Client.call
+           ~params:(J.Obj [ ("task", J.Str "consensus"); ("n", J.Int 3) ])
+           c P.Solve
+       with
+      | Ok j ->
+        check_bool "solve ok" true (J.member "ok" j = Some (J.Bool true))
+      | Error e -> Alcotest.failf "solve: %s" (Svc.Client.error_string e));
+      (match Svc.Client.call c P.Stats with
+      | Ok j -> (
+        match J.member "accepted" j with
+        | Some (J.Int n) -> check_bool "accepted >= 1" true (n >= 1)
+        | _ -> Alcotest.fail "stats: no accepted field")
+      | Error e -> Alcotest.failf "stats: %s" (Svc.Client.error_string e));
+      (* malformed params are a clean bad_request, not a dead worker *)
+      (match
+         Svc.Client.call ~params:(J.Obj [ ("task", J.Str "nope" ) ]) c P.Solve
+       with
+      | Error (Svc.Client.Server (P.Bad_request, _)) -> ()
+      | _ -> Alcotest.fail "expected bad_request");
+      (* and the worker still serves afterwards *)
+      (match Svc.Client.call ~params:(J.Obj [ ("depth", J.Int 6) ]) c P.Modelcheck with
+      | Ok j ->
+        check_bool "modelcheck ok" true
+          (J.member "verdict" j = Some (J.Str "ok"))
+      | Error e -> Alcotest.failf "modelcheck: %s" (Svc.Client.error_string e));
+      Svc.Client.close c)
+
+(* Raw pipelined connection: write several requests without waiting, then
+   collect every response, keyed by id. *)
+let raw_calls path requests =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  List.iter
+    (fun rq -> Svc.Frame.write fd (J.to_string (P.request_json rq)))
+    requests;
+  let replies = Hashtbl.create 8 in
+  let rec collect n =
+    if n > 0 then
+      match Svc.Frame.read ~max_len:(64 * 1024 * 1024) fd with
+      | Ok payload ->
+        (match P.parse payload with
+        | Ok j -> (
+          match P.response_of_json j with
+          | Ok rs ->
+            Hashtbl.replace replies rs.P.rs_id rs.P.rs_result;
+            collect (n - 1)
+          | Error e -> Alcotest.failf "bad response: %s" e)
+        | Error e -> Alcotest.failf "bad response JSON: %s" e)
+      | Error e -> Alcotest.failf "read: %s" (Svc.Frame.error_string e)
+  in
+  collect (List.length requests);
+  Unix.close fd;
+  replies
+
+let slow_modelcheck ?deadline_ms ~id () =
+  P.request ?deadline_ms ~params:(J.Obj [ ("depth", J.Int 14) ]) ~id P.Modelcheck
+
+let test_server_backpressure () =
+  let path = socket_path () in
+  let cfg = { (default_cfg path) with queue_bound = 1 } in
+  with_server cfg (fun _ ->
+      (* one worker, bound 1: the first slow job occupies the worker, the
+         second fills the queue, the rest must be rejected as overloaded *)
+      let replies =
+        raw_calls path (List.init 5 (fun i -> slow_modelcheck ~id:i ()))
+      in
+      let ok, overloaded =
+        Hashtbl.fold
+          (fun _ r (ok, ov) ->
+            match r with
+            | Ok _ -> (ok + 1, ov)
+            | Error (P.Overloaded, _) -> (ok, ov + 1)
+            | Error (c, m) ->
+              Alcotest.failf "unexpected error %s: %s" (P.err_code_string c) m)
+          replies (0, 0)
+      in
+      check_int "every request answered" 5 (ok + overloaded);
+      check_bool "some rejected with overloaded" true (overloaded >= 1);
+      check_bool "some served" true (ok >= 1))
+
+let test_server_deadline () =
+  let path = socket_path () in
+  with_server (default_cfg path) (fun _ ->
+      let c = Svc.Client.connect path in
+      (* depth 14 runs for tens of milliseconds; a 5 ms deadline trips
+         either while queued or mid-execution — both are deadline_exceeded,
+         and the cancelled engine reports no verdict *)
+      (match
+         Svc.Client.call ~deadline_ms:5
+           ~params:(J.Obj [ ("depth", J.Int 14) ])
+           c P.Modelcheck
+       with
+      | Error (Svc.Client.Server (P.Deadline_exceeded, _)) -> ()
+      | Ok _ -> Alcotest.fail "deadline did not trip"
+      | Error e -> Alcotest.failf "deadline: %s" (Svc.Client.error_string e));
+      (* the worker survives a timed-out job *)
+      (match Svc.Client.call c P.Ping with
+      | Ok (J.Str "pong") -> ()
+      | _ -> Alcotest.fail "ping after timeout");
+      Svc.Client.close c)
+
+let test_server_drain_loses_nothing () =
+  let path = socket_path () in
+  let cfg = { (default_cfg path) with queue_bound = 8 } in
+  let t = Svc.Server.start cfg in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let jobs = 4 in
+  List.iter
+    (fun rq -> Svc.Frame.write fd (J.to_string (P.request_json rq)))
+    (List.init jobs (fun i ->
+         P.request ~params:(J.Obj [ ("depth", J.Int 10) ]) ~id:i P.Modelcheck));
+  (* wait until all four are accepted (connection handshake and dispatch
+     are asynchronous), then shut down with them queued/in-flight: every
+     accepted job must still be answered *)
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec wait_accepted () =
+    match J.member "accepted" (Svc.Server.stats_json t) with
+    | Some (J.Int n) when n >= jobs -> ()
+    | _ ->
+      if Unix.gettimeofday () > deadline then
+        Alcotest.fail "jobs were not accepted in time";
+      Thread.delay 0.005;
+      wait_accepted ()
+  in
+  wait_accepted ();
+  Svc.Server.shutdown t;
+  let answered = ref 0 in
+  (try
+     for _ = 1 to jobs do
+       match Svc.Frame.read ~max_len:(64 * 1024 * 1024) fd with
+       | Ok payload ->
+         (match Result.bind (P.parse payload) P.response_of_json with
+         | Ok { P.rs_result = Ok _; _ } -> incr answered
+         | Ok { P.rs_result = Error (c, m); _ } ->
+           Alcotest.failf "drained job failed %s: %s" (P.err_code_string c) m
+         | Error e -> Alcotest.failf "bad response: %s" e)
+       | Error e -> Alcotest.failf "read: %s" (Svc.Frame.error_string e)
+     done
+   with e ->
+     Unix.close fd;
+     raise e);
+  Unix.close fd;
+  Svc.Server.wait t;
+  check_int "zero accepted jobs lost" jobs !answered
+
+let test_server_oversized_and_events () =
+  let path = socket_path () in
+  let cfg = { (default_cfg path) with max_frame = 256 } in
+  let sink, events = Obs.Sink.buffer () in
+  let registry = Obs.Metrics.registry () in
+  with_server ~sink ~registry cfg (fun _ ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      Svc.Frame.write fd (String.make 1000 ' ');
+      (match Result.bind (P.parse (Result.get_ok (Svc.Frame.read fd)))
+               P.response_of_json with
+      | Ok { P.rs_id = -1; rs_result = Error (P.Oversized, _) } -> ()
+      | _ -> Alcotest.fail "expected oversized reply with id -1");
+      (* the connection survives; a well-formed request still works *)
+      Svc.Frame.write fd (J.to_string (P.request_json (P.request ~id:9 P.Ping)));
+      (match Result.bind (P.parse (Result.get_ok (Svc.Frame.read fd)))
+               P.response_of_json with
+      | Ok { P.rs_id = 9; rs_result = Ok (J.Str "pong") } -> ()
+      | _ -> Alcotest.fail "expected pong after oversized");
+      Unix.close fd;
+      Thread.delay 0.05);
+  let names = List.map (fun e -> e.Obs.Event.name) (events ()) in
+  let has n = List.mem n names in
+  check_bool "svc.start" true (has Obs.Event.Name.svc_start);
+  check_bool "svc.conn.open" true (has Obs.Event.Name.svc_conn_open);
+  check_bool "svc.reject" true (has Obs.Event.Name.svc_reject);
+  check_bool "svc.drain" true (has Obs.Event.Name.svc_drain);
+  check_bool "svc.stop" true (has Obs.Event.Name.svc_stop);
+  (* the reject landed in the labeled counter too *)
+  let rejected = ref 0 in
+  Obs.Metrics.iter_counters registry (fun name labels v ->
+      if name = "svc.requests.rejected" && labels = [ ("code", "oversized") ]
+      then rejected := v);
+  check_int "rejected{code=oversized}" 1 !rejected
+
+let test_server_shutdown_verb_refuses_new () =
+  let path = socket_path () in
+  let t = Svc.Server.start (default_cfg path) in
+  let c = Svc.Client.connect path in
+  (match Svc.Client.call c P.Shutdown with
+  | Ok (J.Str "draining") -> ()
+  | _ -> Alcotest.fail "shutdown reply");
+  (* a queued verb on the draining server is refused, not queued *)
+  (match Svc.Client.call ~params:(J.Obj [ ("depth", J.Int 6) ]) c P.Modelcheck with
+  | Error (Svc.Client.Server (P.Shutting_down, _)) -> ()
+  | Error (Svc.Client.Transport _) -> ()  (* conn already torn down: also fine *)
+  | Error (Svc.Client.Server (c, m)) ->
+    Alcotest.failf "unexpected error %s: %s" (P.err_code_string c) m
+  | Ok _ -> Alcotest.fail "request accepted after shutdown");
+  Svc.Client.close c;
+  Svc.Server.wait t
+
+let suite =
+  [
+    Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
+    Alcotest.test_case "oversized frame keeps stream sync" `Quick
+      test_frame_oversized_keeps_sync;
+    Alcotest.test_case "truncated frame" `Quick test_frame_truncated;
+    Alcotest.test_case "protocol round-trip" `Quick test_protocol_roundtrip;
+    Alcotest.test_case "protocol rejects malformed" `Quick test_protocol_rejects;
+    Alcotest.test_case "jobq bound, order, drain" `Quick
+      test_jobq_bound_and_order;
+    Alcotest.test_case "jobq blocking pop" `Quick test_jobq_blocking_pop;
+    Alcotest.test_case "server: ping, solve, stats, bad request" `Quick
+      test_server_ping_solve_stats;
+    Alcotest.test_case "server: backpressure rejects with overloaded" `Quick
+      test_server_backpressure;
+    Alcotest.test_case "server: deadline exceeded" `Quick test_server_deadline;
+    Alcotest.test_case "server: drain loses no accepted job" `Quick
+      test_server_drain_loses_nothing;
+    Alcotest.test_case "server: oversized frame, events, metrics" `Quick
+      test_server_oversized_and_events;
+    Alcotest.test_case "server: shutdown verb refuses new work" `Quick
+      test_server_shutdown_verb_refuses_new;
+  ]
