@@ -70,8 +70,11 @@ let pp_report ppf r =
     Vectors.pp r.r_input Vectors.pp r.r_output r.r_steps
     r.r_outcome.Schedule.all_decided r.r_task_ok r.r_wait_free r.r_max_conc
 
+exception Cancelled
+
 let execute ?(budget = 400_000) ?(min_scheds = 2_000) ?(record_trace = false)
-    ?(policy = fair_policy) ?obs ~task ~algo ~fd ~pattern ~input ~seed () =
+    ?(policy = fair_policy) ?cancel ?obs ~task ~algo ~fd ~pattern ~input ~seed
+    () =
   let n_c = task.Task.arity in
   let n_s = pattern.Failure.n_s in
   if Array.length input <> n_c then invalid_arg "Run.execute: input arity";
@@ -100,8 +103,18 @@ let execute ?(budget = 400_000) ?(min_scheds = 2_000) ?(record_trace = false)
   let all_participants_decided rt =
     List.for_all (fun i -> Runtime.decision rt i <> None) participant_idx
   in
+  (* cancellation piggybacks on stop_when, so it is polled once per
+     scheduling step; raising Cancelled instead of stopping means a
+     cancelled run can never leak a (partial) report *)
+  let stop_when rt =
+    (match cancel with Some c when c () -> raise Cancelled | _ -> ());
+    all_participants_decided rt
+  in
   let outcome =
-    Schedule.run ~stop_when:all_participants_decided rt pol ~budget
+    try Schedule.run ~stop_when rt pol ~budget
+    with e ->
+      Runtime.destroy rt;
+      raise e
   in
   let outcome =
     { outcome with Schedule.all_decided = all_participants_decided rt }

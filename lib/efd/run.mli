@@ -53,11 +53,17 @@ val violation_desc : violation -> string
 
 val pp_report : Format.formatter -> report -> unit
 
+exception Cancelled
+(** Raised out of {!execute} when its [?cancel] hook returns [true]; a
+    cancelled run never returns a report (the runtime is destroyed
+    first). *)
+
 val execute :
   ?budget:int ->
   ?min_scheds:int ->
   ?record_trace:bool ->
   ?policy:policy_factory ->
+  ?cancel:(unit -> bool) ->
   ?obs:Simkit.Runtime.obs ->
   task:Tasklib.Task.t ->
   algo:Algorithm.t ->
@@ -71,9 +77,11 @@ val execute :
     schedule randomness. [budget] (default 400_000) bounds total steps;
     [min_scheds] (default 2_000) is the wait-freedom threshold: a
     participant scheduled at least that often must have decided.
-    [?obs] installs a {!Simkit.Runtime.obs} instrumentation hook on the
-    run's runtime (counters / structured events; disabled and free when
-    omitted). *)
+    [?cancel] is polled once per scheduling step; the step after it first
+    returns [true], the run raises {!Cancelled} — the cooperative hook the
+    service layer's deadlines use. [?obs] installs a
+    {!Simkit.Runtime.obs} instrumentation hook on the run's runtime
+    (counters / structured events; disabled and free when omitted). *)
 
 val labels : task:Tasklib.Task.t -> algo:Algorithm.t -> fd:Fdlib.Fd.t ->
   seed:int -> (string * string) list

@@ -14,6 +14,7 @@ module Name = struct
   let adversary_shrunk = "adversary.shrunk"
   let svc_start = "svc.start"
   let svc_stop = "svc.stop"
+  let svc_accept_error = "svc.accept.error"
   let svc_conn_open = "svc.conn.open"
   let svc_conn_close = "svc.conn.close"
   let svc_request = "svc.request"

@@ -42,6 +42,10 @@ module Name : sig
   val svc_stop : string
   (** The server finished draining and stopped (fields: served, drained). *)
 
+  val svc_accept_error : string
+  (** [accept] on the listening socket failed, e.g. out of descriptors;
+      the server backs off briefly before retrying (field: error). *)
+
   val svc_conn_open : string
   (** A client connection was accepted (field: conn). *)
 

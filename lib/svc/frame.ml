@@ -1,12 +1,14 @@
 let default_max_len = 1024 * 1024
 let max_wire_len = 0x7fffffff
 
-type error = Eof | Truncated | Oversized of int
+type error = Eof | Truncated | Oversized of int | Desynced of int
 
 let error_string = function
   | Eof -> "end of stream"
   | Truncated -> "truncated frame"
   | Oversized n -> Printf.sprintf "oversized frame (%d bytes)" n
+  | Desynced n ->
+    Printf.sprintf "unframeable length %d (wire limit %d)" n max_wire_len
 
 let write fd payload =
   let n = String.length payload in
@@ -60,9 +62,10 @@ let read ?(max_len = default_max_len) fd =
       lor (Bytes.get_uint8 hdr 2 lsl 8)
       lor Bytes.get_uint8 hdr 3
     in
-    (* The top bit on the wire would be a negative 32-bit length; report the
-       cap itself rather than a nonsense size. *)
-    if n > max_wire_len then Error (Oversized max_wire_len)
+    (* The top bit on the wire would be a negative 32-bit length. No writer
+       can have produced it, so there is no payload to skip: the stream is
+       desynchronized for good, unlike the recoverable Oversized case. *)
+    if n > max_wire_len then Error (Desynced n)
     else if n > max_len then
       if discard fd n then Error (Oversized n) else Error Truncated
     else begin

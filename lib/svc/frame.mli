@@ -13,7 +13,7 @@ val default_max_len : int
 
 val max_wire_len : int
 (** The largest length the 4-byte header can carry ([2^31 - 1]); a header
-    with the top bit set is reported as [Oversized] of this. *)
+    with the top bit set is reported as [Desynced]. *)
 
 type error =
   | Eof  (** clean end of stream at a frame boundary *)
@@ -21,6 +21,10 @@ type error =
   | Oversized of int
       (** announced length exceeded [max_len]; the payload was read and
           discarded, so the next frame can still be read *)
+  | Desynced of int
+      (** announced length exceeded {!max_wire_len}: no writer produces
+          such a header, there is no payload to skip, and the byte stream
+          is unrecoverable — the caller must close the connection *)
 
 val error_string : error -> string
 

@@ -101,7 +101,7 @@ let build_fd kind ~k =
 
 (* --------------------------------------------------------------- verbs *)
 
-let solve params =
+let solve ~cancel params =
   let kind = task_kind (str_param ~default:"consensus" "task" params) in
   let fd_k = fd_kind (str_param ~default:"vector" "fd" params) in
   let policy = policy_of_string (str_param ~default:"fair" "policy" params) in
@@ -117,7 +117,10 @@ let solve params =
   let pattern = Failure.failure_free n in
   let rng = Random.State.make [| seed |] in
   let input = Task.sample_input task rng in
-  let r = Run.execute ~budget ~policy ~task ~algo ~fd ~pattern ~input ~seed () in
+  let r =
+    Run.execute ~budget ~policy ~cancel ~task ~algo ~fd ~pattern ~input ~seed
+      ()
+  in
   J.Obj
     [
       ("ok", J.Bool (Run.ok r));
@@ -218,12 +221,12 @@ let run ?(cancel = never_cancel) verb params =
     try
       Ok
         (match verb with
-        | P.Solve -> solve params
+        | P.Solve -> solve ~cancel params
         | P.Modelcheck -> modelcheck ~cancel params
         | P.Fuzz -> fuzz ~cancel params
         | _ -> assert false)
     with
     | Bad msg -> Error (P.Bad_request, msg)
-    | Exhaustive.Cancelled | Adversary.Cancelled ->
+    | Exhaustive.Cancelled | Adversary.Cancelled | Run.Cancelled ->
       Error (P.Deadline_exceeded, "deadline exceeded during execution")
     | exn -> Error (P.Internal, Printexc.to_string exn))

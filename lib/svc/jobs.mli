@@ -4,8 +4,9 @@
     entry points the CLI uses and back to a JSON result. Handlers validate
     params up front ([Bad_request] on anything malformed — an invalid
     request must never crash a worker) and thread the pool's [cancel] hook
-    into the cancellable engines, translating {!Simkit.Exhaustive.Cancelled}
-    and {!Efd.Adversary.Cancelled} into [Deadline_exceeded]. *)
+    into the cancellable engines, translating {!Simkit.Exhaustive.Cancelled},
+    {!Efd.Adversary.Cancelled} and {!Efd.Run.Cancelled} into
+    [Deadline_exceeded]. *)
 
 val run :
   ?cancel:(unit -> bool) ->
@@ -17,8 +18,8 @@ val run :
 
     - [solve]: [task], [fd], [policy], [n], [k], [j], [l], [seed],
       [budget] — one {!Efd.Run.execute}; result
-      [{ "ok": bool, "report": <run report> }]. Bounded by [budget], not
-      cancellable mid-run.
+      [{ "ok": bool, "report": <run report> }]. Bounded by [budget] and
+      cancellable at every scheduling step.
     - [modelcheck]: [depth], [n_s], [reduce] — exhaustive safe-agreement
       check; result [{ "verdict": "ok"|"counterexample", ... }].
       Cancellable between schedules.

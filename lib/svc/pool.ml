@@ -15,19 +15,22 @@ type t = {
 
 let past deadline_ns = Obs.Clock.now_ns () >= deadline_ns
 
-(* Polled between schedules / fuzz trials — hot paths. Reading the clock is
-   a syscall-cheap vdso call but still worth throttling. *)
+(* Polled between schedules / fuzz trials — hot paths, and a fuzz job with
+   domains > 1 polls one shared closure from every worker domain, so the
+   state must be atomic. Reading the clock is a syscall-cheap vdso call but
+   still worth throttling. *)
 let deadline_cancel deadline_ns =
-  let calls = ref 0 in
-  let tripped = ref false in
+  let calls = Atomic.make 0 in
+  let tripped = Atomic.make false in
   fun () ->
-    !tripped
+    Atomic.get tripped
     ||
+    if Atomic.fetch_and_add calls 1 land 0xff = 0xff && past deadline_ns then
     begin
-      incr calls;
-      if !calls land 0xff = 0 && past deadline_ns then tripped := true;
-      !tripped
+      Atomic.set tripped true;
+      true
     end
+    else false
 
 let run_job job =
   let id = job.jb_req.Protocol.rq_id in

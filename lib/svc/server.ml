@@ -112,8 +112,25 @@ let stats_json t =
 
 (* The conn thread and any pool worker may reply on the same socket; the
    per-connection mutex keeps frames whole. A client that hung up makes
-   Frame.write raise — swallow it, the read side will see EOF and close. *)
-type replier = { r_mutex : Mutex.t; r_fd : Unix.file_descr }
+   Frame.write raise — swallow it, the read side will see EOF.
+
+   The descriptor is reference-counted: one reference for the conn thread
+   plus one per in-flight pool job, and whoever drops the last reference
+   closes. Closing eagerly on client EOF would let the kernel hand the fd
+   number to a newly accepted connection while a worker still holds it,
+   delivering that job's reply (or a torn frame, under the wrong mutex)
+   into an unrelated client's stream. *)
+type replier = {
+  r_mutex : Mutex.t;
+  r_fd : Unix.file_descr;
+  r_refs : int Atomic.t;
+}
+
+let retain replier = Atomic.incr replier.r_refs
+
+let release replier =
+  if Atomic.fetch_and_add replier.r_refs (-1) = 1 then
+    try Unix.close replier.r_fd with Unix.Unix_error _ -> ()
 
 let reply replier rs =
   let payload = J.to_string (P.response_json rs) in
@@ -150,6 +167,7 @@ let reject t replier conn_id ~id code msg =
 let submit t replier conn_id rq =
   let verb = rq.P.rq_verb in
   let jb_reply rs latency_s =
+    Fun.protect ~finally:(fun () -> release replier) @@ fun () ->
     let timeout =
       match rs.P.rs_result with
       | Error (P.Deadline_exceeded, _) -> true
@@ -189,7 +207,10 @@ let submit t replier conn_id rq =
   in
   if Atomic.get t.stop then
     reject t replier conn_id ~id:rq.P.rq_id P.Shutting_down "server is draining"
-  else
+  else begin
+    (* taken before submit: once the job is in the queue a worker may run
+       jb_reply (and release) before submit even returns *)
+    retain replier;
     match Pool.submit t.pool job with
     | `Ok ->
       count_accept t;
@@ -203,11 +224,14 @@ let submit t replier conn_id rq =
             ("verb", J.Str (P.verb_string verb));
           ])
     | `Full ->
+      release replier;
       reject t replier conn_id ~id:rq.P.rq_id P.Overloaded
         (Printf.sprintf "queue full (bound %d)" t.cfg.queue_bound)
     | `Closed ->
+      release replier;
       reject t replier conn_id ~id:rq.P.rq_id P.Shutting_down
         "server is draining"
+  end
 
 let wake t = try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1) with _ -> ()
 
@@ -227,12 +251,20 @@ let dispatch t replier conn_id rq requests =
 (* -------------------------------------------------------------- threads *)
 
 let conn_loop t conn =
-  let replier = { r_mutex = Mutex.create (); r_fd = conn.c_fd } in
+  let replier =
+    { r_mutex = Mutex.create (); r_fd = conn.c_fd; r_refs = Atomic.make 1 }
+  in
   let requests = ref 0 in
   let rec loop () =
     match Frame.read ~max_len:t.cfg.max_frame conn.c_fd with
     | exception Unix.Unix_error _ -> ()
     | Error (Frame.Eof | Frame.Truncated) -> ()
+    | Error (Frame.Desynced n) ->
+      (* the announced payload cannot be skipped, so the byte stream is
+         unrecoverable: answer once, then drop the connection *)
+      reject t replier conn.c_id ~id:(-1) P.Oversized
+        (Printf.sprintf "unframeable length %d exceeds wire limit %d" n
+           Frame.max_wire_len)
     | Error (Frame.Oversized n) ->
       reject t replier conn.c_id ~id:(-1) P.Oversized
         (Printf.sprintf "frame of %d bytes exceeds limit %d" n t.cfg.max_frame);
@@ -249,10 +281,13 @@ let conn_loop t conn =
       loop ()
   in
   loop ();
+  (* unregister before dropping the conn thread's reference: a conn still
+     in the table always holds a live reference, which is what lets [wait]
+     shut sockets down under conns_mutex without racing a close *)
   Mutex.lock t.conns_mutex;
   Hashtbl.remove t.conns conn.c_id;
   Mutex.unlock t.conns_mutex;
-  (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+  release replier;
   match t.sink with
   | None -> ()
   | Some s ->
@@ -269,7 +304,15 @@ let accept_loop t () =
         if Atomic.get t.stop then ()
         else if List.mem t.listen_fd ready then begin
           (match Unix.accept t.listen_fd with
-          | exception Unix.Unix_error _ -> ()
+          | exception Unix.Unix_error (e, _, _) ->
+            (* a persistent failure (EMFILE...) keeps the listener readable,
+               so back off instead of hot-spinning select/accept *)
+            (match t.sink with
+            | None -> ()
+            | Some s ->
+              emit t s Obs.Event.Name.svc_accept_error
+                [ ("error", J.Str (Unix.error_message e)) ]);
+            (try Unix.sleepf 0.05 with Unix.Unix_error _ -> ())
           | fd, _ ->
             let conn =
               { c_id = Atomic.fetch_and_add t.next_conn 1; c_fd = fd;
@@ -359,16 +402,20 @@ let wait t =
     (* every job already in the queue runs to a reply before the workers
        exit; only then do we tear the connections down *)
     Pool.drain t.pool;
+    (* a conn still registered holds a live replier reference (conn_loop
+       unregisters before releasing, under this mutex), so shutting down
+       inside the lock can never hit a closed — possibly reused — fd *)
     let conns =
       Mutex.lock t.conns_mutex;
       let l = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+      List.iter
+        (fun c ->
+          try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL
+          with Unix.Unix_error _ -> ())
+        l;
       Mutex.unlock t.conns_mutex;
       l
     in
-    List.iter
-      (fun c ->
-        try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
-      conns;
     List.iter (fun c -> Option.iter Thread.join c.c_thread) conns;
     (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
     (try Unix.close t.wake_w with Unix.Unix_error _ -> ());

@@ -6,7 +6,9 @@
     [ping]/[stats]/[shutdown] inline and submits the rest to the pool.
     Submission never blocks: a full queue is an immediate [overloaded]
     reply — the backpressure contract — and a draining server answers
-    [shutting_down].
+    [shutting_down]. A connection's descriptor is reference-counted (conn
+    thread + in-flight jobs) and closed by the last holder, so a client
+    hanging up mid-job never redirects a late reply onto a reused fd.
 
     Graceful shutdown ({!shutdown} then {!wait}, or a signal under
     {!run}): stop accepting, drain the pool so every accepted job is

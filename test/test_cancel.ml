@@ -103,12 +103,43 @@ let prop_fuzz_cancel =
       | `Result r -> r = baseline)
       && rerun = baseline)
 
+(* the solve path: Run.execute polls its hook once per scheduling step *)
+let solve_report ?cancel () =
+  let task = Tasklib.Set_agreement.consensus ~n:3 () in
+  let algo = Ksa.consensus () in
+  let fd = Fdlib.Leader_fds.vector_omega_k ~k:1 () in
+  let pattern = Failure.failure_free 3 in
+  let input = Tasklib.Task.sample_input task (Random.State.make [| 7 |]) in
+  Run.execute ?cancel ~task ~algo ~fd ~pattern ~input ~seed:7 ()
+
+let solve_fingerprint r = Obs.Json.to_string (Run.report_json r)
+
+let prop_run_cancel =
+  QCheck.Test.make ~name:"cancelled Run.execute reports nothing" ~count:25
+    QCheck.(int_range 1 2_000)
+    (fun fire_at ->
+      let baseline = solve_fingerprint (solve_report ()) in
+      let observed =
+        match solve_report ~cancel:(cancel_after fire_at) () with
+        | r -> `Report (solve_fingerprint r)
+        | exception Run.Cancelled -> `Cancelled
+      in
+      let rerun = solve_fingerprint (solve_report ()) in
+      (match observed with
+      | `Cancelled -> true
+      | `Report r -> r = baseline)
+      && rerun = baseline)
+
 (* the hook is genuinely consulted: an immediate cancel always raises *)
 let test_immediate_cancel () =
   check_bool "exhaustive immediate" true
     (match exhaustive_verdict ~cancel:(fun () -> true) ~depth:8 () with
     | _ -> false
     | exception Exhaustive.Cancelled -> true);
+  check_bool "solve immediate" true
+    (match solve_report ~cancel:(fun () -> true) () with
+    | _ -> false
+    | exception Run.Cancelled -> true);
   check_bool "fuzz immediate" true
     (match
        Adversary.fuzz_target
@@ -147,6 +178,7 @@ let suite =
   [
     QCheck_alcotest.to_alcotest prop_exhaustive_cancel;
     QCheck_alcotest.to_alcotest prop_fuzz_cancel;
+    QCheck_alcotest.to_alcotest prop_run_cancel;
     Alcotest.test_case "immediate cancel raises" `Quick test_immediate_cancel;
     Alcotest.test_case "parallel engines honour cancel" `Quick
       test_parallel_cancel;

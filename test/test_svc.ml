@@ -56,6 +56,18 @@ let test_frame_oversized_keeps_sync () =
   Thread.join writer;
   Unix.close b
 
+let test_frame_desynced () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* top bit set: announces a length no writer can produce, nothing to skip *)
+  let hdr = Bytes.of_string "\x80\x00\x00\x01garbage" in
+  ignore (Unix.write a hdr 0 (Bytes.length hdr));
+  (match Svc.Frame.read b with
+  | Error (Svc.Frame.Desynced n) ->
+    check_bool "beyond wire limit" true (n > Svc.Frame.max_wire_len)
+  | _ -> Alcotest.fail "expected Desynced");
+  Unix.close a;
+  Unix.close b
+
 let test_frame_truncated () =
   let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (* a header promising 100 bytes, then only 3, then EOF *)
@@ -270,6 +282,35 @@ let test_server_deadline () =
       | _ -> Alcotest.fail "ping after timeout");
       Svc.Client.close c)
 
+let test_server_client_eof_with_inflight_job () =
+  let path = socket_path () in
+  let t = Svc.Server.start (default_cfg path) in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  Svc.Frame.write fd (J.to_string (P.request_json (slow_modelcheck ~id:1 ())));
+  (* hang up before the reply: the job must still run to completion and
+     write into a descriptor the refcount kept open (never one the kernel
+     reused), and the server must stay serviceable *)
+  Unix.close fd;
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec wait_served () =
+    match J.member "served" (Svc.Server.stats_json t) with
+    | Some (J.Int n) when n >= 1 -> ()
+    | _ ->
+      if Unix.gettimeofday () > deadline then
+        Alcotest.fail "job was not served after client EOF";
+      Thread.delay 0.005;
+      wait_served ()
+  in
+  wait_served ();
+  let c = Svc.Client.connect path in
+  (match Svc.Client.call c P.Ping with
+  | Ok (J.Str "pong") -> ()
+  | _ -> Alcotest.fail "ping after orphaned job");
+  Svc.Client.close c;
+  Svc.Server.shutdown t;
+  Svc.Server.wait t
+
 let test_server_drain_loses_nothing () =
   let path = socket_path () in
   let cfg = { (default_cfg path) with queue_bound = 8 } in
@@ -350,6 +391,27 @@ let test_server_oversized_and_events () =
       then rejected := v);
   check_int "rejected{code=oversized}" 1 !rejected
 
+let test_server_desynced_frame_closes_conn () =
+  let path = socket_path () in
+  with_server (default_cfg path) (fun _ ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      (* an unframeable header: the stream can never resynchronize, so the
+         server must answer once and hang up rather than misparse payload
+         bytes as frames *)
+      ignore (Unix.write fd (Bytes.of_string "\xff\xff\xff\xff") 0 4);
+      (match
+         Result.bind
+           (P.parse (Result.get_ok (Svc.Frame.read fd)))
+           P.response_of_json
+       with
+      | Ok { P.rs_id = -1; rs_result = Error (P.Oversized, _) } -> ()
+      | _ -> Alcotest.fail "expected oversized reply with id -1");
+      (match Svc.Frame.read fd with
+      | Error Svc.Frame.Eof -> ()
+      | _ -> Alcotest.fail "expected the server to close the connection");
+      Unix.close fd)
+
 let test_server_shutdown_verb_refuses_new () =
   let path = socket_path () in
   let t = Svc.Server.start (default_cfg path) in
@@ -372,6 +434,8 @@ let suite =
     Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
     Alcotest.test_case "oversized frame keeps stream sync" `Quick
       test_frame_oversized_keeps_sync;
+    Alcotest.test_case "desynced frame is unrecoverable" `Quick
+      test_frame_desynced;
     Alcotest.test_case "truncated frame" `Quick test_frame_truncated;
     Alcotest.test_case "protocol round-trip" `Quick test_protocol_roundtrip;
     Alcotest.test_case "protocol rejects malformed" `Quick test_protocol_rejects;
@@ -383,8 +447,12 @@ let suite =
     Alcotest.test_case "server: backpressure rejects with overloaded" `Quick
       test_server_backpressure;
     Alcotest.test_case "server: deadline exceeded" `Quick test_server_deadline;
+    Alcotest.test_case "server: client EOF with job in flight" `Quick
+      test_server_client_eof_with_inflight_job;
     Alcotest.test_case "server: drain loses no accepted job" `Quick
       test_server_drain_loses_nothing;
+    Alcotest.test_case "server: desynced frame closes connection" `Quick
+      test_server_desynced_frame_closes_conn;
     Alcotest.test_case "server: oversized frame, events, metrics" `Quick
       test_server_oversized_and_events;
     Alcotest.test_case "server: shutdown verb refuses new work" `Quick
