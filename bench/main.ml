@@ -1362,6 +1362,156 @@ let serve_bench () =
   Fmt.pr "  accepted %d, answered %d, lost %d@." jobs !answered lost;
   assert (lost = 0);
 
+  Fmt.pr "@.  pipelined ping throughput (1 conn, window 64):@.";
+  (* the shard answers pings inline, so a windowed client measures the
+     whole I/O path — poll wakeup, incremental decode, write batching —
+     with no worker in the loop; per-request spans give the latency
+     distribution under a full window *)
+  let c = cfg ~workers:1 () in
+  let t = Svc.Server.start c in
+  let cl = Svc.Client.connect c.Svc.Server.socket_path in
+  for _ = 1 to 200 do
+    match Svc.Client.call cl Svc.Protocol.Ping with
+    | Ok _ -> ()
+    | Error e -> failwith (Svc.Client.error_string e)
+  done;
+  let n = 20_000 and window = 64 in
+  let lats = Array.make n 0. in
+  let started = Hashtbl.create (2 * window) in
+  let sent = ref 0 and recvd = ref 0 in
+  let sp = Obs.Span.start () in
+  while !recvd < n do
+    if !sent < n && !sent - !recvd < window then begin
+      (match Svc.Client.send cl Svc.Protocol.Ping with
+      | Ok id -> Hashtbl.replace started id (Obs.Span.start ())
+      | Error e -> failwith (Svc.Client.error_string e));
+      incr sent
+    end
+    else begin
+      (match Svc.Client.recv cl with
+      | Ok (id, Ok _) -> (
+        match Hashtbl.find_opt started id with
+        | Some q ->
+          lats.(!recvd) <- Obs.Span.elapsed_s q;
+          Hashtbl.remove started id
+        | None -> failwith (Printf.sprintf "response for unknown id %d" id))
+      | Ok (_, Error e) | Error e -> failwith (Svc.Client.error_string e));
+      incr recvd
+    end
+  done;
+  let wall = Obs.Span.elapsed_s sp in
+  Svc.Client.close cl;
+  Svc.Server.shutdown t;
+  Svc.Server.wait t;
+  let rate = float_of_int n /. Float.max 1e-9 wall in
+  Array.sort compare lats;
+  let pct q = lats.(min (n - 1) (int_of_float (q *. float_of_int n))) in
+  let p50 = pct 0.5 and p99 = pct 0.99 in
+  Rec.row
+    ~labels:[ ("verb", "ping"); ("mode", "pipelined") ]
+    [
+      ("window", jint window);
+      ("ok", jint n);
+      ("wall_s", jfloat wall);
+      ("req_per_s", jfloat rate);
+      ("p50_latency_s", jfloat p50);
+      ("p99_latency_s", jfloat p99);
+    ];
+  Fmt.pr "  ok %d, wall %.3fs, %.0f req/s, p50 %.0fus, p99 %.0fus@." n wall
+    rate (p50 *. 1e6) (p99 *. 1e6);
+  (* the PR gate: pipelining must clear 10x the thread-per-connection
+     seed's ~800 req/s on this row *)
+  assert (rate >= 8000.);
+
+  Fmt.pr "@.  open connections (poll scaling, 2 shards):@.";
+  (* as many concurrent connections as the fd budget allows, aiming for
+     10k: both endpoints live in this process, so each connection costs
+     two descriptors against the soft limit *)
+  let max_files =
+    let parse_line line =
+      if String.length line >= 14 && String.sub line 0 14 = "Max open files"
+      then
+        match
+          String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+        with
+        | "Max" :: "open" :: "files" :: soft :: _ -> int_of_string_opt soft
+        | _ -> None
+      else None
+    in
+    match open_in "/proc/self/limits" with
+    | exception Sys_error _ -> 1024
+    | ic ->
+      let rec go () =
+        match input_line ic with
+        | exception End_of_file ->
+          close_in ic;
+          1024
+        | line -> (
+          match parse_line line with
+          | Some n ->
+            close_in ic;
+            n
+          | None -> go ())
+      in
+      go ()
+  in
+  let target = min 10_000 ((max_files - 64) / 2) in
+  let c = cfg ~workers:1 () in
+  let t = Svc.Server.start c in
+  let addr = Unix.ADDR_UNIX c.Svc.Server.socket_path in
+  let sp = Obs.Span.start () in
+  let fds =
+    Array.init target (fun _ ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (* a full backlog surfaces as EAGAIN/ECONNREFUSED on Linux while
+           the accept thread catches up: retry, don't fail the row *)
+        let rec conn tries =
+          match Unix.connect fd addr with
+          | () -> ()
+          | exception
+              Unix.Unix_error
+                ((Unix.EAGAIN | Unix.ECONNREFUSED | Unix.EINTR), _, _)
+            when tries < 200 ->
+            Unix.sleepf 0.005;
+            conn (tries + 1)
+        in
+        conn 0;
+        fd)
+  in
+  let connect_wall = Obs.Span.elapsed_s sp in
+  (* one ping on every connection proves each fd is live in a poll set;
+     reading every reply before shutdown is the lost=0 drain check *)
+  let sp = Obs.Span.start () in
+  Array.iteri
+    (fun i fd ->
+      Svc.Frame.write fd
+        (Obs.Json.to_string
+           (Svc.Protocol.request_json (Svc.Protocol.request ~id:i Svc.Protocol.Ping))))
+    fds;
+  let answered = ref 0 in
+  Array.iter
+    (fun fd -> match Svc.Frame.read fd with Ok _ -> incr answered | Error _ -> ())
+    fds;
+  let ping_wall = Obs.Span.elapsed_s sp in
+  Array.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) fds;
+  Svc.Server.shutdown t;
+  Svc.Server.wait t;
+  let lost = target - !answered in
+  Rec.row
+    ~labels:[ ("scenario", "connections") ]
+    [
+      ("fd_soft_limit", jint max_files);
+      ("connections", jint target);
+      ("answered", jint !answered);
+      ("lost", jint lost);
+      ("connect_wall_s", jfloat connect_wall);
+      ("ping_wall_s", jfloat ping_wall);
+    ];
+  Fmt.pr
+    "  %d connections (fd limit %d): connect %.2fs, ping-all %.2fs, lost %d@."
+    target max_files connect_wall ping_wall lost;
+  assert (lost = 0);
+
   Fmt.pr "@.  per-request allocation, ping (inline domain-0 path):@.";
   let pings path n =
     let cl = Svc.Client.connect path in

@@ -538,27 +538,36 @@ let bench json =
 
 (* ------------------------------------------------------- serve / call *)
 
-let serve socket workers queue deadline_ms max_frame events =
+let serve socket workers shards queue deadline_ms max_frame events =
   let cfg =
     {
       Svc.Server.socket_path = socket;
       workers;
+      shards;
       queue_bound = queue;
       default_deadline_ms = deadline_ms;
       max_frame;
+      max_reply = Svc.Frame.max_wire_len;
     }
   in
   let sink = if events then Some (Obs.Sink.stdout ()) else None in
-  Fmt.pr "wfa serve: listening on %s (workers %d, queue %d)@." socket workers
-    queue;
+  Fmt.pr "wfa serve: listening on %s (workers %d, shards %d, queue %d)@."
+    socket workers shards queue;
   Svc.Server.run ?sink cfg;
   Fmt.pr "wfa serve: drained and stopped@.";
   0
 
-let call socket verb params deadline_ms =
+(* --pipeline N: write all N copies of the request before reading any
+   response, then collect N responses matched by id (completion order, not
+   send order — the point of pipelining). N = 1 is the plain round-trip. *)
+let call socket verb params deadline_ms pipeline =
   match Obs.Json.of_string params with
   | Error msg ->
     Fmt.epr "wfa call: invalid --params JSON: %s@." msg;
+    2
+  | Ok params when pipeline < 1 ->
+    ignore params;
+    Fmt.epr "wfa call: --pipeline must be >= 1@.";
     2
   | Ok params -> (
     match Svc.Client.connect socket with
@@ -566,7 +575,7 @@ let call socket verb params deadline_ms =
       Fmt.epr "wfa call: cannot connect to %s: %s@." socket
         (Unix.error_message e);
       2
-    | client ->
+    | client when pipeline = 1 ->
       let r = Svc.Client.call ?deadline_ms ~params client verb in
       Svc.Client.close client;
       (match r with
@@ -578,7 +587,48 @@ let call socket verb params deadline_ms =
         1
       | Error (Svc.Client.Transport _ as e) ->
         Fmt.epr "wfa call: %s@." (Svc.Client.error_string e);
-        2))
+        2)
+    | client -> (
+      let sent = ref [] in
+      let send_error = ref None in
+      (try
+         for _ = 1 to pipeline do
+           match Svc.Client.send ?deadline_ms ~params client verb with
+           | Ok id -> sent := id :: !sent
+           | Error e ->
+             send_error := Some e;
+             raise Exit
+         done
+       with Exit -> ());
+      match !send_error with
+      | Some e ->
+        Svc.Client.close client;
+        Fmt.epr "wfa call: %s@." (Svc.Client.error_string e);
+        2
+      | None ->
+        let ok = ref 0 and failed = ref 0 and transport = ref None in
+        (try
+           for _ = 1 to pipeline do
+             match Svc.Client.recv client with
+             | Ok (id, Ok _) ->
+               incr ok;
+               ignore id
+             | Ok (id, Error e) ->
+               incr failed;
+               Fmt.epr "wfa call: id %d: %s@." id (Svc.Client.error_string e)
+             | Error e ->
+               transport := Some e;
+               raise Exit
+           done
+         with Exit -> ());
+        Svc.Client.close client;
+        (match !transport with
+        | Some e ->
+          Fmt.epr "wfa call: %s@." (Svc.Client.error_string e);
+          2
+        | None ->
+          Fmt.pr "pipeline %d: ok %d, failed %d@." pipeline !ok !failed;
+          if !failed = 0 then 0 else 1)))
 
 (* ---------------------------------------------------------------- main *)
 
@@ -677,6 +727,10 @@ let serve_cmd =
       const serve $ socket_arg
       $ Arg.(value & opt int 2
              & info [ "workers" ] ~docv:"N" ~doc:"Worker domains.")
+      $ Arg.(value & opt int 2
+             & info [ "shards" ] ~docv:"N"
+                 ~doc:"I/O shard event loops; each owns a slice of the \
+                       connections (poll-based, so thousands per shard).")
       $ Arg.(value & opt int 64
              & info [ "queue" ] ~docv:"N"
                  ~doc:"Queue bound; requests beyond it are rejected with \
@@ -712,7 +766,12 @@ let call_cmd =
       $ Arg.(value & opt string "{}"
              & info [ "params" ] ~docv:"JSON" ~doc:"Request parameters.")
       $ Arg.(value & opt (some int) None
-             & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Request deadline."))
+             & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Request deadline.")
+      $ Arg.(value & opt int 1
+             & info [ "pipeline" ] ~docv:"N"
+                 ~doc:"Send $(docv) copies of the request before reading \
+                       any response (responses are matched by id and may \
+                       complete out of order); prints an ok/failed summary."))
 
 let bench_cmd =
   let doc =

@@ -15,6 +15,9 @@ module Name = struct
   let svc_start = "svc.start"
   let svc_stop = "svc.stop"
   let svc_accept_error = "svc.accept.error"
+  let svc_shard_start = "svc.shard.start"
+  let svc_shard_stop = "svc.shard.stop"
+  let svc_shard_error = "svc.shard.error"
   let svc_conn_open = "svc.conn.open"
   let svc_conn_close = "svc.conn.close"
   let svc_request = "svc.request"

@@ -46,8 +46,20 @@ module Name : sig
   (** [accept] on the listening socket failed, e.g. out of descriptors;
       the server backs off briefly before retrying (field: error). *)
 
+  val svc_shard_start : string
+  (** An I/O shard's event loop is up (field: shard). *)
+
+  val svc_shard_stop : string
+  (** An I/O shard exited after flushing its connections (fields: shard,
+      conns — connections adopted over its lifetime). *)
+
+  val svc_shard_error : string
+  (** A shard's event loop caught an unexpected exception and kept going
+      (fields: shard, error). *)
+
   val svc_conn_open : string
-  (** A client connection was accepted (field: conn). *)
+  (** A client connection was accepted and adopted by a shard (fields:
+      conn, shard). *)
 
   val svc_conn_close : string
   (** A client connection ended (fields: conn, requests). *)

@@ -27,29 +27,42 @@ let close t =
    generous frame cap rather than the server-side default. *)
 let reply_max_len = 64 * 1024 * 1024
 
-let call ?deadline_ms ?params t verb =
+(* -- pipelined half-calls ------------------------------------------------ *)
+
+let send ?deadline_ms ?params t verb =
   let id = t.next_id in
   t.next_id <- id + 1;
   let rq = P.request ?deadline_ms ?params ~id verb in
   match Frame.write t.fd (J.to_string (P.request_json rq)) with
   | exception Unix.Unix_error (e, _, _) ->
     Error (Transport ("write: " ^ Unix.error_message e))
-  | () -> (
-    match Frame.read ~max_len:reply_max_len t.fd with
-    | exception Unix.Unix_error (e, _, _) ->
-      Error (Transport ("read: " ^ Unix.error_message e))
-    | Error e -> Error (Transport (Frame.error_string e))
-    | Ok payload -> (
-      match P.parse payload with
-      | Error msg -> Error (Transport ("invalid JSON: " ^ msg))
-      | Ok json -> (
-        match P.response_of_json json with
-        | Error msg -> Error (Transport msg)
-        | Ok rs when rs.P.rs_id <> id && rs.P.rs_id <> -1 ->
-          Error
-            (Transport
-               (Printf.sprintf "response id %d for request %d" rs.P.rs_id id))
-        | Ok rs -> (
-          match rs.P.rs_result with
-          | Ok result -> Ok result
-          | Error (code, msg) -> Error (Server (code, msg))))))
+  | () -> Ok id
+
+let recv t =
+  match Frame.read ~max_len:reply_max_len t.fd with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Transport ("read: " ^ Unix.error_message e))
+  | Error e -> Error (Transport (Frame.error_string e))
+  | Ok payload -> (
+    match P.parse payload with
+    | Error msg -> Error (Transport ("invalid JSON: " ^ msg))
+    | Ok json -> (
+      match P.response_of_json json with
+      | Error msg -> Error (Transport msg)
+      | Ok rs -> (
+        match rs.P.rs_result with
+        | Ok result -> Ok (rs.P.rs_id, Ok result)
+        | Error (code, msg) -> Ok (rs.P.rs_id, Error (Server (code, msg))))))
+
+(* -- one blocking round-trip --------------------------------------------- *)
+
+let call ?deadline_ms ?params t verb =
+  match send ?deadline_ms ?params t verb with
+  | Error _ as e -> e
+  | Ok id -> (
+    match recv t with
+    | Error _ as e -> e
+    | Ok (rid, _) when rid <> id && rid <> -1 ->
+      Error
+        (Transport (Printf.sprintf "response id %d for request %d" rid id))
+    | Ok (_, result) -> result)

@@ -1,5 +1,8 @@
-(** A small synchronous client for the service protocol — what [wfa call]
-    and the tests use. One request in flight at a time per connection. *)
+(** A small client for the service protocol — what [wfa call] and the
+    tests use. {!call} is the synchronous one-at-a-time round-trip;
+    {!send}/{!recv} are the pipelined halves: write any number of
+    requests before reading a single response, then match the responses
+    (which may arrive out of order) to requests by id. *)
 
 type t
 
@@ -23,4 +26,17 @@ val call :
   (Obs.Json.t, error) result
 (** Send one request (ids auto-increment per connection) and block for its
     response. Accepts replies carrying the request's id or [-1] (the
-    server's id for requests it could not parse). *)
+    server's id for requests it could not parse). Do not mix with
+    pipelined {!send}s that still have responses outstanding. *)
+
+val send :
+  ?deadline_ms:int -> ?params:Obs.Json.t -> t -> Protocol.verb ->
+  (int, error) result
+(** Write one request frame without waiting; returns its id. The server
+    executes pipelined requests concurrently and replies in completion
+    order. *)
+
+val recv : t -> (int * (Obs.Json.t, error) result, error) result
+(** Block for the next response frame: [(id, result)]. The outer error is
+    always [Transport] (EOF, framing, parse); a server-side error for a
+    particular request is the inner [Error (Server _)]. *)

@@ -10,6 +10,17 @@ let error_string = function
   | Desynced n ->
     Printf.sprintf "unframeable length %d (wire limit %d)" n max_wire_len
 
+let encode payload =
+  let n = String.length payload in
+  if n > max_wire_len then invalid_arg "Frame.encode: payload too long";
+  let b = Bytes.create (4 + n) in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 b 3 (n land 0xff);
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
 let write fd payload =
   let n = String.length payload in
   if n > max_wire_len then invalid_arg "Frame.write: payload too long";
@@ -74,3 +85,111 @@ let read ?(max_len = default_max_len) fd =
       | `Ok -> Ok (Bytes.unsafe_to_string buf)
       | `Eof _ -> Error Truncated
     end
+
+(* ------------------------------------------------- incremental decoding *)
+
+(* The shards' push-style counterpart of [read]: bytes arrive in whatever
+   chunks the socket yields, the decoder buffers the unconsumed tail and
+   emits complete frames. One decoder per connection, its buffer reused
+   across frames, so a steady stream settles into zero buffer growth. *)
+
+type decoder = {
+  d_max : int;
+  mutable d_buf : Bytes.t;  (* unconsumed input: d_buf[d_off .. d_off+d_len) *)
+  mutable d_off : int;
+  mutable d_len : int;
+  mutable d_skip : int;  (* oversized payload bytes still to discard *)
+  mutable d_skip_announced : int;
+  mutable d_dead : int;  (* Desynced announced length; < 0 when healthy *)
+}
+
+let decoder ?(max_len = default_max_len) () =
+  {
+    d_max = max_len;
+    d_buf = Bytes.create 4096;
+    d_off = 0;
+    d_len = 0;
+    d_skip = 0;
+    d_skip_announced = 0;
+    d_dead = -1;
+  }
+
+let compact d =
+  if d.d_len = 0 then d.d_off <- 0
+  else if d.d_off > 0 && d.d_off >= Bytes.length d.d_buf - d.d_off - d.d_len
+  then begin
+    Bytes.blit d.d_buf d.d_off d.d_buf 0 d.d_len;
+    d.d_off <- 0
+  end
+
+let feed d src off len =
+  if len < 0 || off < 0 || off + len > Bytes.length src then
+    invalid_arg "Frame.feed";
+  (* bytes inside a frame being skipped never enter the buffer *)
+  let consumed = min d.d_skip len in
+  d.d_skip <- d.d_skip - consumed;
+  let off = off + consumed and len = len - consumed in
+  if len > 0 then begin
+    compact d;
+    if d.d_off + d.d_len + len > Bytes.length d.d_buf then begin
+      let cap = ref (max 4096 (2 * Bytes.length d.d_buf)) in
+      while d.d_len + len > !cap do
+        cap := !cap * 2
+      done;
+      let b = Bytes.create !cap in
+      Bytes.blit d.d_buf d.d_off b 0 d.d_len;
+      d.d_buf <- b;
+      d.d_off <- 0
+    end;
+    Bytes.blit src off d.d_buf (d.d_off + d.d_len) len;
+    d.d_len <- d.d_len + len
+  end
+
+let next d =
+  if d.d_dead >= 0 then Error (Desynced d.d_dead)
+  else if d.d_skip > 0 then Ok `Await
+  else if d.d_skip_announced > 0 then begin
+    (* the oversized payload has now been fully discarded: report it once,
+       with the stream re-synchronized at the next header *)
+    let n = d.d_skip_announced in
+    d.d_skip_announced <- 0;
+    Error (Oversized n)
+  end
+  else if d.d_len < 4 then Ok `Await
+  else begin
+    let b = d.d_buf and o = d.d_off in
+    let n =
+      (Bytes.get_uint8 b o lsl 24)
+      lor (Bytes.get_uint8 b (o + 1) lsl 16)
+      lor (Bytes.get_uint8 b (o + 2) lsl 8)
+      lor Bytes.get_uint8 b (o + 3)
+    in
+    if n > max_wire_len then begin
+      d.d_dead <- n;
+      Error (Desynced n)
+    end
+    else if n > d.d_max then begin
+      (* consume the header, then discard [n] payload bytes: whatever is
+         already buffered now, the rest as it is fed *)
+      d.d_off <- d.d_off + 4;
+      d.d_len <- d.d_len - 4;
+      let buffered = min n d.d_len in
+      d.d_off <- d.d_off + buffered;
+      d.d_len <- d.d_len - buffered;
+      d.d_skip <- n - buffered;
+      d.d_skip_announced <- n;
+      if d.d_skip > 0 then Ok `Await
+      else begin
+        d.d_skip_announced <- 0;
+        Error (Oversized n)
+      end
+    end
+    else if d.d_len >= 4 + n then begin
+      let payload = Bytes.sub_string d.d_buf (d.d_off + 4) n in
+      d.d_off <- d.d_off + 4 + n;
+      d.d_len <- d.d_len - (4 + n);
+      if d.d_len = 0 then d.d_off <- 0;
+      Ok (`Frame payload)
+    end
+    else Ok `Await
+  end

@@ -28,6 +28,11 @@ type error =
 
 val error_string : error -> string
 
+val encode : string -> string
+(** [encode payload] is the full wire image (header + payload) as one
+    string — what a shard queues on a connection's non-blocking write
+    buffer. Raises [Invalid_argument] beyond {!max_wire_len}. *)
+
 val write : Unix.file_descr -> string -> unit
 (** Write one frame (header + payload), looping over partial writes.
     Raises [Unix.Unix_error] as the underlying syscalls do; raises
@@ -37,3 +42,26 @@ val read : ?max_len:int -> Unix.file_descr -> (string, error) result
 (** Read one frame. [max_len] defaults to {!default_max_len}. Blocking;
     raises [Unix.Unix_error] on transport errors other than orderly
     shutdown. *)
+
+(** {1 Incremental decoding}
+
+    The push-style counterpart of {!read} for non-blocking shards: {!feed}
+    whatever chunk the socket yielded, then pull with {!next} until it
+    returns [`Await]. Error semantics mirror the blocking reader:
+    [Oversized] is reported once, {e after} the offending payload has been
+    fully discarded (the stream stays synchronized and decoding continues);
+    [Desynced] is sticky and terminal. [Eof] / [Truncated] never appear —
+    end-of-stream is the caller's to observe on the socket. *)
+
+type decoder
+
+val decoder : ?max_len:int -> unit -> decoder
+(** One per connection; the internal buffer is reused across frames. *)
+
+val feed : decoder -> Bytes.t -> int -> int -> unit
+(** [feed d src off len] appends [src[off..off+len)]. The bytes of a
+    payload being discarded as oversized are dropped without buffering. *)
+
+val next : decoder -> ([ `Frame of string | `Await ], error) result
+(** The next complete frame, [`Await] if more input is needed, or an
+    [Oversized] / [Desynced] report as described above. *)

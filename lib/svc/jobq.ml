@@ -30,6 +30,28 @@ let try_push t x =
   Mutex.unlock t.mutex;
   r
 
+(* One lock acquisition for a whole batch; wake as many waiters as items
+   actually entered the queue. *)
+let try_push_many t xs =
+  Mutex.lock t.mutex;
+  let pushed = ref 0 in
+  let rs =
+    List.map
+      (fun x ->
+        if t.closed then `Closed
+        else if Queue.length t.q >= t.bound then `Full
+        else begin
+          Queue.push x t.q;
+          incr pushed;
+          `Ok
+        end)
+      xs
+  in
+  if !pushed = 1 then Condition.signal t.nonempty
+  else if !pushed > 1 then Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  rs
+
 let pop t =
   Mutex.lock t.mutex;
   while Queue.is_empty t.q && not t.closed do

@@ -15,6 +15,11 @@ val create : bound:int -> 'a t
 
 val try_push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
 
+val try_push_many : 'a t -> 'a list -> [ `Ok | `Full | `Closed ] list
+(** Push a batch under one lock acquisition (one verdict per item, in
+    order): the shard→pool boundary submits every request decoded in a
+    poll wakeup at once instead of taking the queue mutex per frame. *)
+
 val pop : 'a t -> 'a option
 (** Blocks while the queue is empty and open. [None] once the queue is
     closed {e and} drained — the consumer's signal to exit. *)

@@ -1,0 +1,53 @@
+external poll_stub :
+  Unix.file_descr array -> int array -> int array -> int -> int -> int
+  = "svc_poll_stub"
+
+let pollin = 1
+let pollout = 2
+let pollerr = 4
+let pollhup = 8
+
+type t = {
+  mutable fds : Unix.file_descr array;
+  mutable events : int array;
+  mutable revents : int array;
+  mutable n : int;
+}
+
+(* Unix.stdin is a harmless placeholder for unused slots: entries past
+   [n] are never handed to poll(2). *)
+let create () =
+  {
+    fds = Array.make 64 Unix.stdin;
+    events = Array.make 64 0;
+    revents = Array.make 64 0;
+    n = 0;
+  }
+
+let clear t = t.n <- 0
+
+let grow t =
+  let cap = Array.length t.fds * 2 in
+  let fds = Array.make cap Unix.stdin in
+  let events = Array.make cap 0 in
+  let revents = Array.make cap 0 in
+  Array.blit t.fds 0 fds 0 t.n;
+  Array.blit t.events 0 events 0 t.n;
+  t.fds <- fds;
+  t.events <- events;
+  t.revents <- revents
+
+let add t fd events =
+  if t.n = Array.length t.fds then grow t;
+  let i = t.n in
+  t.fds.(i) <- fd;
+  t.events.(i) <- events;
+  t.revents.(i) <- 0;
+  t.n <- i + 1;
+  i
+
+let wait t ~timeout_ms =
+  if t.n = 0 then 0 else poll_stub t.fds t.events t.revents t.n timeout_ms
+
+let revents t i = t.revents.(i)
+let length t = t.n

@@ -1,0 +1,43 @@
+(** [poll(2)] for the I/O shards, via a one-function C stub.
+
+    [Unix.select] — the stdlib's only readiness primitive — is capped at
+    [FD_SETSIZE] (1024) descriptors per call, which a shard serving
+    thousands of pipelined connections overflows immediately. This wraps
+    [poll(2)] behind a reusable registration set: the backing arrays are
+    kept across iterations and grown geometrically, so steady-state event
+    loops allocate nothing per poll.
+
+    Usage per loop iteration: {!clear}, {!add} every interesting fd
+    (remembering the returned index), {!wait}, then read {!revents} back
+    by index. Not thread-safe; each shard owns one. *)
+
+type t
+
+val pollin : int
+val pollout : int
+
+val pollerr : int
+(** Set in revents only ([POLLERR] / [POLLNVAL]). *)
+
+val pollhup : int
+(** Set in revents only. *)
+
+val create : unit -> t
+
+val clear : t -> unit
+(** Forget all registrations; the backing capacity is retained. *)
+
+val add : t -> Unix.file_descr -> int -> int
+(** [add t fd events] registers [fd] for the bitwise-or of {!pollin} /
+    {!pollout} in [events] and returns the slot index for {!revents}. *)
+
+val wait : t -> timeout_ms:int -> int
+(** Number of ready descriptors; [0] on timeout or [EINTR]. A negative
+    [timeout_ms] blocks indefinitely. Raises [Failure] on other poll
+    errors. *)
+
+val revents : t -> int -> int
+(** Ready events of slot [i] after {!wait}: bitwise-or of {!pollin},
+    {!pollout}, {!pollerr}, {!pollhup}. *)
+
+val length : t -> int

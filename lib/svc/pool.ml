@@ -18,14 +18,17 @@ let past deadline_ns = Obs.Clock.now_ns () >= deadline_ns
 (* Polled between schedules / fuzz trials — hot paths, and a fuzz job with
    domains > 1 polls one shared closure from every worker domain, so the
    state must be atomic. Reading the clock is a syscall-cheap vdso call but
-   still worth throttling. *)
+   still worth throttling — on every 256th call, starting with the FIRST:
+   gating on call 255 instead would leave an already-expired deadline (or
+   one that expires within the first 255 scheduling steps) unchecked until
+   the 256th poll, long after it should have bound. *)
 let deadline_cancel deadline_ns =
   let calls = Atomic.make 0 in
   let tripped = Atomic.make false in
   fun () ->
     Atomic.get tripped
     ||
-    if Atomic.fetch_and_add calls 1 land 0xff = 0xff && past deadline_ns then
+    if Atomic.fetch_and_add calls 1 land 0xff = 0 && past deadline_ns then
     begin
       Atomic.set tripped true;
       true
@@ -73,6 +76,7 @@ let create ~workers ~queue_bound =
   }
 
 let submit t job = Jobq.try_push t.queue job
+let submit_many t jobs = Jobq.try_push_many t.queue jobs
 let queue_length t = Jobq.length t.queue
 
 let drain t =

@@ -28,6 +28,18 @@ val create : workers:int -> queue_bound:int -> t
 val submit : t -> job -> [ `Ok | `Full | `Closed ]
 (** Non-blocking; [`Full] is the backpressure signal. *)
 
+val submit_many : t -> job list -> [ `Ok | `Full | `Closed ] list
+(** Submit a batch under one queue-lock acquisition — what an I/O shard
+    uses to hand over every request decoded in one poll wakeup. Returns
+    one verdict per job, in order; jobs past the bound get [`Full]. *)
+
+val deadline_cancel : int64 -> unit -> bool
+(** The cancel hook a worker threads into a job's engine for an absolute
+    monotonic deadline: sticky, thread-safe (parallel fuzz domains poll one
+    shared closure), and consults the clock on the {e first} call and every
+    256th thereafter — so an already-expired deadline trips on the very
+    first poll. Exposed for tests. *)
+
 val queue_length : t -> int
 
 val drain : t -> unit

@@ -100,6 +100,8 @@ let int_field name j =
     | None -> Error (Printf.sprintf "field %S is not an integer" name))
   | None -> Error (Printf.sprintf "missing field %S" name)
 
+let max_deadline_ms = 0x7fffffff
+
 let ( let* ) = Result.bind
 
 let request_of_json j =
@@ -127,7 +129,14 @@ let request_of_json j =
       | None -> Ok None
       | Some v -> (
         match J.to_int_opt v with
-        | Some ms when ms > 0 -> Ok (Some ms)
+        | Some ms when ms > 0 && ms <= max_deadline_ms -> Ok (Some ms)
+        | Some ms when ms > 0 ->
+          (* beyond ~24 days the ms -> ns conversion would overflow native
+             ints; an attacker-supplied bomb must die here, at the parse
+             boundary, not wrap into a spurious verdict downstream *)
+          Error
+            (Printf.sprintf "field \"deadline_ms\" exceeds maximum %d"
+               max_deadline_ms)
         | Some _ -> Error "field \"deadline_ms\" must be positive"
         | None -> Error "field \"deadline_ms\" is not an integer")
     in

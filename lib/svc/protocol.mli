@@ -41,7 +41,14 @@ type request = {
   rq_verb : verb;
   rq_params : Obs.Json.t;  (** [Obj []] when absent *)
   rq_deadline_ms : int option;
+      (** validated to [1 .. max_deadline_ms] at parse time *)
 }
+
+val max_deadline_ms : int
+(** [2^31 - 1] (~24 days). A wire [deadline_ms] above this is rejected as
+    [bad_request] at parse time: larger values would overflow the
+    millisecond→nanosecond conversion in the server's deadline arithmetic
+    and wrap into a spurious (or absent) deadline. *)
 
 type response = {
   rs_id : int;

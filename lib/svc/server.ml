@@ -4,32 +4,77 @@ module P = Protocol
 type config = {
   socket_path : string;
   workers : int;
+  shards : int;
   queue_bound : int;
   default_deadline_ms : int option;
   max_frame : int;
+  max_reply : int;
 }
 
 let default_config ~socket_path =
   {
     socket_path;
     workers = 2;
+    shards = 2;
     queue_bound = 64;
     default_deadline_ms = None;
     max_frame = Frame.default_max_len;
+    max_reply = Frame.max_wire_len;
   }
 
-type conn = { c_id : int; c_fd : Unix.file_descr; mutable c_thread : Thread.t option }
+(* ------------------------------------------------------------ conn state *)
+
+(* A connection is owned by exactly one shard: every field below is
+   touched only by that shard's thread. The read side is an incremental
+   decoder fed from a shared scratch buffer; the write side is a queue of
+   fully-encoded frames drained by non-blocking writes ([c_woff] is the
+   partial-write offset into the head frame). Many requests may be in
+   flight at once ([c_inflight]); responses are queued in completion
+   order, which the protocol allows because they carry the request id. *)
+type conn = {
+  c_id : int;
+  c_fd : Unix.file_descr;
+  c_dec : Frame.decoder;
+  c_wq : string Queue.t;
+  mutable c_woff : int;
+  mutable c_inflight : int;
+  mutable c_eof : bool;  (* read side done (EOF / half-close) *)
+  mutable c_closing : bool;  (* stop reading; close once flushed *)
+  mutable c_dead : bool;  (* transport error: discard and close *)
+  mutable c_requests : int;
+}
+
+type completion = { cp_conn : int; cp_frame : string }
+
+(* The shard's cross-thread surface is [s_mutex] + the wake pipe: the
+   accept thread posts adopted fds, pool workers post encoded response
+   frames, and [wait] posts the stop flag. Everything else — the poll
+   set, the connection table — is private to the shard thread. *)
+type shard = {
+  s_id : int;
+  s_wake_r : Unix.file_descr;
+  s_wake_w : Unix.file_descr;
+  s_mutex : Mutex.t;
+  mutable s_inbox_conns : (int * Unix.file_descr) list;  (* newest first *)
+  mutable s_inbox_done : completion list;  (* newest first *)
+  mutable s_stop : bool;
+  s_poll : Poll.t;
+  s_conns : (int, conn) Hashtbl.t;
+  mutable s_adopted : int;
+  mutable s_thread : Thread.t option;
+}
 
 type t = {
   cfg : config;
+  reply_cap : int;
   listen_fd : Unix.file_descr;
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
   stop : bool Atomic.t;
+  dead : bool Atomic.t;  (* wait finished; wake pipes are closed *)
   pool : Pool.t;
+  shards : shard array;
   mutable accept_thread : Thread.t option;
-  conns : (int, conn) Hashtbl.t;
-  conns_mutex : Mutex.t;
   next_conn : int Atomic.t;
   (* plain atomics back the stats verb; the registry mirrors them for
      export but is not thread-safe, so every registry touch holds obs_mutex
@@ -106,38 +151,72 @@ let stats_json t =
       ("inflight", J.Int (Atomic.get t.inflight));
       ("queue_depth", J.Int (Pool.queue_length t.pool));
       ("workers", J.Int t.cfg.workers);
+      ("shards", J.Int (Array.length t.shards));
     ]
+
+(* --------------------------------------------------------------- wakeup *)
+
+let bang = Bytes.make 1 '!'
+
+let shard_wake shard =
+  (* the pipe is non-blocking: a full pipe means wakeups are already
+     pending, and any error means the shard is past caring *)
+  try ignore (Unix.write shard.s_wake_w bang 0 1) with Unix.Unix_error _ -> ()
+
+let shard_post shard cp =
+  Mutex.lock shard.s_mutex;
+  shard.s_inbox_done <- cp :: shard.s_inbox_done;
+  Mutex.unlock shard.s_mutex;
+  shard_wake shard
+
+let shard_adopt shard id fd =
+  Mutex.lock shard.s_mutex;
+  shard.s_inbox_conns <- (id, fd) :: shard.s_inbox_conns;
+  Mutex.unlock shard.s_mutex;
+  shard_wake shard
+
+let wake t =
+  if not (Atomic.get t.dead) then
+    try ignore (Unix.write t.wake_w bang 0 1) with _ -> ()
+
+let shutdown t = if not (Atomic.exchange t.stop true) then wake t
 
 (* ------------------------------------------------------------- replies *)
 
-(* The conn thread and any pool worker may reply on the same socket; the
-   per-connection mutex keeps frames whole. A client that hung up makes
-   Frame.write raise — swallow it, the read side will see EOF.
-
-   The descriptor is reference-counted: one reference for the conn thread
-   plus one per in-flight pool job, and whoever drops the last reference
-   closes. Closing eagerly on client EOF would let the kernel hand the fd
-   number to a newly accepted connection while a worker still holds it,
-   delivering that job's reply (or a torn frame, under the wrong mutex)
-   into an unrelated client's stream. *)
-type replier = {
-  r_mutex : Mutex.t;
-  r_fd : Unix.file_descr;
-  r_refs : int Atomic.t;
-}
-
-let retain replier = Atomic.incr replier.r_refs
-
-let release replier =
-  if Atomic.fetch_and_add replier.r_refs (-1) = 1 then
-    try Unix.close replier.r_fd with Unix.Unix_error _ -> ()
-
-let reply replier rs =
+(* Serialize (in the calling thread — a pool worker for job responses, so
+   serialization parallelizes) and cap: a response that cannot be framed,
+   or that exceeds the configured reply limit, degrades to a bounded
+   [oversized] error instead of killing the connection the way an
+   escaping [Frame.write] Invalid_argument used to kill a conn thread. *)
+let encode_response t rs =
   let payload = J.to_string (P.response_json rs) in
-  Mutex.lock replier.r_mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock replier.r_mutex)
-    (fun () -> try Frame.write replier.r_fd payload with Unix.Unix_error _ -> ())
+  let payload =
+    if String.length payload <= t.reply_cap then payload
+    else
+      J.to_string
+        (P.response_json
+           (P.error ~id:rs.P.rs_id P.Oversized
+              (Printf.sprintf "response of %d bytes exceeds reply limit %d"
+                 (String.length payload) t.reply_cap)))
+  in
+  Frame.encode payload
+
+(* Shard-thread only: queue an encoded frame on the connection. *)
+let enqueue_response t conn rs =
+  if not conn.c_dead then Queue.push (encode_response t rs) conn.c_wq
+
+let reject t conn ~id code msg =
+  count_reject t code;
+  (match t.sink with
+  | None -> ()
+  | Some s ->
+    emit t s Obs.Event.Name.svc_reject
+      [
+        ("conn", J.Int conn.c_id);
+        ("id", J.Int id);
+        ("code", J.Str (P.err_code_string code));
+      ]);
+  enqueue_response t conn (P.error ~id code msg)
 
 (* ------------------------------------------------------------ dispatch *)
 
@@ -149,152 +228,377 @@ let deadline_of t rq =
   with
   | None -> None
   | Some ms ->
-    Some (Int64.add (Obs.Clock.now_ns ()) (Int64.of_int (ms * 1_000_000)))
+    (* the wire value is parse-bounded to max_deadline_ms; clamp the
+       configured default identically, then saturate the addition — an
+       extreme deadline must mean "far future", never an overflow that
+       wraps negative and trips [deadline_exceeded] instantly *)
+    let ms = min ms P.max_deadline_ms in
+    let now = Obs.Clock.now_ns () in
+    let abs = Int64.add now (Int64.mul (Int64.of_int ms) 1_000_000L) in
+    Some (if Int64.compare abs now < 0 then Int64.max_int else abs)
 
-let reject t replier conn_id ~id code msg =
-  count_reject t code;
+(* Runs on a pool worker once the job finishes. The worker never touches
+   the socket: it serializes the response and posts the encoded frame to
+   the owning shard — the connection's only writer — through the wake
+   pipe. (This is what deleted the old refcounted-replier machinery.) *)
+let job_reply t shard conn_id rq rs latency_s =
+  let verb = rq.P.rq_verb in
+  let timeout =
+    match rs.P.rs_result with
+    | Error (P.Deadline_exceeded, _) -> true
+    | _ -> false
+  in
+  count_done t verb latency_s ~timeout;
   (match t.sink with
   | None -> ()
   | Some s ->
-    emit t s Obs.Event.Name.svc_reject
+    let ms = J.Float (latency_s *. 1e3) in
+    let base =
       [
         ("conn", J.Int conn_id);
-        ("id", J.Int id);
-        ("code", J.Str (P.err_code_string code));
-      ]);
-  reply replier (P.error ~id code msg)
-
-let submit t replier conn_id rq =
-  let verb = rq.P.rq_verb in
-  let jb_reply rs latency_s =
-    Fun.protect ~finally:(fun () -> release replier) @@ fun () ->
-    let timeout =
-      match rs.P.rs_result with
-      | Error (P.Deadline_exceeded, _) -> true
-      | _ -> false
+        ("id", J.Int rq.P.rq_id);
+        ("verb", J.Str (P.verb_string verb));
+      ]
     in
-    count_done t verb latency_s ~timeout;
-    (match t.sink with
-    | None -> ()
-    | Some s ->
-      let ms = J.Float (latency_s *. 1e3) in
-      let base =
-        [
-          ("conn", J.Int conn_id);
-          ("id", J.Int rq.P.rq_id);
-          ("verb", J.Str (P.verb_string verb));
-        ]
+    if timeout then emit t s Obs.Event.Name.svc_timeout (base @ [ ("ms", ms) ])
+    else
+      let status =
+        match rs.P.rs_result with
+        | Ok _ -> "ok"
+        | Error (code, _) -> P.err_code_string code
       in
-      if timeout then emit t s Obs.Event.Name.svc_timeout (base @ [ ("ms", ms) ])
-      else
-        let status =
-          match rs.P.rs_result with
-          | Ok _ -> "ok"
-          | Error (code, _) -> P.err_code_string code
-        in
-        emit t s Obs.Event.Name.svc_done
-          (base @ [ ("status", J.Str status); ("ms", ms) ]));
-    reply replier rs
+      emit t s Obs.Event.Name.svc_done
+        (base @ [ ("status", J.Str status); ("ms", ms) ]));
+  shard_post shard { cp_conn = conn_id; cp_frame = encode_response t rs }
+
+(* Submit every job decoded during one poll wakeup as a single batch —
+   one queue-lock acquisition at the shard→pool boundary — then settle
+   the per-request bookkeeping from the verdicts. *)
+let submit_batch t shard batch =
+  let jobs =
+    List.map
+      (fun (conn, rq) ->
+        {
+          Pool.jb_req = rq;
+          jb_conn = conn.c_id;
+          jb_enq_ns = Obs.Clock.now_ns ();
+          jb_deadline_ns = deadline_of t rq;
+          jb_reply = (fun rs lat -> job_reply t shard conn.c_id rq rs lat);
+        })
+      batch
   in
-  let job =
-    {
-      Pool.jb_req = rq;
-      jb_conn = conn_id;
-      jb_enq_ns = Obs.Clock.now_ns ();
-      jb_deadline_ns = deadline_of t rq;
-      jb_reply;
-    }
-  in
-  if Atomic.get t.stop then
-    reject t replier conn_id ~id:rq.P.rq_id P.Shutting_down "server is draining"
-  else begin
-    (* taken before submit: once the job is in the queue a worker may run
-       jb_reply (and release) before submit even returns *)
-    retain replier;
-    match Pool.submit t.pool job with
-    | `Ok ->
-      count_accept t;
-      (match t.sink with
-      | None -> ()
-      | Some s ->
-        emit t s Obs.Event.Name.svc_request
-          [
-            ("conn", J.Int conn_id);
-            ("id", J.Int rq.P.rq_id);
-            ("verb", J.Str (P.verb_string verb));
-          ])
-    | `Full ->
-      release replier;
-      reject t replier conn_id ~id:rq.P.rq_id P.Overloaded
-        (Printf.sprintf "queue full (bound %d)" t.cfg.queue_bound)
-    | `Closed ->
-      release replier;
-      reject t replier conn_id ~id:rq.P.rq_id P.Shutting_down
-        "server is draining"
-  end
+  List.iter2
+    (fun (conn, rq) verdict ->
+      match verdict with
+      | `Ok ->
+        conn.c_inflight <- conn.c_inflight + 1;
+        count_accept t;
+        (match t.sink with
+        | None -> ()
+        | Some s ->
+          emit t s Obs.Event.Name.svc_request
+            [
+              ("conn", J.Int conn.c_id);
+              ("id", J.Int rq.P.rq_id);
+              ("verb", J.Str (P.verb_string rq.P.rq_verb));
+            ])
+      | `Full ->
+        reject t conn ~id:rq.P.rq_id P.Overloaded
+          (Printf.sprintf "queue full (bound %d)" t.cfg.queue_bound)
+      | `Closed ->
+        reject t conn ~id:rq.P.rq_id P.Shutting_down "server is draining")
+    batch
+    (Pool.submit_many t.pool jobs)
 
-let wake t = try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1) with _ -> ()
+let handle_frame t conn payload pending =
+  conn.c_requests <- conn.c_requests + 1;
+  match P.parse payload with
+  | Error msg -> reject t conn ~id:(-1) P.Bad_request ("invalid JSON: " ^ msg)
+  | Ok json -> (
+    match P.request_of_json json with
+    | Error msg -> reject t conn ~id:(-1) P.Bad_request msg
+    | Ok rq -> (
+      match rq.P.rq_verb with
+      | P.Ping -> enqueue_response t conn (P.ok ~id:rq.P.rq_id (J.Str "pong"))
+      | P.Stats -> enqueue_response t conn (P.ok ~id:rq.P.rq_id (stats_json t))
+      | P.Shutdown ->
+        enqueue_response t conn (P.ok ~id:rq.P.rq_id (J.Str "draining"));
+        shutdown t
+      | P.Solve | P.Modelcheck | P.Fuzz ->
+        if Atomic.get t.stop then
+          reject t conn ~id:rq.P.rq_id P.Shutting_down "server is draining"
+        else pending := (conn, rq) :: !pending))
 
-let shutdown t =
-  if not (Atomic.exchange t.stop true) then wake t
+(* --------------------------------------------------------- shard thread *)
 
-let dispatch t replier conn_id rq requests =
-  incr requests;
-  match rq.P.rq_verb with
-  | P.Ping -> reply replier (P.ok ~id:rq.P.rq_id (J.Str "pong"))
-  | P.Stats -> reply replier (P.ok ~id:rq.P.rq_id (stats_json t))
-  | P.Shutdown ->
-    reply replier (P.ok ~id:rq.P.rq_id (J.Str "draining"));
-    shutdown t
-  | P.Solve | P.Modelcheck | P.Fuzz -> submit t replier conn_id rq
+let conn_pending_write conn = not (Queue.is_empty conn.c_wq)
 
-(* -------------------------------------------------------------- threads *)
+(* Non-blocking drain of the write queue; a transport error discards the
+   queue and marks the connection dead (the read side would only see the
+   same error). *)
+let rec flush_conn conn =
+  match Queue.peek_opt conn.c_wq with
+  | None -> ()
+  | Some s -> (
+    let len = String.length s - conn.c_woff in
+    match Unix.write_substring conn.c_fd s conn.c_woff len with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> flush_conn conn
+    | exception Unix.Unix_error (_, _, _) ->
+      conn.c_dead <- true;
+      Queue.clear conn.c_wq;
+      conn.c_woff <- 0
+    | n ->
+      if n = len then begin
+        ignore (Queue.pop conn.c_wq);
+        conn.c_woff <- 0;
+        flush_conn conn
+      end
+      else conn.c_woff <- conn.c_woff + n)
 
-let conn_loop t conn =
-  let replier =
-    { r_mutex = Mutex.create (); r_fd = conn.c_fd; r_refs = Atomic.make 1 }
-  in
-  let requests = ref 0 in
-  let rec loop () =
-    match Frame.read ~max_len:t.cfg.max_frame conn.c_fd with
-    | exception Unix.Unix_error _ -> ()
-    | Error (Frame.Eof | Frame.Truncated) -> ()
-    | Error (Frame.Desynced n) ->
-      (* the announced payload cannot be skipped, so the byte stream is
-         unrecoverable: answer once, then drop the connection *)
-      reject t replier conn.c_id ~id:(-1) P.Oversized
-        (Printf.sprintf "unframeable length %d exceeds wire limit %d" n
-           Frame.max_wire_len)
-    | Error (Frame.Oversized n) ->
-      reject t replier conn.c_id ~id:(-1) P.Oversized
-        (Printf.sprintf "frame of %d bytes exceeds limit %d" n t.cfg.max_frame);
-      loop ()
-    | Ok payload ->
-      (match P.parse payload with
-      | Error msg ->
-        reject t replier conn.c_id ~id:(-1) P.Bad_request
-          ("invalid JSON: " ^ msg)
-      | Ok json -> (
-        match P.request_of_json json with
-        | Error msg -> reject t replier conn.c_id ~id:(-1) P.Bad_request msg
-        | Ok rq -> dispatch t replier conn.c_id rq requests));
-      loop ()
-  in
-  loop ();
-  (* unregister before dropping the conn thread's reference: a conn still
-     in the table always holds a live reference, which is what lets [wait]
-     shut sockets down under conns_mutex without racing a close *)
-  Mutex.lock t.conns_mutex;
-  Hashtbl.remove t.conns conn.c_id;
-  Mutex.unlock t.conns_mutex;
-  release replier;
+let close_conn t conn =
+  (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
   match t.sink with
   | None -> ()
   | Some s ->
     emit t s Obs.Event.Name.svc_conn_close
-      [ ("conn", J.Int conn.c_id); ("requests", J.Int !requests) ]
+      [ ("conn", J.Int conn.c_id); ("requests", J.Int conn.c_requests) ]
+
+(* A connection can be reaped once nothing more can reach it: its reads
+   are finished (EOF, fatal frame, or transport error), every in-flight
+   job has posted its completion, and the write queue is flushed. Holding
+   the entry until [c_inflight] drops to zero is what lets a completion's
+   conn-id lookup never dangle — and since the shard is the only writer
+   and closes the fd itself, a late reply can never land on a
+   kernel-reused descriptor (the hazard the old refcount guarded). *)
+let conn_reapable conn =
+  (conn.c_dead || ((conn.c_eof || conn.c_closing) && Queue.is_empty conn.c_wq))
+  && conn.c_inflight = 0
+
+let drain_wake_pipe fd buf =
+  let rec go () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (_, _, _) -> ()
+    | n -> if n = Bytes.length buf then go ()
+  in
+  go ()
+
+let shard_read t conn scratch pending =
+  match Unix.read conn.c_fd scratch 0 (Bytes.length scratch) with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) ->
+    conn.c_dead <- true;
+    Queue.clear conn.c_wq;
+    conn.c_woff <- 0
+  | 0 -> conn.c_eof <- true
+  | n ->
+    Frame.feed conn.c_dec scratch 0 n;
+    let rec pump () =
+      if not (conn.c_closing || conn.c_dead) then
+        match Frame.next conn.c_dec with
+        | Ok `Await -> ()
+        | Ok (`Frame payload) ->
+          handle_frame t conn payload pending;
+          pump ()
+        | Error (Frame.Oversized n) ->
+          reject t conn ~id:(-1) P.Oversized
+            (Printf.sprintf "frame of %d bytes exceeds limit %d" n
+               t.cfg.max_frame);
+          pump ()
+        | Error (Frame.Desynced n) ->
+          (* the announced payload cannot be skipped, so the byte stream
+             is unrecoverable: answer once, flush, then close *)
+          reject t conn ~id:(-1) P.Oversized
+            (Printf.sprintf "unframeable length %d exceeds wire limit %d" n
+               Frame.max_wire_len);
+          conn.c_closing <- true
+        | Error (Frame.Eof | Frame.Truncated) ->
+          (* the decoder never reports these *)
+          conn.c_closing <- true
+    in
+    pump ()
+
+(* After the pool has drained, flush what the peers will still accept —
+   bounded, so a stalled client cannot wedge shutdown — then close. *)
+let shard_flush_all t shard =
+  let deadline = Int64.add (Obs.Clock.now_ns ()) 5_000_000_000L in
+  let rec go () =
+    let pending =
+      Hashtbl.fold
+        (fun _ c acc -> if conn_pending_write c then c :: acc else acc)
+        shard.s_conns []
+    in
+    if pending <> [] && Int64.compare (Obs.Clock.now_ns ()) deadline < 0
+    then begin
+      Poll.clear shard.s_poll;
+      List.iter
+        (fun c -> ignore (Poll.add shard.s_poll c.c_fd Poll.pollout))
+        pending;
+      ignore (Poll.wait shard.s_poll ~timeout_ms:100);
+      List.iter flush_conn pending;
+      go ()
+    end
+  in
+  go ();
+  Hashtbl.iter (fun _ c -> close_conn t c) shard.s_conns;
+  Hashtbl.reset shard.s_conns
+
+let shard_iteration t shard scratch wake_buf slots pending =
+  (* 1. poll: the wake pipe plus every connection with an interest *)
+  Poll.clear shard.s_poll;
+  let wake_slot = Poll.add shard.s_poll shard.s_wake_r Poll.pollin in
+  slots := [];
+  Hashtbl.iter
+    (fun _ c ->
+      let interest =
+        (if c.c_eof || c.c_closing || c.c_dead then 0 else Poll.pollin)
+        lor (if conn_pending_write c && not c.c_dead then Poll.pollout else 0)
+      in
+      if interest <> 0 then
+        slots := (Poll.add shard.s_poll c.c_fd interest, c) :: !slots)
+    shard.s_conns;
+  ignore (Poll.wait shard.s_poll ~timeout_ms:(-1));
+  if Poll.revents shard.s_poll wake_slot land Poll.pollin <> 0 then
+    drain_wake_pipe shard.s_wake_r wake_buf;
+  (* 2. inbox: adopted connections, completions, stop — one lock. Posts
+     happen-before the stop flag is set (same mutex), so observing stop
+     here means every completion has been grabbed too. *)
+  Mutex.lock shard.s_mutex;
+  let newconns = shard.s_inbox_conns in
+  let dones = shard.s_inbox_done in
+  let stopping = shard.s_stop in
+  shard.s_inbox_conns <- [];
+  shard.s_inbox_done <- [];
+  Mutex.unlock shard.s_mutex;
+  if stopping then
+    (* no new reads: the pool is drained, replies are all queued — adopt
+       nothing (close the fds), apply completions, flush, exit *)
+    List.iter
+      (fun (_, fd) -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (List.rev newconns)
+  else
+    List.iter
+      (fun (id, fd) ->
+        Unix.set_nonblock fd;
+        let conn =
+          {
+            c_id = id;
+            c_fd = fd;
+            c_dec = Frame.decoder ~max_len:t.cfg.max_frame ();
+            c_wq = Queue.create ();
+            c_woff = 0;
+            c_inflight = 0;
+            c_eof = false;
+            c_closing = false;
+            c_dead = false;
+            c_requests = 0;
+          }
+        in
+        Hashtbl.replace shard.s_conns id conn;
+        shard.s_adopted <- shard.s_adopted + 1;
+        match t.sink with
+        | None -> ()
+        | Some s ->
+          emit t s Obs.Event.Name.svc_conn_open
+            [ ("conn", J.Int id); ("shard", J.Int shard.s_id) ])
+      (List.rev newconns);
+  (* 3. completions: queue each response frame on its connection (a gone
+     peer just drops the bytes; the job itself was already counted) *)
+  List.iter
+    (fun cp ->
+      match Hashtbl.find_opt shard.s_conns cp.cp_conn with
+      | None -> ()
+      | Some conn ->
+        conn.c_inflight <- conn.c_inflight - 1;
+        if not conn.c_dead then Queue.push cp.cp_frame conn.c_wq)
+    (List.rev dones);
+  (* 4. reads: level-triggered, one scratch-sized chunk per connection
+     per iteration keeps the shard fair under pipelining *)
+  if not stopping then
+    List.iter
+      (fun (slot, conn) ->
+        let re = Poll.revents shard.s_poll slot in
+        if re land Poll.pollerr <> 0 then begin
+          conn.c_dead <- true;
+          Queue.clear conn.c_wq;
+          conn.c_woff <- 0
+        end
+        else begin
+          if
+            re land Poll.pollin <> 0
+            && not (conn.c_eof || conn.c_closing || conn.c_dead)
+          then shard_read t conn scratch pending;
+          if
+            re land Poll.pollhup <> 0
+            && re land Poll.pollin = 0
+            && not conn.c_dead
+          then conn.c_eof <- true
+        end)
+      !slots;
+  (* 5. hand this wakeup's accepted work to the pool as one batch *)
+  if !pending <> [] then begin
+    submit_batch t shard (List.rev !pending);
+    pending := []
+  end;
+  (* 6. opportunistic flush of everything with output, ready or not:
+     saves a poll round-trip on the common small-response path *)
+  Hashtbl.iter
+    (fun _ c -> if conn_pending_write c then flush_conn c)
+    shard.s_conns;
+  (* 7. reap *)
+  let dead =
+    Hashtbl.fold
+      (fun _ c acc -> if conn_reapable c then c :: acc else acc)
+      shard.s_conns []
+  in
+  List.iter
+    (fun c ->
+      Hashtbl.remove shard.s_conns c.c_id;
+      close_conn t c)
+    dead;
+  stopping
+
+let shard_loop t shard () =
+  (match t.sink with
+  | None -> ()
+  | Some s ->
+    emit t s Obs.Event.Name.svc_shard_start [ ("shard", J.Int shard.s_id) ]);
+  let scratch = Bytes.create 65536 in
+  let wake_buf = Bytes.create 4096 in
+  let slots = ref [] in
+  let pending = ref [] in
+  let rec loop () =
+    match shard_iteration t shard scratch wake_buf slots pending with
+    | true -> ()
+    | false -> loop ()
+    | exception e ->
+      (* a shard must outlive any per-connection surprise; report, back
+         off briefly (never hot-loop on a persistent failure), go on *)
+      (match t.sink with
+      | None -> ()
+      | Some s ->
+        emit t s Obs.Event.Name.svc_shard_error
+          [ ("shard", J.Int shard.s_id);
+            ("error", J.Str (Printexc.to_string e)) ]);
+      pending := [];
+      (try Unix.sleepf 0.01 with Unix.Unix_error _ -> ());
+      loop ()
+  in
+  loop ();
+  shard_flush_all t shard;
+  match t.sink with
+  | None -> ()
+  | Some s ->
+    emit t s Obs.Event.Name.svc_shard_stop
+      [ ("shard", J.Int shard.s_id); ("conns", J.Int shard.s_adopted) ]
+
+(* --------------------------------------------------------- accept thread *)
 
 let accept_loop t () =
+  let n_shards = Array.length t.shards in
   let rec loop () =
     if Atomic.get t.stop then ()
     else
@@ -314,19 +618,8 @@ let accept_loop t () =
                 [ ("error", J.Str (Unix.error_message e)) ]);
             (try Unix.sleepf 0.05 with Unix.Unix_error _ -> ())
           | fd, _ ->
-            let conn =
-              { c_id = Atomic.fetch_and_add t.next_conn 1; c_fd = fd;
-                c_thread = None }
-            in
-            Mutex.lock t.conns_mutex;
-            Hashtbl.replace t.conns conn.c_id conn;
-            conn.c_thread <- Some (Thread.create (conn_loop t) conn);
-            Mutex.unlock t.conns_mutex;
-            match t.sink with
-            | None -> ()
-            | Some s ->
-              emit t s Obs.Event.Name.svc_conn_open
-                [ ("conn", J.Int conn.c_id) ]);
+            let id = Atomic.fetch_and_add t.next_conn 1 in
+            shard_adopt t.shards.(id mod n_shards) id fd);
           loop ()
         end
         else loop ()
@@ -339,6 +632,7 @@ let accept_loop t () =
 
 let start ?sink ?registry cfg =
   if cfg.workers < 1 then invalid_arg "Server.start: workers must be >= 1";
+  if cfg.shards < 1 then invalid_arg "Server.start: shards must be >= 1";
   if cfg.queue_bound < 1 then
     invalid_arg "Server.start: queue_bound must be >= 1";
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -346,22 +640,44 @@ let start ?sink ?registry cfg =
   (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
   (try
      Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
-     Unix.listen listen_fd 64
+     Unix.listen listen_fd 512
    with e ->
      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
      raise e);
   let wake_r, wake_w = Unix.pipe () in
+  let shards =
+    Array.init cfg.shards (fun i ->
+        let s_wake_r, s_wake_w = Unix.pipe () in
+        Unix.set_nonblock s_wake_r;
+        Unix.set_nonblock s_wake_w;
+        {
+          s_id = i;
+          s_wake_r;
+          s_wake_w;
+          s_mutex = Mutex.create ();
+          s_inbox_conns = [];
+          s_inbox_done = [];
+          s_stop = false;
+          s_poll = Poll.create ();
+          s_conns = Hashtbl.create 64;
+          s_adopted = 0;
+          s_thread = None;
+        })
+  in
   let t =
     {
       cfg;
+      (* the cap must leave room for the bounded oversized-error reply
+         that replaces an overlong response *)
+      reply_cap = max 256 (min cfg.max_reply Frame.max_wire_len);
       listen_fd;
       wake_r;
       wake_w;
       stop = Atomic.make false;
+      dead = Atomic.make false;
       pool = Pool.create ~workers:cfg.workers ~queue_bound:cfg.queue_bound;
+      shards;
       accept_thread = None;
-      conns = Hashtbl.create 16;
-      conns_mutex = Mutex.create ();
       next_conn = Atomic.make 0;
       accepted = Atomic.make 0;
       rejected = Atomic.make 0;
@@ -382,8 +698,12 @@ let start ?sink ?registry cfg =
       [
         ("socket", J.Str cfg.socket_path);
         ("workers", J.Int cfg.workers);
+        ("shards", J.Int cfg.shards);
         ("queue_bound", J.Int cfg.queue_bound);
       ]);
+  Array.iter
+    (fun shard -> shard.s_thread <- Some (Thread.create (shard_loop t shard) ()))
+    t.shards;
   t.accept_thread <- Some (Thread.create (accept_loop t) ());
   t
 
@@ -400,23 +720,27 @@ let wait t =
       emit t s Obs.Event.Name.svc_drain
         [ ("pending", J.Int (Atomic.get t.inflight)) ]);
     (* every job already in the queue runs to a reply before the workers
-       exit; only then do we tear the connections down *)
+       exit; the completions are posted to the shards' inboxes by then *)
     Pool.drain t.pool;
-    (* a conn still registered holds a live replier reference (conn_loop
-       unregisters before releasing, under this mutex), so shutting down
-       inside the lock can never hit a closed — possibly reused — fd *)
-    let conns =
-      Mutex.lock t.conns_mutex;
-      let l = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
-      List.iter
-        (fun c ->
-          try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL
-          with Unix.Unix_error _ -> ())
-        l;
-      Mutex.unlock t.conns_mutex;
-      l
-    in
-    List.iter (fun c -> Option.iter Thread.join c.c_thread) conns;
+    (* now stop the shards: each applies its remaining completions,
+       flushes what the peers will accept, closes its connections *)
+    Array.iter
+      (fun shard ->
+        Mutex.lock shard.s_mutex;
+        shard.s_stop <- true;
+        Mutex.unlock shard.s_mutex;
+        shard_wake shard)
+      t.shards;
+    Array.iter (fun shard -> Option.iter Thread.join shard.s_thread) t.shards;
+    (* guard before close: a stray signal handler calling [shutdown] on
+       this dead server must not write into a closed — possibly
+       kernel-reused — descriptor *)
+    Atomic.set t.dead true;
+    Array.iter
+      (fun shard ->
+        (try Unix.close shard.s_wake_r with Unix.Unix_error _ -> ());
+        try Unix.close shard.s_wake_w with Unix.Unix_error _ -> ())
+      t.shards;
     (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
     (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
     gauges t;
@@ -433,13 +757,21 @@ let wait t =
 let run ?sink ?registry cfg =
   let t = start ?sink ?registry cfg in
   let stop _ = shutdown t in
-  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
-  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
-  (* OCaml signal handlers only run when a thread of the main domain
-     reaches a safepoint, and every other thread here may be parked in a
-     blocking syscall (select, read, cond_wait) — parking this thread in
-     Thread.join too would postpone the handler indefinitely. Poll. *)
-  while not (Atomic.get t.stop) do
-    try Unix.sleepf 0.05 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
-  done;
-  wait t
+  (* install and SAVE the previous handlers: leaving ours behind would let
+     a later signal in the same process call shutdown on this dead server
+     (and, unguarded, write to its closed wake descriptor) *)
+  let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle stop) in
+  let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle stop) in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm prev_term;
+      Sys.set_signal Sys.sigint prev_int)
+    (fun () ->
+      (* OCaml signal handlers only run when a thread of the main domain
+         reaches a safepoint, and every other thread here may be parked in
+         a blocking syscall (select, poll, cond_wait) — parking this thread
+         in Thread.join too would postpone the handler indefinitely. Poll. *)
+      while not (Atomic.get t.stop) do
+        try Unix.sleepf 0.05 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      wait t)

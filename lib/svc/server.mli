@@ -1,60 +1,89 @@
-(** The job server: a Unix-domain-socket front end over {!Pool}.
+(** The job server: poll-driven I/O shards over a Unix-domain socket,
+    fronting {!Pool}.
 
     One accept thread multiplexes the listening socket against a self-pipe
-    (so {!shutdown} can interrupt it from a signal handler); one systhread
-    per connection reads frames, parses and validates them, answers
-    [ping]/[stats]/[shutdown] inline and submits the rest to the pool.
+    (so {!shutdown} can interrupt it from a signal handler) and deals
+    accepted descriptors round-robin to a fixed set of {e I/O shards}.
+    Each shard is one thread running an event loop over its connections'
+    non-blocking descriptors via {!Poll} (a [poll(2)] stub —
+    [Unix.select] caps at [FD_SETSIZE] = 1024 fds, shards are sized for
+    thousands): incremental frame decoding through {!Frame.decoder},
+    buffered non-blocking writes, and {e pipelining} — any number of
+    requests in flight per connection, responses written in completion
+    order and matched by the [id] the protocol already carries.
+
+    Ownership story: a connection belongs to exactly one shard, and that
+    shard is the {e only} thread that ever reads, writes or closes the
+    descriptor. [ping]/[stats]/[shutdown] are answered inline by the
+    shard; job verbs are submitted to the pool in one batch per poll
+    wakeup, and workers hand finished responses (serialized on the
+    worker) back to the owning shard through its wake pipe rather than
+    touching the socket. A connection survives until its write queue is
+    flushed and its in-flight jobs have completed, so a client that hangs
+    up mid-job can never cause a late reply to land on a kernel-reused
+    descriptor — single-writer ownership replaces the old refcounted
+    replier. Responses longer than [max_reply] degrade to a bounded
+    [oversized] error instead of killing the connection.
+
     Submission never blocks: a full queue is an immediate [overloaded]
     reply — the backpressure contract — and a draining server answers
-    [shutting_down]. A connection's descriptor is reference-counted (conn
-    thread + in-flight jobs) and closed by the last holder, so a client
-    hanging up mid-job never redirects a late reply onto a reused fd.
-
-    Graceful shutdown ({!shutdown} then {!wait}, or a signal under
-    {!run}): stop accepting, drain the pool so every accepted job is
-    answered, shut the connection sockets down, join the threads. Zero
-    accepted in-flight jobs are lost.
+    [shutting_down]. Graceful shutdown ({!shutdown} then {!wait}, or a
+    signal under {!run}): stop accepting, drain the pool so every
+    accepted job is answered, let each shard flush its write queues,
+    close the connections, join the threads. Zero accepted in-flight
+    jobs are lost.
 
     Instrumentation: per-verb latency histograms, queue-depth and
     in-flight gauges and accepted/rejected/timed-out counters in the
-    registry, [svc.*] events ({!Obs.Event.Name}) to the optional sink.
-    With no sink, the event paths allocate nothing per request. *)
+    registry, [svc.*] events ({!Obs.Event.Name}, including
+    [svc.shard.*]) to the optional sink. With no sink, the event paths
+    allocate nothing per request. *)
 
 type config = {
   socket_path : string;
-  workers : int;
+  workers : int;  (** pool worker domains executing jobs *)
+  shards : int;  (** I/O shard event-loop threads *)
   queue_bound : int;
   default_deadline_ms : int option;
       (** applied when a request carries no [deadline_ms]; [None] = no
           deadline *)
   max_frame : int;  (** request frames beyond this are rejected unread *)
+  max_reply : int;
+      (** responses beyond this are replaced by an [oversized] error
+          (clamped to at least 256 bytes so the error itself fits) *)
 }
 
 val default_config : socket_path:string -> config
-(** workers = 2, queue_bound = 64, no default deadline,
-    max_frame = {!Frame.default_max_len}. *)
+(** workers = 2, shards = 2, queue_bound = 64, no default deadline,
+    max_frame = {!Frame.default_max_len},
+    max_reply = {!Frame.max_wire_len}. *)
 
 type t
 
 val start : ?sink:Obs.Sink.t -> ?registry:Obs.Metrics.registry -> config -> t
-(** Bind, listen, spawn the pool and the accept thread, return
-    immediately. Replaces a stale socket file at [socket_path]. Ignores
-    [SIGPIPE] process-wide (a client hanging up mid-reply must not kill
-    the server). *)
+(** Bind, listen, spawn the pool, the shards and the accept thread,
+    return immediately. Replaces a stale socket file at [socket_path].
+    Ignores [SIGPIPE] process-wide (a client hanging up mid-reply must
+    not kill the server). *)
 
 val shutdown : t -> unit
 (** Trigger graceful shutdown; returns immediately; idempotent.
     Async-signal-safe in the OCaml sense (an atomic store and a pipe
-    write), so it can be called from a [Sys.Signal_handle]. *)
+    write), so it can be called from a [Sys.Signal_handle]; after {!wait}
+    has completed it is a guarded no-op — it will never write into the
+    closed (possibly kernel-reused) wake descriptor. *)
 
 val wait : t -> unit
 (** Block until shutdown completes: accept loop joined, pool drained
-    (every accepted job replied), connections closed and joined. *)
+    (every accepted job replied), shards flushed and joined, connections
+    closed. *)
 
 val stats_json : t -> Obs.Json.t
 (** The live counters the [stats] verb reports: accepted, rejected,
-    served, timed-out, in-flight, queue depth, workers. *)
+    served, timed-out, in-flight, queue depth, workers, shards. *)
 
 val run : ?sink:Obs.Sink.t -> ?registry:Obs.Metrics.registry -> config -> unit
 (** {!start}, install [SIGTERM]/[SIGINT] handlers that {!shutdown}, then
-    {!wait} — the body of [wfa serve]. *)
+    {!wait} — the body of [wfa serve]. The previous signal handlers are
+    restored on return (even by exception), so a second server — or the
+    process's own handlers — behave correctly afterwards. *)

@@ -1,0 +1,75 @@
+/* poll(2) for the I/O shards.
+
+   The stdlib's only readiness primitive, Unix.select, is capped at
+   FD_SETSIZE (1024) descriptors per call; a shard serving thousands of
+   pipelined connections needs poll. Same shape as the clock stub next
+   door in lib/obs: one C function, no dependency beyond the libc.
+
+   Calling convention, chosen so the OCaml side allocates nothing per
+   call: three parallel pre-sized arrays (fds, event masks in, revent
+   masks out) and a count of live entries. Unix.file_descr is an
+   immediate int on Unix, so Int_val reads it directly. EINTR is
+   reported as 0 ready (the caller's loop just polls again); any other
+   failure raises Failure. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+#include <poll.h>
+#include <errno.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define SVC_POLLIN 1
+#define SVC_POLLOUT 2
+#define SVC_POLLERR 4
+#define SVC_POLLHUP 8
+
+CAMLprim value svc_poll_stub(value vfds, value vevents, value vrevents,
+                             value vn, value vtimeout_ms)
+{
+  CAMLparam5(vfds, vevents, vrevents, vn, vtimeout_ms);
+  int n = Int_val(vn);
+  int timeout = Int_val(vtimeout_ms);
+  struct pollfd stack_pfd[64];
+  struct pollfd *pfd = stack_pfd;
+  int i, r;
+
+  if (n < 0 || n > (int)Wosize_val(vfds) || n > (int)Wosize_val(vevents) ||
+      n > (int)Wosize_val(vrevents))
+    caml_invalid_argument("Svc.Poll: inconsistent array sizes");
+  if (n > 64) {
+    pfd = malloc((size_t)n * sizeof(struct pollfd));
+    if (pfd == NULL) caml_raise_out_of_memory();
+  }
+  for (i = 0; i < n; i++) {
+    int ev = Int_val(Field(vevents, i));
+    pfd[i].fd = Int_val(Field(vfds, i));
+    pfd[i].events = (short)(((ev & SVC_POLLIN) ? POLLIN : 0) |
+                            ((ev & SVC_POLLOUT) ? POLLOUT : 0));
+    pfd[i].revents = 0;
+  }
+
+  caml_release_runtime_system();
+  r = poll(pfd, (nfds_t)n, timeout);
+  caml_acquire_runtime_system();
+
+  if (r < 0 && errno != EINTR) {
+    if (pfd != stack_pfd) free(pfd);
+    caml_failwith("Svc.Poll: poll(2) failed");
+  }
+  if (r < 0) r = 0; /* EINTR: behave as a timeout, the shard loops */
+
+  for (i = 0; i < n; i++) {
+    short re = pfd[i].revents;
+    int out = ((re & POLLIN) ? SVC_POLLIN : 0) |
+              ((re & POLLOUT) ? SVC_POLLOUT : 0) |
+              ((re & (POLLERR | POLLNVAL)) ? SVC_POLLERR : 0) |
+              ((re & POLLHUP) ? SVC_POLLHUP : 0);
+    Field(vrevents, i) = Val_int(out); /* immediates: no write barrier */
+  }
+  if (pfd != stack_pfd) free(pfd);
+  CAMLreturn(Val_int(r));
+}

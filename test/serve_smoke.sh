@@ -15,7 +15,7 @@ cleanup() {
   rm -f "$SOCK" "$OUT"
 }
 
-"$WFA" serve --socket "$SOCK" --workers 2 --max-frame 4096 &
+"$WFA" serve --socket "$SOCK" --workers 2 --shards 2 --max-frame 4096 &
 SRV=$!
 trap cleanup EXIT
 
@@ -32,6 +32,14 @@ echo "serve_smoke: solve"
 
 echo "serve_smoke: modelcheck"
 "$WFA" call --socket "$SOCK" modelcheck --params '{"depth":8}'
+
+echo "serve_smoke: pipelined pings on one connection"
+PIPE_OUT=$("$WFA" call --socket "$SOCK" ping --pipeline 64)
+echo "$PIPE_OUT"
+case "$PIPE_OUT" in
+  *"ok 64, failed 0"*) ;;
+  *) echo "serve_smoke: pipelined calls lost replies" >&2; exit 1 ;;
+esac
 
 echo "serve_smoke: oversized frame is rejected"
 BIG=$(head -c 8192 /dev/zero | tr '\0' 'a')

@@ -79,6 +79,89 @@ let test_frame_truncated () =
   | _ -> Alcotest.fail "expected Truncated");
   Unix.close b
 
+(* ---------------------------------------------------- incremental decode *)
+
+let pump_all d on_frame on_error =
+  let rec go () =
+    match Svc.Frame.next d with
+    | Ok `Await -> ()
+    | Ok (`Frame p) ->
+      on_frame p;
+      go ()
+    | Error e ->
+      on_error e;
+      go ()
+  in
+  go ()
+
+let test_decoder_incremental () =
+  (* one byte at a time across three frame boundaries, including an empty
+     payload: every frame must come out exactly once, in order *)
+  let d = Svc.Frame.decoder () in
+  let wire =
+    Svc.Frame.encode "hello" ^ Svc.Frame.encode "" ^ Svc.Frame.encode "worlds"
+  in
+  let b = Bytes.of_string wire in
+  let got = ref [] in
+  for i = 0 to Bytes.length b - 1 do
+    Svc.Frame.feed d b i 1;
+    pump_all d
+      (fun p -> got := p :: !got)
+      (fun e -> Alcotest.failf "decode: %s" (Svc.Frame.error_string e))
+  done;
+  check_bool "byte-by-byte frames" true
+    (List.rev !got = [ "hello"; ""; "worlds" ]);
+  (* and the same frames in a single feed *)
+  let d = Svc.Frame.decoder () in
+  Svc.Frame.feed d b 0 (Bytes.length b);
+  let got = ref [] in
+  pump_all d
+    (fun p -> got := p :: !got)
+    (fun e -> Alcotest.failf "decode: %s" (Svc.Frame.error_string e));
+  check_bool "single-feed frames" true
+    (List.rev !got = [ "hello"; ""; "worlds" ])
+
+let test_decoder_oversized_skip () =
+  (* an oversized frame fed in small chunks is discarded without buffering,
+     reported exactly once, and the stream stays framed for what follows *)
+  let d = Svc.Frame.decoder ~max_len:8 () in
+  let wire =
+    Svc.Frame.encode (String.make 100_000 'z') ^ Svc.Frame.encode "next"
+  in
+  let b = Bytes.of_string wire in
+  let oversized = ref 0 in
+  let frames = ref [] in
+  let i = ref 0 in
+  while !i < Bytes.length b do
+    let len = min 7 (Bytes.length b - !i) in
+    Svc.Frame.feed d b !i len;
+    i := !i + len;
+    pump_all d
+      (fun p -> frames := p :: !frames)
+      (function
+        | Svc.Frame.Oversized n ->
+          check_int "announced length" 100_000 n;
+          incr oversized
+        | e -> Alcotest.failf "decode: %s" (Svc.Frame.error_string e))
+  done;
+  check_int "oversized reported once" 1 !oversized;
+  check_bool "stream stays framed after skip" true (!frames = [ "next" ])
+
+let test_decoder_desynced_sticky () =
+  let d = Svc.Frame.decoder () in
+  let b = Bytes.of_string "\xff\xff\xff\xffjunk" in
+  Svc.Frame.feed d b 0 (Bytes.length b);
+  (match Svc.Frame.next d with
+  | Error (Svc.Frame.Desynced n) ->
+    check_bool "beyond wire limit" true (n > Svc.Frame.max_wire_len)
+  | _ -> Alcotest.fail "expected Desynced");
+  (* unrecoverable: feeding well-formed frames cannot resynchronize *)
+  let g = Bytes.of_string (Svc.Frame.encode "x") in
+  Svc.Frame.feed d g 0 (Bytes.length g);
+  match Svc.Frame.next d with
+  | Error (Svc.Frame.Desynced _) -> ()
+  | _ -> Alcotest.fail "Desynced must be sticky"
+
 (* ------------------------------------------------------------ protocol *)
 
 let test_protocol_roundtrip () =
@@ -429,6 +512,182 @@ let test_server_shutdown_verb_refuses_new () =
   Svc.Client.close c;
   Svc.Server.wait t
 
+let contains hay needle =
+  let n = String.length needle in
+  let rec go i =
+    i + n <= String.length hay
+    && (String.sub hay i n = needle || go (i + 1))
+  in
+  go 0
+
+let test_server_deadline_bomb () =
+  (* parse-level boundary: the largest legal deadline is accepted, one
+     past it is not *)
+  let rq_json ms =
+    J.Obj
+      [
+        ("v", J.Int 1);
+        ("id", J.Int 1);
+        ("verb", J.Str "ping");
+        ("deadline_ms", J.Int ms);
+      ]
+  in
+  check_bool "max_deadline_ms accepted" true
+    (Result.is_ok (P.request_of_json (rq_json P.max_deadline_ms)));
+  check_bool "max_deadline_ms + 1 rejected" true
+    (Result.is_error (P.request_of_json (rq_json (P.max_deadline_ms + 1))));
+  let path = socket_path () in
+  with_server (default_cfg path) (fun _ ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      (* ~295 years in ms: times 10^6 this overflows int64 nanoseconds,
+         which used to wrap the absolute deadline negative and kill the
+         job with deadline_exceeded on arrival; it must be a parse-time
+         bad_request instead *)
+      Svc.Frame.write fd
+        "{\"v\":1,\"id\":7,\"verb\":\"modelcheck\",\"deadline_ms\":9300000000000}";
+      (match
+         Result.bind
+           (P.parse (Result.get_ok (Svc.Frame.read fd)))
+           P.response_of_json
+       with
+      | Ok { P.rs_id = -1; rs_result = Error (P.Bad_request, msg) } ->
+        check_bool "error names deadline_ms" true (contains msg "deadline_ms")
+      | _ -> Alcotest.fail "expected bad_request for the deadline bomb");
+      Unix.close fd;
+      (* the boundary value means "far future", never an instant timeout *)
+      let c = Svc.Client.connect path in
+      (match
+         Svc.Client.call ~deadline_ms:P.max_deadline_ms
+           ~params:(J.Obj [ ("depth", J.Int 6) ])
+           c P.Modelcheck
+       with
+      | Ok j ->
+        check_bool "verdict ok" true (J.member "verdict" j = Some (J.Str "ok"))
+      | Error e ->
+        Alcotest.failf "max deadline: %s" (Svc.Client.error_string e));
+      Svc.Client.close c)
+
+let test_deadline_cancel_first_poll () =
+  (* the cancel hook must consult the clock on its FIRST call: a deadline
+     already expired at dispatch used to survive 255 polls of the throttle
+     window before anyone looked at the clock *)
+  let now = Obs.Clock.now_ns () in
+  let expired = Svc.Pool.deadline_cancel (Int64.sub now 1L) in
+  check_bool "expired deadline trips on the first poll" true (expired ());
+  check_bool "and stays tripped" true (expired ());
+  let far = Svc.Pool.deadline_cancel (Int64.add now 60_000_000_000L) in
+  check_bool "a far-future deadline does not trip" false (far ())
+
+let test_server_pipelining_out_of_order () =
+  let path = socket_path () in
+  (* one worker: the slow job sent FIRST must be answered LAST, overtaken
+     by the pings the shard answers inline while the job runs *)
+  with_server (default_cfg path) (fun _ ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let pings = 8 in
+      List.iter
+        (fun rq -> Svc.Frame.write fd (J.to_string (P.request_json rq)))
+        (slow_modelcheck ~id:0 ()
+        :: List.init pings (fun i -> P.request ~id:(i + 1) P.Ping));
+      let order = ref [] in
+      for _ = 0 to pings do
+        match Svc.Frame.read ~max_len:(64 * 1024 * 1024) fd with
+        | Ok payload -> (
+          match Result.bind (P.parse payload) P.response_of_json with
+          | Ok rs ->
+            (match rs.P.rs_result with
+            | Ok _ -> ()
+            | Error (c, m) ->
+              Alcotest.failf "id %d failed %s: %s" rs.P.rs_id
+                (P.err_code_string c) m);
+            order := rs.P.rs_id :: !order
+          | Error e -> Alcotest.failf "bad response: %s" e)
+        | Error e -> Alcotest.failf "read: %s" (Svc.Frame.error_string e)
+      done;
+      let order = List.rev !order in
+      check_int "every request answered" (pings + 1) (List.length order);
+      check_int "slow job answered last, out of send order" 0
+        (List.nth order pings);
+      (* ping responses from one connection keep their relative order *)
+      List.iteri
+        (fun i id -> if i < pings then check_int "ping order" (i + 1) id)
+        order;
+      Unix.close fd)
+
+let test_server_reply_cap () =
+  let path = socket_path () in
+  let cfg = { (default_cfg path) with max_reply = 256 } in
+  with_server cfg (fun _ ->
+      let c = Svc.Client.connect path in
+      (* a solve report is far larger than 256 bytes: it must degrade to a
+         bounded oversized error carrying the request's id — pre-fix the
+         unframeable reply escaped as an exception and killed the
+         connection's thread mid-write *)
+      (match
+         Svc.Client.call
+           ~params:(J.Obj [ ("task", J.Str "consensus"); ("n", J.Int 3) ])
+           c P.Solve
+       with
+      | Error (Svc.Client.Server (P.Oversized, msg)) ->
+        check_bool "error names the reply limit" true
+          (contains msg "reply limit")
+      | Ok j ->
+        Alcotest.failf "reply of %d bytes was not capped"
+          (String.length (J.to_string j))
+      | Error e -> Alcotest.failf "solve: %s" (Svc.Client.error_string e));
+      (* the connection survives, and small replies still fit *)
+      (match Svc.Client.call c P.Ping with
+      | Ok (J.Str "pong") -> ()
+      | _ -> Alcotest.fail "ping after capped reply");
+      Svc.Client.close c)
+
+let test_server_run_twice_restores_signals () =
+  let hits = Atomic.make 0 in
+  let mine = Sys.Signal_handle (fun _ -> Atomic.incr hits) in
+  let prev = Sys.signal Sys.sigterm mine in
+  Fun.protect
+    ~finally:(fun () -> Sys.set_signal Sys.sigterm prev)
+    (fun () ->
+      let serve_and_stop () =
+        let path = socket_path () in
+        let th = Thread.create (fun () -> Svc.Server.run (default_cfg path)) () in
+        let deadline = Unix.gettimeofday () +. 10. in
+        let rec connect () =
+          match Svc.Client.connect path with
+          | c -> c
+          | exception Unix.Unix_error _ ->
+            if Unix.gettimeofday () > deadline then
+              Alcotest.fail "server did not come up";
+            Thread.delay 0.01;
+            connect ()
+        in
+        let c = connect () in
+        (match Svc.Client.call c P.Shutdown with
+        | Ok (J.Str "draining") -> ()
+        | _ -> Alcotest.fail "shutdown reply");
+        Svc.Client.close c;
+        Thread.join th
+      in
+      let expect_hits label n =
+        let deadline = Unix.gettimeofday () +. 5. in
+        while Atomic.get hits < n && Unix.gettimeofday () < deadline do
+          Thread.delay 0.005
+        done;
+        check_int label n (Atomic.get hits)
+      in
+      (* run installs its own SIGTERM/SIGINT handlers; when it returns it
+         must put OURS back — pre-fix the stale handler kept pointing a
+         later SIGTERM at the dead server's shutdown *)
+      serve_and_stop ();
+      Unix.kill (Unix.getpid ()) Sys.sigterm;
+      expect_hits "handler restored after first run" 1;
+      (* and a second server in the same process starts, serves, stops *)
+      serve_and_stop ();
+      Unix.kill (Unix.getpid ()) Sys.sigterm;
+      expect_hits "handler restored after second run" 2)
+
 let suite =
   [
     Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
@@ -437,6 +696,12 @@ let suite =
     Alcotest.test_case "desynced frame is unrecoverable" `Quick
       test_frame_desynced;
     Alcotest.test_case "truncated frame" `Quick test_frame_truncated;
+    Alcotest.test_case "decoder: incremental feed" `Quick
+      test_decoder_incremental;
+    Alcotest.test_case "decoder: oversized skip keeps sync" `Quick
+      test_decoder_oversized_skip;
+    Alcotest.test_case "decoder: desynced is sticky" `Quick
+      test_decoder_desynced_sticky;
     Alcotest.test_case "protocol round-trip" `Quick test_protocol_roundtrip;
     Alcotest.test_case "protocol rejects malformed" `Quick test_protocol_rejects;
     Alcotest.test_case "jobq bound, order, drain" `Quick
@@ -457,4 +722,14 @@ let suite =
       test_server_oversized_and_events;
     Alcotest.test_case "server: shutdown verb refuses new work" `Quick
       test_server_shutdown_verb_refuses_new;
+    Alcotest.test_case "server: deadline_ms bomb is a bad request" `Quick
+      test_server_deadline_bomb;
+    Alcotest.test_case "pool: expired deadline cancels on first poll" `Quick
+      test_deadline_cancel_first_poll;
+    Alcotest.test_case "server: pipelined requests complete out of order"
+      `Quick test_server_pipelining_out_of_order;
+    Alcotest.test_case "server: overlong reply degrades to oversized" `Quick
+      test_server_reply_cap;
+    Alcotest.test_case "server: run twice, signal handlers restored" `Quick
+      test_server_run_twice_restores_signals;
   ]
