@@ -352,82 +352,105 @@ let emulate n seed crashes budget =
   Fmt.pr "omega property     %b@." ok;
   if ok then 0 else 1
 
-let modelcheck depth n_s reduce json =
-  (* exhaustively check 2-process safe agreement over every schedule; the
-     S-processes are idle and symmetric, so --reduce declares them one
-     symmetry class on top of sleep-set pruning *)
+let modelcheck depth n_s reduce scenario workers split_depth json =
+  (* exhaustively check a named scenario over every schedule (default:
+     2-process safe agreement); the S-processes are idle and symmetric, so
+     --reduce declares them one symmetry class on top of sleep-set
+     pruning. With --workers the frontier is split and fanned out to a
+     fleet of wfa serve instances (lib/dist); the merge algebra makes the
+     verdict and credited count identical to the local run. *)
   let n_s = max 1 n_s in
-  let build () =
-    let mem = Memory.create () in
-    let sa = Bglib.Safe_agreement.create mem ~n:2 in
-    let c_code i () =
-      Bglib.Safe_agreement.propose sa ~me:i (Value.int (100 + i));
-      let rec resolve () =
-        match Bglib.Safe_agreement.try_resolve sa with
-        | Some v -> Runtime.Op.decide v
-        | None -> resolve ()
-      in
-      resolve ()
+  match Mcheck.Scenario.find scenario ~n_s with
+  | Error msg ->
+    Fmt.epr "wfa modelcheck: %s@." msg;
+    2
+  | Ok sc -> (
+    let finish ~engine ~dist_fields verdict stats =
+      Fmt.pr "engine: %s@." engine;
+      Fmt.pr "stats:  %a@." Exhaustive.pp_stats stats;
+      Option.iter
+        (fun path ->
+          write_json path
+            (Obs.Json.Obj
+               ([
+                  ("scenario", Obs.Json.Str sc.Mcheck.Scenario.sc_name);
+                  ("depth", Obs.Json.Int depth);
+                  ("n_s", Obs.Json.Int n_s);
+                  ("reduce", Obs.Json.Bool reduce);
+                  ( "verdict",
+                    Obs.Json.Str
+                      (match verdict with
+                      | Exhaustive.Ok _ -> "ok"
+                      | Exhaustive.Counterexample _ -> "counterexample") );
+                  ( "schedules",
+                    match verdict with
+                    | Exhaustive.Ok n -> Obs.Json.Int n
+                    | Exhaustive.Counterexample _ -> Obs.Json.Null );
+                  (* mirrored at top level so local and distributed runs
+                     diff field-for-field without digging into stats *)
+                  ("sleep_pruned", Obs.Json.Int stats.Exhaustive.sleep_pruned);
+                  ( "orbits_collapsed",
+                    Obs.Json.Int stats.Exhaustive.orbits_collapsed );
+                  ("stats", Exhaustive.stats_json stats);
+                ]
+               @ dist_fields)))
+        json;
+      match verdict with
+      | Exhaustive.Ok n ->
+        Fmt.pr "%s: %d schedules of depth <= %d, property holds@."
+          sc.Mcheck.Scenario.sc_name n depth;
+        0
+      | Exhaustive.Counterexample cex ->
+        Fmt.pr "VIOLATION under schedule %a@."
+          Fmt.(list ~sep:(any " ") Pid.pp)
+          cex;
+        1
     in
-    Runtime.create
-      {
-        Runtime.n_c = 2;
-        n_s;
-        memory = mem;
-        pattern = Failure.failure_free n_s;
-        history = History.trivial;
-        record_trace = false;
-      }
-      ~c_code
-      ~s_code:(fun _ () -> ())
-  in
-  let prop rt =
-    match (Runtime.decision rt 0, Runtime.decision rt 1) with
-    | Some a, Some b -> Value.equal a b
-    | _ -> true
-  in
-  let reduce =
-    if reduce then
-      Some { Exhaustive.sleep = true; symmetry = [ Pid.all_s n_s ] }
-    else None
-  in
-  let verdict, stats =
-    Exhaustive.run ?reduce ~build ~pids:(Pid.all ~n_c:2 ~n_s) ~depth ~prop ()
-  in
-  Fmt.pr "engine: %s@."
-    (if reduce = None then "incremental+memo"
-     else "incremental+memo+sleep+symmetry");
-  Fmt.pr "stats:  %a@." Exhaustive.pp_stats stats;
-  Option.iter
-    (fun path ->
-      write_json path
-        (Obs.Json.Obj
-           [
-             ("depth", Obs.Json.Int depth);
-             ("n_s", Obs.Json.Int n_s);
-             ("reduce", Obs.Json.Bool (reduce <> None));
-             ( "verdict",
-               Obs.Json.Str
-                 (match verdict with
-                 | Exhaustive.Ok _ -> "ok"
-                 | Exhaustive.Counterexample _ -> "counterexample") );
-             ( "schedules",
-               match verdict with
-               | Exhaustive.Ok n -> Obs.Json.Int n
-               | Exhaustive.Counterexample _ -> Obs.Json.Null );
-             ("stats", Exhaustive.stats_json stats);
-           ]))
-    json;
-  match verdict with
-  | Exhaustive.Ok n ->
-    Fmt.pr "safe agreement: %d schedules of depth <= %d, agreement holds@." n
-      depth;
-    0
-  | Exhaustive.Counterexample cex ->
-    Fmt.pr "VIOLATION under schedule %a@."
-      Fmt.(list ~sep:(any " ") Pid.pp)
-      cex;
-    1
+    match workers with
+    | [] ->
+      let red = Mcheck.Scenario.reduction sc ~reduce in
+      let verdict, stats =
+        Exhaustive.run ?reduce:red ~build:sc.Mcheck.Scenario.sc_build
+          ~pids:sc.Mcheck.Scenario.sc_pids ~depth
+          ~prop:sc.Mcheck.Scenario.sc_prop ()
+      in
+      finish
+        ~engine:
+          (if red = None then "incremental+memo"
+           else "incremental+memo+sleep+symmetry")
+        ~dist_fields:[] verdict stats
+    | workers -> (
+      match
+        Dist.Coordinator.run ?split_depth ~reduce ~scenario:sc ~depth ~workers
+          ()
+      with
+      | Error msg ->
+        Fmt.epr "wfa modelcheck: %s@." msg;
+        2
+      | Ok r ->
+        let dead =
+          List.filter (fun w -> w.Dist.Coordinator.wk_dead) r.Dist.Coordinator.r_workers
+        in
+        Fmt.pr
+          "dist:   %d workers (%d failed), %d subtree jobs, %d re-dispatched@."
+          (List.length workers) (List.length dead)
+          r.Dist.Coordinator.r_jobs r.Dist.Coordinator.r_redispatched;
+        finish ~engine:"distributed"
+          ~dist_fields:
+            [
+              ( "dist",
+                Obs.Json.Obj
+                  [
+                    ("workers", Obs.Json.Int (List.length workers));
+                    ("workers_dead", Obs.Json.Int (List.length dead));
+                    ("jobs", Obs.Json.Int r.Dist.Coordinator.r_jobs);
+                    ( "redispatched",
+                      Obs.Json.Int r.Dist.Coordinator.r_redispatched );
+                    ( "frontier_pruned",
+                      Obs.Json.Int r.Dist.Coordinator.r_frontier_pruned );
+                  ] );
+            ]
+          r.Dist.Coordinator.r_verdict r.Dist.Coordinator.r_stats))
 
 (* A fast, machine-readable slice of the bench suite (the full tables live
    in bench/main.exe --record): an E1-style batch, an E5-style batch and a
@@ -538,29 +561,40 @@ let bench json =
 
 (* ------------------------------------------------------- serve / call *)
 
-let serve socket workers shards queue deadline_ms max_frame events =
-  let cfg =
-    {
-      Svc.Server.socket_path = socket;
-      workers;
-      shards;
-      queue_bound = queue;
-      default_deadline_ms = deadline_ms;
-      max_frame;
-      max_reply = Svc.Frame.max_wire_len;
-    }
-  in
-  let sink = if events then Some (Obs.Sink.stdout ()) else None in
-  Fmt.pr "wfa serve: listening on %s (workers %d, shards %d, queue %d)@."
-    socket workers shards queue;
-  Svc.Server.run ?sink cfg;
-  Fmt.pr "wfa serve: drained and stopped@.";
-  0
+let serve socket listen workers shards queue deadline_ms max_frame events =
+  (* --listen supersedes --socket; --socket PATH keeps meaning what it
+     always meant (a bare path parses as a Unix socket address) *)
+  match Svc.Addr.of_string (Option.value listen ~default:socket) with
+  | Error msg ->
+    Fmt.epr "wfa serve: %s@." msg;
+    2
+  | Ok addr ->
+    let cfg =
+      {
+        Svc.Server.listen = addr;
+        workers;
+        shards;
+        queue_bound = queue;
+        default_deadline_ms = deadline_ms;
+        max_frame;
+        max_reply = Svc.Frame.max_wire_len;
+      }
+    in
+    let sink = if events then Some (Obs.Sink.stdout ()) else None in
+    Svc.Server.run ?sink
+      ~on_listen:(fun bound ->
+        (* the bound address, not the configured one: tcp::0 resolves to
+           the kernel-chosen port here, and scripts parse this line *)
+        Fmt.pr "wfa serve: listening on %s (workers %d, shards %d, queue %d)@."
+          (Svc.Addr.to_string bound) workers shards queue)
+      cfg;
+    Fmt.pr "wfa serve: drained and stopped@.";
+    0
 
 (* --pipeline N: write all N copies of the request before reading any
    response, then collect N responses matched by id (completion order, not
    send order — the point of pipelining). N = 1 is the plain round-trip. *)
-let call socket verb params deadline_ms pipeline =
+let call socket verb params deadline_ms pipeline retry =
   match Obs.Json.of_string params with
   | Error msg ->
     Fmt.epr "wfa call: invalid --params JSON: %s@." msg;
@@ -570,10 +604,13 @@ let call socket verb params deadline_ms pipeline =
     Fmt.epr "wfa call: --pipeline must be >= 1@.";
     2
   | Ok params -> (
-    match Svc.Client.connect socket with
+    match Svc.Client.connect ~retries:retry socket with
     | exception Unix.Unix_error (e, _, _) ->
       Fmt.epr "wfa call: cannot connect to %s: %s@." socket
         (Unix.error_message e);
+      2
+    | exception Invalid_argument msg ->
+      Fmt.epr "wfa call: %s@." msg;
       2
     | client when pipeline = 1 ->
       let r = Svc.Client.call ?deadline_ms ~params client verb in
@@ -701,30 +738,55 @@ let emulate_cmd =
           $ Arg.(value & opt int 30_000 & info [ "budget" ] ~docv:"STEPS" ~doc:"Run length."))
 
 let modelcheck_cmd =
-  let doc = "Exhaustively model-check safe agreement over all schedules." in
+  let doc =
+    "Exhaustively model-check a scenario over all schedules, locally or \
+     fanned out over a worker fleet."
+  in
   Cmd.v
     (Cmd.info "modelcheck" ~doc)
     Term.(const modelcheck
           $ Arg.(value & opt int 10 & info [ "depth" ] ~docv:"DEPTH" ~doc:"Schedule depth.")
           $ Arg.(value & opt int 1 & info [ "n-s" ] ~docv:"N" ~doc:"Number of (idle) S-processes in the schedule.")
           $ Arg.(value & flag & info [ "reduce" ] ~doc:"Enable sleep-set partial-order reduction and S-process symmetry collapsing.")
+          $ Arg.(value & opt string "safe-agreement"
+                 & info [ "scenario" ] ~docv:"NAME"
+                     ~doc:"Scenario to check: safe-agreement | race-false \
+                           (a seeded violation, for testing the \
+                           counterexample path).")
+          $ Arg.(value & opt (list string) []
+                 & info [ "workers" ] ~docv:"ADDR,..."
+                     ~doc:"Distribute over these wfa serve workers \
+                           (tcp:HOST:PORT or unix:PATH, comma-separated). \
+                           Empty = run locally.")
+          $ Arg.(value & opt (some int) None
+                 & info [ "split-depth" ] ~docv:"D"
+                     ~doc:"Frontier depth for distribution (default: \
+                           min 3 (depth-1)).")
           $ json_arg)
 
 let socket_arg =
   Arg.(
     value
     & opt string "/tmp/wfa.sock"
-    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+    & info [ "socket" ] ~docv:"ADDR"
+        ~doc:"Server address: a Unix-domain socket path, unix:PATH, or \
+              tcp:HOST:PORT.")
 
 let serve_cmd =
   let doc =
-    "Run the concurrent job server: solve/modelcheck/fuzz over a \
-     Unix-domain socket with worker pools, backpressure and deadlines."
+    "Run the concurrent job server: solve/modelcheck/subtree/fuzz over a \
+     Unix-domain or TCP socket with worker pools, backpressure and \
+     deadlines."
   in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       const serve $ socket_arg
+      $ Arg.(value & opt (some string) None
+             & info [ "listen" ] ~docv:"ADDR"
+                 ~doc:"Listen address: unix:PATH or tcp:HOST:PORT \
+                       (tcp::0 = all interfaces, kernel-chosen port, \
+                       printed on startup). Overrides --socket.")
       $ Arg.(value & opt int 2
              & info [ "workers" ] ~docv:"N" ~doc:"Worker domains.")
       $ Arg.(value & opt int 2
@@ -762,7 +824,8 @@ let call_cmd =
       const call $ socket_arg
       $ Arg.(value & pos 0 verb_conv Svc.Protocol.Ping
              & info [] ~docv:"VERB"
-                 ~doc:"ping | stats | solve | modelcheck | fuzz | shutdown.")
+                 ~doc:"ping | stats | metrics | solve | modelcheck | \
+                       subtree | fuzz | shutdown.")
       $ Arg.(value & opt string "{}"
              & info [ "params" ] ~docv:"JSON" ~doc:"Request parameters.")
       $ Arg.(value & opt (some int) None
@@ -771,7 +834,11 @@ let call_cmd =
              & info [ "pipeline" ] ~docv:"N"
                  ~doc:"Send $(docv) copies of the request before reading \
                        any response (responses are matched by id and may \
-                       complete out of order); prints an ok/failed summary."))
+                       complete out of order); prints an ok/failed summary.")
+      $ Arg.(value & opt int 0
+             & info [ "retry" ] ~docv:"N"
+                 ~doc:"Retry a refused connection up to $(docv) times with \
+                       exponential backoff."))
 
 let bench_cmd =
   let doc =

@@ -1,0 +1,69 @@
+(** Distributed exhaustive model checking: frontier-split search fanned
+    out over a fleet of job servers (DESIGN.md §6).
+
+    The coordinator runs {!Simkit.Exhaustive.split} locally — a shallow
+    exploration to [split_depth] that credits everything it prunes above
+    the frontier — and ships each emitted subtree to a worker as a
+    [subtree] request ({!Svc.Protocol}), pipelined over one connection
+    per worker. Results are merged with the commutative, associative
+    {!Simkit.Exhaustive.merge_verdicts}/[merge_stats], so the distributed
+    verdict, schedule count and (lex-least) counterexample are {e exactly}
+    those of the single-process run, whatever the arrival order.
+
+    Fault handling, all first-result-wins by job id:
+    - a worker connection that fails (connect, send or receive) requeues
+      the jobs it still owed and retires; the other workers absorb them;
+    - a server-side error reply ([deadline_exceeded], [overloaded], ...)
+      requeues that one job;
+    - an idle worker with an empty queue {e steals} the least-covered
+      in-flight job of another worker — straggler insurance, bounded by
+      never stealing the same job twice on the same worker.
+
+    The run fails only when every worker is dead and jobs remain. *)
+
+type worker_report = {
+  wk_addr : string;  (** the address as given ({!Svc.Addr} textual form) *)
+  wk_jobs : int;  (** results accepted from this worker (duplicates lost) *)
+  wk_dead : bool;  (** its connection failed at some point *)
+}
+
+type report = {
+  r_verdict : Simkit.Exhaustive.verdict;
+  r_stats : Simkit.Exhaustive.stats;
+      (** splitter stats + accepted per-job stats, {!Simkit.Exhaustive.merge_stats}-summed *)
+  r_jobs : int;  (** subtree jobs the frontier split into *)
+  r_frontier_pruned : int;
+      (** schedules credited above the frontier by the splitter itself *)
+  r_redispatched : int;  (** re-issues: requeues after failures plus steals *)
+  r_workers : worker_report list;
+}
+
+val default_split_depth : depth:int -> int
+(** [max 1 (min 3 (depth - 1))] — deep enough to out-number a small fleet
+    in jobs, shallow enough that the local split is negligible work. *)
+
+val run :
+  ?sink:Obs.Sink.t ->
+  ?split_depth:int ->
+  ?reduce:bool ->
+  ?retries:int ->
+  ?backoff_ms:int ->
+  ?deadline_ms:int ->
+  ?window:int ->
+  scenario:Mcheck.Scenario.t ->
+  depth:int ->
+  workers:string list ->
+  unit ->
+  (report, string) result
+(** Check [scenario] to [depth] over [workers] (each an {!Svc.Addr} in
+    textual form). [reduce] enables the scenario's sleep+symmetry
+    reduction on splitter and workers alike. [retries]/[backoff_ms]
+    (defaults 5/50) are per-worker {!Svc.Client.connect} patience;
+    [deadline_ms] rides on every subtree request; [window] (default 4)
+    is the per-connection pipelining depth. [sink] receives the [dist.*]
+    events ({!Obs.Event.Name}).
+
+    [Error] covers configuration mistakes (no workers, bad address, bad
+    [split_depth]) and total fleet failure with jobs unresolved; a
+    counterexample is not an error but a {!report} whose verdict is
+    [Counterexample]. *)

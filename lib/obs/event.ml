@@ -25,6 +25,12 @@ module Name = struct
   let svc_done = "svc.done"
   let svc_timeout = "svc.timeout"
   let svc_drain = "svc.drain"
+  let dist_split = "dist.split"
+  let dist_dispatch = "dist.dispatch"
+  let dist_result = "dist.result"
+  let dist_redispatch = "dist.redispatch"
+  let dist_worker_dead = "dist.worker.dead"
+  let dist_done = "dist.done"
 end
 
 let to_json e = Json.Obj (("ev", Json.Str e.name) :: e.fields)

@@ -82,6 +82,31 @@ module Name : sig
   val svc_drain : string
   (** Graceful shutdown began (field: pending — queued + in-flight jobs
       that will still be served). *)
+
+  (** {2 Distributed model checking ([Dist.Coordinator])} *)
+
+  val dist_split : string
+  (** The frontier was split into subtree jobs (fields: jobs, split_depth,
+      pruned — schedules credited above the frontier). *)
+
+  val dist_dispatch : string
+  (** A subtree job was sent to a worker (fields: job, worker). *)
+
+  val dist_result : string
+  (** A subtree result was accepted — first response wins (fields: job,
+      worker, verdict). *)
+
+  val dist_redispatch : string
+  (** A job was re-issued: its worker died, its response was an error, or
+      an idle worker stole an in-flight straggler (fields: job, reason). *)
+
+  val dist_worker_dead : string
+  (** A worker connection failed; its in-flight jobs were requeued
+      (fields: worker, error, requeued). *)
+
+  val dist_done : string
+  (** The distributed run completed (fields: jobs, redispatched, workers,
+      dead). *)
 end
 
 val to_json : t -> Json.t

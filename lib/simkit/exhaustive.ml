@@ -32,6 +32,52 @@ let stats_json s =
       ("wall_s", Obs.Json.Float s.wall_s);
     ]
 
+let zero_stats =
+  { nodes = 0; steps_executed = 0; replays = 0; runtimes_built = 0;
+    memo_hits = 0; sleep_pruned = 0; orbits_collapsed = 0; wall_s = 0. }
+
+let merge_stats a b =
+  {
+    nodes = a.nodes + b.nodes;
+    steps_executed = a.steps_executed + b.steps_executed;
+    replays = a.replays + b.replays;
+    runtimes_built = a.runtimes_built + b.runtimes_built;
+    memo_hits = a.memo_hits + b.memo_hits;
+    sleep_pruned = a.sleep_pruned + b.sleep_pruned;
+    orbits_collapsed = a.orbits_collapsed + b.orbits_collapsed;
+    wall_s = a.wall_s +. b.wall_s;
+  }
+
+let stats_of_json j =
+  let ( let* ) = Stdlib.Result.bind in
+  let int_field name =
+    match Obs.Json.member name j with
+    | Some v -> (
+      match Obs.Json.to_int_opt v with
+      | Some n -> Stdlib.Ok n
+      | None ->
+        Stdlib.Error (Printf.sprintf "stats field %S is not an integer" name))
+    | None -> Stdlib.Error (Printf.sprintf "missing stats field %S" name)
+  in
+  let* nodes = int_field "nodes" in
+  let* steps_executed = int_field "steps_executed" in
+  let* replays = int_field "replays" in
+  let* runtimes_built = int_field "runtimes_built" in
+  let* memo_hits = int_field "memo_hits" in
+  let* sleep_pruned = int_field "sleep_pruned" in
+  let* orbits_collapsed = int_field "orbits_collapsed" in
+  let* wall_s =
+    match Obs.Json.member "wall_s" j with
+    | Some v -> (
+      match Obs.Json.to_float_opt v with
+      | Some f -> Stdlib.Ok f
+      | None -> Stdlib.Error "stats field \"wall_s\" is not a number")
+    | None -> Stdlib.Error "missing stats field \"wall_s\""
+  in
+  Stdlib.Ok
+    { nodes; steps_executed; replays; runtimes_built; memo_hits; sleep_pruned;
+      orbits_collapsed; wall_s }
+
 let record_stats ?(labels = []) reg s =
   let c name v = Obs.Metrics.incr ~by:v (Obs.Metrics.counter reg ~labels name) in
   c "exhaustive.nodes" s.nodes;
@@ -76,6 +122,34 @@ let stats_of ~wall_s accs =
       memo_hits = 0; sleep_pruned = 0; orbits_collapsed = 0; wall_s }
     accs
 
+(* Lexicographic order on schedules, by position in [pids]; a schedule that
+   is a strict prefix of another orders first (its violation is met earlier
+   in DFS order, which visits the shallower node before any extension). *)
+let sched_le ~pids a b =
+  let pos p =
+    let rec go i = function
+      | [] -> max_int
+      | q :: qs -> if Pid.equal p q then i else go (i + 1) qs
+    in
+    go 0 pids
+  in
+  let rec le xs ys =
+    match (xs, ys) with
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | x :: xs', y :: ys' ->
+      let cx = pos x and cy = pos y in
+      if cx < cy then true else if cx > cy then false else le xs' ys'
+  in
+  le a b
+
+let merge_verdicts ~pids a b =
+  match (a, b) with
+  | Ok m, Ok n -> Ok (m + n)
+  | (Counterexample _ as c), Ok _ | Ok _, (Counterexample _ as c) -> c
+  | Counterexample x, Counterexample y ->
+    Counterexample (if sched_le ~pids x y then x else y)
+
 exception Cancelled
 
 type worker_result = W_ok | W_cex of Pid.t list | W_aborted
@@ -96,7 +170,13 @@ type worker_result = W_ok | W_cex of Pid.t list | W_aborted
    below it is credited, so reported schedule counts stay exact. Only
    fully-verified (counterexample-free) subtrees are memoized. *)
 
-let explore ~build ~pids ~depth ~prop ~mode ~memo ~cancelled ~tops acc =
+(* [?prefix0] starts the DFS below a fixed schedule prefix (executed without
+   property checks — the caller has already verified it): the engine then
+   enumerates exactly the subtree of extensions, which is how a frontier job
+   from {!split} is replayed on a worker. The default keeps the whole-tree
+   behaviour byte-identical. *)
+let explore ?(prefix0 = []) ~build ~pids ~depth ~prop ~mode ~memo ~cancelled
+    ~tops acc =
   let every = mode = Every in
   let tbl = if memo then Some (Hashtbl.create 4096) else None in
   let cur = ref None in
@@ -172,7 +252,12 @@ let explore ~build ~pids ~depth ~prop ~mode ~memo ~cancelled ~tops acc =
   let result =
     try
       let rt = build_fresh () in
-      match expand rt [] depth ~branch:tops with
+      List.iter (step rt) prefix0;
+      match
+        expand rt (List.rev prefix0)
+          (depth - List.length prefix0)
+          ~branch:tops
+      with
       | Some cex -> W_cex cex
       | None -> W_ok
     with Cancelled -> W_aborted
@@ -279,8 +364,15 @@ let compile_reduction ~pids ~depth (r : reduction) =
   { r_sleep = r.sleep; r_pids = arr; r_cls = cls; r_pos = pos;
     r_size = Array.of_list size; r_pow = pow }
 
-let explore_reduced ~build ~depth ~prop ~mode ~memo ~rctx ~cancelled ~tops acc
-    =
+(* [?prefix0]/[?z0]/[?factor0]/[?used0] seed the DFS at a frontier node: the
+   prefix is replayed without property checks, then the subtree is expanded
+   under the given sleep mask, orbit-multiplier product and per-class
+   used-member counts — exactly the state the whole-tree engine is in when it
+   reaches that node, so credited counts and counterexamples compose. The
+   defaults (empty prefix, empty mask, factor 1, all-zero used counts) are
+   the whole-tree run and leave its behaviour byte-identical. *)
+let explore_reduced ?(prefix0 = []) ?(z0 = 0) ?(factor0 = 1) ?used0 ~build
+    ~depth ~prop ~mode ~memo ~rctx ~cancelled ~tops acc =
   let every = mode = Every in
   let n = Array.length rctx.r_pids in
   let pidx p =
@@ -296,6 +388,12 @@ let explore_reduced ~build ~depth ~prop ~mode ~memo ~rctx ~cancelled ~tops acc
     if memo then Some (Hashtbl.create 4096) else None
   in
   let used = Array.map (fun _ -> 0) rctx.r_size in
+  (match used0 with
+  | None -> ()
+  | Some u ->
+    if Array.length u <> Array.length used then
+      invalid_arg "Exhaustive: used-count list does not match symmetry classes";
+    Array.blit u 0 used 0 (Array.length u));
   let cur = ref None in
   let destroy_cur () =
     match !cur with
@@ -435,7 +533,13 @@ let explore_reduced ~build ~depth ~prop ~mode ~memo ~rctx ~cancelled ~tops acc
     try
       let rt = build_fresh () in
       peek_all rt;
-      match expand rt [] depth ~branch:tops ~z:0 ~factor:1 with
+      let pfx = List.map pidx prefix0 in
+      List.iter (step rt) pfx;
+      match
+        expand rt (List.rev pfx)
+          (depth - List.length pfx)
+          ~branch:tops ~z:z0 ~factor:factor0
+      with
       | Some cex -> W_cex cex
       | None -> W_ok
     with Cancelled -> W_aborted
@@ -538,6 +642,372 @@ let run ?(domains = 1) ?(memo = true) ?(mode = Every) ?reduce
   in
   if Atomic.get ext then raise Cancelled;
   (verdict, stats_of ~wall_s:(Obs.Span.elapsed_s sp) accs)
+
+(* ------------------------------------------------------------------ *)
+(* Frontier splitting: the work-distribution layer.
+
+   [split] explores the tree only down to [split_depth] and emits each
+   frontier node as a self-contained job: the schedule prefix plus exactly
+   the reduction context the whole-tree engine carries when it enters that
+   node — sleep mask, orbit-multiplier product, per-class used counts.
+   [run_subtree] re-enters the engine from that context (private memo, same
+   credited-count rules), so
+
+     split + run_subtree over every job + merge  =  run
+
+   for verdicts and credited counts, by construction rather than by
+   approximation:
+
+   - subtrees pruned ABOVE the frontier (sleep) are credited by the splitter
+     itself into [fr_pruned] with the engine's own formula, and orbit
+     collapses above the frontier shrink the job list exactly as they shrink
+     the engine's branching — the surviving jobs' factors sum the orbits
+     back in;
+   - subtrees pruned BELOW the frontier are credited inside each job by the
+     unmodified engine code, seeded with the frontier context;
+   - DFS order is lex order and jobs are emitted (and numbered) in DFS
+     order, so every counterexample inside job i lex-precedes every one
+     inside job j > i: folding {!merge_verdicts} over job results in any
+     order returns the sequential engine's first counterexample.
+
+   The splitter holds no memo: frontier prefixes are short, and skipping a
+   digest-equal frontier node would need the remote job's count before it
+   has run. In [Every] mode a prefix that violates the property stops the
+   split — only the jobs already emitted (all lex-smaller) can hold an even
+   smaller counterexample, so the coordinator still merges those. *)
+
+type subtree = {
+  sj_id : int;
+  sj_prefix : Pid.t list;
+  sj_sleep : Pid.t list;
+  sj_factor : int;
+  sj_used : int list;
+}
+
+type split_result = {
+  fr_jobs : subtree list;
+  fr_cex : Pid.t list option;
+  fr_pruned : int;
+  fr_stats : stats;
+}
+
+let split ?(mode = Every) ?reduce ~build ~pids ~depth ~split_depth ~prop () =
+  if split_depth < 1 || split_depth >= depth then
+    invalid_arg "Exhaustive.split: need 1 <= split_depth < depth";
+  let sp = Obs.Span.start ~name:"exhaustive.split" () in
+  let acc = fresh_acc () in
+  let every = mode = Every in
+  let jobs = ref [] in
+  let next_id = ref 0 in
+  let cur = ref None in
+  let destroy_cur () =
+    match !cur with
+    | Some rt ->
+      Runtime.destroy rt;
+      cur := None
+    | None -> ()
+  in
+  let build_fresh () =
+    acc.a_built <- acc.a_built + 1;
+    let rt = build () in
+    cur := Some rt;
+    rt
+  in
+  let cex =
+    match reduce with
+    | Some r when r.sleep || r.symmetry <> [] ->
+      let rctx = compile_reduction ~pids ~depth r in
+      let n = Array.length rctx.r_pids in
+      let all = List.init n Fun.id in
+      let used = Array.map (fun _ -> 0) rctx.r_size in
+      let peek_all rt = Array.iter (Runtime.peek rt) rctx.r_pids in
+      let step rt i =
+        Runtime.step rt rctx.r_pids.(i);
+        acc.a_steps <- acc.a_steps + 1;
+        peek_all rt
+      in
+      let replay prefix_rev =
+        destroy_cur ();
+        acc.a_replays <- acc.a_replays + 1;
+        let rt = build_fresh () in
+        List.iter (step rt) (List.rev prefix_rev);
+        peek_all rt;
+        rt
+      in
+      let cex_of prefix_rev =
+        List.rev_map (fun i -> rctx.r_pids.(i)) prefix_rev
+      in
+      let emit prefix_rev z factor =
+        let id = !next_id in
+        incr next_id;
+        jobs :=
+          {
+            sj_id = id;
+            sj_prefix = cex_of prefix_rev;
+            sj_sleep =
+              List.filter_map
+                (fun i ->
+                  if z land (1 lsl i) <> 0 then Some rctx.r_pids.(i) else None)
+                all;
+            sj_factor = factor;
+            sj_used = Array.to_list used;
+          }
+          :: !jobs
+      in
+      (* The engine's [expand], with recursion below [split_depth] replaced
+         by job emission; [k] is the prefix length at the node. *)
+      let rec go rt prefix_rev k ~branch ~z ~factor =
+        let d = depth - k in
+        let fp = Array.map (Runtime.footprint rt) rctx.r_pids in
+        let rec kids live before = function
+          | [] -> None
+          | i :: rest -> (
+            let c = rctx.r_cls.(i) in
+            let sym =
+              if c < 0 then Some 1
+              else
+                let j = rctx.r_pos.(i) and u = used.(c) in
+                if j < u then Some 1
+                else if j = u then Some (rctx.r_size.(c) - u)
+                else None
+            in
+            match sym with
+            | None ->
+              acc.a_orbits <- acc.a_orbits + 1;
+              kids live before rest
+            | Some mult ->
+              if rctx.r_sleep && z land (1 lsl i) <> 0 then begin
+                acc.a_sleep <- acc.a_sleep + 1;
+                acc.a_count <-
+                  acc.a_count + (factor * mult * rctx.r_pow.(d - 1));
+                kids live before rest
+              end
+              else begin
+                let rt = if live then rt else replay prefix_rev in
+                step rt i;
+                acc.a_nodes <- acc.a_nodes + 1;
+                let prefix_rev' = i :: prefix_rev in
+                if every && not (prop rt) then Some (cex_of prefix_rev')
+                else begin
+                  let z' =
+                    if not rctx.r_sleep then 0
+                    else begin
+                      let zin = z lor before and m = ref 0 in
+                      for q = 0 to n - 1 do
+                        if
+                          zin land (1 lsl q) <> 0
+                          && Runtime.commute fp.(q) fp.(i)
+                        then m := !m lor (1 lsl q)
+                      done;
+                      !m
+                    end
+                  in
+                  let fresh_member = c >= 0 && rctx.r_pos.(i) = used.(c) in
+                  if fresh_member then used.(c) <- used.(c) + 1;
+                  let sub =
+                    if k + 1 = split_depth then begin
+                      emit prefix_rev' z' (factor * mult);
+                      None
+                    end
+                    else
+                      go rt prefix_rev' (k + 1) ~branch:all ~z:z'
+                        ~factor:(factor * mult)
+                  in
+                  if fresh_member then used.(c) <- used.(c) - 1;
+                  match sub with
+                  | Some cex -> Some cex
+                  | None -> kids false (before lor (1 lsl i)) rest
+                end
+              end)
+        in
+        kids true 0 branch
+      in
+      let rt = build_fresh () in
+      peek_all rt;
+      go rt [] 0 ~branch:all ~z:0 ~factor:1
+    | Some _ | None ->
+      let step rt p =
+        Runtime.step rt p;
+        acc.a_steps <- acc.a_steps + 1
+      in
+      let replay prefix_rev =
+        destroy_cur ();
+        acc.a_replays <- acc.a_replays + 1;
+        let rt = build_fresh () in
+        List.iter (step rt) (List.rev prefix_rev);
+        rt
+      in
+      let emit prefix_rev =
+        let id = !next_id in
+        incr next_id;
+        jobs :=
+          { sj_id = id; sj_prefix = List.rev prefix_rev; sj_sleep = [];
+            sj_factor = 1; sj_used = [] }
+          :: !jobs
+      in
+      let rec go rt prefix_rev k =
+        let rec kids live = function
+          | [] -> None
+          | p :: rest -> (
+            let rt = if live then rt else replay prefix_rev in
+            step rt p;
+            acc.a_nodes <- acc.a_nodes + 1;
+            let prefix_rev' = p :: prefix_rev in
+            if every && not (prop rt) then Some (List.rev prefix_rev')
+            else
+              let sub =
+                if k + 1 = split_depth then begin
+                  emit prefix_rev';
+                  None
+                end
+                else go rt prefix_rev' (k + 1)
+              in
+              match sub with
+              | Some cex -> Some cex
+              | None -> kids false rest)
+        in
+        kids true pids
+      in
+      let rt = build_fresh () in
+      go rt [] 0
+  in
+  destroy_cur ();
+  {
+    fr_jobs = List.rev !jobs;
+    fr_cex = cex;
+    fr_pruned = acc.a_count;
+    fr_stats = stats_of ~wall_s:(Obs.Span.elapsed_s sp) [ acc ];
+  }
+
+let run_subtree ?(memo = true) ?(mode = Every) ?reduce
+    ?(cancel = never_cancel) ~build ~pids ~depth ~prop sj =
+  let k = List.length sj.sj_prefix in
+  if k < 1 || k >= depth then
+    invalid_arg "Exhaustive.run_subtree: prefix length must be in [1, depth)";
+  List.iter
+    (fun p ->
+      if not (List.exists (Pid.equal p) pids) then
+        invalid_arg "Exhaustive.run_subtree: job pid not in pids")
+    (sj.sj_prefix @ sj.sj_sleep);
+  let sp = Obs.Span.start ~name:"exhaustive.run_subtree" () in
+  let acc = fresh_acc () in
+  let result =
+    match reduce with
+    | Some r when r.sleep || r.symmetry <> [] ->
+      let rctx = compile_reduction ~pids ~depth r in
+      let idx_of p =
+        (* membership was validated above, so this terminates *)
+        let rec go i = if Pid.equal rctx.r_pids.(i) p then i else go (i + 1) in
+        go 0
+      in
+      let z0 =
+        List.fold_left (fun z p -> z lor (1 lsl idx_of p)) 0 sj.sj_sleep
+      in
+      let used0 = Array.map (fun _ -> 0) rctx.r_size in
+      (match sj.sj_used with
+      | [] -> ()
+      | us ->
+        if List.length us <> Array.length used0 then
+          invalid_arg
+            "Exhaustive.run_subtree: used-count list does not match symmetry \
+             classes";
+        List.iteri
+          (fun c u ->
+            if u < 0 || u > rctx.r_size.(c) then
+              invalid_arg
+                "Exhaustive.run_subtree: used count exceeds class size";
+            used0.(c) <- u)
+          us);
+      if sj.sj_factor < 1 then
+        invalid_arg "Exhaustive.run_subtree: factor must be >= 1";
+      explore_reduced ~prefix0:sj.sj_prefix ~z0 ~factor0:sj.sj_factor ~used0
+        ~build ~depth ~prop ~mode ~memo ~rctx ~cancelled:cancel ~tops:pids acc
+    | Some _ | None ->
+      if sj.sj_factor <> 1 || sj.sj_sleep <> [] || sj.sj_used <> [] then
+        invalid_arg
+          "Exhaustive.run_subtree: job carries reduction context but no \
+           reduction is enabled";
+      explore ~prefix0:sj.sj_prefix ~build ~pids ~depth ~prop ~mode ~memo
+        ~cancelled:cancel ~tops:pids acc
+  in
+  let verdict =
+    match result with
+    | W_cex cex -> Counterexample cex
+    | W_ok -> Ok acc.a_count
+    | W_aborted -> raise Cancelled
+  in
+  (verdict, stats_of ~wall_s:(Obs.Span.elapsed_s sp) [ acc ])
+
+(* ------------------------------------------------ subtree wire format *)
+
+let schedule_json ps =
+  Obs.Json.List (List.map (fun p -> Obs.Json.Str (Pid.to_string p)) ps)
+
+let schedule_of_json j =
+  match j with
+  | Obs.Json.List xs ->
+    let rec go acc = function
+      | [] -> Stdlib.Ok (List.rev acc)
+      | Obs.Json.Str s :: rest -> (
+        match Pid.of_string s with
+        | Some p -> go (p :: acc) rest
+        | None -> Stdlib.Error (Printf.sprintf "invalid pid %S in schedule" s))
+      | _ -> Stdlib.Error "schedule holds a non-string pid"
+    in
+    go [] xs
+  | _ -> Stdlib.Error "schedule is not a list"
+
+let subtree_json sj =
+  Obs.Json.Obj
+    [
+      ("id", Obs.Json.Int sj.sj_id);
+      ("prefix", schedule_json sj.sj_prefix);
+      ("sleep", schedule_json sj.sj_sleep);
+      ("factor", Obs.Json.Int sj.sj_factor);
+      ("used", Obs.Json.List (List.map (fun u -> Obs.Json.Int u) sj.sj_used));
+    ]
+
+let subtree_of_json j =
+  let ( let* ) = Stdlib.Result.bind in
+  let int_field name =
+    match Obs.Json.member name j with
+    | Some v -> (
+      match Obs.Json.to_int_opt v with
+      | Some n -> Stdlib.Ok n
+      | None ->
+        Stdlib.Error (Printf.sprintf "subtree field %S is not an integer" name))
+    | None -> Stdlib.Error (Printf.sprintf "missing subtree field %S" name)
+  in
+  let pid_list_field name =
+    match Obs.Json.member name j with
+    | Some v -> (
+      match schedule_of_json v with
+      | Stdlib.Ok ps -> Stdlib.Ok ps
+      | Stdlib.Error msg ->
+        Stdlib.Error (Printf.sprintf "subtree field %S: %s" name msg))
+    | None -> Stdlib.Error (Printf.sprintf "missing subtree field %S" name)
+  in
+  let* sj_id = int_field "id" in
+  let* sj_prefix = pid_list_field "prefix" in
+  let* sj_sleep = pid_list_field "sleep" in
+  let* sj_factor = int_field "factor" in
+  let* sj_used =
+    match Obs.Json.member "used" j with
+    | Some (Obs.Json.List xs) ->
+      let rec go acc = function
+        | [] -> Stdlib.Ok (List.rev acc)
+        | x :: rest -> (
+          match Obs.Json.to_int_opt x with
+          | Some u -> go (u :: acc) rest
+          | None -> Stdlib.Error "field \"used\" holds a non-integer")
+      in
+      go [] xs
+    | Some _ -> Stdlib.Error "subtree field \"used\" is not a list"
+    | None -> Stdlib.Error "missing subtree field \"used\""
+  in
+  if sj_id < 0 then Stdlib.Error "subtree field \"id\" must be >= 0"
+  else if sj_prefix = [] then Stdlib.Error "subtree prefix is empty"
+  else Stdlib.Ok { sj_id; sj_prefix; sj_sleep; sj_factor; sj_used }
 
 (* ------------------------------------------------------------------ *)
 (* The replay-from-scratch baseline — the pre-incremental engine, kept (with

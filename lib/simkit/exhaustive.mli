@@ -57,6 +57,30 @@ val pp_stats : Format.formatter -> stats -> unit
 val stats_json : stats -> Obs.Json.t
 (** The record as a JSON object, field names as above. *)
 
+val stats_of_json : Obs.Json.t -> (stats, string) result
+(** Inverse of {!stats_json} — how a coordinator reads a remote worker's
+    stats back off the wire. *)
+
+val zero_stats : stats
+(** All-zero counters, [0.] wall time: the identity of {!merge_stats}. *)
+
+val merge_stats : stats -> stats -> stats
+(** Fieldwise sum ([wall_s] included — merged wall time is total CPU-side
+    work, not elapsed time). Associative and commutative with identity
+    {!zero_stats} (integer fields exactly; [wall_s] up to float
+    associativity), so partial results from subtree workers can be folded
+    in any order. *)
+
+val merge_verdicts : pids:Pid.t list -> verdict -> verdict -> verdict
+(** The verdict monoid for partitioned runs: [Ok m] + [Ok n] = [Ok (m + n)]
+    (credited counts are exact, so they add); any counterexample beats [Ok];
+    of two counterexamples the lexicographically least survives (schedule
+    order = position order in [pids]; a strict prefix orders first).
+    Associative and commutative, and — because {!split} emits jobs in DFS
+    (= lex) order and each job reports its own lex-least violation — folding
+    over any permutation of a frontier's results reproduces the sequential
+    engine's counterexample. *)
+
 val record_stats : ?labels:(string * string) list -> Obs.Metrics.registry -> stats -> unit
 (** Export into a metric registry: counters [exhaustive.nodes],
     [exhaustive.steps_executed], [exhaustive.replays],
@@ -127,6 +151,90 @@ val run :
     one (true of properties over memory, decisions and participation).
     Verdicts (including exact schedule counts) are identical to
     {!run_replay} under the soundness requirements above. *)
+
+(** {1 Frontier splitting — distributing the search}
+
+    {!split} explores only to a shallow [split_depth] and emits every
+    frontier node as a self-contained {!subtree} job carrying the schedule
+    prefix plus the exact reduction context (sleep mask, orbit-multiplier
+    product, per-class used counts) the whole-tree engine holds when it
+    enters that node. {!run_subtree} — typically on another process, via the
+    [subtree] service verb — re-enters the engine from that context. Folding
+    {!merge_verdicts} and {!merge_stats} over the job results (in any order)
+    plus the splitter's own [fr_pruned] credit reproduces {!run}'s verdict
+    and exact credited schedule count; memo tables are private per job, so
+    only [memo_hits]/[nodes]-style effort counters may differ. *)
+
+type subtree = {
+  sj_id : int;
+      (** frontier position in DFS (= lex) order — the dedup key for
+          first-result-wins re-dispatch *)
+  sj_prefix : Pid.t list;  (** the schedule prefix, length [split_depth] *)
+  sj_sleep : Pid.t list;
+      (** pids asleep at the frontier node ([[]] unless sleep reduction) *)
+  sj_factor : int;  (** orbit-multiplier product along the prefix *)
+  sj_used : int list;
+      (** per-symmetry-class used-member counts at the frontier node, in
+          class declaration order ([[]] when no classes) *)
+}
+
+type split_result = {
+  fr_jobs : subtree list;  (** in DFS order; [sj_id] = position *)
+  fr_cex : Pid.t list option;
+      (** [Every]-mode violation at depth <= [split_depth]: the split stopped
+          there, and only already-emitted (lex-smaller) jobs can beat it *)
+  fr_pruned : int;
+      (** complete schedules credited above the frontier (sleep-pruned
+          subtrees that never became jobs) — the merge fold's start count *)
+  fr_stats : stats;
+}
+
+val split :
+  ?mode:mode ->
+  ?reduce:reduction ->
+  build:(unit -> Runtime.t) ->
+  pids:Pid.t list ->
+  depth:int ->
+  split_depth:int ->
+  prop:(Runtime.t -> bool) ->
+  unit ->
+  split_result
+(** Explore to [split_depth] (raises [Invalid_argument] unless
+    [1 <= split_depth < depth]) and emit the frontier. In [Every] mode the
+    property is checked on every prefix up to the frontier — {!run_subtree}
+    accordingly replays a job's prefix without re-checking it. [~mode],
+    [~reduce] and the scenario must match between [split] and the
+    [run_subtree] calls that consume its jobs. *)
+
+val run_subtree :
+  ?memo:bool ->
+  ?mode:mode ->
+  ?reduce:reduction ->
+  ?cancel:(unit -> bool) ->
+  build:(unit -> Runtime.t) ->
+  pids:Pid.t list ->
+  depth:int ->
+  prop:(Runtime.t -> bool) ->
+  subtree ->
+  verdict * stats
+(** Run one frontier job to the full [depth] (the same [depth] given to
+    {!split}): the prefix is replayed check-free, then the engine expands
+    the subtree under the job's seeded context with a private memo. [Ok n]
+    is the subtree's exact credited schedule count; a counterexample is the
+    full schedule (prefix included) and is the lex-least within the subtree.
+    [?cancel] as in {!run}. Raises [Invalid_argument] on a job inconsistent
+    with [~pids]/[~depth]/[~reduce]. *)
+
+val schedule_json : Pid.t list -> Obs.Json.t
+val schedule_of_json : Obs.Json.t -> (Pid.t list, string) result
+(** A schedule (or counterexample) on the wire: a list of
+    {!Pid.to_string} names ([p1], [q2], ...). *)
+
+val subtree_json : subtree -> Obs.Json.t
+val subtree_of_json : Obs.Json.t -> (subtree, string) result
+(** Wire format for the [subtree] service verb: pids as {!Pid.to_string}
+    names ([p1], [q2], ...). [subtree_of_json] validates shape only; full
+    consistency against the scenario is checked by {!run_subtree}. *)
 
 val run_replay :
   ?mode:mode ->

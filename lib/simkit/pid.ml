@@ -26,6 +26,18 @@ let pp ppf = function
   | S i -> Fmt.pf ppf "q%d" (i + 1)
 
 let to_string t = Fmt.str "%a" pp t
+
+let of_string s =
+  let n = String.length s in
+  if n < 2 then None
+  else
+    match int_of_string_opt (String.sub s 1 (n - 1)) with
+    | Some i when i >= 1 -> (
+      match s.[0] with
+      | 'p' -> Some (C (i - 1))
+      | 'q' -> Some (S (i - 1))
+      | _ -> None)
+    | _ -> None
 let all_c n_c = List.init n_c c
 let all_s n_s = List.init n_s s
 let all ~n_c ~n_s = all_c n_c @ all_s n_s

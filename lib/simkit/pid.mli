@@ -23,6 +23,10 @@ val hash : t -> int
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
+val of_string : string -> t option
+(** Inverse of {!to_string} ([p1] is [C 0], [q2] is [S 1]); [None] on
+    anything else. The wire format for schedules and subtree jobs. *)
+
 val all : n_c:int -> n_s:int -> t list
 (** All process ids, C-processes first. *)
 

@@ -1,0 +1,56 @@
+type t = Unix_path of string | Tcp of string * int
+
+let of_string s =
+  let prefixed p =
+    if String.length s >= String.length p && String.sub s 0 (String.length p) = p
+    then Some (String.sub s (String.length p) (String.length s - String.length p))
+    else None
+  in
+  if s = "" then Error "empty address"
+  else
+    match prefixed "unix:" with
+    | Some "" -> Error "unix: address needs a path"
+    | Some path -> Ok (Unix_path path)
+    | None -> (
+      match prefixed "tcp:" with
+      | None -> Ok (Unix_path s)
+      | Some rest -> (
+        match String.rindex_opt rest ':' with
+        | None -> Error (Printf.sprintf "tcp address %S needs HOST:PORT" s)
+        | Some i -> (
+          let host = String.sub rest 0 i in
+          let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p >= 0 && p <= 65535 -> Ok (Tcp (host, p))
+          | Some _ -> Error (Printf.sprintf "port out of range in %S" s)
+          | None -> Error (Printf.sprintf "invalid port in %S" s))))
+
+let to_string = function
+  | Unix_path p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let domain = function Unix_path _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match
+      Unix.getaddrinfo host ""
+        [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+    with
+    | { Unix.ai_addr = Unix.ADDR_INET (addr, _); _ } :: _ -> addr
+    | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+
+let sockaddr ?(listen = false) = function
+  | Unix_path p -> Unix.ADDR_UNIX p
+  | Tcp ("", port) ->
+    Unix.ADDR_INET
+      ((if listen then Unix.inet_addr_any else Unix.inet_addr_loopback), port)
+  | Tcp (host, port) -> Unix.ADDR_INET (resolve host, port)
+
+let of_sockaddr = function
+  | Unix.ADDR_UNIX p -> Unix_path p
+  | Unix.ADDR_INET (addr, port) -> Tcp (Unix.string_of_inet_addr addr, port)

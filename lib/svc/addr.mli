@@ -1,0 +1,39 @@
+(** Listen/connect addresses for the job server.
+
+    The wire protocol is versioned length-prefixed frames and the poll
+    shards own plain file descriptors, so the server speaks any stream
+    transport; this type names the two it binds — Unix-domain sockets for
+    single-host use and TCP for worker fleets ({!Dist}). The textual form
+    is what [wfa serve --listen] and [wfa modelcheck --workers] accept:
+
+    - [unix:PATH] — a Unix-domain socket at [PATH];
+    - [tcp:HOST:PORT] — TCP; [HOST] may be a name or a literal address,
+      and an empty host ([tcp::4000]) means all interfaces for a listener
+      and the loopback for a connector;
+    - anything else is taken as a bare Unix socket path, so existing
+      [--socket /tmp/wfa.sock] invocations keep meaning what they meant. *)
+
+type t = Unix_path of string | Tcp of string * int
+
+val of_string : string -> (t, string) result
+(** Parse the textual forms above. Port must be in [0, 65535]; port [0]
+    asks the kernel for an ephemeral port (see {!Server.listen_addr}). *)
+
+val to_string : t -> string
+(** [unix:PATH] / [tcp:HOST:PORT] — round-trips through {!of_string}. *)
+
+val pp : Format.formatter -> t -> unit
+
+val domain : t -> Unix.socket_domain
+(** [PF_UNIX] or [PF_INET]. *)
+
+val sockaddr : ?listen:bool -> t -> Unix.sockaddr
+(** The concrete address to bind ([~listen:true]) or connect to. An empty
+    TCP host resolves to [0.0.0.0] when listening and [127.0.0.1] when
+    connecting; host names go through [getaddrinfo]. Raises [Failure] when
+    the host does not resolve — a configuration error, not a transient
+    transport condition. *)
+
+val of_sockaddr : Unix.sockaddr -> t
+(** Back-translation for [getsockname] — how a listener bound to port [0]
+    reports the port the kernel picked. *)

@@ -9,13 +9,43 @@ let error_string = function
   | Server (code, msg) -> Printf.sprintf "%s: %s" (P.err_code_string code) msg
   | Transport msg -> "transport: " ^ msg
 
-let connect path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX path)
-   with e ->
-     (try Unix.close fd with Unix.Unix_error _ -> ());
-     raise e);
-  { fd; next_id = 0; closed = false }
+(* Retryable refusals: the server may still be binding (ECONNREFUSED), or
+   its Unix socket file may not exist yet (ENOENT). Anything else — bad
+   address, permission, unreachable network — is a configuration error and
+   retrying would only mask it. *)
+let retryable = function
+  | Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET -> true
+  | _ -> false
+
+let backoff_cap_ms = 2000
+
+let connect ?(retries = 0) ?(backoff_ms = 50) target =
+  let addr =
+    match Addr.of_string target with
+    | Ok a -> a
+    | Error msg -> invalid_arg ("Svc.Client.connect: " ^ msg)
+  in
+  let sa = Addr.sockaddr addr in
+  let rec attempt left backoff =
+    let fd = Unix.socket (Addr.domain addr) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sa with
+    | () ->
+      (match addr with
+      | Addr.Tcp _ -> (
+        (* small pipelined frames: Nagle would batch them against us *)
+        try Unix.setsockopt fd Unix.TCP_NODELAY true
+        with Unix.Unix_error _ -> ())
+      | Addr.Unix_path _ -> ());
+      { fd; next_id = 0; closed = false }
+    | exception e -> (
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      match e with
+      | Unix.Unix_error (err, _, _) when left > 0 && retryable err ->
+        Unix.sleepf (float_of_int backoff /. 1000.);
+        attempt (left - 1) (min (backoff * 2) backoff_cap_ms)
+      | e -> raise e)
+  in
+  attempt (max 0 retries) (max 1 backoff_ms)
 
 let close t =
   if not t.closed then begin

@@ -14,9 +14,16 @@ type error =
 
 val error_string : error -> string
 
-val connect : string -> t
-(** Connect to the server's socket path. Raises [Unix.Unix_error] if
-    nothing is listening. *)
+val connect : ?retries:int -> ?backoff_ms:int -> string -> t
+(** Connect to an address in {!Addr} textual form ([unix:PATH],
+    [tcp:HOST:PORT], or a bare socket path). [retries] (default [0])
+    re-attempts connection refusals — [ECONNREFUSED], a not-yet-created
+    socket file ([ENOENT]), [ECONNRESET] — sleeping [backoff_ms] (default
+    [50]) before the first retry and doubling up to a 2 s cap; a freshly
+    [exec]'d server is usually reachable well inside the first doubling.
+    Raises [Unix.Unix_error] once the budget is exhausted or on a
+    non-retryable error, and [Invalid_argument] if the address does not
+    parse. *)
 
 val close : t -> unit
 (** Idempotent. *)

@@ -127,51 +127,28 @@ let solve ~cancel params =
       ("report", Run.report_json ~labels:(Run.labels ~task ~algo ~fd ~seed) r);
     ]
 
+let scenario_param params =
+  let name = str_param ~default:"safe-agreement" "scenario" params in
+  let n_s = pos_param ~default:1 "n_s" params in
+  match Mcheck.Scenario.find name ~n_s with
+  | Ok sc -> sc
+  | Error msg -> bad "%s" msg
+
 let modelcheck ~cancel params =
   let depth = pos_param ~default:8 "depth" params in
-  let n_s = pos_param ~default:1 "n_s" params in
   let reduce = bool_param ~default:false "reduce" params in
-  let build () =
-    let mem = Memory.create () in
-    let sa = Bglib.Safe_agreement.create mem ~n:2 in
-    let c_code i () =
-      Bglib.Safe_agreement.propose sa ~me:i (Value.int (100 + i));
-      let rec resolve () =
-        match Bglib.Safe_agreement.try_resolve sa with
-        | Some v -> Runtime.Op.decide v
-        | None -> resolve ()
-      in
-      resolve ()
-    in
-    Runtime.create
-      {
-        Runtime.n_c = 2;
-        n_s;
-        memory = mem;
-        pattern = Failure.failure_free n_s;
-        history = History.trivial;
-        record_trace = false;
-      }
-      ~c_code
-      ~s_code:(fun _ () -> ())
-  in
-  let prop rt =
-    match (Runtime.decision rt 0, Runtime.decision rt 1) with
-    | Some a, Some b -> Value.equal a b
-    | _ -> true
-  in
-  let reduce =
-    if reduce then Some { Exhaustive.sleep = true; symmetry = [ Pid.all_s n_s ] }
-    else None
-  in
+  let sc = scenario_param params in
+  let reduce = Mcheck.Scenario.reduction sc ~reduce in
   let verdict, stats =
-    Exhaustive.run ?reduce ~cancel ~build ~pids:(Pid.all ~n_c:2 ~n_s) ~depth
-      ~prop ()
+    Exhaustive.run ?reduce ~cancel ~build:sc.Mcheck.Scenario.sc_build
+      ~pids:sc.Mcheck.Scenario.sc_pids ~depth ~prop:sc.Mcheck.Scenario.sc_prop
+      ()
   in
   J.Obj
     [
+      ("scenario", J.Str sc.Mcheck.Scenario.sc_name);
       ("depth", J.Int depth);
-      ("n_s", J.Int n_s);
+      ("n_s", J.Int sc.Mcheck.Scenario.sc_n_s);
       ("reduce", J.Bool (reduce <> None));
       ( "verdict",
         J.Str
@@ -184,6 +161,49 @@ let modelcheck ~cancel params =
         | Exhaustive.Counterexample _ -> J.Null );
       ("stats", Exhaustive.stats_json stats);
     ]
+
+(* One frontier subtree of a distributed exhaustive search. The coordinator
+   ships the scenario by name plus the engine context ({!Exhaustive.subtree});
+   the verdict travels back with the job id so first-result-wins re-dispatch
+   can drop duplicates. *)
+let subtree ~cancel params =
+  let depth = pos_param ~default:8 "depth" params in
+  let reduce = bool_param ~default:false "reduce" params in
+  let sc = scenario_param params in
+  let sj =
+    match J.member "job" params with
+    | None -> bad "missing param \"job\""
+    | Some j -> (
+      match Exhaustive.subtree_of_json j with
+      | Ok sj -> sj
+      | Error msg -> bad "%s" msg)
+  in
+  let reduce = Mcheck.Scenario.reduction sc ~reduce in
+  match
+    Exhaustive.run_subtree ?reduce ~cancel ~build:sc.Mcheck.Scenario.sc_build
+      ~pids:sc.Mcheck.Scenario.sc_pids ~depth ~prop:sc.Mcheck.Scenario.sc_prop
+      sj
+  with
+  | exception Invalid_argument msg -> bad "%s" msg
+  | verdict, stats ->
+    J.Obj
+      ([
+         ("id", J.Int sj.Exhaustive.sj_id);
+         ( "verdict",
+           J.Str
+             (match verdict with
+             | Exhaustive.Ok _ -> "ok"
+             | Exhaustive.Counterexample _ -> "counterexample") );
+         ( "schedules",
+           match verdict with
+           | Exhaustive.Ok n -> J.Int n
+           | Exhaustive.Counterexample _ -> J.Null );
+       ]
+      @ (match verdict with
+        | Exhaustive.Ok _ -> []
+        | Exhaustive.Counterexample cex ->
+          [ ("cex", Exhaustive.schedule_json cex) ])
+      @ [ ("stats", Exhaustive.stats_json stats) ])
 
 let fuzz ~cancel params =
   let kind = str_param ~default:"strong-renaming" "kind" params in
@@ -213,16 +233,17 @@ let never_cancel () = false
 
 let run ?(cancel = never_cancel) verb params =
   match verb with
-  | P.Ping | P.Stats | P.Shutdown ->
+  | P.Ping | P.Stats | P.Metrics | P.Shutdown ->
     Error
       ( P.Internal,
         Printf.sprintf "verb %S is not a pool job" (P.verb_string verb) )
-  | P.Solve | P.Modelcheck | P.Fuzz -> (
+  | P.Solve | P.Modelcheck | P.Subtree | P.Fuzz -> (
     try
       Ok
         (match verb with
         | P.Solve -> solve ~cancel params
         | P.Modelcheck -> modelcheck ~cancel params
+        | P.Subtree -> subtree ~cancel params
         | P.Fuzz -> fuzz ~cancel params
         | _ -> assert false)
     with

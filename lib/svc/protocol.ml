@@ -1,20 +1,32 @@
 module J = Obs.Json
 
-type verb = Ping | Stats | Solve | Modelcheck | Fuzz | Shutdown
+type verb =
+  | Ping
+  | Stats
+  | Metrics
+  | Solve
+  | Modelcheck
+  | Subtree
+  | Fuzz
+  | Shutdown
 
 let verb_string = function
   | Ping -> "ping"
   | Stats -> "stats"
+  | Metrics -> "metrics"
   | Solve -> "solve"
   | Modelcheck -> "modelcheck"
+  | Subtree -> "subtree"
   | Fuzz -> "fuzz"
   | Shutdown -> "shutdown"
 
 let verb_of_string = function
   | "ping" -> Some Ping
   | "stats" -> Some Stats
+  | "metrics" -> Some Metrics
   | "solve" -> Some Solve
   | "modelcheck" -> Some Modelcheck
+  | "subtree" -> Some Subtree
   | "fuzz" -> Some Fuzz
   | "shutdown" -> Some Shutdown
   | _ -> None

@@ -5,8 +5,8 @@
     {v
     request  ::= { "v": 1, "id": <int>, "verb": <verb>,
                    "params": <object>?, "deadline_ms": <int>? }
-    verb     ::= "ping" | "stats" | "solve" | "modelcheck" | "fuzz"
-               | "shutdown"
+    verb     ::= "ping" | "stats" | "metrics" | "solve" | "modelcheck"
+               | "subtree" | "fuzz" | "shutdown"
     response ::= { "v": 1, "id": <int>, "ok": true,  "result": <value> }
                | { "v": 1, "id": <int>, "ok": false,
                    "error": { "code": <code>, "msg": <string> } }
@@ -20,7 +20,15 @@
     request; the server falls back to its configured default when absent.
     Unknown fields are ignored — the schema can grow compatibly. *)
 
-type verb = Ping | Stats | Solve | Modelcheck | Fuzz | Shutdown
+type verb =
+  | Ping  (** liveness probe; answered inline by the shard *)
+  | Stats  (** server counters snapshot; answered inline *)
+  | Metrics  (** {!Obs.Metrics} registry snapshot as JSON; answered inline *)
+  | Solve  (** pool job: one safe-agreement instance *)
+  | Modelcheck  (** pool job: exhaustive search over a named scenario *)
+  | Subtree  (** pool job: one frontier subtree ({!Simkit.Exhaustive.split}) *)
+  | Fuzz  (** pool job: randomized schedule search *)
+  | Shutdown  (** begin graceful drain *)
 
 val verb_string : verb -> string
 val verb_of_string : string -> verb option

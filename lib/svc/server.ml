@@ -2,7 +2,7 @@ module J = Obs.Json
 module P = Protocol
 
 type config = {
-  socket_path : string;
+  listen : Addr.t;
   workers : int;
   shards : int;
   queue_bound : int;
@@ -11,9 +11,9 @@ type config = {
   max_reply : int;
 }
 
-let default_config ~socket_path =
+let default_config ~listen =
   {
-    socket_path;
+    listen;
     workers = 2;
     shards = 2;
     queue_bound = 64;
@@ -67,6 +67,7 @@ type shard = {
 type t = {
   cfg : config;
   reply_cap : int;
+  bound : Addr.t;  (* the address actually bound (kernel-chosen port) *)
   listen_fd : Unix.file_descr;
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
@@ -140,6 +141,8 @@ let count_done t verb latency_s ~timeout =
         Obs.Metrics.incr
           (Obs.Metrics.counter t.registry "svc.requests.timeout"));
   gauges t
+
+let listen_addr t = t.bound
 
 let stats_json t =
   J.Obj
@@ -321,10 +324,15 @@ let handle_frame t conn payload pending =
       match rq.P.rq_verb with
       | P.Ping -> enqueue_response t conn (P.ok ~id:rq.P.rq_id (J.Str "pong"))
       | P.Stats -> enqueue_response t conn (P.ok ~id:rq.P.rq_id (stats_json t))
+      | P.Metrics ->
+        (* a registry snapshot costs no job slot: answered inline by the
+           shard, under the same mutex every other registry touch takes *)
+        let snapshot = with_obs t (fun () -> Obs.Metrics.to_json t.registry) in
+        enqueue_response t conn (P.ok ~id:rq.P.rq_id snapshot)
       | P.Shutdown ->
         enqueue_response t conn (P.ok ~id:rq.P.rq_id (J.Str "draining"));
         shutdown t
-      | P.Solve | P.Modelcheck | P.Fuzz ->
+      | P.Solve | P.Modelcheck | P.Subtree | P.Fuzz ->
         if Atomic.get t.stop then
           reject t conn ~id:rq.P.rq_id P.Shutting_down "server is draining"
         else pending := (conn, rq) :: !pending))
@@ -618,6 +626,12 @@ let accept_loop t () =
                 [ ("error", J.Str (Unix.error_message e)) ]);
             (try Unix.sleepf 0.05 with Unix.Unix_error _ -> ())
           | fd, _ ->
+            (* small pipelined frames: Nagle would batch them against us *)
+            (match t.cfg.listen with
+            | Addr.Tcp _ -> (
+              try Unix.setsockopt fd Unix.TCP_NODELAY true
+              with Unix.Unix_error _ -> ())
+            | Addr.Unix_path _ -> ());
             let id = Atomic.fetch_and_add t.next_conn 1 in
             shard_adopt t.shards.(id mod n_shards) id fd);
           loop ()
@@ -626,7 +640,10 @@ let accept_loop t () =
   in
   loop ();
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ()
+  match t.cfg.listen with
+  | Addr.Unix_path path -> (
+    try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Addr.Tcp _ -> ()
 
 (* ------------------------------------------------------------ lifecycle *)
 
@@ -636,14 +653,23 @@ let start ?sink ?registry cfg =
   if cfg.queue_bound < 1 then
     invalid_arg "Server.start: queue_bound must be >= 1";
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
-  (try
-     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
-     Unix.listen listen_fd 512
-   with e ->
-     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-     raise e);
+  let listen_fd = Unix.socket (Addr.domain cfg.listen) Unix.SOCK_STREAM 0 in
+  (match cfg.listen with
+  | Addr.Unix_path path -> (
+    try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Addr.Tcp _ ->
+    (* restarts must not trip over TIME_WAIT remnants of themselves *)
+    Unix.setsockopt listen_fd Unix.SO_REUSEADDR true);
+  let bound =
+    try
+      Unix.bind listen_fd (Addr.sockaddr ~listen:true cfg.listen);
+      Unix.listen listen_fd 512;
+      (* with TCP port 0 the kernel picks: report what it picked *)
+      Addr.of_sockaddr (Unix.getsockname listen_fd)
+    with e ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      raise e
+  in
   let wake_r, wake_w = Unix.pipe () in
   let shards =
     Array.init cfg.shards (fun i ->
@@ -670,6 +696,7 @@ let start ?sink ?registry cfg =
       (* the cap must leave room for the bounded oversized-error reply
          that replaces an overlong response *)
       reply_cap = max 256 (min cfg.max_reply Frame.max_wire_len);
+      bound;
       listen_fd;
       wake_r;
       wake_w;
@@ -696,7 +723,7 @@ let start ?sink ?registry cfg =
   | Some s ->
     emit t s Obs.Event.Name.svc_start
       [
-        ("socket", J.Str cfg.socket_path);
+        ("listen", J.Str (Addr.to_string t.bound));
         ("workers", J.Int cfg.workers);
         ("shards", J.Int cfg.shards);
         ("queue_bound", J.Int cfg.queue_bound);
@@ -754,8 +781,9 @@ let wait t =
         ]
   end
 
-let run ?sink ?registry cfg =
+let run ?sink ?registry ?on_listen cfg =
   let t = start ?sink ?registry cfg in
+  Option.iter (fun f -> f t.bound) on_listen;
   let stop _ = shutdown t in
   (* install and SAVE the previous handlers: leaving ours behind would let
      a later signal in the same process call shutdown on this dead server

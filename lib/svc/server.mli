@@ -1,5 +1,5 @@
-(** The job server: poll-driven I/O shards over a Unix-domain socket,
-    fronting {!Pool}.
+(** The job server: poll-driven I/O shards over a Unix-domain or TCP
+    listening socket ({!Addr}), fronting {!Pool}.
 
     One accept thread multiplexes the listening socket against a self-pipe
     (so {!shutdown} can interrupt it from a signal handler) and deals
@@ -40,7 +40,9 @@
     allocate nothing per request. *)
 
 type config = {
-  socket_path : string;
+  listen : Addr.t;
+      (** where to listen: [unix:PATH] or [tcp:HOST:PORT]; TCP port [0]
+          lets the kernel pick — read it back with {!listen_addr} *)
   workers : int;  (** pool worker domains executing jobs *)
   shards : int;  (** I/O shard event-loop threads *)
   queue_bound : int;
@@ -53,7 +55,7 @@ type config = {
           (clamped to at least 256 bytes so the error itself fits) *)
 }
 
-val default_config : socket_path:string -> config
+val default_config : listen:Addr.t -> config
 (** workers = 2, shards = 2, queue_bound = 64, no default deadline,
     max_frame = {!Frame.default_max_len},
     max_reply = {!Frame.max_wire_len}. *)
@@ -62,9 +64,15 @@ type t
 
 val start : ?sink:Obs.Sink.t -> ?registry:Obs.Metrics.registry -> config -> t
 (** Bind, listen, spawn the pool, the shards and the accept thread,
-    return immediately. Replaces a stale socket file at [socket_path].
-    Ignores [SIGPIPE] process-wide (a client hanging up mid-reply must
-    not kill the server). *)
+    return immediately. Replaces a stale socket file for Unix-path
+    addresses; sets [SO_REUSEADDR] for TCP (restarts must not trip over
+    their own [TIME_WAIT] remnants). Ignores [SIGPIPE] process-wide (a
+    client hanging up mid-reply must not kill the server). *)
+
+val listen_addr : t -> Addr.t
+(** The address actually bound — with [tcp:HOST:0] this carries the port
+    the kernel picked, which is how tests and in-process worker fleets
+    learn where to connect. *)
 
 val shutdown : t -> unit
 (** Trigger graceful shutdown; returns immediately; idempotent.
@@ -82,8 +90,15 @@ val stats_json : t -> Obs.Json.t
 (** The live counters the [stats] verb reports: accepted, rejected,
     served, timed-out, in-flight, queue depth, workers, shards. *)
 
-val run : ?sink:Obs.Sink.t -> ?registry:Obs.Metrics.registry -> config -> unit
+val run :
+  ?sink:Obs.Sink.t ->
+  ?registry:Obs.Metrics.registry ->
+  ?on_listen:(Addr.t -> unit) ->
+  config ->
+  unit
 (** {!start}, install [SIGTERM]/[SIGINT] handlers that {!shutdown}, then
-    {!wait} — the body of [wfa serve]. The previous signal handlers are
+    {!wait} — the body of [wfa serve]. [on_listen] fires once the socket
+    is bound, with {!listen_addr} — how [wfa serve --listen tcp::0]
+    announces the kernel-chosen port. The previous signal handlers are
     restored on return (even by exception), so a second server — or the
     process's own handlers — behave correctly afterwards. *)

@@ -1,0 +1,433 @@
+(* The distribution layer, proven the same way the reduction layers were:
+   differentially. Splitting the search at a frontier, running every subtree
+   job through the re-entrant engine and folding the merge monoids must
+   change where the work happens and nothing else — same verdict, same exact
+   credited schedule count, same lex-least counterexample as the
+   single-process engine, for any split depth, any merge order, with and
+   without reduction. Plus qcheck laws for the merge monoids themselves and
+   an end-to-end pass through the coordinator over real TCP workers. *)
+
+open Simkit
+
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let verdict_str = Test_exhaustive.verdict_str
+let mk_ns = Test_exhaustive.mk_ns
+
+let sa_build ~n_s () =
+  let mem = Memory.create () in
+  let sa = Bglib.Safe_agreement.create mem ~n:2 in
+  let c_code i () =
+    Bglib.Safe_agreement.propose sa ~me:i (Value.int (100 + i));
+    let rec resolve () =
+      match Bglib.Safe_agreement.try_resolve sa with
+      | Some v -> Runtime.Op.decide v
+      | None -> resolve ()
+    in
+    resolve ()
+  in
+  mk_ns ~n_c:2 ~n_s mem c_code
+
+let sa_prop rt =
+  match (Runtime.decision rt 0, Runtime.decision rt 1) with
+  | Some a, Some b -> Value.equal a b
+  | _ -> true
+
+let sa_reduce ~n_s = { Exhaustive.sleep = true; symmetry = [ Pid.all_s n_s ] }
+
+(* --- the reference distributed pipeline, in-process --- *)
+
+let shuffle seed l =
+  let st = Random.State.make [| seed |] in
+  l
+  |> List.map (fun x -> (Random.State.bits st, x))
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd
+
+let dist_run ?(memo = true) ?reduce ?(mode = Exhaustive.Every)
+    ?(order = Fun.id) ~build ~pids ~depth ~split_depth ~prop () =
+  let fr = Exhaustive.split ~mode ?reduce ~build ~pids ~depth ~split_depth ~prop () in
+  let results =
+    List.map
+      (fun sj ->
+        Exhaustive.run_subtree ~memo ~mode ?reduce ~build ~pids ~depth ~prop
+          sj)
+      fr.Exhaustive.fr_jobs
+  in
+  let verdict =
+    List.fold_left
+      (fun acc (v, _) -> Exhaustive.merge_verdicts ~pids acc v)
+      (Exhaustive.Ok fr.Exhaustive.fr_pruned)
+      (order results)
+  in
+  let verdict =
+    match fr.Exhaustive.fr_cex with
+    | Some cex ->
+      Exhaustive.merge_verdicts ~pids verdict (Exhaustive.Counterexample cex)
+    | None -> verdict
+  in
+  let stats =
+    List.fold_left
+      (fun acc (_, s) -> Exhaustive.merge_stats acc s)
+      fr.Exhaustive.fr_stats (order results)
+  in
+  (verdict, stats, List.length fr.Exhaustive.fr_jobs)
+
+(* --- partition invariance: any frontier, any merge order --- *)
+
+let test_partition_matches_run () =
+  List.iter
+    (fun (label, n_s, depth, reduce) ->
+      let build = sa_build ~n_s in
+      let pids = Pid.all ~n_c:2 ~n_s in
+      let expected, _ = Exhaustive.run ?reduce ~build ~pids ~depth ~prop:sa_prop () in
+      List.iter
+        (fun split_depth ->
+          List.iter
+            (fun (olabel, order) ->
+              let v, _, jobs =
+                dist_run ?reduce ~order ~build ~pids ~depth ~split_depth
+                  ~prop:sa_prop ()
+              in
+              check_bool
+                (Fmt.str "%s sd=%d: frontier nonempty" label split_depth)
+                true (jobs > 0);
+              check_string
+                (Fmt.str "%s sd=%d order=%s" label split_depth olabel)
+                (verdict_str expected) (verdict_str v))
+            [ ("dfs", Fun.id); ("rev", List.rev); ("shuffle", shuffle 42) ])
+        [ 1; 2; 3 ])
+    [
+      ("plain", 1, 5, None);
+      ("plain-ns2", 2, 4, None);
+      ("reduced", 2, 5, Some (sa_reduce ~n_s:2));
+      ("sleep-only", 1, 5, Some { Exhaustive.sleep = true; symmetry = [] });
+    ]
+
+(* With the memo off, effort is not path-dependent: the partitioned run must
+   prune exactly what the single-process engine prunes, layer by layer. *)
+let test_partition_pruning_counters_exact () =
+  let n_s = 2 in
+  let build = sa_build ~n_s in
+  let pids = Pid.all ~n_c:2 ~n_s in
+  let depth = 5 in
+  let reduce = Some (sa_reduce ~n_s) in
+  let expected_v, expected_s =
+    Exhaustive.run ~memo:false ?reduce ~build ~pids ~depth ~prop:sa_prop ()
+  in
+  List.iter
+    (fun split_depth ->
+      let v, s, _ =
+        dist_run ~memo:false ?reduce ~build ~pids ~depth ~split_depth
+          ~prop:sa_prop ()
+      in
+      check_string
+        (Fmt.str "verdict sd=%d" split_depth)
+        (verdict_str expected_v) (verdict_str v);
+      Alcotest.(check int)
+        (Fmt.str "sleep_pruned sd=%d" split_depth)
+        expected_s.Exhaustive.sleep_pruned s.Exhaustive.sleep_pruned;
+      Alcotest.(check int)
+        (Fmt.str "orbits_collapsed sd=%d" split_depth)
+        expected_s.Exhaustive.orbits_collapsed s.Exhaustive.orbits_collapsed)
+    [ 1; 2; 3 ]
+
+(* --- lex-least counterexample selection is partition-order-invariant --- *)
+
+let test_counterexample_partition_invariant () =
+  let build = Test_exhaustive.race_build ~n_c:2 ~n_s:1 in
+  let pids = Pid.all ~n_c:2 ~n_s:1 in
+  let depth = 6 in
+  let prop = Test_exhaustive.race_prop_false in
+  List.iter
+    (fun (label, reduce) ->
+      let expected, _ = Exhaustive.run ?reduce ~build ~pids ~depth ~prop () in
+      (match expected with
+      | Exhaustive.Counterexample _ -> ()
+      | Exhaustive.Ok _ -> Alcotest.fail "expected a counterexample");
+      List.iter
+        (fun split_depth ->
+          List.iter
+            (fun (olabel, order) ->
+              let v, _, _ =
+                dist_run ?reduce ~order ~build ~pids ~depth ~split_depth ~prop
+                  ()
+              in
+              check_string
+                (Fmt.str "%s sd=%d order=%s" label split_depth olabel)
+                (verdict_str expected) (verdict_str v))
+            [ ("dfs", Fun.id); ("rev", List.rev); ("shuffle", shuffle 7) ])
+        [ 1; 2; 3; 4 ])
+    [
+      ("plain", None);
+      ("reduced", Some (sa_reduce ~n_s:1));
+    ]
+
+(* a violation shallower than the frontier stops the split itself *)
+let test_prefix_violation_stops_split () =
+  let build = sa_build ~n_s:1 in
+  let pids = Pid.all ~n_c:2 ~n_s:1 in
+  let prop _ = false in
+  let expected, _ = Exhaustive.run ~build ~pids ~depth:4 ~prop () in
+  let fr = Exhaustive.split ~build ~pids ~depth:4 ~split_depth:2 ~prop () in
+  check_bool "no jobs emitted" true (fr.Exhaustive.fr_jobs = []);
+  match fr.Exhaustive.fr_cex with
+  | None -> Alcotest.fail "split missed the prefix violation"
+  | Some cex ->
+    check_string "same counterexample" (verdict_str expected)
+      (verdict_str (Exhaustive.Counterexample cex))
+
+(* --- subtree jobs survive the wire format --- *)
+
+let test_subtree_json_roundtrip () =
+  let n_s = 2 in
+  let build = sa_build ~n_s in
+  let pids = Pid.all ~n_c:2 ~n_s in
+  let fr =
+    Exhaustive.split ~reduce:(sa_reduce ~n_s) ~build ~pids ~depth:5
+      ~split_depth:2 ~prop:sa_prop ()
+  in
+  check_bool "have jobs" true (fr.Exhaustive.fr_jobs <> []);
+  List.iter
+    (fun sj ->
+      let s = Obs.Json.to_string (Exhaustive.subtree_json sj) in
+      match Obs.Json.of_string s with
+      | Error e -> Alcotest.failf "unparseable subtree json: %s" e
+      | Ok j -> (
+        match Exhaustive.subtree_of_json j with
+        | Error e -> Alcotest.failf "subtree_of_json: %s" e
+        | Ok sj' ->
+          check_bool
+            (Fmt.str "job %d roundtrips" sj.Exhaustive.sj_id)
+            true (sj = sj')))
+    fr.Exhaustive.fr_jobs
+
+(* --- qcheck laws for the merge monoids --- *)
+
+let stats_eq a b =
+  a.Exhaustive.nodes = b.Exhaustive.nodes
+  && a.Exhaustive.steps_executed = b.Exhaustive.steps_executed
+  && a.Exhaustive.replays = b.Exhaustive.replays
+  && a.Exhaustive.runtimes_built = b.Exhaustive.runtimes_built
+  && a.Exhaustive.memo_hits = b.Exhaustive.memo_hits
+  && a.Exhaustive.sleep_pruned = b.Exhaustive.sleep_pruned
+  && a.Exhaustive.orbits_collapsed = b.Exhaustive.orbits_collapsed
+  && a.Exhaustive.wall_s = b.Exhaustive.wall_s
+
+(* wall times as small dyadic rationals keep float addition exact, so the
+   associativity law can be checked with plain equality *)
+let stats_arb =
+  QCheck.make
+    QCheck.Gen.(
+      map
+        (fun l ->
+          match l with
+          | [ a; b; c; d; e; f; g; w ] ->
+            {
+              Exhaustive.nodes = a;
+              steps_executed = b;
+              replays = c;
+              runtimes_built = d;
+              memo_hits = e;
+              sleep_pruned = f;
+              orbits_collapsed = g;
+              wall_s = float_of_int w /. 8.;
+            }
+          | _ -> assert false)
+        (list_size (return 8) small_nat))
+
+let prop_merge_stats_monoid =
+  QCheck.Test.make ~name:"merge_stats is a commutative monoid" ~count:200
+    (QCheck.triple stats_arb stats_arb stats_arb)
+    (fun (a, b, c) ->
+      let ( + ) = Exhaustive.merge_stats in
+      stats_eq (a + (b + c)) (a + b + c)
+      && stats_eq (a + b) (b + a)
+      && stats_eq (Exhaustive.zero_stats + a) a
+      && stats_eq (a + Exhaustive.zero_stats) a)
+
+let verdict_arb =
+  let pids = Pid.all ~n_c:2 ~n_s:1 in
+  QCheck.make
+    QCheck.Gen.(
+      frequency
+        [
+          (1, map (fun n -> Exhaustive.Ok n) small_nat);
+          ( 2,
+            map
+              (fun is ->
+                Exhaustive.Counterexample
+                  (List.map (fun i -> List.nth pids (i mod 3)) is))
+              (list_size (int_range 1 6) small_nat) );
+        ])
+
+let prop_merge_verdicts_monoid =
+  let pids = Pid.all ~n_c:2 ~n_s:1 in
+  QCheck.Test.make ~name:"merge_verdicts is a commutative monoid" ~count:500
+    (QCheck.triple verdict_arb verdict_arb verdict_arb)
+    (fun (a, b, c) ->
+      let ( + ) = Exhaustive.merge_verdicts ~pids in
+      verdict_str (a + (b + c)) = verdict_str (a + b + c)
+      && verdict_str (a + b) = verdict_str (b + a)
+      && verdict_str (Exhaustive.Ok 0 + a) = verdict_str a)
+
+(* merged credited counts over a random partition of a frontier equal the
+   single-process count: jobs are assigned to buckets arbitrarily, buckets
+   are merged internally, then across — associativity in anger *)
+let prop_partition_counts =
+  let n_s = 1 in
+  let build = sa_build ~n_s in
+  let pids = Pid.all ~n_c:2 ~n_s in
+  let depth = 5 in
+  let expected, _ = Exhaustive.run ~build ~pids ~depth ~prop:sa_prop () in
+  let fr = Exhaustive.split ~build ~pids ~depth ~split_depth:2 ~prop:sa_prop () in
+  let results =
+    List.map
+      (fun sj ->
+        fst (Exhaustive.run_subtree ~build ~pids ~depth ~prop:sa_prop sj))
+      fr.Exhaustive.fr_jobs
+  in
+  QCheck.Test.make ~name:"random partitions merge to the exact count"
+    ~count:50
+    QCheck.(pair (int_range 1 5) (int_range 0 1000))
+    (fun (buckets, seed) ->
+      let st = Random.State.make [| seed |] in
+      let parts = Array.make buckets (Exhaustive.Ok 0) in
+      List.iter
+        (fun v ->
+          let b = Random.State.int st buckets in
+          parts.(b) <- Exhaustive.merge_verdicts ~pids parts.(b) v)
+        results;
+      let merged =
+        Array.fold_left
+          (Exhaustive.merge_verdicts ~pids)
+          (Exhaustive.Ok fr.Exhaustive.fr_pruned)
+          parts
+      in
+      verdict_str merged = verdict_str expected)
+
+(* --- end-to-end: the coordinator over real in-process TCP workers --- *)
+
+let start_tcp_worker () =
+  let cfg =
+    {
+      (Svc.Server.default_config ~listen:(Svc.Addr.Tcp ("127.0.0.1", 0))) with
+      Svc.Server.workers = 1;
+    }
+  in
+  let t = Svc.Server.start cfg in
+  (t, Svc.Addr.to_string (Svc.Server.listen_addr t))
+
+let with_tcp_workers n f =
+  let servers = List.init n (fun _ -> start_tcp_worker ()) in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun (t, _) ->
+          Svc.Server.shutdown t;
+          Svc.Server.wait t)
+        servers)
+    (fun () -> f servers)
+
+(* 1, 2 and 4 workers must all reproduce the local engine bit-for-bit:
+   verdict, credited count, and (race-false) the lex-least counterexample *)
+let test_coordinator_matches_local () =
+  List.iter
+    (fun (name, depth, reduce) ->
+      let sc =
+        match Mcheck.Scenario.find name ~n_s:2 with
+        | Ok sc -> sc
+        | Error e -> Alcotest.fail e
+      in
+      let red = Mcheck.Scenario.reduction sc ~reduce in
+      let expected, _ =
+        Exhaustive.run ?reduce:red ~build:sc.Mcheck.Scenario.sc_build
+          ~pids:sc.Mcheck.Scenario.sc_pids ~depth
+          ~prop:sc.Mcheck.Scenario.sc_prop ()
+      in
+      List.iter
+        (fun n ->
+          with_tcp_workers n (fun servers ->
+              let workers = List.map snd servers in
+              match
+                Dist.Coordinator.run ~reduce ~scenario:sc ~depth ~workers ()
+              with
+              | Error e -> Alcotest.failf "%s x%d: %s" name n e
+              | Ok r ->
+                check_string
+                  (Printf.sprintf "%s depth %d reduce %b x%d workers" name
+                     depth reduce n)
+                  (verdict_str expected)
+                  (verdict_str r.Dist.Coordinator.r_verdict)))
+        [ 1; 2; 4 ])
+    [
+      ("safe-agreement", 6, false);
+      ("safe-agreement", 6, true);
+      ("race-false", 6, false);
+      ("race-false", 6, true);
+    ]
+
+(* one worker address refuses connections: its jobs requeue onto the live
+   worker and the run still completes exactly *)
+let test_coordinator_survives_dead_worker () =
+  let sc =
+    match Mcheck.Scenario.find "safe-agreement" ~n_s:1 with
+    | Ok sc -> sc
+    | Error e -> Alcotest.fail e
+  in
+  let expected, _ =
+    Exhaustive.run ~build:sc.Mcheck.Scenario.sc_build
+      ~pids:sc.Mcheck.Scenario.sc_pids ~depth:6
+      ~prop:sc.Mcheck.Scenario.sc_prop ()
+  in
+  (* grab a port nothing will be listening on by the time the coordinator
+     dials it *)
+  let dead_addr =
+    let t, addr = start_tcp_worker () in
+    Svc.Server.shutdown t;
+    Svc.Server.wait t;
+    addr
+  in
+  with_tcp_workers 1 (fun servers ->
+      let workers = dead_addr :: List.map snd servers in
+      match
+        Dist.Coordinator.run ~retries:0 ~scenario:sc ~depth:6 ~workers ()
+      with
+      | Error e -> Alcotest.fail e
+      | Ok r ->
+        check_string "verdict with a dead worker" (verdict_str expected)
+          (verdict_str r.Dist.Coordinator.r_verdict);
+        let dead =
+          List.filter
+            (fun w -> w.Dist.Coordinator.wk_dead)
+            r.Dist.Coordinator.r_workers
+        in
+        check_bool "the dead worker was noticed" true (List.length dead = 1));
+  (* and a fleet that is entirely dead is an error, not a hang *)
+  match
+    Dist.Coordinator.run ~retries:0 ~scenario:sc ~depth:6
+      ~workers:[ dead_addr ] ()
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "all-dead fleet reported success"
+
+let suite =
+  [
+    Alcotest.test_case "partition matches run (all frontiers, orders)" `Quick
+      test_partition_matches_run;
+    Alcotest.test_case "pruning counters exact without memo" `Quick
+      test_partition_pruning_counters_exact;
+    Alcotest.test_case "counterexample partition-order-invariant" `Quick
+      test_counterexample_partition_invariant;
+    Alcotest.test_case "prefix violation stops the split" `Quick
+      test_prefix_violation_stops_split;
+    Alcotest.test_case "subtree json roundtrip" `Quick
+      test_subtree_json_roundtrip;
+    Alcotest.test_case "coordinator matches local over TCP (1/2/4 workers)"
+      `Quick test_coordinator_matches_local;
+    Alcotest.test_case "coordinator survives a dead worker" `Quick
+      test_coordinator_survives_dead_worker;
+    QCheck_alcotest.to_alcotest prop_merge_stats_monoid;
+    QCheck_alcotest.to_alcotest prop_merge_verdicts_monoid;
+    QCheck_alcotest.to_alcotest prop_partition_counts;
+  ]

@@ -22,4 +22,5 @@ let () =
       ("properties", Test_properties.suite);
       ("cancel", Test_cancel.suite);
       ("svc", Test_svc.suite);
+      ("dist", Test_dist.suite);
     ]
