@@ -594,7 +594,7 @@ let serve socket listen workers shards queue deadline_ms max_frame events =
 (* --pipeline N: write all N copies of the request before reading any
    response, then collect N responses matched by id (completion order, not
    send order — the point of pipelining). N = 1 is the plain round-trip. *)
-let call socket verb params deadline_ms pipeline retry =
+let call socket verb params deadline_ms pipeline retry codec =
   match Obs.Json.of_string params with
   | Error msg ->
     Fmt.epr "wfa call: invalid --params JSON: %s@." msg;
@@ -604,7 +604,7 @@ let call socket verb params deadline_ms pipeline retry =
     Fmt.epr "wfa call: --pipeline must be >= 1@.";
     2
   | Ok params -> (
-    match Svc.Client.connect ~retries:retry socket with
+    match Svc.Client.connect ~retries:retry ~codec socket with
     | exception Unix.Unix_error (e, _, _) ->
       Fmt.epr "wfa call: cannot connect to %s: %s@." socket
         (Unix.error_message e);
@@ -838,7 +838,17 @@ let call_cmd =
       $ Arg.(value & opt int 0
              & info [ "retry" ] ~docv:"N"
                  ~doc:"Retry a refused connection up to $(docv) times with \
-                       exponential backoff."))
+                       exponential backoff.")
+      $ Arg.(value
+             & opt (enum
+                      [ ("json", Svc.Protocol.Codec.Json);
+                        ("binary", Svc.Protocol.Codec.Binary) ])
+                 Svc.Protocol.Codec.Json
+             & info [ "codec" ] ~docv:"CODEC"
+                 ~doc:"Wire codec to offer: json (default, the debug path) \
+                       or binary (negotiated via hello; downgrades to json \
+                       against a server without binary support). The \
+                       printed result is identical either way."))
 
 let bench_cmd =
   let doc =

@@ -164,7 +164,12 @@ let worker_loop st ~sc ~depth ~reduce ~deadline_ms ~retries ~backoff_ms
           outstanding;
         Condition.broadcast st.cond)
   in
-  match Svc.Client.connect ~retries ~backoff_ms addr with
+  (* workers get the binary codec when they speak it — subtree results are
+     bulky and the hello downgrades transparently against an older fleet *)
+  match
+    Svc.Client.connect ~retries ~backoff_ms ~codec:Svc.Protocol.Codec.Binary
+      addr
+  with
   | exception e ->
     die None (Hashtbl.create 0)
       (match e with

@@ -50,7 +50,7 @@ type regression = {
   reg_metric : string;
   reg_base : float;
   reg_fresh : float;
-  reg_floor : float;
+  reg_limit : float;
 }
 
 (* A row's identity is its full label set, order-insensitive. *)
@@ -73,9 +73,15 @@ let parsed_rows json =
   | Some (Json.List rows) -> rows
   | _ -> []
 
-let is_throughput name =
-  String.length name >= 6
-  && String.sub name (String.length name - 6) 6 = "_per_s"
+let has_suffix suffix name =
+  let ls = String.length suffix and ln = String.length name in
+  ln >= ls && String.sub name (ln - ls) ls = suffix
+
+(* Gated metrics come in two polarities: throughput ([_per_s]) regresses
+   downward, latency ([_latency_s]) regresses upward. Everything else is
+   informational and never compared. *)
+let is_throughput = has_suffix "_per_s"
+let is_latency = has_suffix "_latency_s"
 
 let baseline_regressions ?(tolerance = 3.) ~fresh ~base () =
   if not (tolerance >= 1.) then
@@ -93,7 +99,7 @@ let baseline_regressions ?(tolerance = 3.) ~fresh ~base () =
       | Some base_metrics ->
         List.iter
           (fun (name, v) ->
-            if is_throughput name then
+            if is_throughput name || is_latency name then
               match
                 ( Json.to_float_opt v,
                   Option.bind (List.assoc_opt name base_metrics)
@@ -101,15 +107,22 @@ let baseline_regressions ?(tolerance = 3.) ~fresh ~base () =
               with
               | Some fresh_v, Some base_v ->
                 incr compared;
-                let floor = base_v /. tolerance in
-                if fresh_v < floor then
+                let limit, crossed =
+                  if is_latency name then
+                    let ceiling = base_v *. tolerance in
+                    (ceiling, fresh_v > ceiling)
+                  else
+                    let floor = base_v /. tolerance in
+                    (floor, fresh_v < floor)
+                in
+                if crossed then
                   regs :=
                     {
                       reg_key = key;
                       reg_metric = name;
                       reg_base = base_v;
                       reg_fresh = fresh_v;
-                      reg_floor = floor;
+                      reg_limit = limit;
                     }
                     :: !regs
               | _ -> ())

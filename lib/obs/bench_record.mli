@@ -54,20 +54,24 @@ type regression = {
   reg_metric : string;
   reg_base : float;
   reg_fresh : float;
-  reg_floor : float;  (** [reg_base /. tolerance] *)
+  reg_limit : float;
+      (** the crossed bound: [reg_base /. tolerance] for a throughput
+          metric (fresh fell below it), [reg_base *. tolerance] for a
+          latency metric (fresh rose above it) *)
 }
 
 val baseline_regressions :
   ?tolerance:float -> fresh:Json.t -> base:Json.t -> unit ->
   regression list * int
 (** Match [fresh] rows against [base] rows by their full label set
-    (order-insensitive) and compare every throughput metric (name ending in
-    [_per_s]) present on both sides: a metric regresses when
-    [fresh < base /. tolerance] (default tolerance [3.]). Returns the
-    regressions in row order and the number of metrics compared. Rows or
-    metrics present on only one side are ignored — the gate catches
-    regressions, not schema drift. Raises [Invalid_argument] if
-    [tolerance < 1]. *)
+    (order-insensitive) and compare every gated metric present on both
+    sides. Gated metrics have a direction in their name: throughput
+    ([_per_s]) regresses when [fresh < base /. tolerance], latency
+    ([_latency_s]) regresses when [fresh > base *. tolerance] (default
+    tolerance [3.]). Returns the regressions in row order and the number
+    of metrics compared. Rows or metrics present on only one side are
+    ignored — the gate catches regressions, not schema drift. Raises
+    [Invalid_argument] if [tolerance < 1]. *)
 
 val filename : id:string -> string
 (** ["BENCH_<id>.json"]. *)

@@ -1,7 +1,11 @@
-module J = Obs.Json
 module P = Protocol
 
-type t = { fd : Unix.file_descr; mutable next_id : int; mutable closed : bool }
+type t = {
+  fd : Unix.file_descr;
+  mutable next_id : int;
+  mutable closed : bool;
+  mutable codec : P.Codec.t;
+}
 
 type error = Server of P.err_code * string | Transport of string
 
@@ -19,7 +23,60 @@ let retryable = function
 
 let backoff_cap_ms = 2000
 
-let connect ?(retries = 0) ?(backoff_ms = 50) target =
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let codec t = t.codec
+
+(* Replies may be large (fuzz witnesses embed full run reports): read with a
+   generous frame cap rather than the server-side default. *)
+let reply_max_len = 64 * 1024 * 1024
+
+(* -- pipelined half-calls ------------------------------------------------ *)
+
+let send ?deadline_ms ?params t verb =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let rq = P.request ?deadline_ms ?params ~id verb in
+  match Frame.write t.fd (P.Codec.encode_request t.codec rq) with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Transport ("write: " ^ Unix.error_message e))
+  | () -> Ok id
+
+let recv t =
+  match Frame.read ~max_len:reply_max_len t.fd with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Transport ("read: " ^ Unix.error_message e))
+  | Error e -> Error (Transport (Frame.error_string e))
+  | Ok payload -> (
+    (* codec-detecting, so a JSON error reply (or a downgraded server)
+       parses fine on a binary-negotiated connection *)
+    match P.Codec.decode_response payload with
+    | Error msg -> Error (Transport msg)
+    | Ok rs -> (
+      match rs.P.rs_result with
+      | Ok result -> Ok (rs.P.rs_id, Ok result)
+      | Error (code, msg) -> Ok (rs.P.rs_id, Error (Server (code, msg)))))
+
+(* Offer the codec over JSON, switch only on an explicit ack. Every failure
+   mode — bad_request from a pre-hello server, an unintelligible ack, a
+   transport hiccup — leaves the connection on JSON: negotiation downgrades,
+   it never breaks an otherwise healthy connection. *)
+let negotiate t offered =
+  match send ~params:(P.hello_params offered) t P.Hello with
+  | Error _ -> ()
+  | Ok _ -> (
+    match recv t with
+    | Ok (_, Ok result) -> (
+      match P.codec_of_hello_result result with
+      | Some acked -> t.codec <- acked
+      | None -> ())
+    | Ok (_, Error _) | Error _ -> ())
+
+let connect ?(retries = 0) ?(backoff_ms = 50) ?(codec = P.Codec.Json) target =
   let addr =
     match Addr.of_string target with
     | Ok a -> a
@@ -36,7 +93,7 @@ let connect ?(retries = 0) ?(backoff_ms = 50) target =
         try Unix.setsockopt fd Unix.TCP_NODELAY true
         with Unix.Unix_error _ -> ())
       | Addr.Unix_path _ -> ());
-      { fd; next_id = 0; closed = false }
+      { fd; next_id = 0; closed = false; codec = P.Codec.Json }
     | exception e -> (
       (try Unix.close fd with Unix.Unix_error _ -> ());
       match e with
@@ -45,44 +102,11 @@ let connect ?(retries = 0) ?(backoff_ms = 50) target =
         attempt (left - 1) (min (backoff * 2) backoff_cap_ms)
       | e -> raise e)
   in
-  attempt (max 0 retries) (max 1 backoff_ms)
-
-let close t =
-  if not t.closed then begin
-    t.closed <- true;
-    try Unix.close t.fd with Unix.Unix_error _ -> ()
-  end
-
-(* Replies may be large (fuzz witnesses embed full run reports): read with a
-   generous frame cap rather than the server-side default. *)
-let reply_max_len = 64 * 1024 * 1024
-
-(* -- pipelined half-calls ------------------------------------------------ *)
-
-let send ?deadline_ms ?params t verb =
-  let id = t.next_id in
-  t.next_id <- id + 1;
-  let rq = P.request ?deadline_ms ?params ~id verb in
-  match Frame.write t.fd (J.to_string (P.request_json rq)) with
-  | exception Unix.Unix_error (e, _, _) ->
-    Error (Transport ("write: " ^ Unix.error_message e))
-  | () -> Ok id
-
-let recv t =
-  match Frame.read ~max_len:reply_max_len t.fd with
-  | exception Unix.Unix_error (e, _, _) ->
-    Error (Transport ("read: " ^ Unix.error_message e))
-  | Error e -> Error (Transport (Frame.error_string e))
-  | Ok payload -> (
-    match P.parse payload with
-    | Error msg -> Error (Transport ("invalid JSON: " ^ msg))
-    | Ok json -> (
-      match P.response_of_json json with
-      | Error msg -> Error (Transport msg)
-      | Ok rs -> (
-        match rs.P.rs_result with
-        | Ok result -> Ok (rs.P.rs_id, Ok result)
-        | Error (code, msg) -> Ok (rs.P.rs_id, Error (Server (code, msg))))))
+  let t = attempt (max 0 retries) (max 1 backoff_ms) in
+  (match codec with
+  | P.Codec.Json -> ()
+  | P.Codec.Binary -> negotiate t codec);
+  t
 
 (* -- one blocking round-trip --------------------------------------------- *)
 

@@ -14,7 +14,8 @@ type error =
 
 val error_string : error -> string
 
-val connect : ?retries:int -> ?backoff_ms:int -> string -> t
+val connect :
+  ?retries:int -> ?backoff_ms:int -> ?codec:Protocol.Codec.t -> string -> t
 (** Connect to an address in {!Addr} textual form ([unix:PATH],
     [tcp:HOST:PORT], or a bare socket path). [retries] (default [0])
     re-attempts connection refusals — [ECONNREFUSED], a not-yet-created
@@ -23,10 +24,20 @@ val connect : ?retries:int -> ?backoff_ms:int -> string -> t
     [exec]'d server is usually reachable well inside the first doubling.
     Raises [Unix.Unix_error] once the budget is exhausted or on a
     non-retryable error, and [Invalid_argument] if the address does not
-    parse. *)
+    parse.
+
+    [codec] (default [Json]) is the wire codec to offer: [Binary] sends a
+    [hello] round-trip after connecting and switches only on an explicit
+    ack — a server without binary support (or without [hello] at all)
+    downgrades the connection to JSON rather than failing it. Check what
+    was negotiated with {!codec}. *)
 
 val close : t -> unit
 (** Idempotent. *)
+
+val codec : t -> Protocol.Codec.t
+(** The codec this connection actually negotiated: [Binary] only after the
+    server acked the offer, [Json] otherwise. *)
 
 val call :
   ?deadline_ms:int -> ?params:Obs.Json.t -> t -> Protocol.verb ->

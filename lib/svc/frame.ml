@@ -101,6 +101,8 @@ type decoder = {
   mutable d_skip : int;  (* oversized payload bytes still to discard *)
   mutable d_skip_announced : int;
   mutable d_dead : int;  (* Desynced announced length; < 0 when healthy *)
+  mutable d_frame_off : int;  (* last V_frame: d_buf[d_frame_off ..) *)
+  mutable d_frame_len : int;
 }
 
 let decoder ?(max_len = default_max_len) () =
@@ -112,6 +114,8 @@ let decoder ?(max_len = default_max_len) () =
     d_skip = 0;
     d_skip_announced = 0;
     d_dead = -1;
+    d_frame_off = 0;
+    d_frame_len = 0;
   }
 
 let compact d =
@@ -145,17 +149,28 @@ let feed d src off len =
     d.d_len <- d.d_len + len
   end
 
-let next d =
-  if d.d_dead >= 0 then Error (Desynced d.d_dead)
-  else if d.d_skip > 0 then Ok `Await
+(* Allocation-free frame delivery: [V_frame] is a constant constructor and
+   the payload stays in place — [d_frame_off]/[d_frame_len] point into the
+   decoder's buffer, valid until the next [feed] (which may compact or
+   regrow it). The copying [next] below remains for callers that want an
+   owned string. *)
+type view = V_await | V_frame | V_oversized of int | V_desynced of int
+
+let frame_buf d = d.d_buf
+let frame_off d = d.d_frame_off
+let frame_len d = d.d_frame_len
+
+let next_view d =
+  if d.d_dead >= 0 then V_desynced d.d_dead
+  else if d.d_skip > 0 then V_await
   else if d.d_skip_announced > 0 then begin
     (* the oversized payload has now been fully discarded: report it once,
        with the stream re-synchronized at the next header *)
     let n = d.d_skip_announced in
     d.d_skip_announced <- 0;
-    Error (Oversized n)
+    V_oversized n
   end
-  else if d.d_len < 4 then Ok `Await
+  else if d.d_len < 4 then V_await
   else begin
     let b = d.d_buf and o = d.d_off in
     let n =
@@ -166,7 +181,7 @@ let next d =
     in
     if n > max_wire_len then begin
       d.d_dead <- n;
-      Error (Desynced n)
+      V_desynced n
     end
     else if n > d.d_max then begin
       (* consume the header, then discard [n] payload bytes: whatever is
@@ -178,18 +193,26 @@ let next d =
       d.d_len <- d.d_len - buffered;
       d.d_skip <- n - buffered;
       d.d_skip_announced <- n;
-      if d.d_skip > 0 then Ok `Await
+      if d.d_skip > 0 then V_await
       else begin
         d.d_skip_announced <- 0;
-        Error (Oversized n)
+        V_oversized n
       end
     end
     else if d.d_len >= 4 + n then begin
-      let payload = Bytes.sub_string d.d_buf (d.d_off + 4) n in
+      d.d_frame_off <- d.d_off + 4;
+      d.d_frame_len <- n;
       d.d_off <- d.d_off + 4 + n;
       d.d_len <- d.d_len - (4 + n);
       if d.d_len = 0 then d.d_off <- 0;
-      Ok (`Frame payload)
+      V_frame
     end
-    else Ok `Await
+    else V_await
   end
+
+let next d =
+  match next_view d with
+  | V_await -> Ok `Await
+  | V_frame -> Ok (`Frame (Bytes.sub_string d.d_buf d.d_frame_off d.d_frame_len))
+  | V_oversized n -> Error (Oversized n)
+  | V_desynced n -> Error (Desynced n)

@@ -65,3 +65,19 @@ val feed : decoder -> Bytes.t -> int -> int -> unit
 val next : decoder -> ([ `Frame of string | `Await ], error) result
 (** The next complete frame, [`Await] if more input is needed, or an
     [Oversized] / [Desynced] report as described above. *)
+
+(** {1 Zero-copy views}
+
+    {!next_view} is {!next} without the payload copy: on [V_frame] the
+    payload lies in place at
+    [frame_buf d.[frame_off d .. frame_off d + frame_len d)], valid until
+    the next {!feed} (which may compact or regrow the buffer). [V_frame]
+    is a constant constructor, so a steady stream of frames is delivered
+    without a single allocation — the shard hot path. *)
+
+type view = V_await | V_frame | V_oversized of int | V_desynced of int
+
+val next_view : decoder -> view
+val frame_buf : decoder -> Bytes.t
+val frame_off : decoder -> int
+val frame_len : decoder -> int

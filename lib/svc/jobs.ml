@@ -127,12 +127,35 @@ let solve ~cancel params =
       ("report", Run.report_json ~labels:(Run.labels ~task ~algo ~fd ~seed) r);
     ]
 
+(* Scenario records are immutable setup — the closures inside ([sc_build],
+   [sc_prop]) generate fresh mutable state per call — so one compiled
+   record per (name, n_s) can be shared across every pool worker for the
+   lifetime of the process. Registry lookup and scenario construction drop
+   off the per-request path; only the first request per key pays. *)
+let scenario_cache : (string * int, Mcheck.Scenario.t) Hashtbl.t =
+  Hashtbl.create 8
+
+let scenario_cache_mutex = Mutex.create ()
+
 let scenario_param params =
   let name = str_param ~default:"safe-agreement" "scenario" params in
   let n_s = pos_param ~default:1 "n_s" params in
-  match Mcheck.Scenario.find name ~n_s with
-  | Ok sc -> sc
-  | Error msg -> bad "%s" msg
+  Mutex.lock scenario_cache_mutex;
+  match Hashtbl.find_opt scenario_cache (name, n_s) with
+  | Some sc ->
+    Mutex.unlock scenario_cache_mutex;
+    sc
+  | None -> (
+    Mutex.unlock scenario_cache_mutex;
+    (* build outside the lock: a miss must not serialize other workers *)
+    match Mcheck.Scenario.find name ~n_s with
+    | Ok sc ->
+      Mutex.lock scenario_cache_mutex;
+      if not (Hashtbl.mem scenario_cache (name, n_s)) then
+        Hashtbl.replace scenario_cache (name, n_s) sc;
+      Mutex.unlock scenario_cache_mutex;
+      sc
+    | Error msg -> bad "%s" msg)
 
 let modelcheck ~cancel params =
   let depth = pos_param ~default:8 "depth" params in
@@ -233,7 +256,7 @@ let never_cancel () = false
 
 let run ?(cancel = never_cancel) verb params =
   match verb with
-  | P.Ping | P.Stats | P.Metrics | P.Shutdown ->
+  | P.Ping | P.Stats | P.Metrics | P.Shutdown | P.Hello ->
     Error
       ( P.Internal,
         Printf.sprintf "verb %S is not a pool job" (P.verb_string verb) )

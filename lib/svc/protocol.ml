@@ -9,6 +9,7 @@ type verb =
   | Subtree
   | Fuzz
   | Shutdown
+  | Hello
 
 let verb_string = function
   | Ping -> "ping"
@@ -19,6 +20,7 @@ let verb_string = function
   | Subtree -> "subtree"
   | Fuzz -> "fuzz"
   | Shutdown -> "shutdown"
+  | Hello -> "hello"
 
 let verb_of_string = function
   | "ping" -> Some Ping
@@ -29,6 +31,7 @@ let verb_of_string = function
   | "subtree" -> Some Subtree
   | "fuzz" -> Some Fuzz
   | "shutdown" -> Some Shutdown
+  | "hello" -> Some Hello
   | _ -> None
 
 type err_code =
@@ -186,3 +189,390 @@ let response_of_json j =
 (* Frames are already bounded by Frame.read's max_len; the depth guard here
    is the one that matters for adversarial payloads. *)
 let parse s = J.of_string ~max_depth:64 s
+
+(* ---------------------------------------------------------------- codec *)
+
+module Codec = struct
+  type t = Json | Binary
+
+  let to_string = function Json -> "json" | Binary -> "binary"
+
+  let of_string = function
+    | "json" -> Some Json
+    | "binary" -> Some Binary
+    | _ -> None
+
+  (* 0xB1 can never open a JSON envelope (the writer emits '{' = 0x7B, the
+     parser skips only ASCII whitespace), so one byte of lookahead is enough
+     to tell the codecs apart — reads never need per-connection state. *)
+  let magic = '\xb1'
+  let version = '\x01'
+  let detect s = if String.length s > 0 && s.[0] = magic then Binary else Json
+
+  let kind_request = '\x00'
+  let kind_ok = '\x01'
+  let kind_error = '\x02'
+
+  let verb_tag = function
+    | Ping -> 0
+    | Stats -> 1
+    | Metrics -> 2
+    | Solve -> 3
+    | Modelcheck -> 4
+    | Subtree -> 5
+    | Fuzz -> 6
+    | Shutdown -> 7
+    | Hello -> 8
+
+  let verb_of_tag = function
+    | 0 -> Some Ping
+    | 1 -> Some Stats
+    | 2 -> Some Metrics
+    | 3 -> Some Solve
+    | 4 -> Some Modelcheck
+    | 5 -> Some Subtree
+    | 6 -> Some Fuzz
+    | 7 -> Some Shutdown
+    | 8 -> Some Hello
+    | _ -> None
+
+  let err_tag = function
+    | Bad_request -> 0
+    | Oversized -> 1
+    | Overloaded -> 2
+    | Deadline_exceeded -> 3
+    | Shutting_down -> 4
+    | Internal -> 5
+
+  let err_of_tag = function
+    | 0 -> Some Bad_request
+    | 1 -> Some Oversized
+    | 2 -> Some Overloaded
+    | 3 -> Some Deadline_exceeded
+    | 4 -> Some Shutting_down
+    | 5 -> Some Internal
+    | _ -> None
+
+  (* -- binary writer: straight from the envelope record to bytes -------- *)
+
+  let add_u32 buf n =
+    Buffer.add_char buf (Char.unsafe_chr ((n lsr 24) land 0xff));
+    Buffer.add_char buf (Char.unsafe_chr ((n lsr 16) land 0xff));
+    Buffer.add_char buf (Char.unsafe_chr ((n lsr 8) land 0xff));
+    Buffer.add_char buf (Char.unsafe_chr (n land 0xff))
+
+  (* a native 63-bit int, sign-extended to 8 bytes big-endian *)
+  let add_i64 buf v =
+    Buffer.add_char buf (Char.unsafe_chr ((v asr 56) land 0xff));
+    Buffer.add_char buf (Char.unsafe_chr ((v asr 48) land 0xff));
+    Buffer.add_char buf (Char.unsafe_chr ((v asr 40) land 0xff));
+    Buffer.add_char buf (Char.unsafe_chr ((v asr 32) land 0xff));
+    Buffer.add_char buf (Char.unsafe_chr ((v asr 24) land 0xff));
+    Buffer.add_char buf (Char.unsafe_chr ((v asr 16) land 0xff));
+    Buffer.add_char buf (Char.unsafe_chr ((v asr 8) land 0xff));
+    Buffer.add_char buf (Char.unsafe_chr (v land 0xff))
+
+  (* Tags: 0 null, 1 false, 2 true, 3 int (8B BE), 4 float (IEEE bits BE),
+     5 string (u32 len + bytes), 6 list (u32 count + values), 7 object
+     (u32 count, then per field: u32 klen + key + value). Non-finite floats
+     degrade to null exactly as the JSON writer does — the differential
+     oracle demands the two codecs carry the same value model, not almost
+     the same. *)
+  let rec add_value buf v =
+    match v with
+    | J.Null -> Buffer.add_char buf '\x00'
+    | J.Bool false -> Buffer.add_char buf '\x01'
+    | J.Bool true -> Buffer.add_char buf '\x02'
+    | J.Int i ->
+      Buffer.add_char buf '\x03';
+      add_i64 buf i
+    | J.Float f ->
+      if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
+        Buffer.add_char buf '\x00'
+      else begin
+        Buffer.add_char buf '\x04';
+        Buffer.add_int64_be buf (Int64.bits_of_float f)
+      end
+    | J.Str s ->
+      Buffer.add_char buf '\x05';
+      add_u32 buf (String.length s);
+      Buffer.add_string buf s
+    | J.List xs ->
+      Buffer.add_char buf '\x06';
+      add_u32 buf (List.length xs);
+      List.iter (add_value buf) xs
+    | J.Obj kvs ->
+      Buffer.add_char buf '\x07';
+      add_u32 buf (List.length kvs);
+      List.iter
+        (fun (k, v) ->
+          add_u32 buf (String.length k);
+          Buffer.add_string buf k;
+          add_value buf v)
+        kvs
+
+  let add_request_binary buf rq =
+    Buffer.add_char buf magic;
+    Buffer.add_char buf version;
+    Buffer.add_char buf kind_request;
+    Buffer.add_char buf (Char.unsafe_chr (verb_tag rq.rq_verb));
+    Buffer.add_char buf
+      (match rq.rq_deadline_ms with None -> '\x00' | Some _ -> '\x01');
+    add_i64 buf rq.rq_id;
+    (match rq.rq_deadline_ms with None -> () | Some ms -> add_i64 buf ms);
+    add_value buf rq.rq_params
+
+  let add_response_binary buf rs =
+    Buffer.add_char buf magic;
+    Buffer.add_char buf version;
+    match rs.rs_result with
+    | Ok result ->
+      Buffer.add_char buf kind_ok;
+      Buffer.add_char buf '\x00';
+      add_i64 buf rs.rs_id;
+      add_value buf result
+    | Error (code, msg) ->
+      Buffer.add_char buf kind_error;
+      Buffer.add_char buf (Char.unsafe_chr (err_tag code));
+      add_i64 buf rs.rs_id;
+      add_u32 buf (String.length msg);
+      Buffer.add_string buf msg
+
+  let encode_request_into buf codec rq =
+    match codec with
+    | Json -> J.to_buffer buf (request_json rq)
+    | Binary -> add_request_binary buf rq
+
+  let encode_response_into buf codec rs =
+    match codec with
+    | Json -> J.to_buffer buf (response_json rs)
+    | Binary -> add_response_binary buf rs
+
+  let encode_request codec rq =
+    let buf = Buffer.create 128 in
+    encode_request_into buf codec rq;
+    Buffer.contents buf
+
+  let encode_response codec rs =
+    let buf = Buffer.create 256 in
+    encode_response_into buf codec rs;
+    Buffer.contents buf
+
+  (* -- binary reader ---------------------------------------------------- *)
+
+  exception Bin of string
+
+  let bin_fail fmt = Printf.ksprintf (fun s -> raise (Bin s)) fmt
+
+  (* the same nesting bound [parse] applies to wire JSON *)
+  let max_value_depth = 64
+
+  let get_i64 s pos =
+    let v64 = String.get_int64_be s !pos in
+    pos := !pos + 8;
+    let v = Int64.to_int v64 in
+    if Int64.of_int v = v64 then v
+    else bin_fail "integer exceeds native range"
+
+  let decode_value s pos =
+    let n = String.length s in
+    let need k = if n - !pos < k then bin_fail "truncated binary value" in
+    let u8 () =
+      need 1;
+      let c = Char.code s.[!pos] in
+      incr pos;
+      c
+    in
+    let u32 () =
+      need 4;
+      let v =
+        (Char.code s.[!pos] lsl 24)
+        lor (Char.code s.[!pos + 1] lsl 16)
+        lor (Char.code s.[!pos + 2] lsl 8)
+        lor Char.code s.[!pos + 3]
+      in
+      pos := !pos + 4;
+      v
+    in
+    let rec value depth =
+      if depth > max_value_depth then
+        bin_fail "nesting deeper than %d" max_value_depth;
+      match u8 () with
+      | 0 -> J.Null
+      | 1 -> J.Bool false
+      | 2 -> J.Bool true
+      | 3 ->
+        need 8;
+        J.Int (get_i64 s pos)
+      | 4 ->
+        need 8;
+        let bits = String.get_int64_be s !pos in
+        pos := !pos + 8;
+        J.Float (Int64.float_of_bits bits)
+      | 5 ->
+        let len = u32 () in
+        need len;
+        let r = String.sub s !pos len in
+        pos := !pos + len;
+        J.Str r
+      | 6 ->
+        (* an announced count beyond the remaining bytes is a lie: every
+           element costs at least one byte, so reject before building *)
+        let count = u32 () in
+        if count > n - !pos then
+          bin_fail "list count %d exceeds remaining input" count;
+        let rec items k acc =
+          if k = 0 then J.List (List.rev acc)
+          else items (k - 1) (value (depth + 1) :: acc)
+        in
+        items count []
+      | 7 ->
+        let count = u32 () in
+        if count > n - !pos then
+          bin_fail "object count %d exceeds remaining input" count;
+        let rec fields k acc =
+          if k = 0 then J.Obj (List.rev acc)
+          else begin
+            let klen = u32 () in
+            need klen;
+            let key = String.sub s !pos klen in
+            pos := !pos + klen;
+            fields (k - 1) ((key, value (depth + 1)) :: acc)
+          end
+        in
+        fields count []
+      | t -> bin_fail "unknown value tag %d" t
+    in
+    value 0
+
+  let check_header s ~kind_min ~kind_max =
+    if String.length s < 4 then bin_fail "truncated binary envelope";
+    if s.[0] <> magic then bin_fail "not a binary envelope";
+    if s.[1] <> version then bin_fail "unsupported protocol version";
+    let kind = Char.code s.[2] in
+    if kind < kind_min || kind > kind_max then
+      bin_fail "unexpected envelope kind %d" kind;
+    kind
+
+  let finish s pos v =
+    if !pos <> String.length s then bin_fail "trailing garbage" else v
+
+  let decode_request_binary s =
+    match
+      let _ = check_header s ~kind_min:0 ~kind_max:0 in
+      if String.length s < 13 then bin_fail "truncated binary envelope";
+      let verb =
+        match verb_of_tag (Char.code s.[3]) with
+        | Some v -> v
+        | None -> bin_fail "unknown verb tag %d" (Char.code s.[3])
+      in
+      let flags = Char.code s.[4] in
+      if flags land lnot 1 <> 0 then bin_fail "unknown flags 0x%02x" flags;
+      let pos = ref 5 in
+      let id = get_i64 s pos in
+      let deadline_ms =
+        if flags land 1 = 0 then None
+        else begin
+          if String.length s - !pos < 8 then
+            bin_fail "truncated binary envelope";
+          let ms = get_i64 s pos in
+          if ms > 0 && ms <= max_deadline_ms then Some ms
+          else if ms > 0 then
+            bin_fail "field \"deadline_ms\" exceeds maximum %d" max_deadline_ms
+          else bin_fail "field \"deadline_ms\" must be positive"
+        end
+      in
+      let params = decode_value s pos in
+      (match params with
+      | J.Obj _ -> ()
+      | _ -> bin_fail "field \"params\" is not an object");
+      finish s pos
+        { rq_id = id; rq_verb = verb; rq_params = params; rq_deadline_ms = deadline_ms }
+    with
+    | rq -> Ok rq
+    | exception Bin msg -> Error msg
+
+  let decode_response_binary s =
+    match
+      let kind = check_header s ~kind_min:1 ~kind_max:2 in
+      if String.length s < 12 then bin_fail "truncated binary envelope";
+      (* byte 3 is the error-code tag for error envelopes, reserved for ok;
+         the id always sits at bytes 4..11 *)
+      let pos = ref 4 in
+      if kind = Char.code kind_ok then begin
+        let id = get_i64 s pos in
+        let result = decode_value s pos in
+        finish s pos { rs_id = id; rs_result = Ok result }
+      end
+      else begin
+        let code =
+          match err_of_tag (Char.code s.[3]) with
+          | Some c -> c
+          | None -> bin_fail "unknown error code tag %d" (Char.code s.[3])
+        in
+        let id = get_i64 s pos in
+        if String.length s - !pos < 4 then bin_fail "truncated binary envelope";
+        let len =
+          (Char.code s.[!pos] lsl 24)
+          lor (Char.code s.[!pos + 1] lsl 16)
+          lor (Char.code s.[!pos + 2] lsl 8)
+          lor Char.code s.[!pos + 3]
+        in
+        pos := !pos + 4;
+        if len < 0 || String.length s - !pos < len then
+          bin_fail "truncated binary envelope";
+        let msg = String.sub s !pos len in
+        pos := !pos + len;
+        finish s pos { rs_id = id; rs_result = Error (code, msg) }
+      end
+    with
+    | rs -> Ok rs
+    | exception Bin msg -> Error msg
+
+  (* keep the "invalid JSON: " prefix the pre-codec server and client put
+     on parse-stage errors; envelope-shape errors stay bare in both codecs *)
+  let parse_json s =
+    match parse s with
+    | Ok _ as ok -> ok
+    | Error msg -> Error ("invalid JSON: " ^ msg)
+
+  let ( let* ) = Result.bind
+
+  let decode_request s =
+    match detect s with
+    | Binary -> decode_request_binary s
+    | Json ->
+      let* j = parse_json s in
+      request_of_json j
+
+  let decode_response s =
+    match detect s with
+    | Binary -> decode_response_binary s
+    | Json ->
+      let* j = parse_json s in
+      response_of_json j
+end
+
+(* ---------------------------------------------------- codec negotiation *)
+
+(* The hello verb: the client offers a codec by name, the server acks with
+   the best codec it supports — an unknown offer downgrades to "json", and
+   on a server predating hello the bad_request reply downgrades the client
+   the same way. Hello itself always travels as JSON (the client cannot
+   know binary is understood before the ack), so the default path never
+   changes. *)
+
+let hello_params codec = J.Obj [ ("codec", J.Str (Codec.to_string codec)) ]
+
+let hello_ack params =
+  match J.member "codec" params with
+  | Some (J.Str s) -> (
+    match Codec.of_string s with Some c -> c | None -> Codec.Json)
+  | _ -> Codec.Json
+
+let hello_result codec = J.Obj [ ("codec", J.Str (Codec.to_string codec)) ]
+
+let codec_of_hello_result result =
+  match J.member "codec" result with
+  | Some (J.Str s) -> Codec.of_string s
+  | _ -> None

@@ -29,6 +29,9 @@ type verb =
   | Subtree  (** pool job: one frontier subtree ({!Simkit.Exhaustive.split}) *)
   | Fuzz  (** pool job: randomized schedule search *)
   | Shutdown  (** begin graceful drain *)
+  | Hello
+      (** codec negotiation: offer a codec by name, the server acks with
+          the best codec it supports; answered inline *)
 
 val verb_string : verb -> string
 val verb_of_string : string -> verb option
@@ -77,3 +80,75 @@ val parse : string -> (Obs.Json.t, string) result
 (** {!Obs.Json.of_string} under wire-appropriate guards (nesting ≤ 64):
     the only JSON entry point the server and client use on bytes read from
     a socket. *)
+
+(** The two wire codecs behind the framed envelope. [Json] is the default,
+    the debug path, and the canonical semantics; [Binary] is the compact
+    hot-path encoding, negotiated per connection via {!Hello} but
+    self-describing per frame: a binary envelope opens with the magic byte
+    [0xB1], which no JSON envelope can ({!Obs.Json.to_string} emits ['{'}]),
+    so {!Codec.detect} needs one byte of lookahead and readers keep no
+    codec state. Responses travel in the codec their request arrived in.
+
+    Binary envelope (all integers big-endian):
+    {v
+    byte 0      0xB1 magic
+    byte 1      version (1)
+    byte 2      kind: 0 request | 1 ok-response | 2 error-response
+    request:    byte 3 verb tag, byte 4 flags (bit 0: deadline present),
+                bytes 5..12 id, [bytes 13..20 deadline_ms,] params value
+    ok:         byte 3 reserved, bytes 4..11 id, result value
+    error:      byte 3 code tag, bytes 4..11 id, u32 msg length, msg bytes
+    value:      0 null | 1 false | 2 true | 3 int (8B) | 4 float (IEEE 8B)
+              | 5 str (u32 len + bytes) | 6 list (u32 count + values)
+              | 7 obj (u32 count, then per field: u32 klen + key + value)
+    v}
+
+    The value model is exactly {!Obs.Json.t} under the JSON writer's
+    canonicalization (non-finite floats encode as null), so decoding a
+    binary envelope and decoding its JSON rendering yield equal values —
+    the invariant [test_codec.ml]'s differential battery pins down. The
+    binary reader enforces the same guards as {!parse}: nesting ≤ 64,
+    announced lengths checked against remaining input before allocation. *)
+module Codec : sig
+  type t = Json | Binary
+
+  val to_string : t -> string
+  (** ["json"] / ["binary"] — the names {!Hello} carries. *)
+
+  val of_string : string -> t option
+  val magic : char
+
+  val detect : string -> t
+  (** By first byte; an empty payload detects as [Json] (and fails JSON
+      parsing with a real error). *)
+
+  val encode_request : t -> request -> string
+  val encode_response : t -> response -> string
+
+  val encode_request_into : Buffer.t -> t -> request -> unit
+  (** Append the envelope to [buf] — the allocation-reuse entry point the
+      server and client thread their per-connection buffers through. *)
+
+  val encode_response_into : Buffer.t -> t -> response -> unit
+
+  val decode_request : string -> (request, string) result
+  (** Codec-detecting: binary envelopes through the binary reader, anything
+      else through {!parse} + {!request_of_json}. *)
+
+  val decode_response : string -> (response, string) result
+end
+
+val hello_params : Codec.t -> Obs.Json.t
+(** [{"codec": <name>}] — the {!Hello} request params offering a codec. *)
+
+val hello_ack : Obs.Json.t -> Codec.t
+(** Server side: the codec to ack for an offer — the offered codec when
+    supported, [Json] otherwise (downgrade, never an error: an old client
+    must keep working against a new server and vice versa). *)
+
+val hello_result : Codec.t -> Obs.Json.t
+(** [{"codec": <name>}] — the {!Hello} response result carrying the ack. *)
+
+val codec_of_hello_result : Obs.Json.t -> Codec.t option
+(** Client side: parse the ack; [None] means an unintelligible ack and the
+    client must stay on [Json]. *)

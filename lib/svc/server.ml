@@ -22,21 +22,97 @@ let default_config ~listen =
     max_reply = Frame.max_wire_len;
   }
 
+(* ----------------------------------------------------------- write buffer *)
+
+(* The write side of a connection: one reusable byte buffer holding the
+   unwritten tail of every queued frame. Frames are appended in place —
+   4-byte header written directly, payload blitted once — so the steady
+   state allocates nothing: no Frame.encode copy, no queue cells. The
+   buffer grows by doubling under burst, compacts in place when the
+   consumed prefix frees enough room, and snaps back to the initial size
+   once drained after an outsized reply. *)
+type wbuf = {
+  mutable w_buf : Bytes.t;
+  mutable w_start : int;  (* first unwritten byte *)
+  mutable w_stop : int;  (* end of buffered data *)
+}
+
+let wbuf_initial = 4096
+let wbuf_shrink = 1024 * 1024
+
+let wbuf_create () =
+  { w_buf = Bytes.create wbuf_initial; w_start = 0; w_stop = 0 }
+
+let wbuf_len w = w.w_stop - w.w_start
+let wbuf_is_empty w = w.w_stop = w.w_start
+
+let wbuf_clear w =
+  w.w_start <- 0;
+  w.w_stop <- 0
+
+let wbuf_reserve w extra =
+  if w.w_stop + extra > Bytes.length w.w_buf then begin
+    let len = wbuf_len w in
+    if len + extra <= Bytes.length w.w_buf then begin
+      Bytes.blit w.w_buf w.w_start w.w_buf 0 len;
+      w.w_start <- 0;
+      w.w_stop <- len
+    end
+    else begin
+      let cap = ref (max wbuf_initial (2 * Bytes.length w.w_buf)) in
+      while len + extra > !cap do
+        cap := !cap * 2
+      done;
+      let b = Bytes.create !cap in
+      Bytes.blit w.w_buf w.w_start b 0 len;
+      w.w_buf <- b;
+      w.w_start <- 0;
+      w.w_stop <- len
+    end
+  end
+
+let wbuf_put_header w n =
+  Bytes.set_uint8 w.w_buf w.w_stop ((n lsr 24) land 0xff);
+  Bytes.set_uint8 w.w_buf (w.w_stop + 1) ((n lsr 16) land 0xff);
+  Bytes.set_uint8 w.w_buf (w.w_stop + 2) ((n lsr 8) land 0xff);
+  Bytes.set_uint8 w.w_buf (w.w_stop + 3) (n land 0xff);
+  w.w_stop <- w.w_stop + 4
+
+let wbuf_add_frame w payload =
+  let n = String.length payload in
+  wbuf_reserve w (4 + n);
+  wbuf_put_header w n;
+  Bytes.blit_string payload 0 w.w_buf w.w_stop n;
+  w.w_stop <- w.w_stop + n
+
+let wbuf_add_frame_bytes w src off n =
+  wbuf_reserve w (4 + n);
+  wbuf_put_header w n;
+  Bytes.blit src off w.w_buf w.w_stop n;
+  w.w_stop <- w.w_stop + n
+
+let wbuf_consume w n =
+  w.w_start <- w.w_start + n;
+  if w.w_start = w.w_stop then begin
+    w.w_start <- 0;
+    w.w_stop <- 0;
+    if Bytes.length w.w_buf > wbuf_shrink then
+      w.w_buf <- Bytes.create wbuf_initial
+  end
+
 (* ------------------------------------------------------------ conn state *)
 
 (* A connection is owned by exactly one shard: every field below is
    touched only by that shard's thread. The read side is an incremental
-   decoder fed from a shared scratch buffer; the write side is a queue of
-   fully-encoded frames drained by non-blocking writes ([c_woff] is the
-   partial-write offset into the head frame). Many requests may be in
-   flight at once ([c_inflight]); responses are queued in completion
+   decoder fed from a shared scratch buffer; the write side is the
+   reusable [wbuf] drained by non-blocking writes. Many requests may be
+   in flight at once ([c_inflight]); responses are appended in completion
    order, which the protocol allows because they carry the request id. *)
 type conn = {
   c_id : int;
   c_fd : Unix.file_descr;
   c_dec : Frame.decoder;
-  c_wq : string Queue.t;
-  mutable c_woff : int;
+  c_wb : wbuf;
   mutable c_inflight : int;
   mutable c_eof : bool;  (* read side done (EOF / half-close) *)
   mutable c_closing : bool;  (* stop reading; close once flushed *)
@@ -44,7 +120,10 @@ type conn = {
   mutable c_requests : int;
 }
 
-type completion = { cp_conn : int; cp_frame : string }
+(* [cp_payload] is the serialized response envelope, headerless: the
+   owning shard writes the frame header straight into the connection's
+   write buffer when it applies the completion. *)
+type completion = { cp_conn : int; cp_payload : string }
 
 (* The shard's cross-thread surface is [s_mutex] + the wake pipe: the
    accept thread posts adopted fds, pool workers post encoded response
@@ -187,28 +266,24 @@ let shutdown t = if not (Atomic.exchange t.stop true) then wake t
 (* ------------------------------------------------------------- replies *)
 
 (* Serialize (in the calling thread — a pool worker for job responses, so
-   serialization parallelizes) and cap: a response that cannot be framed,
-   or that exceeds the configured reply limit, degrades to a bounded
-   [oversized] error instead of killing the connection the way an
-   escaping [Frame.write] Invalid_argument used to kill a conn thread. *)
-let encode_response t rs =
-  let payload = J.to_string (P.response_json rs) in
-  let payload =
-    if String.length payload <= t.reply_cap then payload
-    else
-      J.to_string
-        (P.response_json
-           (P.error ~id:rs.P.rs_id P.Oversized
-              (Printf.sprintf "response of %d bytes exceeds reply limit %d"
-                 (String.length payload) t.reply_cap)))
-  in
-  Frame.encode payload
+   serialization parallelizes) in the codec the request arrived in, and
+   cap: a response that exceeds the configured reply limit degrades to a
+   bounded [oversized] error instead of killing the connection. Returns
+   the headerless payload; framing happens at the write buffer. *)
+let encode_response t codec rs =
+  let payload = P.Codec.encode_response codec rs in
+  if String.length payload <= t.reply_cap then payload
+  else
+    P.Codec.encode_response codec
+      (P.error ~id:rs.P.rs_id P.Oversized
+         (Printf.sprintf "response of %d bytes exceeds reply limit %d"
+            (String.length payload) t.reply_cap))
 
-(* Shard-thread only: queue an encoded frame on the connection. *)
-let enqueue_response t conn rs =
-  if not conn.c_dead then Queue.push (encode_response t rs) conn.c_wq
+(* Shard-thread only: append an encoded frame to the connection. *)
+let enqueue_response t codec conn rs =
+  if not conn.c_dead then wbuf_add_frame conn.c_wb (encode_response t codec rs)
 
-let reject t conn ~id code msg =
+let reject t conn ~codec ~id code msg =
   count_reject t code;
   (match t.sink with
   | None -> ()
@@ -219,7 +294,7 @@ let reject t conn ~id code msg =
         ("id", J.Int id);
         ("code", J.Str (P.err_code_string code));
       ]);
-  enqueue_response t conn (P.error ~id code msg)
+  enqueue_response t codec conn (P.error ~id code msg)
 
 (* ------------------------------------------------------------ dispatch *)
 
@@ -244,7 +319,7 @@ let deadline_of t rq =
    the socket: it serializes the response and posts the encoded frame to
    the owning shard — the connection's only writer — through the wake
    pipe. (This is what deleted the old refcounted-replier machinery.) *)
-let job_reply t shard conn_id rq rs latency_s =
+let job_reply t shard conn_id codec rq rs latency_s =
   let verb = rq.P.rq_verb in
   let timeout =
     match rs.P.rs_result with
@@ -272,7 +347,7 @@ let job_reply t shard conn_id rq rs latency_s =
       in
       emit t s Obs.Event.Name.svc_done
         (base @ [ ("status", J.Str status); ("ms", ms) ]));
-  shard_post shard { cp_conn = conn_id; cp_frame = encode_response t rs }
+  shard_post shard { cp_conn = conn_id; cp_payload = encode_response t codec rs }
 
 (* Submit every job decoded during one poll wakeup as a single batch —
    one queue-lock acquisition at the shard→pool boundary — then settle
@@ -280,18 +355,18 @@ let job_reply t shard conn_id rq rs latency_s =
 let submit_batch t shard batch =
   let jobs =
     List.map
-      (fun (conn, rq) ->
+      (fun (conn, rq, codec) ->
         {
           Pool.jb_req = rq;
           jb_conn = conn.c_id;
           jb_enq_ns = Obs.Clock.now_ns ();
           jb_deadline_ns = deadline_of t rq;
-          jb_reply = (fun rs lat -> job_reply t shard conn.c_id rq rs lat);
+          jb_reply = (fun rs lat -> job_reply t shard conn.c_id codec rq rs lat);
         })
       batch
   in
   List.iter2
-    (fun (conn, rq) verdict ->
+    (fun (conn, rq, codec) verdict ->
       match verdict with
       | `Ok ->
         conn.c_inflight <- conn.c_inflight + 1;
@@ -306,63 +381,106 @@ let submit_batch t shard batch =
               ("verb", J.Str (P.verb_string rq.P.rq_verb));
             ])
       | `Full ->
-        reject t conn ~id:rq.P.rq_id P.Overloaded
+        reject t conn ~codec ~id:rq.P.rq_id P.Overloaded
           (Printf.sprintf "queue full (bound %d)" t.cfg.queue_bound)
       | `Closed ->
-        reject t conn ~id:rq.P.rq_id P.Shutting_down "server is draining")
+        reject t conn ~codec ~id:rq.P.rq_id P.Shutting_down
+          "server is draining")
     batch
     (Pool.submit_many t.pool jobs)
 
-let handle_frame t conn payload pending =
+let handle_frame t conn codec payload pending =
+  match P.Codec.decode_request payload with
+  | Error msg -> reject t conn ~codec ~id:(-1) P.Bad_request msg
+  | Ok rq -> (
+    match rq.P.rq_verb with
+    | P.Ping -> enqueue_response t codec conn (P.ok ~id:rq.P.rq_id (J.Str "pong"))
+    | P.Hello ->
+      (* ack the offered codec when we support it, json otherwise; the
+         reply travels in the codec the hello itself arrived in (JSON from
+         any current client — it cannot know better yet) *)
+      let acked = P.hello_ack rq.P.rq_params in
+      enqueue_response t codec conn (P.ok ~id:rq.P.rq_id (P.hello_result acked))
+    | P.Stats -> enqueue_response t codec conn (P.ok ~id:rq.P.rq_id (stats_json t))
+    | P.Metrics ->
+      (* a registry snapshot costs no job slot: answered inline by the
+         shard, under the same mutex every other registry touch takes *)
+      let snapshot = with_obs t (fun () -> Obs.Metrics.to_json t.registry) in
+      enqueue_response t codec conn (P.ok ~id:rq.P.rq_id snapshot)
+    | P.Shutdown ->
+      enqueue_response t codec conn (P.ok ~id:rq.P.rq_id (J.Str "draining"));
+      shutdown t
+    | P.Solve | P.Modelcheck | P.Subtree | P.Fuzz ->
+      if Atomic.get t.stop then
+        reject t conn ~codec ~id:rq.P.rq_id P.Shutting_down
+          "server is draining"
+      else pending := (conn, rq, codec) :: !pending)
+
+(* The binary ping fast path: the canonical binary ping envelope (no
+   deadline, empty params — exactly what Codec.encode_request emits) is 18
+   bytes whose only variable part is the id. Recognize it in place on the
+   decoder's buffer, patch the request's id bytes into the shard's
+   preserialized pong response, and append it to the write buffer: zero
+   allocations end to end. Anything else — a deadline flag, non-empty
+   params, JSON — falls through to the generic decoder. *)
+let binary_ping_len = 18
+
+let is_binary_ping buf off len =
+  len = binary_ping_len
+  && Bytes.get buf off = P.Codec.magic
+  && Bytes.get buf (off + 1) = '\x01' (* version *)
+  && Bytes.get buf (off + 2) = '\x00' (* kind: request *)
+  && Bytes.get buf (off + 3) = '\x00' (* verb: ping *)
+  && Bytes.get buf (off + 4) = '\x00' (* flags: no deadline *)
+  && Bytes.get buf (off + 13) = '\x07' (* params: object... *)
+  && Bytes.get buf (off + 14) = '\x00' (* ...of zero fields *)
+  && Bytes.get buf (off + 15) = '\x00'
+  && Bytes.get buf (off + 16) = '\x00'
+  && Bytes.get buf (off + 17) = '\x00'
+
+(* [pong] is the shard-owned template from [make_pong]; id at bytes 4..11
+   mirrors the request's id at bytes 5..12. *)
+let handle_frame_view t conn pong pending =
   conn.c_requests <- conn.c_requests + 1;
-  match P.parse payload with
-  | Error msg -> reject t conn ~id:(-1) P.Bad_request ("invalid JSON: " ^ msg)
-  | Ok json -> (
-    match P.request_of_json json with
-    | Error msg -> reject t conn ~id:(-1) P.Bad_request msg
-    | Ok rq -> (
-      match rq.P.rq_verb with
-      | P.Ping -> enqueue_response t conn (P.ok ~id:rq.P.rq_id (J.Str "pong"))
-      | P.Stats -> enqueue_response t conn (P.ok ~id:rq.P.rq_id (stats_json t))
-      | P.Metrics ->
-        (* a registry snapshot costs no job slot: answered inline by the
-           shard, under the same mutex every other registry touch takes *)
-        let snapshot = with_obs t (fun () -> Obs.Metrics.to_json t.registry) in
-        enqueue_response t conn (P.ok ~id:rq.P.rq_id snapshot)
-      | P.Shutdown ->
-        enqueue_response t conn (P.ok ~id:rq.P.rq_id (J.Str "draining"));
-        shutdown t
-      | P.Solve | P.Modelcheck | P.Subtree | P.Fuzz ->
-        if Atomic.get t.stop then
-          reject t conn ~id:rq.P.rq_id P.Shutting_down "server is draining"
-        else pending := (conn, rq) :: !pending))
+  let buf = Frame.frame_buf conn.c_dec in
+  let off = Frame.frame_off conn.c_dec in
+  let len = Frame.frame_len conn.c_dec in
+  if is_binary_ping buf off len then begin
+    Bytes.blit buf (off + 5) pong 4 8;
+    wbuf_add_frame_bytes conn.c_wb pong 0 (Bytes.length pong)
+  end
+  else begin
+    let codec =
+      if len > 0 && Bytes.get buf off = P.Codec.magic then P.Codec.Binary
+      else P.Codec.Json
+    in
+    handle_frame t conn codec (Bytes.sub_string buf off len) pending
+  end
+
+let make_pong () =
+  Bytes.of_string
+    (P.Codec.encode_response P.Codec.Binary (P.ok ~id:0 (J.Str "pong")))
 
 (* --------------------------------------------------------- shard thread *)
 
-let conn_pending_write conn = not (Queue.is_empty conn.c_wq)
+let conn_pending_write conn = not (wbuf_is_empty conn.c_wb)
 
-(* Non-blocking drain of the write queue; a transport error discards the
-   queue and marks the connection dead (the read side would only see the
+(* Non-blocking drain of the write buffer; a transport error discards the
+   buffer and marks the connection dead (the read side would only see the
    same error). *)
 let rec flush_conn conn =
-  match Queue.peek_opt conn.c_wq with
-  | None -> ()
-  | Some s -> (
-    let len = String.length s - conn.c_woff in
-    match Unix.write_substring conn.c_fd s conn.c_woff len with
+  let w = conn.c_wb in
+  let len = wbuf_len w in
+  if len > 0 then
+    match Unix.write conn.c_fd w.w_buf w.w_start len with
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> flush_conn conn
     | exception Unix.Unix_error (_, _, _) ->
       conn.c_dead <- true;
-      Queue.clear conn.c_wq;
-      conn.c_woff <- 0
+      wbuf_clear conn.c_wb
     | n ->
-      if n = len then begin
-        ignore (Queue.pop conn.c_wq);
-        conn.c_woff <- 0;
-        flush_conn conn
-      end
-      else conn.c_woff <- conn.c_woff + n)
+      wbuf_consume w n;
+      if n = len then () else if n > 0 then flush_conn conn
 
 let close_conn t conn =
   (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
@@ -380,7 +498,7 @@ let close_conn t conn =
    and closes the fd itself, a late reply can never land on a
    kernel-reused descriptor (the hazard the old refcount guarded). *)
 let conn_reapable conn =
-  (conn.c_dead || ((conn.c_eof || conn.c_closing) && Queue.is_empty conn.c_wq))
+  (conn.c_dead || ((conn.c_eof || conn.c_closing) && wbuf_is_empty conn.c_wb))
   && conn.c_inflight = 0
 
 let drain_wake_pipe fd buf =
@@ -393,38 +511,35 @@ let drain_wake_pipe fd buf =
   in
   go ()
 
-let shard_read t conn scratch pending =
+let shard_read t conn scratch pong pending =
   match Unix.read conn.c_fd scratch 0 (Bytes.length scratch) with
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   | exception Unix.Unix_error (_, _, _) ->
     conn.c_dead <- true;
-    Queue.clear conn.c_wq;
-    conn.c_woff <- 0
+    wbuf_clear conn.c_wb
   | 0 -> conn.c_eof <- true
   | n ->
     Frame.feed conn.c_dec scratch 0 n;
     let rec pump () =
       if not (conn.c_closing || conn.c_dead) then
-        match Frame.next conn.c_dec with
-        | Ok `Await -> ()
-        | Ok (`Frame payload) ->
-          handle_frame t conn payload pending;
+        match Frame.next_view conn.c_dec with
+        | Frame.V_await -> ()
+        | Frame.V_frame ->
+          handle_frame_view t conn pong pending;
           pump ()
-        | Error (Frame.Oversized n) ->
-          reject t conn ~id:(-1) P.Oversized
+        | Frame.V_oversized n ->
+          (* a pre-parse reject cannot know the frame's codec: JSON *)
+          reject t conn ~codec:P.Codec.Json ~id:(-1) P.Oversized
             (Printf.sprintf "frame of %d bytes exceeds limit %d" n
                t.cfg.max_frame);
           pump ()
-        | Error (Frame.Desynced n) ->
+        | Frame.V_desynced n ->
           (* the announced payload cannot be skipped, so the byte stream
              is unrecoverable: answer once, flush, then close *)
-          reject t conn ~id:(-1) P.Oversized
+          reject t conn ~codec:P.Codec.Json ~id:(-1) P.Oversized
             (Printf.sprintf "unframeable length %d exceeds wire limit %d" n
                Frame.max_wire_len);
-          conn.c_closing <- true
-        | Error (Frame.Eof | Frame.Truncated) ->
-          (* the decoder never reports these *)
           conn.c_closing <- true
     in
     pump ()
@@ -454,7 +569,7 @@ let shard_flush_all t shard =
   Hashtbl.iter (fun _ c -> close_conn t c) shard.s_conns;
   Hashtbl.reset shard.s_conns
 
-let shard_iteration t shard scratch wake_buf slots pending =
+let shard_iteration t shard scratch pong wake_buf slots pending =
   (* 1. poll: the wake pipe plus every connection with an interest *)
   Poll.clear shard.s_poll;
   let wake_slot = Poll.add shard.s_poll shard.s_wake_r Poll.pollin in
@@ -496,8 +611,7 @@ let shard_iteration t shard scratch wake_buf slots pending =
             c_id = id;
             c_fd = fd;
             c_dec = Frame.decoder ~max_len:t.cfg.max_frame ();
-            c_wq = Queue.create ();
-            c_woff = 0;
+            c_wb = wbuf_create ();
             c_inflight = 0;
             c_eof = false;
             c_closing = false;
@@ -521,7 +635,7 @@ let shard_iteration t shard scratch wake_buf slots pending =
       | None -> ()
       | Some conn ->
         conn.c_inflight <- conn.c_inflight - 1;
-        if not conn.c_dead then Queue.push cp.cp_frame conn.c_wq)
+        if not conn.c_dead then wbuf_add_frame conn.c_wb cp.cp_payload)
     (List.rev dones);
   (* 4. reads: level-triggered, one scratch-sized chunk per connection
      per iteration keeps the shard fair under pipelining *)
@@ -531,14 +645,13 @@ let shard_iteration t shard scratch wake_buf slots pending =
         let re = Poll.revents shard.s_poll slot in
         if re land Poll.pollerr <> 0 then begin
           conn.c_dead <- true;
-          Queue.clear conn.c_wq;
-          conn.c_woff <- 0
+          wbuf_clear conn.c_wb
         end
         else begin
           if
             re land Poll.pollin <> 0
             && not (conn.c_eof || conn.c_closing || conn.c_dead)
-          then shard_read t conn scratch pending;
+          then shard_read t conn scratch pong pending;
           if
             re land Poll.pollhup <> 0
             && re land Poll.pollin = 0
@@ -575,11 +688,12 @@ let shard_loop t shard () =
   | Some s ->
     emit t s Obs.Event.Name.svc_shard_start [ ("shard", J.Int shard.s_id) ]);
   let scratch = Bytes.create 65536 in
+  let pong = make_pong () in
   let wake_buf = Bytes.create 4096 in
   let slots = ref [] in
   let pending = ref [] in
   let rec loop () =
-    match shard_iteration t shard scratch wake_buf slots pending with
+    match shard_iteration t shard scratch pong wake_buf slots pending with
     | true -> ()
     | false -> loop ()
     | exception e ->

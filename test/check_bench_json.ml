@@ -7,7 +7,9 @@
    With --baseline DIR, each FILE is additionally compared against
    DIR/basename(FILE): rows are matched by their full label set, and any
    throughput metric (name ending in "_per_s") that dropped below
-   baseline / tolerance fails the check (--tolerance F, default 3). Rows
+   baseline / tolerance — or latency metric (name ending in "_latency_s")
+   that rose above baseline * tolerance — fails the check (--tolerance F,
+   default 3). Rows
    or metrics present on only one side are ignored — the gate catches
    regressions, not schema drift (the schema check above does that). The
    comparison itself is Obs.Bench_record.baseline_regressions, unit-tested
@@ -49,17 +51,18 @@ let pp_key ppf key =
     (Fmt.list ~sep:(Fmt.any ",") (Fmt.pair ~sep:(Fmt.any "=") Fmt.string Fmt.string))
     key
 
-(* Fail when a throughput metric fell below baseline / tolerance. *)
+(* Fail when a throughput metric fell below baseline / tolerance or a
+   latency metric rose above baseline * tolerance. *)
 let compare_against_baseline ~tolerance path fresh base =
   let regressions, compared =
     Obs.Bench_record.baseline_regressions ~tolerance ~fresh ~base ()
   in
   List.iter
     (fun r ->
-      err path "row %a: %s regressed >%gx: %.0f -> %.0f (floor %.0f)" pp_key
+      err path "row %a: %s regressed >%gx: %g -> %g (limit %g)" pp_key
         r.Obs.Bench_record.reg_key r.Obs.Bench_record.reg_metric tolerance
         r.Obs.Bench_record.reg_base r.Obs.Bench_record.reg_fresh
-        r.Obs.Bench_record.reg_floor)
+        r.Obs.Bench_record.reg_limit)
     regressions;
   compared
 
@@ -91,8 +94,8 @@ let check_baseline ~tolerance dir path json =
       let before = !errors in
       let compared = compare_against_baseline ~tolerance path json base in
       if !errors = before then
-        Fmt.pr "%s: baseline ok (%d throughput metrics >= %s / %g)@." path
-          compared base_path tolerance
+        Fmt.pr "%s: baseline ok (%d gated metrics within %gx of %s)@." path
+          compared tolerance base_path
 
 let check ?baseline ~tolerance path =
   let before = !errors in

@@ -1,9 +1,10 @@
 #!/bin/sh
 # CI smoke test for the job server (DESIGN.md §5): start `wfa serve` in the
 # background, script `wfa call` against it, check that an oversized frame is
-# rejected without desynchronizing the connection, and that SIGTERM drains
-# gracefully -- an in-flight call still gets its reply and the server exits 0
-# with the socket unlinked.
+# rejected without desynchronizing the connection, that the binary codec
+# produces field-for-field the same results as JSON, and that SIGTERM
+# drains gracefully -- an in-flight call still gets its reply and the
+# server exits 0 with the socket unlinked.
 set -eu
 
 WFA=${WFA:-_build/default/bin/wfa.exe}
@@ -12,7 +13,7 @@ OUT="/tmp/wfa-smoke-$$.out"
 
 cleanup() {
   kill "$SRV" 2>/dev/null || true
-  rm -f "$SOCK" "$OUT"
+  rm -f "$SOCK" "$OUT" "$OUT.json" "$OUT.binary"
 }
 
 "$WFA" serve --socket "$SOCK" --workers 2 --shards 2 --max-frame 4096 &
@@ -51,6 +52,25 @@ fi
 # the connection-level reject must not have broken the server
 echo "serve_smoke: server still answers after the reject"
 "$WFA" call --socket "$SOCK" stats
+
+# the codec differential: the same deterministic call over each codec must
+# print the same JSON, field for field (wall_s is wall-clock, the one
+# volatile field in these reports)
+codec_diff() {
+  echo "serve_smoke: codec differential: $1"
+  "$WFA" call --socket "$SOCK" "$1" --params "$2" --codec json \
+    | grep -v '"wall_s"' > "$OUT.json"
+  "$WFA" call --socket "$SOCK" "$1" --params "$2" --codec binary \
+    | grep -v '"wall_s"' > "$OUT.binary"
+  if ! diff -u "$OUT.json" "$OUT.binary"; then
+    echo "serve_smoke: codec outputs diverge for $1" >&2
+    exit 1
+  fi
+  rm -f "$OUT.json" "$OUT.binary"
+}
+codec_diff ping '{}'
+codec_diff modelcheck '{"depth":7}'
+codec_diff solve '{"task":"consensus","n":3,"seed":7}'
 
 echo "serve_smoke: SIGTERM drains the in-flight call"
 "$WFA" call --socket "$SOCK" fuzz \

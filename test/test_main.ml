@@ -21,6 +21,7 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("properties", Test_properties.suite);
       ("cancel", Test_cancel.suite);
+      ("codec", Test_codec.suite);
       ("svc", Test_svc.suite);
       ("dist", Test_dist.suite);
     ]

@@ -294,8 +294,8 @@ let test_baseline_regressions () =
     check_bool "key carries the sorted labels" true
       (r.Obs.Bench_record.reg_key
       = [ ("config", "sa"); ("engine", "incremental") ]);
-    check_bool "floor is base / tolerance" true
-      (abs_float (r.Obs.Bench_record.reg_floor -. 100.) < 1e-9)
+    check_bool "limit is base / tolerance" true
+      (abs_float (r.Obs.Bench_record.reg_limit -. 100.) < 1e-9)
   | regs, n ->
     Alcotest.failf "expected exactly one regression, got %d (%d compared)"
       (List.length regs) n);
@@ -318,6 +318,43 @@ let test_baseline_regressions () =
      with
     | exception Invalid_argument _ -> true
     | _ -> false)
+
+(* latency metrics gate in the opposite direction: a rise beyond
+   base * tolerance regresses, a drop never does *)
+let test_baseline_latency_direction () =
+  let record lat =
+    let r = Obs.Bench_record.create ~id:"gate" () in
+    Obs.Bench_record.row r
+      ~labels:[ ("verb", "ping"); ("codec", "binary") ]
+      [
+        ("p99_latency_s", Obs.Json.Float lat);
+        ("req_per_s", Obs.Json.Float 1000.);
+      ];
+    Obs.Bench_record.to_json r
+  in
+  let base = record 0.01 in
+  (* pass side: exactly at the ceiling (0.01 * 3) is not a regression, and
+     an improvement (lower latency) never is *)
+  let regs, compared =
+    Obs.Bench_record.baseline_regressions ~fresh:(record 0.03) ~base ()
+  in
+  Alcotest.(check int) "latency and throughput both compared" 2 compared;
+  check_bool "at the ceiling passes" true (regs = []);
+  let regs, _ =
+    Obs.Bench_record.baseline_regressions ~fresh:(record 0.0001) ~base ()
+  in
+  check_bool "faster is never a latency regression" true (regs = []);
+  (* fail side: above the ceiling regresses, with the ceiling reported *)
+  match
+    Obs.Bench_record.baseline_regressions ~fresh:(record 0.031) ~base ()
+  with
+  | [ r ], 2 ->
+    check_string "metric" "p99_latency_s" r.Obs.Bench_record.reg_metric;
+    check_bool "limit is base * tolerance" true
+      (abs_float (r.Obs.Bench_record.reg_limit -. 0.03) < 1e-9)
+  | regs, n ->
+    Alcotest.failf "expected exactly one regression, got %d (%d compared)"
+      (List.length regs) n
 
 let test_bench_record_roundtrip () =
   let r = golden_record () in
@@ -431,6 +468,8 @@ let suite =
     Alcotest.test_case "bench record round-trip" `Quick test_bench_record_roundtrip;
     Alcotest.test_case "baseline tolerance gate (pass + fail)" `Quick
       test_baseline_regressions;
+    Alcotest.test_case "baseline latency direction (pass + fail)" `Quick
+      test_baseline_latency_direction;
     Alcotest.test_case "live vs bridged event streams" `Quick test_live_vs_bridged;
     Alcotest.test_case "runtime counters hook" `Quick test_runtime_counters;
     Alcotest.test_case "exhaustive stats export" `Quick test_exhaustive_stats_export;

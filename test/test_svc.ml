@@ -768,6 +768,86 @@ let test_server_metrics_verb () =
       | Error e -> Alcotest.failf "metrics: %s" (Svc.Client.error_string e));
       Svc.Client.close c)
 
+(* hello negotiation end-to-end: an offered binary codec comes back acked
+   and the whole verb surface works over it; the default connection stays
+   JSON on the same server *)
+let test_codec_negotiation () =
+  let path = socket_path () in
+  with_server (default_cfg path) (fun _ ->
+      let c = Svc.Client.connect ~codec:P.Codec.Binary path in
+      check_bool "binary negotiated" true
+        (Svc.Client.codec c = P.Codec.Binary);
+      (match Svc.Client.call c P.Ping with
+      | Ok (J.Str "pong") -> ()
+      | _ -> Alcotest.fail "binary ping");
+      (match
+         Svc.Client.call
+           ~params:(J.Obj [ ("task", J.Str "consensus"); ("n", J.Int 3) ])
+           c P.Solve
+       with
+      | Ok j ->
+        check_bool "solve over binary" true
+          (J.member "ok" j = Some (J.Bool true))
+      | Error e -> Alcotest.failf "solve: %s" (Svc.Client.error_string e));
+      (* errors travel binary too *)
+      (match
+         Svc.Client.call ~params:(J.Obj [ ("task", J.Str "nope") ]) c P.Solve
+       with
+      | Error (Svc.Client.Server (P.Bad_request, _)) -> ()
+      | _ -> Alcotest.fail "expected bad_request over binary");
+      Svc.Client.close c;
+      let c = Svc.Client.connect path in
+      check_bool "json is the default" true
+        (Svc.Client.codec c = P.Codec.Json);
+      (match Svc.Client.call c P.Ping with
+      | Ok (J.Str "pong") -> ()
+      | _ -> Alcotest.fail "json ping");
+      Svc.Client.close c)
+
+(* frames self-describe their codec, so one connection can mix them freely;
+   each reply echoes its request's codec, and the fast-path binary pong is
+   byte-identical to the generic encoder's output *)
+let test_codec_mixed_frames () =
+  let path = socket_path () in
+  with_server (default_cfg path) (fun _ ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      let send codec rq = Svc.Frame.write fd (P.Codec.encode_request codec rq) in
+      (* a fast-path binary ping, a generic binary ping (the deadline flag
+         disqualifies the fast path), and a JSON ping, pipelined *)
+      send P.Codec.Binary (P.request ~id:5 P.Ping);
+      send P.Codec.Binary (P.request ~deadline_ms:60_000 ~id:6 P.Ping);
+      send P.Codec.Json (P.request ~id:7 P.Ping);
+      let replies = Hashtbl.create 4 in
+      for _ = 1 to 3 do
+        match Svc.Frame.read fd with
+        | Ok payload -> (
+          match P.Codec.decode_response payload with
+          | Ok rs -> Hashtbl.replace replies rs.P.rs_id (payload, rs.P.rs_result)
+          | Error e -> Alcotest.failf "decode: %s" e)
+        | Error e -> Alcotest.failf "read: %s" (Svc.Frame.error_string e)
+      done;
+      Unix.close fd;
+      let reply id =
+        match Hashtbl.find_opt replies id with
+        | Some r -> r
+        | None -> Alcotest.failf "no reply for id %d" id
+      in
+      List.iter
+        (fun (id, codec) ->
+          let payload, result = reply id in
+          (match result with
+          | Ok (J.Str "pong") -> ()
+          | _ -> Alcotest.failf "id %d: expected pong" id);
+          check_bool "reply codec echoes request codec" true
+            (P.Codec.detect payload = codec))
+        [ (5, P.Codec.Binary); (6, P.Codec.Binary); (7, P.Codec.Json) ];
+      (* the in-place fast path and the generic encoder must be
+         indistinguishable on the wire *)
+      let fast, _ = reply 5 in
+      check_bool "fast-path pong equals generic encoding" true
+        (fast = P.Codec.encode_response P.Codec.Binary (P.ok ~id:5 (J.Str "pong"))))
+
 let test_client_connect_retry () =
   let path = socket_path () in
   (* nothing listening, no retries: immediate refusal *)
@@ -852,6 +932,10 @@ let suite =
       test_server_tcp;
     Alcotest.test_case "server: metrics verb snapshots the registry" `Quick
       test_server_metrics_verb;
+    Alcotest.test_case "codec: hello negotiation end-to-end" `Quick
+      test_codec_negotiation;
+    Alcotest.test_case "codec: mixed frames on one connection" `Quick
+      test_codec_mixed_frames;
     Alcotest.test_case "client: connect retries until the server is up"
       `Quick test_client_connect_retry;
   ]
