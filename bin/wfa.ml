@@ -80,53 +80,39 @@ let crashes_arg =
     & info [ "crashes" ] ~docv:"I:T,I:T"
         ~doc:"Crash S-process qI+1 at time T (comma-separated, 0-based indices).")
 
+(* the CLI enums are Scenario.Build's name tables — the same lists the
+   server and the scenario-file loader validate against, so a name the CLI
+   accepts cannot be one the data format rejects *)
 let task_arg =
   Arg.(
     value
-    & opt (enum
-             [ ("consensus", `Consensus); ("ksa", `Ksa); ("renaming", `Renaming);
-               ("wsb", `Wsb); ("identity", `Identity) ])
-        `Consensus
-    & info [ "task" ] ~docv:"TASK" ~doc:"Task: consensus | ksa | renaming | wsb | identity.")
+    & opt (enum Scenario.Build.task_assoc) `Consensus
+    & info [ "task" ] ~docv:"TASK"
+        ~doc:
+          (Fmt.str "Task: %s."
+             (String.concat " | " Scenario.Build.task_names)))
 
 let fd_arg =
   Arg.(
     value
-    & opt (enum
-             [ ("omega", `Omega); ("vector", `Vector); ("silent", `Silent);
-               ("trivial", `Trivial); ("perfect", `Perfect) ])
-        `Vector
-    & info [ "fd" ] ~docv:"FD" ~doc:"Failure detector: omega | vector | silent | trivial | perfect.")
+    & opt (enum Scenario.Build.fd_assoc) `Vector
+    & info [ "fd" ] ~docv:"FD"
+        ~doc:(Fmt.str "Failure detector: %s."
+                (String.concat " | " Scenario.Build.fd_names)))
 
-type policy_spec = Fair | Kconc of int | Uniform of int
-
-let policy_conv : policy_spec Arg.conv =
+let policy_conv : Scenario.Build.policy Arg.conv =
   let parse s =
-    let conc kind k =
-      match int_of_string_opt k with
-      | Some k when k >= 1 -> Ok (kind k)
-      | _ -> Error (`Msg (Fmt.str "invalid concurrency %S, expected K >= 1" k))
-    in
-    match String.split_on_char ':' s with
-    | [ "fair" ] -> Ok Fair
-    | [ "kconc"; k ] -> conc (fun k -> Kconc k) k
-    | [ "uniform"; k ] -> conc (fun k -> Uniform k) k
-    | _ ->
-      Error
-        (`Msg
-           (Fmt.str "invalid policy %S, expected fair | kconc:K | uniform:K" s))
+    match Scenario.Build.policy_of_string s with
+    | Ok p -> Ok p
+    | Error msg -> Error (`Msg msg)
   in
-  let print ppf = function
-    | Fair -> Fmt.string ppf "fair"
-    | Kconc k -> Fmt.pf ppf "kconc:%d" k
-    | Uniform k -> Fmt.pf ppf "uniform:%d" k
-  in
+  let print ppf p = Fmt.string ppf (Scenario.Build.policy_to_string p) in
   Arg.conv (parse, print)
 
 let policy_arg =
   Arg.(
     value
-    & opt policy_conv Fair
+    & opt policy_conv Scenario.Build.Fair
     & info [ "policy" ] ~docv:"POLICY" ~doc:"Schedule: fair | kconc:K | uniform:K.")
 
 let json_arg =
@@ -137,10 +123,7 @@ let json_arg =
 
 (* ------------------------------------------------------------- helpers *)
 
-let policy_of_spec = function
-  | Fair -> Run.fair_policy
-  | Kconc k -> Run.k_concurrent_policy k
-  | Uniform k -> Run.k_concurrent_uniform_policy k
+let policy_of_spec = Scenario.Build.policy_factory
 
 (* Range-checking a crash index needs [n_s], known only at run time: report
    cleanly on stderr and exit nonzero without a backtrace. *)
@@ -168,38 +151,62 @@ let write_json path json =
     Fmt.epr "wfa: cannot write --json output: %s@." msg;
     exit 2
 
-let build_task kind ~n ~k ~j ~l =
-  match kind with
-  | `Consensus -> Set_agreement.consensus ~n ()
-  | `Ksa -> Set_agreement.make ~n ~k ()
-  | `Renaming ->
-    let l = Option.value l ~default:(j + k - 1) in
-    Renaming.make ~n ~j ~l
-  | `Wsb -> Wsb.make ~n ~j
-  | `Identity -> Trivial_tasks.identity ~n ()
+(* Run one scenario file through the same local path the campaign runner
+   and the server's workers use (Svc.Jobs.run), and reflect the scenario's
+   expectation in the exit code: pass 0, fail/timeout 1, load or
+   unexpected errors 2. The other flags of the host command are ignored —
+   the file is the whole configuration. *)
+let run_scenario_file ~cmd path =
+  match Scenario.Spec.load path with
+  | Error msg ->
+    Fmt.epr "wfa %s: %s@." cmd msg;
+    2
+  | Ok sp ->
+    let verb = Scenario.Spec.verb sp in
+    if verb <> cmd then begin
+      Fmt.epr
+        "wfa %s: %s describes a %s scenario — run it with wfa %s or wfa \
+         campaign@."
+        cmd path verb verb;
+      2
+    end
+    else begin
+      let s =
+        Svc.Campaign.run_local ~name:sp.Scenario.Spec.sp_name [ sp ]
+      in
+      let row = List.hd s.Svc.Campaign.s_rows in
+      Fmt.pr "scenario %s@.verb     %s@.expect   %s@.outcome  %s (%s)@."
+        sp.Scenario.Spec.sp_name verb
+        (Scenario.Spec.expect_string sp.Scenario.Spec.sp_expect)
+        (Scenario.Spec.outcome_string row.Svc.Campaign.row_outcome)
+        row.Svc.Campaign.row_detail;
+      match row.Svc.Campaign.row_outcome with
+      | Scenario.Spec.Pass -> 0
+      | Scenario.Spec.Fail | Scenario.Spec.Timeout -> 1
+      | Scenario.Spec.Error -> 2
+    end
 
-let build_algo kind task ~k =
-  match kind with
-  | `Consensus -> Ksa.consensus ()
-  | `Ksa -> Ksa.make ~k ()
-  | `Renaming -> Renaming_algos.fig4 ()
-  | `Wsb -> One_concurrent.make task
-  | `Identity -> Kconc_tasks.echo ()
-
-let build_fd kind ~k =
-  match kind with
-  | `Omega -> Fdlib.Leader_fds.omega ()
-  | `Vector -> Fdlib.Leader_fds.vector_omega_k ~k ()
-  | `Silent -> Fdlib.Leader_fds.vector_omega_k_silent ~k ()
-  | `Trivial -> Fdlib.Fd.trivial
-  | `Perfect -> Fdlib.Classic.perfect ()
+let scenario_file_arg cmd =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "scenario-file" ] ~docv:"FILE"
+        ~doc:
+          (Fmt.str
+             "Run the %s scenario described in $(docv) (ignoring the other \
+              flags) and exit 0 iff its declared expectation holds."
+             cmd))
 
 (* ------------------------------------------------------------ commands *)
 
-let solve task_kind fd_kind policy n k j l seed budget crashes json =
-  let task = build_task task_kind ~n ~k ~j ~l in
-  let algo = build_algo task_kind task ~k in
-  let fd = build_fd fd_kind ~k in
+let solve scenario_file task_kind fd_kind policy n k j l seed budget crashes
+    json =
+  match scenario_file with
+  | Some path -> run_scenario_file ~cmd:"solve" path
+  | None ->
+  let task = Scenario.Build.task task_kind ~n ~k ~j ~l in
+  let algo = Scenario.Build.algo task_kind task ~k in
+  let fd = Scenario.Build.fd fd_kind ~k in
   with_pattern ~n_s:n crashes (fun pattern ->
       let rng = Random.State.make [| seed |] in
       let input = Task.sample_input task rng in
@@ -252,12 +259,15 @@ let witness kind n j seeds explain =
     Fmt.pr "no witness found in %d seeds@." (List.length seeds);
     1
 
-let fuzz kind n j seed trials domains do_shrink explain json =
-  let target =
-    match kind with
-    | `Strong_renaming -> Adversary.strong_renaming_target ~n ~j
-    | `Consensus_reduction -> Adversary.consensus_reduction_target ~n
-  in
+let fuzz scenario_file kind n j seed trials domains do_shrink explain json =
+  match scenario_file with
+  | Some path -> run_scenario_file ~cmd:"fuzz" path
+  | None ->
+  match Scenario.Build.fuzz_target kind ~n ~j with
+  | Error msg ->
+    Fmt.epr "wfa fuzz: %s@." msg;
+    2
+  | Ok target ->
   let res = Adversary.fuzz_target ~domains ~seed ~budget:trials target () in
   Fmt.pr "target   %s@.trials   %d/%d (%d domain%s, %.3fs, %.0f seeds/s)@."
     target.Adversary.t_name res.Adversary.f_trials res.Adversary.f_budget
@@ -352,7 +362,11 @@ let emulate n seed crashes budget =
   Fmt.pr "omega property     %b@." ok;
   if ok then 0 else 1
 
-let modelcheck depth n_s reduce scenario workers split_depth json =
+let modelcheck scenario_file depth n_s reduce scenario workers split_depth
+    json =
+  match scenario_file with
+  | Some path -> run_scenario_file ~cmd:"modelcheck" path
+  | None ->
   (* exhaustively check a named scenario over every schedule (default:
      2-process safe agreement); the S-processes are idle and symmetric, so
      --reduce declares them one symmetry class on top of sleep-set
@@ -667,6 +681,70 @@ let call socket verb params deadline_ms pipeline retry codec =
           Fmt.pr "pipeline %d: ok %d, failed %d@." pipeline !ok !failed;
           if !failed = 0 then 0 else 1)))
 
+(* ------------------------------------------------------------ campaign *)
+
+(* Expand a campaign file into its scenario matrix and run every cell,
+   either against a live server (the scenarios travel as scenario-verb
+   requests on one pipelined connection) or in-process. The summary table
+   always prints; --json additionally writes the wfa.bench record the
+   baseline gate consumes. Exit 0 iff every scenario passed. *)
+let campaign file socket local window deadline_ms json list_only =
+  match Scenario.Campaign.load file with
+  | Error msg ->
+    Fmt.epr "wfa campaign: %s@." msg;
+    2
+  | Ok c -> (
+    match Scenario.Campaign.expand c with
+    | Error msg ->
+      Fmt.epr "wfa campaign: %s@." msg;
+      2
+    | Ok specs ->
+      if list_only then begin
+        List.iter
+          (fun sp ->
+            Fmt.pr "%-60s %s  %s@." sp.Scenario.Spec.sp_name
+              (Scenario.Spec.verb sp)
+              (Scenario.Spec.expect_string sp.Scenario.Spec.sp_expect))
+          specs;
+        Fmt.pr "%d scenarios@." (List.length specs);
+        0
+      end
+      else begin
+        let name = c.Scenario.Campaign.c_name in
+        let summary =
+          if local then
+            Ok
+              (Svc.Campaign.run_local ?default_deadline_ms:deadline_ms ~name
+                 specs)
+          else
+            match Svc.Client.connect ~retries:3 socket with
+            | exception Unix.Unix_error (e, _, _) ->
+              Error
+                (Fmt.str "cannot connect to %s: %s" socket
+                   (Unix.error_message e))
+            | exception Invalid_argument msg -> Error msg
+            | client ->
+              let s =
+                Svc.Campaign.run_client ~window
+                  ?default_deadline_ms:deadline_ms ~name ~client specs
+              in
+              Svc.Client.close client;
+              Ok s
+        in
+        match summary with
+        | Error msg ->
+          Fmt.epr "wfa campaign: %s@." msg;
+          2
+        | Ok s ->
+          Fmt.pr "%a" Svc.Campaign.pp_summary s;
+          Option.iter
+            (fun path ->
+              write_json path
+                (Obs.Bench_record.to_json (Svc.Campaign.record s)))
+            json;
+          if Svc.Campaign.ok s then 0 else 1
+      end)
+
 (* ---------------------------------------------------------------- main *)
 
 let solve_cmd =
@@ -674,8 +752,9 @@ let solve_cmd =
   Cmd.v
     (Cmd.info "solve" ~doc)
     Term.(
-      const solve $ task_arg $ fd_arg $ policy_arg $ n_arg $ k_arg $ j_arg
-      $ l_arg $ seed_arg $ budget_arg $ crashes_arg $ json_arg)
+      const solve $ scenario_file_arg "solve" $ task_arg $ fd_arg
+      $ policy_arg $ n_arg $ k_arg $ j_arg $ l_arg $ seed_arg $ budget_arg
+      $ crashes_arg $ json_arg)
 
 let classify_cmd =
   let doc = "Measure the task hierarchy (Theorem 10)." in
@@ -708,7 +787,15 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc)
     Term.(
-      const fuzz $ witness_kind_arg $ n_arg $ j_arg $ seed_arg
+      const fuzz $ scenario_file_arg "fuzz"
+      $ Arg.(
+          value
+          & opt (enum (List.map (fun k -> (k, k)) Scenario.Build.fuzz_kinds))
+              "strong-renaming"
+          & info [ "kind" ] ~docv:"KIND"
+              ~doc:
+                (Fmt.str "%s." (String.concat " | " Scenario.Build.fuzz_kinds)))
+      $ n_arg $ j_arg $ seed_arg
       $ Arg.(value & opt int 2_000
              & info [ "budget" ] ~docv:"TRIALS" ~doc:"Fuzz trials to run.")
       $ Arg.(value & opt int 1
@@ -744,7 +831,7 @@ let modelcheck_cmd =
   in
   Cmd.v
     (Cmd.info "modelcheck" ~doc)
-    Term.(const modelcheck
+    Term.(const modelcheck $ scenario_file_arg "modelcheck"
           $ Arg.(value & opt int 10 & info [ "depth" ] ~docv:"DEPTH" ~doc:"Schedule depth.")
           $ Arg.(value & opt int 1 & info [ "n-s" ] ~docv:"N" ~doc:"Number of (idle) S-processes in the schedule.")
           $ Arg.(value & flag & info [ "reduce" ] ~doc:"Enable sleep-set partial-order reduction and S-process symmetry collapsing.")
@@ -825,7 +912,9 @@ let call_cmd =
       $ Arg.(value & pos 0 verb_conv Svc.Protocol.Ping
              & info [] ~docv:"VERB"
                  ~doc:"ping | stats | metrics | solve | modelcheck | \
-                       subtree | fuzz | shutdown.")
+                       subtree | fuzz | scenario | shutdown. The scenario \
+                       verb takes a full scenario-file object as --params \
+                       and is validated server-side.")
       $ Arg.(value & opt string "{}"
              & info [ "params" ] ~docv:"JSON" ~doc:"Request parameters.")
       $ Arg.(value & opt (some int) None
@@ -856,6 +945,43 @@ let bench_cmd =
   in
   Cmd.v (Cmd.info "bench" ~doc) Term.(const bench $ json_arg)
 
+let campaign_cmd =
+  let doc =
+    "Expand a campaign file into its scenario matrix and run every \
+     scenario, comparing each result against its declared expectation."
+  in
+  Cmd.v
+    (Cmd.info "campaign" ~doc)
+    Term.(
+      const campaign
+      $ Arg.(
+          required
+          & pos 0 (some string) None
+          & info [] ~docv:"FILE" ~doc:"Campaign file (see bench/campaigns/).")
+      $ socket_arg
+      $ Arg.(
+          value & flag
+          & info [ "local" ]
+              ~doc:
+                "Run in-process instead of against a server (same engine \
+                 code path, sequential).")
+      $ Arg.(
+          value & opt int 16
+          & info [ "window" ] ~docv:"N"
+              ~doc:"Pipelined requests in flight per connection.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "deadline-ms" ] ~docv:"MS"
+              ~doc:
+                "Default per-scenario deadline (scenarios may carry their \
+                 own).")
+      $ json_arg
+      $ Arg.(
+          value & flag
+          & info [ "list" ]
+              ~doc:"Print the expanded scenario names and exit."))
+
 let () =
   let doc = "Wait-Freedom with Advice (PODC 2012) — executable model" in
   let info = Cmd.info "wfa" ~version:"1.0.0" ~doc in
@@ -863,4 +989,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ solve_cmd; classify_cmd; witness_cmd; fuzz_cmd; extract_cmd;
-            emulate_cmd; modelcheck_cmd; serve_cmd; call_cmd; bench_cmd ]))
+            emulate_cmd; modelcheck_cmd; serve_cmd; call_cmd; bench_cmd;
+            campaign_cmd ]))

@@ -1,0 +1,103 @@
+open Tasklib
+open Efd
+
+type task_kind = [ `Consensus | `Ksa | `Renaming | `Wsb | `Identity ]
+type fd_kind = [ `Omega | `Vector | `Silent | `Trivial | `Perfect ]
+type policy = Fair | Kconc of int | Uniform of int
+
+let task_assoc : (string * task_kind) list =
+  [
+    ("consensus", `Consensus);
+    ("ksa", `Ksa);
+    ("renaming", `Renaming);
+    ("wsb", `Wsb);
+    ("identity", `Identity);
+  ]
+
+let fd_assoc : (string * fd_kind) list =
+  [
+    ("omega", `Omega);
+    ("vector", `Vector);
+    ("silent", `Silent);
+    ("trivial", `Trivial);
+    ("perfect", `Perfect);
+  ]
+
+let task_names = List.map fst task_assoc
+let fd_names = List.map fst fd_assoc
+let fuzz_kinds = [ "strong-renaming"; "consensus-reduction" ]
+let alternatives names = String.concat "|" names
+
+let resolve what assoc names s =
+  match List.assoc_opt s assoc with
+  | Some k -> Ok k
+  | None ->
+    Error (Printf.sprintf "unknown %s %S (%s)" what s (alternatives names))
+
+let task_kind_of_string s = resolve "task" task_assoc task_names s
+let fd_kind_of_string s = resolve "fd" fd_assoc fd_names s
+
+let to_string assoc k =
+  fst (List.find (fun (_, k') -> k' = k) assoc)
+
+let task_kind_to_string k = to_string task_assoc k
+let fd_kind_to_string k = to_string fd_assoc k
+
+let policy_of_string s =
+  let conc mk k =
+    match int_of_string_opt k with
+    | Some k when k >= 1 -> Ok (mk k)
+    | _ ->
+      Error (Printf.sprintf "invalid concurrency %S in policy, expected K >= 1" k)
+  in
+  match String.split_on_char ':' s with
+  | [ "fair" ] -> Ok Fair
+  | [ "kconc"; k ] -> conc (fun k -> Kconc k) k
+  | [ "uniform"; k ] -> conc (fun k -> Uniform k) k
+  | _ ->
+    Error
+      (Printf.sprintf "invalid policy %S (fair|kconc:K|uniform:K)" s)
+
+let policy_to_string = function
+  | Fair -> "fair"
+  | Kconc k -> Printf.sprintf "kconc:%d" k
+  | Uniform k -> Printf.sprintf "uniform:%d" k
+
+let policy_factory = function
+  | Fair -> Run.fair_policy
+  | Kconc k -> Run.k_concurrent_policy k
+  | Uniform k -> Run.k_concurrent_uniform_policy k
+
+let task kind ~n ~k ~j ~l =
+  match kind with
+  | `Consensus -> Set_agreement.consensus ~n ()
+  | `Ksa -> Set_agreement.make ~n ~k ()
+  | `Renaming ->
+    let l = Option.value l ~default:(j + k - 1) in
+    Renaming.make ~n ~j ~l
+  | `Wsb -> Wsb.make ~n ~j
+  | `Identity -> Trivial_tasks.identity ~n ()
+
+let algo kind task ~k =
+  match kind with
+  | `Consensus -> Ksa.consensus ()
+  | `Ksa -> Ksa.make ~k ()
+  | `Renaming -> Renaming_algos.fig4 ()
+  | `Wsb -> One_concurrent.make task
+  | `Identity -> Kconc_tasks.echo ()
+
+let fd kind ~k =
+  match kind with
+  | `Omega -> Fdlib.Leader_fds.omega ()
+  | `Vector -> Fdlib.Leader_fds.vector_omega_k ~k ()
+  | `Silent -> Fdlib.Leader_fds.vector_omega_k_silent ~k ()
+  | `Trivial -> Fdlib.Fd.trivial
+  | `Perfect -> Fdlib.Classic.perfect ()
+
+let fuzz_target kind ~n ~j =
+  match kind with
+  | "strong-renaming" -> Ok (Adversary.strong_renaming_target ~n ~j)
+  | "consensus-reduction" -> Ok (Adversary.consensus_reduction_target ~n)
+  | s ->
+    Error
+      (Printf.sprintf "unknown fuzz kind %S (%s)" s (alternatives fuzz_kinds))

@@ -1,0 +1,47 @@
+(** The one place task / algorithm / failure-detector / policy / fuzz-target
+    names resolve to constructors.
+
+    [bin/wfa] and [Svc.Jobs] used to carry private copies of these tables;
+    a name accepted by the CLI but not the server (or vice versa) was a
+    latent drift bug, and scenario files make the names part of a committed
+    data format — so the tables live here, and every error message lists
+    the valid names from the same list it validated against. *)
+
+type task_kind = [ `Consensus | `Ksa | `Renaming | `Wsb | `Identity ]
+type fd_kind = [ `Omega | `Vector | `Silent | `Trivial | `Perfect ]
+
+type policy = Fair | Kconc of int | Uniform of int
+(** The schedule policies a scenario can name: ["fair"], ["kconc:K"],
+    ["uniform:K"]. *)
+
+val task_assoc : (string * task_kind) list
+(** Name table in display order — also the CLI enum. *)
+
+val fd_assoc : (string * fd_kind) list
+val task_names : string list
+val fd_names : string list
+
+val fuzz_kinds : string list
+(** Adversary target kinds: ["strong-renaming"], ["consensus-reduction"]. *)
+
+val task_kind_of_string : string -> (task_kind, string) result
+(** [Error] names the unknown input and lists the valid names, as do all
+    [_of_string] resolvers below. *)
+
+val fd_kind_of_string : string -> (fd_kind, string) result
+val task_kind_to_string : task_kind -> string
+val fd_kind_to_string : fd_kind -> string
+val policy_of_string : string -> (policy, string) result
+val policy_to_string : policy -> string
+val policy_factory : policy -> Efd.Run.policy_factory
+
+val task :
+  task_kind -> n:int -> k:int -> j:int -> l:int option -> Tasklib.Task.t
+(** For [`Renaming], [l] defaults to [j + k - 1]. *)
+
+val algo : task_kind -> Tasklib.Task.t -> k:int -> Efd.Algorithm.t
+val fd : fd_kind -> k:int -> Fdlib.Fd.t
+
+val fuzz_target :
+  string -> n:int -> j:int -> (Efd.Adversary.target, string) result
+(** Resolve a fuzz-target kind; [Error] lists {!fuzz_kinds}. *)

@@ -1,0 +1,230 @@
+module J = Obs.Json
+
+type axis = { ax_field : string; ax_values : J.t list }
+type group = { g_name : string; g_template : J.t; g_axes : axis list }
+type t = { c_name : string; c_groups : group list }
+
+let max_scenarios = 10_000
+let fail path fmt = Printf.ksprintf (fun m -> Error (path ^ ": " ^ m)) fmt
+let ( let* ) = Result.bind
+
+let obj path = function
+  | J.Obj kvs -> Ok kvs
+  | _ -> fail path "expected an object"
+
+let str path = function
+  | J.Str s -> Ok s
+  | _ -> fail path "expected a string"
+
+let reject_unknown path ~known kvs =
+  match List.find_opt (fun (k, _) -> not (List.mem k known)) kvs with
+  | None -> Ok ()
+  | Some (k, _) ->
+    fail path "unknown field %S (%s)" k (String.concat "|" known)
+
+let req path kvs name read =
+  match List.assoc_opt name kvs with
+  | None -> fail path "missing field %S" name
+  | Some v -> read v
+
+let rec map_result f i = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f i x in
+    let* ys = map_result f (i + 1) rest in
+    Ok (y :: ys)
+
+(* A field path names only object keys ([params.depth]); each segment must
+   look like a key, so a typo'd path fails at parse, not at expansion. *)
+let field_path path s =
+  let segs = String.split_on_char '.' s in
+  if
+    segs <> []
+    && List.for_all
+         (fun seg ->
+           seg <> ""
+           && String.for_all
+                (function
+                  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+                  | _ -> false)
+                seg)
+         segs
+  then Ok segs
+  else fail path "invalid field path %S (dot-separated keys)" s
+
+let axis_of_json path v =
+  let* kvs = obj path v in
+  let* () = reject_unknown path ~known:[ "field"; "values" ] kvs in
+  let* ax_field = req path kvs "field" (str (path ^ ".field")) in
+  let* _ = field_path (path ^ ".field") ax_field in
+  let* ax_values =
+    req path kvs "values" (function
+      | J.List [] -> fail (path ^ ".values") "expected a non-empty list"
+      | J.List vs -> Ok vs
+      | _ -> fail (path ^ ".values") "expected a non-empty list")
+  in
+  Ok { ax_field; ax_values }
+
+let group_of_json path v =
+  let* kvs = obj path v in
+  let* () = reject_unknown path ~known:[ "name"; "template"; "axes" ] kvs in
+  let* g_name = req path kvs "name" (str (path ^ ".name")) in
+  let* g_template = req path kvs "template" Result.ok in
+  let* g_axes =
+    match List.assoc_opt "axes" kvs with
+    | None -> Ok []
+    | Some (J.List axes) ->
+      map_result
+        (fun i v -> axis_of_json (Printf.sprintf "%s.axes[%d]" path i) v)
+        0 axes
+    | Some _ -> fail (path ^ ".axes") "expected a list"
+  in
+  Ok { g_name; g_template; g_axes }
+
+let of_json ?(path = "$") j =
+  let* kvs = obj path j in
+  let* () = reject_unknown path ~known:[ "v"; "name"; "groups" ] kvs in
+  let* v =
+    req path kvs "v" (function
+      | J.Int n -> Ok n
+      | _ -> fail (path ^ ".v") "expected an integer")
+  in
+  let* () =
+    if v = Spec.version then Ok ()
+    else fail (path ^ ".v") "unsupported version %d (expected %d)" v Spec.version
+  in
+  let* c_name = req path kvs "name" (str (path ^ ".name")) in
+  let* c_groups =
+    req path kvs "groups" (function
+      | J.List gs ->
+        map_result
+          (fun i v -> group_of_json (Printf.sprintf "%s.groups[%d]" path i) v)
+          0 gs
+      | _ -> fail (path ^ ".groups") "expected a list")
+  in
+  Ok { c_name; c_groups }
+
+let of_string s =
+  let* j = J.of_string s in
+  of_json j
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  with
+  | exception Sys_error msg -> Error (path ^ ": " ^ msg)
+  | contents -> (
+    match of_string contents with
+    | Ok t -> Ok t
+    | Error msg -> Error (path ^ ": " ^ msg))
+
+(* ----------------------------------------------------------- expansion *)
+
+let rec set_path j segs v =
+  match segs with
+  | [] -> Ok v
+  | seg :: rest -> (
+    match j with
+    | J.Obj kvs ->
+      let cur = Option.value (List.assoc_opt seg kvs) ~default:(J.Obj []) in
+      let* v' = set_path cur rest v in
+      if List.mem_assoc seg kvs then
+        Ok (J.Obj (List.map (fun (k, x) -> if k = seg then (k, v') else (k, x)) kvs))
+      else Ok (J.Obj (kvs @ [ (seg, v') ]))
+    | _ -> Error (Printf.sprintf "field path descends into a non-object at %S" seg))
+
+let value_label = function
+  | J.Int n -> string_of_int n
+  | J.Str s -> s
+  | J.Bool b -> string_of_bool b
+  | J.Float f -> Printf.sprintf "%g" f
+  | v -> J.to_string v
+
+let leaf field =
+  match List.rev (String.split_on_char '.' field) with
+  | last :: _ -> last
+  | [] -> field
+
+(* All assignments of one group's axes, rightmost varying fastest, each as
+   (label parts, (path segments, value) list). *)
+let assignments axes =
+  List.fold_left
+    (fun acc ax ->
+      let segs = String.split_on_char '.' ax.ax_field in
+      List.concat_map
+        (fun (labels, sets) ->
+          List.map
+            (fun v ->
+              ( labels @ [ Printf.sprintf "%s=%s" (leaf ax.ax_field) (value_label v) ],
+                sets @ [ (segs, v) ] ))
+            ax.ax_values)
+        acc)
+    [ ([], []) ]
+    axes
+
+let expand_group ~path g =
+  let cells = assignments g.g_axes in
+  map_result
+    (fun _i (labels, sets) ->
+      (* ':' separates the group name from the axis assignments so that
+         group names may themselves contain '/' without confusing
+         [group_of] *)
+      let name =
+        if labels = [] then g.g_name
+        else g.g_name ^ ":" ^ String.concat "," labels
+      in
+      let* cell =
+        List.fold_left
+          (fun acc (segs, v) ->
+            let* j = acc in
+            match set_path j segs v with
+            | Ok j -> Ok j
+            | Error m -> fail (Printf.sprintf "%s (cell %s)" path name) "%s" m)
+          (Ok g.g_template) sets
+      in
+      let* cell = set_path cell [ "v" ] (J.Int Spec.version) in
+      let* cell = set_path cell [ "name" ] (J.Str name) in
+      match Spec.of_json ~path:(Printf.sprintf "%s (cell %s)" path name) cell with
+      | Ok sp -> Ok sp
+      | Error m -> Error m)
+    0 cells
+
+let expand t =
+  let total =
+    List.fold_left
+      (fun acc g ->
+        acc
+        + List.fold_left (fun n ax -> n * List.length ax.ax_values) 1 g.g_axes)
+      0 t.c_groups
+  in
+  if total > max_scenarios then
+    fail "$" "campaign expands to %d scenarios (max %d)" total max_scenarios
+  else
+    let* groups =
+      map_result
+        (fun i g -> expand_group ~path:(Printf.sprintf "$.groups[%d]" i) g)
+        0 t.c_groups
+    in
+    let specs = List.concat groups in
+    let seen = Hashtbl.create 64 in
+    let* () =
+      List.fold_left
+        (fun acc sp ->
+          let* () = acc in
+          if Hashtbl.mem seen sp.Spec.sp_name then
+            fail "$" "duplicate scenario name %S" sp.Spec.sp_name
+          else begin
+            Hashtbl.add seen sp.Spec.sp_name ();
+            Ok ()
+          end)
+        (Ok ()) specs
+    in
+    Ok specs
+
+let group_of sp =
+  match String.index_opt sp.Spec.sp_name ':' with
+  | None -> sp.Spec.sp_name
+  | Some i -> String.sub sp.Spec.sp_name 0 i

@@ -1,0 +1,51 @@
+(** Campaign files: a scenario matrix as data.
+
+    A campaign is a list of groups; each group is one scenario template
+    plus a set of axes, and expands to the cartesian product of the axis
+    values — frenetic's one-line
+    [verify description initial program final expected] form, lifted to a
+    whole task × algorithm × environment matrix:
+
+    {v
+    { "v": 1,
+      "name": "conformance",
+      "groups": [
+        { "name": "mc/safe",
+          "template": { "verb": "modelcheck",
+                        "params": { "scenario": "safe-agreement" },
+                        "expect": { "outcome": "safe" } },
+          "axes": [
+            { "field": "params.depth", "values": [4, 6, 8] },
+            { "field": "params.n_s",   "values": [1, 2] }
+          ] } ] }
+    v}
+
+    An axis [field] is a dot-separated JSON path set into the template
+    (missing intermediate objects are created); a single-valued axis is an
+    override. Each expanded scenario gets the generated name
+    [<group>:<leaf>=<value>,...] (the group name alone when there are no
+    axes), a ["v"] field, and is then validated through {!Spec.of_json} —
+    so a campaign can only ever expand into well-formed scenarios, and a
+    bad cell fails with its generated name and exact JSON path. *)
+
+type axis = { ax_field : string; ax_values : Obs.Json.t list }
+type group = { g_name : string; g_template : Obs.Json.t; g_axes : axis list }
+type t = { c_name : string; c_groups : group list }
+
+val max_scenarios : int
+(** [10_000] — an expansion larger than this is rejected, bounding the
+    work a hostile campaign file can request. *)
+
+val of_json : ?path:string -> Obs.Json.t -> (t, string) result
+val of_string : string -> (t, string) result
+val load : string -> (t, string) result
+(** As {!Spec.load}: file errors are prefixed with the file name. *)
+
+val expand : t -> (Spec.t list, string) result
+(** The concrete scenarios, group by group, axes varying rightmost-fastest.
+    Fails on a cell that does not validate, on a duplicate generated name,
+    and on expansions beyond {!max_scenarios}. *)
+
+val group_of : Spec.t -> string
+(** The group a generated scenario came from: its name up to the first
+    [':'] (the whole name for ungenerated scenarios). *)

@@ -43,78 +43,61 @@ let pos_param ~default name params =
   if v < 1 then bad "param %S must be >= 1" name;
   v
 
-(* --------------------------------------------- builders (as in the CLI) *)
+(* -------------------------------- builders (shared with the CLI) -------
+   Name resolution and construction live in [Scenario.Build] — the same
+   tables the CLI enums and the scenario-file validator use, so a name the
+   server rejects is a name no other layer accepts either. *)
 
-let task_kind = function
-  | "consensus" -> `Consensus
-  | "ksa" -> `Ksa
-  | "renaming" -> `Renaming
-  | "wsb" -> `Wsb
-  | "identity" -> `Identity
-  | s -> bad "unknown task %S (consensus|ksa|renaming|wsb|identity)" s
+let resolved = function Ok v -> v | Error msg -> bad "%s" msg
 
-let fd_kind = function
-  | "omega" -> `Omega
-  | "vector" -> `Vector
-  | "silent" -> `Silent
-  | "trivial" -> `Trivial
-  | "perfect" -> `Perfect
-  | s -> bad "unknown fd %S (omega|vector|silent|trivial|perfect)" s
-
-let policy_of_string s =
-  let conc mk k =
-    match int_of_string_opt k with
-    | Some k when k >= 1 -> mk k
-    | _ -> bad "invalid concurrency %S in policy" k
-  in
-  match String.split_on_char ':' s with
-  | [ "fair" ] -> Run.fair_policy
-  | [ "kconc"; k ] -> conc Run.k_concurrent_policy k
-  | [ "uniform"; k ] -> conc Run.k_concurrent_uniform_policy k
-  | _ -> bad "invalid policy %S (fair|kconc:K|uniform:K)" s
-
-let build_task kind ~n ~k ~j ~l =
-  match kind with
-  | `Consensus -> Set_agreement.consensus ~n ()
-  | `Ksa -> Set_agreement.make ~n ~k ()
-  | `Renaming ->
-    let l = Option.value l ~default:(j + k - 1) in
-    Renaming.make ~n ~j ~l
-  | `Wsb -> Wsb.make ~n ~j
-  | `Identity -> Trivial_tasks.identity ~n ()
-
-let build_algo kind task ~k =
-  match kind with
-  | `Consensus -> Ksa.consensus ()
-  | `Ksa -> Ksa.make ~k ()
-  | `Renaming -> Renaming_algos.fig4 ()
-  | `Wsb -> One_concurrent.make task
-  | `Identity -> Kconc_tasks.echo ()
-
-let build_fd kind ~k =
-  match kind with
-  | `Omega -> Fdlib.Leader_fds.omega ()
-  | `Vector -> Fdlib.Leader_fds.vector_omega_k ~k ()
-  | `Silent -> Fdlib.Leader_fds.vector_omega_k_silent ~k ()
-  | `Trivial -> Fdlib.Fd.trivial
-  | `Perfect -> Fdlib.Classic.perfect ()
+(* "crashes": [[i, t], ...] — crash S-process i at time t. *)
+let crashes_param ~n_s params =
+  match J.member "crashes" params with
+  | None -> []
+  | Some (J.List items) ->
+    List.map
+      (function
+        | J.List [ J.Int i; J.Int t ] when t >= 0 ->
+          if i < 0 || i >= n_s then
+            bad "crash index %d out of range (S-processes: 0..%d)" i (n_s - 1)
+          else (i, t)
+        | _ -> bad "param \"crashes\" items must be [index, time] int pairs")
+      items
+  | Some _ -> bad "param \"crashes\" is not a list"
 
 (* --------------------------------------------------------------- verbs *)
 
 let solve ~cancel params =
-  let kind = task_kind (str_param ~default:"consensus" "task" params) in
-  let fd_k = fd_kind (str_param ~default:"vector" "fd" params) in
-  let policy = policy_of_string (str_param ~default:"fair" "policy" params) in
+  let kind =
+    resolved
+      (Scenario.Build.task_kind_of_string
+         (str_param ~default:"consensus" "task" params))
+  in
+  let fd_k =
+    resolved
+      (Scenario.Build.fd_kind_of_string
+         (str_param ~default:"vector" "fd" params))
+  in
+  let policy =
+    Scenario.Build.policy_factory
+      (resolved
+         (Scenario.Build.policy_of_string
+            (str_param ~default:"fair" "policy" params)))
+  in
   let n = pos_param ~default:4 "n" params in
   let k = pos_param ~default:1 "k" params in
   let j = pos_param ~default:3 "j" params in
   let l = int_opt_param "l" params in
   let seed = int_param ~default:1 "seed" params in
   let budget = pos_param ~default:400_000 "budget" params in
-  let task = build_task kind ~n ~k ~j ~l in
-  let algo = build_algo kind task ~k in
-  let fd = build_fd fd_k ~k in
-  let pattern = Failure.failure_free n in
+  let crashes = crashes_param ~n_s:n params in
+  let task = Scenario.Build.task kind ~n ~k ~j ~l in
+  let algo = Scenario.Build.algo kind task ~k in
+  let fd = Scenario.Build.fd fd_k ~k in
+  let pattern =
+    if crashes = [] then Failure.failure_free n
+    else Failure.pattern ~n_s:n crashes
+  in
   let rng = Random.State.make [| seed |] in
   let input = Task.sample_input task rng in
   let r =
@@ -235,12 +218,7 @@ let fuzz ~cancel params =
   let seed = int_param ~default:1 "seed" params in
   let budget = pos_param ~default:500 "budget" params in
   let domains = pos_param ~default:1 "domains" params in
-  let target =
-    match kind with
-    | "strong-renaming" -> Adversary.strong_renaming_target ~n ~j
-    | "consensus-reduction" -> Adversary.consensus_reduction_target ~n
-    | s -> bad "unknown kind %S (strong-renaming|consensus-reduction)" s
-  in
+  let target = resolved (Scenario.Build.fuzz_target kind ~n ~j) in
   let res = Adversary.fuzz_target ~domains ~cancel ~seed ~budget target () in
   J.Obj
     ([
@@ -252,6 +230,30 @@ let fuzz ~cancel params =
     | None -> []
     | Some w -> [ ("witness", Adversary.witness_json w) ])
 
+(* A caller-supplied scenario file as params: validate it through
+   [Scenario.Spec] (structured path-carrying errors — an unknown name or a
+   malformed field must come back as [bad_request], never crash a worker),
+   then dispatch to the handler its verb names. The scenario's own
+   [deadline_ms] rides in the request envelope, so [cancel] already
+   enforces it here. *)
+let scenario ~cancel params =
+  match Scenario.Spec.of_json params with
+  | Error msg -> bad "invalid scenario: %s" msg
+  | Ok sp ->
+    let inner = Scenario.Spec.params_json sp in
+    let result =
+      match sp.Scenario.Spec.sp_work with
+      | Scenario.Spec.Solve _ -> solve ~cancel inner
+      | Scenario.Spec.Modelcheck _ -> modelcheck ~cancel inner
+      | Scenario.Spec.Fuzz _ -> fuzz ~cancel inner
+    in
+    J.Obj
+      [
+        ("scenario", J.Str sp.Scenario.Spec.sp_name);
+        ("verb", J.Str (Scenario.Spec.verb sp));
+        ("result", result);
+      ]
+
 let never_cancel () = false
 
 let run ?(cancel = never_cancel) verb params =
@@ -260,7 +262,7 @@ let run ?(cancel = never_cancel) verb params =
     Error
       ( P.Internal,
         Printf.sprintf "verb %S is not a pool job" (P.verb_string verb) )
-  | P.Solve | P.Modelcheck | P.Subtree | P.Fuzz -> (
+  | P.Solve | P.Modelcheck | P.Subtree | P.Fuzz | P.Scenario -> (
     try
       Ok
         (match verb with
@@ -268,6 +270,7 @@ let run ?(cancel = never_cancel) verb params =
         | P.Modelcheck -> modelcheck ~cancel params
         | P.Subtree -> subtree ~cancel params
         | P.Fuzz -> fuzz ~cancel params
+        | P.Scenario -> scenario ~cancel params
         | _ -> assert false)
     with
     | Bad msg -> Error (P.Bad_request, msg)

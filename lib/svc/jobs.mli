@@ -16,7 +16,8 @@ val run :
 (** Dispatch on the verb. [Ping]/[Stats]/[Shutdown] are server-side verbs
     and return [Internal] here; the queued verbs accept:
 
-    - [solve]: [task], [fd], [policy], [n], [k], [j], [l], [seed],
+    - [solve]: [task], [fd], [policy], [n], [k], [j], [l], [crashes]
+      ([[i, t], ...] — crash S-process [i] at time [t]), [seed],
       [budget] — one {!Efd.Run.execute}; result
       [{ "ok": bool, "report": <run report> }]. Bounded by [budget] and
       cancellable at every scheduling step.
@@ -25,4 +26,11 @@ val run :
       Cancellable between schedules.
     - [fuzz]: [kind], [n], [j], [seed], [budget], [domains] — adversary
       fuzzing; result [{ "found": bool, "fuzz": ..., "witness": ... }].
-      Cancellable between trials. *)
+      Cancellable between trials.
+    - [scenario]: params are one {!Scenario.Spec} object — validated
+      server-side (malformed input is a [Bad_request] carrying the JSON
+      path; unknown names list the valid ones) and dispatched to the
+      solve / modelcheck / fuzz handler it describes; result
+      [{ "scenario": <name>, "verb": <verb>, "result": <verb result> }].
+      Name resolution shares {!Scenario.Build} with the CLI, so client
+      and server cannot drift. *)

@@ -10,6 +10,7 @@ type verb =
   | Fuzz
   | Shutdown
   | Hello
+  | Scenario
 
 let verb_string = function
   | Ping -> "ping"
@@ -21,6 +22,7 @@ let verb_string = function
   | Fuzz -> "fuzz"
   | Shutdown -> "shutdown"
   | Hello -> "hello"
+  | Scenario -> "scenario"
 
 let verb_of_string = function
   | "ping" -> Some Ping
@@ -32,6 +34,7 @@ let verb_of_string = function
   | "fuzz" -> Some Fuzz
   | "shutdown" -> Some Shutdown
   | "hello" -> Some Hello
+  | "scenario" -> Some Scenario
   | _ -> None
 
 type err_code =
@@ -223,6 +226,7 @@ module Codec = struct
     | Fuzz -> 6
     | Shutdown -> 7
     | Hello -> 8
+    | Scenario -> 9
 
   let verb_of_tag = function
     | 0 -> Some Ping
@@ -234,6 +238,7 @@ module Codec = struct
     | 6 -> Some Fuzz
     | 7 -> Some Shutdown
     | 8 -> Some Hello
+    | 9 -> Some Scenario
     | _ -> None
 
   let err_tag = function

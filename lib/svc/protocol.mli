@@ -6,7 +6,7 @@
     request  ::= { "v": 1, "id": <int>, "verb": <verb>,
                    "params": <object>?, "deadline_ms": <int>? }
     verb     ::= "ping" | "stats" | "metrics" | "solve" | "modelcheck"
-               | "subtree" | "fuzz" | "shutdown"
+               | "subtree" | "fuzz" | "scenario" | "shutdown"
     response ::= { "v": 1, "id": <int>, "ok": true,  "result": <value> }
                | { "v": 1, "id": <int>, "ok": false,
                    "error": { "code": <code>, "msg": <string> } }
@@ -32,6 +32,11 @@ type verb =
   | Hello
       (** codec negotiation: offer a codec by name, the server acks with
           the best codec it supports; answered inline *)
+  | Scenario
+      (** pool job: one caller-supplied {!Scenario.Spec} object as params —
+          validated server-side (a structured [bad_request] carrying the
+          JSON path on anything malformed, never a crash), then dispatched
+          to the solve / modelcheck / fuzz handler it describes *)
 
 val verb_string : verb -> string
 val verb_of_string : string -> verb option

@@ -410,7 +410,7 @@ let handle_frame t conn codec payload pending =
     | P.Shutdown ->
       enqueue_response t codec conn (P.ok ~id:rq.P.rq_id (J.Str "draining"));
       shutdown t
-    | P.Solve | P.Modelcheck | P.Subtree | P.Fuzz ->
+    | P.Solve | P.Modelcheck | P.Subtree | P.Fuzz | P.Scenario ->
       if Atomic.get t.stop then
         reject t conn ~codec ~id:rq.P.rq_id P.Shutting_down
           "server is draining"

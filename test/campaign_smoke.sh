@@ -1,0 +1,80 @@
+#!/bin/sh
+# CI smoke test for the scenario DSL + campaign runner: start `wfa serve`,
+# run the committed mixed smoke campaign against it (deliberate failures,
+# an undeclared deadline, an engine error) and assert the EXACT outcome
+# split -- a misclassified row (a timeout counted as a fail, a failure
+# counted as an error) changes the split and fails here. Then run the full
+# conformance matrix (>= 100 scenarios, every expectation must hold)
+# through the same server and record BENCH_campaign.json for the baseline
+# gate. Finally, a malformed caller-supplied scenario must come back as a
+# structured bad_request on a connection that keeps working.
+set -eu
+
+WFA=${WFA:-_build/default/bin/wfa.exe}
+SOCK="/tmp/wfa-campaign-$$.sock"
+OUT="/tmp/wfa-campaign-$$.out"
+
+cleanup() {
+  kill "$SRV" 2>/dev/null || true
+  rm -f "$SOCK" "$OUT"
+}
+
+"$WFA" serve --socket "$SOCK" --workers 2 &
+SRV=$!
+trap cleanup EXIT
+
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  [ "$i" -le 100 ] || { echo "campaign_smoke: socket never appeared" >&2; exit 1; }
+  sleep 0.1
+done
+
+echo "campaign_smoke: mixed smoke campaign (exact split)"
+if "$WFA" campaign bench/campaigns/smoke.json --socket "$SOCK" > "$OUT"; then
+  echo "campaign_smoke: smoke campaign unexpectedly succeeded" >&2
+  cat "$OUT" >&2
+  exit 1
+fi
+cat "$OUT"
+case "$(cat "$OUT")" in
+  *"total: 20 scenarios, 16 pass, 2 fail, 1 timeout, 1 error"*) ;;
+  *) echo "campaign_smoke: wrong outcome split" >&2; exit 1 ;;
+esac
+
+echo "campaign_smoke: conformance campaign (all expectations must hold)"
+"$WFA" campaign bench/campaigns/conformance.json --socket "$SOCK" \
+  --json BENCH_campaign.json > "$OUT"
+tail -1 "$OUT"
+case "$(cat "$OUT")" in
+  *", 0 fail, 0 timeout, 0 error"*) ;;
+  *) echo "campaign_smoke: conformance campaign had unexpected outcomes" >&2
+     cat "$OUT" >&2; exit 1 ;;
+esac
+[ -s BENCH_campaign.json ] || {
+  echo "campaign_smoke: BENCH_campaign.json missing" >&2; exit 1
+}
+
+echo "campaign_smoke: malformed scenario is a structured error"
+if "$WFA" call --socket "$SOCK" scenario \
+  --params '{"v":1,"name":"x","verb":"modelcheck","params":{"scenario":"typo"},"expect":{"outcome":"safe"}}' \
+  2> "$OUT"; then
+  echo "campaign_smoke: malformed scenario unexpectedly accepted" >&2
+  exit 1
+fi
+case "$(cat "$OUT")" in
+  *'bad_request'*'unknown scenario "typo"'*) ;;
+  *) echo "campaign_smoke: missing structured diagnostics" >&2
+     cat "$OUT" >&2; exit 1 ;;
+esac
+
+# the rejected scenario must not have hurt the server
+echo "campaign_smoke: server still answers after the reject"
+"$WFA" call --socket "$SOCK" ping
+
+"$WFA" call --socket "$SOCK" shutdown > /dev/null 2>&1 || true
+wait "$SRV"
+
+trap - EXIT
+rm -f "$SOCK" "$OUT"
+echo "campaign_smoke: ok"

@@ -23,5 +23,6 @@ let () =
       ("cancel", Test_cancel.suite);
       ("codec", Test_codec.suite);
       ("svc", Test_svc.suite);
+      ("scenario", Test_scenario.suite);
       ("dist", Test_dist.suite);
     ]

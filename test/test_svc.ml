@@ -883,6 +883,107 @@ let test_client_connect_retry () =
     Svc.Server.wait srv
   | None -> Alcotest.fail "server never started"
 
+(* ------------------------------------------------- scenario / campaign *)
+
+(* An invalid caller-supplied scenario is a structured bad_request naming
+   the failing JSON path — and the connection survives to serve the next
+   (valid) scenario on the same socket. *)
+let test_server_scenario_validation () =
+  let path = socket_path () in
+  with_server (default_cfg path) (fun _ ->
+      let c = Svc.Client.connect path in
+      let bad =
+        J.Obj
+          [
+            ("v", J.Int 1); ("name", J.Str "bad");
+            ("verb", J.Str "modelcheck");
+            ("params", J.Obj [ ("scenario", J.Str "typo") ]);
+            ("expect", J.Obj [ ("outcome", J.Str "safe") ]);
+          ]
+      in
+      (match Svc.Client.call ~params:bad c P.Scenario with
+      | Error (Svc.Client.Server (P.Bad_request, msg)) ->
+        check_bool "names the path" true
+          (String.length msg > 0
+          && Option.is_some
+               (String.index_opt msg '$')
+          && Option.is_some (String.index_opt msg '|'))
+      | r ->
+        Alcotest.failf "expected bad_request, got %s"
+          (match r with
+          | Ok j -> J.to_string j
+          | Error e -> Svc.Client.error_string e));
+      let good =
+        J.Obj
+          [
+            ("v", J.Int 1); ("name", J.Str "good");
+            ("verb", J.Str "modelcheck");
+            ( "params",
+              J.Obj [ ("scenario", J.Str "safe-agreement"); ("depth", J.Int 6) ]
+            );
+            ("expect", J.Obj [ ("outcome", J.Str "safe") ]);
+          ]
+      in
+      (match Svc.Client.call ~params:good c P.Scenario with
+      | Ok j -> (
+        check_bool "scenario echoed" true
+          (J.member "scenario" j = Some (J.Str "good"));
+        match Option.bind (J.member "result" j) (J.member "verdict") with
+        | Some (J.Str "ok") -> ()
+        | _ -> Alcotest.fail "no ok verdict in result")
+      | Error e ->
+        Alcotest.failf "good scenario: %s" (Svc.Client.error_string e));
+      Svc.Client.close c)
+
+(* A campaign running over the wire honors per-scenario deadlines: the slow
+   row comes back as a timeout (not a fail, not a dead connection), and the
+   rows after it still run. *)
+let test_campaign_client_deadlines () =
+  let path = socket_path () in
+  with_server (default_cfg path) (fun _ ->
+      let mc ?deadline_ms ?(expect = Scenario.Spec.Safe) name depth =
+        {
+          Scenario.Spec.sp_name = name;
+          sp_work =
+            Scenario.Spec.Modelcheck
+              {
+                Scenario.Spec.mc_scenario = "safe-agreement"; mc_n_s = 1;
+                mc_depth = depth; mc_reduce = false;
+              };
+          sp_deadline_ms = deadline_ms;
+          sp_expect = expect;
+        }
+      in
+      let specs =
+        [
+          mc "a:fast" 6;
+          mc ~deadline_ms:1 "a:slow" 14;
+          mc ~deadline_ms:1 ~expect:(Scenario.Spec.Err "deadline_exceeded")
+            "a:slow-declared" 14;
+          mc "a:after" 6;
+        ]
+      in
+      let c = Svc.Client.connect path in
+      let s =
+        Svc.Campaign.run_client ~window:2 ~name:"deadlines" ~client:c specs
+      in
+      Svc.Client.close c;
+      let outcome name =
+        (List.find
+           (fun r -> r.Svc.Campaign.row_spec.Scenario.Spec.sp_name = name)
+           s.Svc.Campaign.s_rows)
+          .Svc.Campaign.row_outcome
+      in
+      check_bool "fast passes" true (outcome "a:fast" = Scenario.Spec.Pass);
+      check_bool "slow is timeout, not fail" true
+        (outcome "a:slow" = Scenario.Spec.Timeout);
+      check_bool "declared timeout passes" true
+        (outcome "a:slow-declared" = Scenario.Spec.Pass);
+      check_bool "row after timeout still runs" true
+        (outcome "a:after" = Scenario.Spec.Pass);
+      check_int "timeouts" 1 s.Svc.Campaign.s_timeout;
+      check_int "fails" 0 s.Svc.Campaign.s_fail)
+
 let suite =
   [
     Alcotest.test_case "frame round-trip" `Quick test_frame_roundtrip;
@@ -938,4 +1039,8 @@ let suite =
       test_codec_mixed_frames;
     Alcotest.test_case "client: connect retries until the server is up"
       `Quick test_client_connect_retry;
+    Alcotest.test_case "server: scenario verb validates caller input" `Quick
+      test_server_scenario_validation;
+    Alcotest.test_case "campaign: per-scenario deadlines over the wire"
+      `Quick test_campaign_client_deadlines;
   ]
