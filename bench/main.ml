@@ -1740,6 +1740,162 @@ let dist_bench () =
      informational *)
   if cores >= 4 then assert (speedup >= 2.5)
 
+(* Checkpoint overhead and resume (lib/ckpt, DESIGN.md §8) on the depth-8
+   CI anchor: the journaling engine vs the plain one — the <10% overhead
+   claim as an assertion — plus a kill-at-half-way resume row showing the
+   second half is all that gets re-run. *)
+
+let ckpt_bench () =
+  header "ckpt" "checkpoint: journaling overhead and resume, depth-8 anchor";
+  let depth = 8 and n_s = 3 in
+  let expected = 390_625 (* 5^8: credited count is reduction-invariant *) in
+  let sc =
+    match Mcheck.Scenario.find "safe-agreement" ~n_s with
+    | Stdlib.Ok sc -> sc
+    | Stdlib.Error e -> failwith e
+  in
+  let split_depth = Ckpt.Local.default_split_depth ~depth in
+  let build = sc.Mcheck.Scenario.sc_build in
+  let pids = sc.Mcheck.Scenario.sc_pids in
+  let prop = sc.Mcheck.Scenario.sc_prop in
+  let credited = function
+    | Exhaustive.Ok n -> assert (n = expected)
+    | Exhaustive.Counterexample _ -> assert false
+  in
+  let time f =
+    let sp = Obs.Span.start () in
+    f ();
+    Obs.Span.elapsed_s sp
+  in
+  let best_of f =
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let w = time f in
+      if w < !best then best := w
+    done;
+    !best
+  in
+  let tmp_store () =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "wfa-bench-ckpt-%d-%d" (Unix.getpid ())
+           (int_of_float (Unix.gettimeofday () *. 1e6) land 0xffffff))
+    in
+    match Ckpt.Store.create dir with
+    | Stdlib.Ok s -> s
+    | Stdlib.Error e -> failwith e
+  in
+  let rm_store store =
+    let dir = Ckpt.Store.dir store in
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  in
+  Fmt.pr "  safe-agreement, depth %d, n_s %d, split depth %d:@." depth n_s
+    split_depth;
+  Fmt.pr "  %-28s %10s@." "engine" "wall";
+  line ();
+  (* context row: the monolithic DFS with its cross-tree memo — faster
+     than any partitioned engine, but it cannot checkpoint (or fan out) *)
+  let monolithic =
+    best_of (fun () ->
+        let verdict, _ = Exhaustive.run ~build ~pids ~depth ~prop () in
+        credited verdict)
+  in
+  Fmt.pr "  %-28s %9.3fs@." "monolithic DFS (context)" monolithic;
+  (* the no-checkpoint baseline: the SAME split engine the distributed
+     coordinator runs, minus the journal — so the overhead row below
+     isolates what the checkpoint subsystem itself costs *)
+  let run_split_plain () =
+    let fr = Exhaustive.split ~build ~pids ~depth ~split_depth ~prop () in
+    let verdict, _ =
+      List.fold_left
+        (fun (v, st) sj ->
+          let v', st' = Exhaustive.run_subtree ~build ~pids ~depth ~prop sj in
+          (Exhaustive.merge_verdicts ~pids v v', Exhaustive.merge_stats st st'))
+        (Exhaustive.Ok fr.Exhaustive.fr_pruned, fr.Exhaustive.fr_stats)
+        fr.Exhaustive.fr_jobs
+    in
+    credited verdict
+  in
+  (* default interval: a sub-second depth-8 run journals the initial and
+     final generations only — the steady-state cost of running under
+     --checkpoint, not a fsync-per-second stress test. Store setup and
+     teardown stay outside the timers (the row measures what journaling
+     adds to a run), and reusing one store across reps also exercises
+     steady-state generation pruning. The two engines are timed in
+     interleaved pairs so load drift on the host cancels out of the
+     overhead ratio instead of landing on one side. *)
+  let store = tmp_store () in
+  let run_checkpointed () =
+    match Ckpt.Local.run ~store ~scenario:sc ~depth () with
+    | Stdlib.Ok (verdict, _) -> credited verdict
+    | Stdlib.Error e -> failwith e
+  in
+  let split_plain = ref infinity and checkpointed = ref infinity in
+  for _ = 1 to 5 do
+    let w = time run_split_plain in
+    if w < !split_plain then split_plain := w;
+    let w = time run_checkpointed in
+    if w < !checkpointed then checkpointed := w
+  done;
+  rm_store store;
+  let split_plain = !split_plain and checkpointed = !checkpointed in
+  Fmt.pr "  %-28s %9.3fs@." "split engine, no journal" split_plain;
+  let overhead = (checkpointed -. split_plain) /. Float.max 1e-9 split_plain in
+  Fmt.pr "  %-28s %9.3fs  (%+.1f%% vs no-journal)@." "checkpointed"
+    checkpointed (100. *. overhead);
+  Rec.row
+    ~labels:[ ("scenario", "safe-agreement"); ("engine", "monolithic") ]
+    [ ("depth", jint depth); ("schedules", jint expected);
+      ("wall_s", jfloat monolithic) ];
+  Rec.row
+    ~labels:[ ("scenario", "safe-agreement"); ("engine", "split-no-journal") ]
+    [ ("depth", jint depth); ("schedules", jint expected);
+      ("split_depth", jint split_depth); ("wall_s", jfloat split_plain);
+      ("schedules_per_s", jfloat (float_of_int expected /. split_plain)) ];
+  Rec.row
+    ~labels:[ ("scenario", "safe-agreement"); ("engine", "checkpointed") ]
+    [ ("depth", jint depth); ("schedules", jint expected);
+      ("split_depth", jint split_depth); ("wall_s", jfloat checkpointed);
+      ("schedules_per_s", jfloat (float_of_int expected /. checkpointed));
+      ("overhead_vs_plain", jfloat overhead) ];
+  (* kill at half the no-journal wall-clock, resume, and the two legs must
+     reproduce the uninterrupted verdict and credited count *)
+  let store = tmp_store () in
+  let started = Obs.Clock.now_ns () in
+  let cancel () = Obs.Clock.elapsed_s ~since:started > split_plain /. 2. in
+  let first_leg = Obs.Span.start () in
+  let killed =
+    match Ckpt.Local.run ~cancel ~store ~scenario:sc ~depth () with
+    | exception Exhaustive.Cancelled -> true
+    | Stdlib.Ok (verdict, _) ->
+      (* too fast to interrupt on this host: still a valid (degenerate)
+         resume row — everything is already done *)
+      credited verdict;
+      false
+    | Stdlib.Error e -> failwith e
+  in
+  let first_leg = Obs.Span.elapsed_s first_leg in
+  let resume_leg = Obs.Span.start () in
+  (match Ckpt.Local.resume ~store () with
+  | Stdlib.Ok (_, verdict, _) -> credited verdict
+  | Stdlib.Error e -> failwith e);
+  let resume_leg = Obs.Span.elapsed_s resume_leg in
+  rm_store store;
+  Fmt.pr "  %-28s %9.3fs  (first leg %.3fs, killed: %b)@."
+    "resume-half-way" resume_leg first_leg killed;
+  Rec.row
+    ~labels:[ ("scenario", "safe-agreement"); ("engine", "resume-half-way") ]
+    [ ("depth", jint depth); ("schedules", jint expected);
+      ("first_leg_wall_s", jfloat first_leg);
+      ("resume_wall_s", jfloat resume_leg);
+      ("killed_mid_run", Obs.Json.Bool killed) ];
+  (* the tentpole's overhead gate: journaling a deep run costs < 10% *)
+  assert (overhead < 0.10)
+
 (* -------------------------------------------------------------- driver *)
 
 let all : (string * (unit -> unit)) list =
@@ -1748,7 +1904,7 @@ let all : (string * (unit -> unit)) list =
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("ablations", ablations); ("checker", checker);
     ("fuzz", fuzz_bench); ("micro", micro); ("obs", obs_overhead);
-    ("serve", serve_bench); ("dist", dist_bench);
+    ("serve", serve_bench); ("dist", dist_bench); ("ckpt", ckpt_bench);
   ]
 
 let () =

@@ -362,8 +362,80 @@ let emulate n seed crashes budget =
   Fmt.pr "omega property     %b@." ok;
   if ok then 0 else 1
 
+(* Shared by modelcheck and resume so the two commands' --json output
+   diffs field-for-field: a resumed run must be indistinguishable from an
+   uninterrupted one on every deterministic field. *)
+let finish_check ~scenario ~depth ~n_s ~reduce ~json ~engine ~dist_fields
+    verdict stats =
+  Fmt.pr "engine: %s@." engine;
+  Fmt.pr "stats:  %a@." Exhaustive.pp_stats stats;
+  Option.iter
+    (fun path ->
+      write_json path
+        (Obs.Json.Obj
+           ([
+              ("scenario", Obs.Json.Str scenario);
+              ("depth", Obs.Json.Int depth);
+              ("n_s", Obs.Json.Int n_s);
+              ("reduce", Obs.Json.Bool reduce);
+              ( "verdict",
+                Obs.Json.Str
+                  (match verdict with
+                  | Exhaustive.Ok _ -> "ok"
+                  | Exhaustive.Counterexample _ -> "counterexample") );
+              ( "schedules",
+                match verdict with
+                | Exhaustive.Ok n -> Obs.Json.Int n
+                | Exhaustive.Counterexample _ -> Obs.Json.Null );
+              (* mirrored at top level so local and distributed runs
+                 diff field-for-field without digging into stats *)
+              ("sleep_pruned", Obs.Json.Int stats.Exhaustive.sleep_pruned);
+              ( "orbits_collapsed",
+                Obs.Json.Int stats.Exhaustive.orbits_collapsed );
+              ("stats", Exhaustive.stats_json stats);
+            ]
+           @ dist_fields)))
+    json;
+  match verdict with
+  | Exhaustive.Ok n ->
+    Fmt.pr "%s: %d schedules of depth <= %d, property holds@." scenario n
+      depth;
+    0
+  | Exhaustive.Counterexample cex ->
+    Fmt.pr "VIOLATION under schedule %a@."
+      Fmt.(list ~sep:(any " ") Pid.pp)
+      cex;
+    1
+
+let dist_report ~workers r =
+  let dead =
+    List.filter
+      (fun w -> w.Dist.Coordinator.wk_dead)
+      r.Dist.Coordinator.r_workers
+  in
+  Fmt.pr "dist:   %d workers (%d failed), %d subtree jobs, %d re-dispatched@."
+    (List.length workers) (List.length dead) r.Dist.Coordinator.r_jobs
+    r.Dist.Coordinator.r_redispatched;
+  [
+    ( "dist",
+      Obs.Json.Obj
+        [
+          ("workers", Obs.Json.Int (List.length workers));
+          ("workers_dead", Obs.Json.Int (List.length dead));
+          ("jobs", Obs.Json.Int r.Dist.Coordinator.r_jobs);
+          ("redispatched", Obs.Json.Int r.Dist.Coordinator.r_redispatched);
+          ( "frontier_pruned",
+            Obs.Json.Int r.Dist.Coordinator.r_frontier_pruned );
+        ] );
+  ]
+
+let ckpt_field ~dir ~resumed =
+  ( "checkpoint",
+    Obs.Json.Obj
+      [ ("dir", Obs.Json.Str dir); ("resumed", Obs.Json.Bool resumed) ] )
+
 let modelcheck scenario_file depth n_s reduce scenario workers split_depth
-    json =
+    checkpoint checkpoint_interval_s json =
   match scenario_file with
   | Some path -> run_scenario_file ~cmd:"modelcheck" path
   | None ->
@@ -379,92 +451,128 @@ let modelcheck scenario_file depth n_s reduce scenario workers split_depth
     Fmt.epr "wfa modelcheck: %s@." msg;
     2
   | Ok sc -> (
-    let finish ~engine ~dist_fields verdict stats =
-      Fmt.pr "engine: %s@." engine;
-      Fmt.pr "stats:  %a@." Exhaustive.pp_stats stats;
-      Option.iter
-        (fun path ->
-          write_json path
-            (Obs.Json.Obj
-               ([
-                  ("scenario", Obs.Json.Str sc.Mcheck.Scenario.sc_name);
-                  ("depth", Obs.Json.Int depth);
-                  ("n_s", Obs.Json.Int n_s);
-                  ("reduce", Obs.Json.Bool reduce);
-                  ( "verdict",
-                    Obs.Json.Str
-                      (match verdict with
-                      | Exhaustive.Ok _ -> "ok"
-                      | Exhaustive.Counterexample _ -> "counterexample") );
-                  ( "schedules",
-                    match verdict with
-                    | Exhaustive.Ok n -> Obs.Json.Int n
-                    | Exhaustive.Counterexample _ -> Obs.Json.Null );
-                  (* mirrored at top level so local and distributed runs
-                     diff field-for-field without digging into stats *)
-                  ("sleep_pruned", Obs.Json.Int stats.Exhaustive.sleep_pruned);
-                  ( "orbits_collapsed",
-                    Obs.Json.Int stats.Exhaustive.orbits_collapsed );
-                  ("stats", Exhaustive.stats_json stats);
-                ]
-               @ dist_fields)))
-        json;
-      match verdict with
-      | Exhaustive.Ok n ->
-        Fmt.pr "%s: %d schedules of depth <= %d, property holds@."
-          sc.Mcheck.Scenario.sc_name n depth;
-        0
-      | Exhaustive.Counterexample cex ->
-        Fmt.pr "VIOLATION under schedule %a@."
-          Fmt.(list ~sep:(any " ") Pid.pp)
-          cex;
-        1
+    let finish =
+      finish_check ~scenario:sc.Mcheck.Scenario.sc_name ~depth ~n_s ~reduce
+        ~json
     in
-    match workers with
-    | [] ->
-      let red = Mcheck.Scenario.reduction sc ~reduce in
-      let verdict, stats =
-        Exhaustive.run ?reduce:red ~build:sc.Mcheck.Scenario.sc_build
-          ~pids:sc.Mcheck.Scenario.sc_pids ~depth
-          ~prop:sc.Mcheck.Scenario.sc_prop ()
-      in
-      finish
-        ~engine:
-          (if red = None then "incremental+memo"
-           else "incremental+memo+sleep+symmetry")
-        ~dist_fields:[] verdict stats
-    | workers -> (
-      match
-        Dist.Coordinator.run ?split_depth ~reduce ~scenario:sc ~depth ~workers
-          ()
-      with
-      | Error msg ->
-        Fmt.epr "wfa modelcheck: %s@." msg;
-        2
-      | Ok r ->
-        let dead =
-          List.filter (fun w -> w.Dist.Coordinator.wk_dead) r.Dist.Coordinator.r_workers
+    let store =
+      match checkpoint with
+      | None -> Ok None
+      | Some dir ->
+        Result.map (fun s -> Some (dir, s)) (Ckpt.Store.create dir)
+    in
+    match store with
+    | Error msg ->
+      Fmt.epr "wfa modelcheck: %s@." msg;
+      2
+    | Ok store -> (
+      match (workers, store) with
+      | [], None ->
+        let red = Mcheck.Scenario.reduction sc ~reduce in
+        let verdict, stats =
+          Exhaustive.run ?reduce:red ~build:sc.Mcheck.Scenario.sc_build
+            ~pids:sc.Mcheck.Scenario.sc_pids ~depth
+            ~prop:sc.Mcheck.Scenario.sc_prop ()
         in
-        Fmt.pr
-          "dist:   %d workers (%d failed), %d subtree jobs, %d re-dispatched@."
-          (List.length workers) (List.length dead)
-          r.Dist.Coordinator.r_jobs r.Dist.Coordinator.r_redispatched;
-        finish ~engine:"distributed"
-          ~dist_fields:
-            [
-              ( "dist",
-                Obs.Json.Obj
-                  [
-                    ("workers", Obs.Json.Int (List.length workers));
-                    ("workers_dead", Obs.Json.Int (List.length dead));
-                    ("jobs", Obs.Json.Int r.Dist.Coordinator.r_jobs);
-                    ( "redispatched",
-                      Obs.Json.Int r.Dist.Coordinator.r_redispatched );
-                    ( "frontier_pruned",
-                      Obs.Json.Int r.Dist.Coordinator.r_frontier_pruned );
-                  ] );
-            ]
-          r.Dist.Coordinator.r_verdict r.Dist.Coordinator.r_stats))
+        finish
+          ~engine:
+            (if red = None then "incremental+memo"
+             else "incremental+memo+sleep+symmetry")
+          ~dist_fields:[] verdict stats
+      | [], Some (dir, store) -> (
+        match
+          Ckpt.Local.run ~interval_s:checkpoint_interval_s ?split_depth
+            ~reduce ~store ~scenario:sc ~depth ()
+        with
+        | Error msg ->
+          Fmt.epr "wfa modelcheck: %s@." msg;
+          2
+        | Ok (verdict, stats) ->
+          finish ~engine:"checkpointed"
+            ~dist_fields:[ ckpt_field ~dir ~resumed:false ]
+            verdict stats)
+      | workers, store -> (
+        let checkpoint =
+          Option.map
+            (fun (_, s) -> (s, checkpoint_interval_s))
+            store
+        in
+        match
+          Dist.Coordinator.run ?split_depth ?checkpoint ~reduce ~scenario:sc
+            ~depth ~workers ()
+        with
+        | Error msg ->
+          Fmt.epr "wfa modelcheck: %s@." msg;
+          2
+        | Ok r ->
+          let dist_fields = dist_report ~workers r in
+          let dist_fields =
+            match store with
+            | None -> dist_fields
+            | Some (dir, _) -> dist_fields @ [ ckpt_field ~dir ~resumed:false ]
+          in
+          finish ~engine:"distributed" ~dist_fields
+            r.Dist.Coordinator.r_verdict r.Dist.Coordinator.r_stats)))
+
+let resume dir workers checkpoint_interval_s json =
+  (* pick the run back up from its journal: the record's config decides
+     scenario/depth/reduce/split-depth, the caller only decides the fleet *)
+  match Ckpt.Store.create dir with
+  | Error msg ->
+    Fmt.epr "wfa resume: %s@." msg;
+    2
+  | Ok store -> (
+    match Ckpt.Local.load_record store with
+    | Error msg ->
+      Fmt.epr "wfa resume: %s@." msg;
+      2
+    | Ok (gen, r) -> (
+      let cfg = r.Ckpt.Record.ck_config in
+      let total = r.Ckpt.Record.ck_total in
+      let done_n = List.length r.Ckpt.Record.ck_done in
+      Fmt.pr "resume: generation %d, %d/%d subtree jobs already done@." gen
+        done_n total;
+      let finish =
+        finish_check ~scenario:cfg.Ckpt.Record.cf_scenario
+          ~depth:cfg.Ckpt.Record.cf_depth ~n_s:cfg.Ckpt.Record.cf_n_s
+          ~reduce:cfg.Ckpt.Record.cf_reduce ~json
+      in
+      match workers with
+      | [] -> (
+        match
+          Ckpt.Local.resume ~interval_s:checkpoint_interval_s ~store ()
+        with
+        | Error msg ->
+          Fmt.epr "wfa resume: %s@." msg;
+          2
+        | Ok (_, verdict, stats) ->
+          finish ~engine:"checkpointed"
+            ~dist_fields:[ ckpt_field ~dir ~resumed:true ]
+            verdict stats)
+      | workers -> (
+        match
+          Mcheck.Scenario.find cfg.Ckpt.Record.cf_scenario
+            ~n_s:cfg.Ckpt.Record.cf_n_s
+        with
+        | Error msg ->
+          Fmt.epr "wfa resume: %s@." msg;
+          2
+        | Ok sc -> (
+          Ckpt.Store.note_resume store ~gen ~total ~done_:done_n;
+          match
+            Dist.Coordinator.run ~split_depth:cfg.Ckpt.Record.cf_split_depth
+              ~reduce:cfg.Ckpt.Record.cf_reduce
+              ~checkpoint:(store, checkpoint_interval_s) ~resume:r
+              ~scenario:sc ~depth:cfg.Ckpt.Record.cf_depth ~workers ()
+          with
+          | Error msg ->
+            Fmt.epr "wfa resume: %s@." msg;
+            2
+          | Ok rep ->
+            let dist_fields = dist_report ~workers rep in
+            finish ~engine:"distributed"
+              ~dist_fields:(dist_fields @ [ ckpt_field ~dir ~resumed:true ])
+              rep.Dist.Coordinator.r_verdict rep.Dist.Coordinator.r_stats))))
 
 (* A fast, machine-readable slice of the bench suite (the full tables live
    in bench/main.exe --record): an E1-style batch, an E5-style batch and a
@@ -824,6 +932,25 @@ let emulate_cmd =
     Term.(const emulate $ n_arg $ seed_arg $ crashes_arg
           $ Arg.(value & opt int 30_000 & info [ "budget" ] ~docv:"STEPS" ~doc:"Run length."))
 
+let checkpoint_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"DIR"
+        ~doc:
+          "Journal progress to $(docv) (created if missing): a crash or \
+           SIGKILL at any point leaves a consistent generation that wfa \
+           resume continues from, with verdict and credited count \
+           identical to an uninterrupted run.")
+
+let checkpoint_interval_arg =
+  Arg.(
+    value
+    & opt float Ckpt.Local.default_interval_s
+    & info [ "checkpoint-interval-s" ] ~docv:"S"
+        ~doc:"Seconds between journal generations (a generation is also \
+              written before the first job and at completion).")
+
 let modelcheck_cmd =
   let doc =
     "Exhaustively model-check a scenario over all schedules, locally or \
@@ -849,7 +976,31 @@ let modelcheck_cmd =
                  & info [ "split-depth" ] ~docv:"D"
                      ~doc:"Frontier depth for distribution (default: \
                            min 3 (depth-1)).")
+          $ checkpoint_dir_arg
+          $ checkpoint_interval_arg
           $ json_arg)
+
+let resume_cmd =
+  let doc =
+    "Resume a checkpointed model-check from its journal directory; the \
+     record's config (scenario, depth, reduction, split depth) wins, only \
+     the fleet is the caller's choice."
+  in
+  Cmd.v
+    (Cmd.info "resume" ~doc)
+    Term.(
+      const resume
+      $ Arg.(required & pos 0 (some string) None
+             & info [] ~docv:"DIR"
+                 ~doc:"Checkpoint directory written by modelcheck \
+                       --checkpoint.")
+      $ Arg.(value & opt (list string) []
+             & info [ "workers" ] ~docv:"ADDR,..."
+                 ~doc:"Redispatch unfinished subtrees over these wfa serve \
+                       workers (same fleet or a different one — workers \
+                       are stateless). Empty = finish in-process.")
+      $ checkpoint_interval_arg
+      $ json_arg)
 
 let socket_arg =
   Arg.(
@@ -989,5 +1140,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ solve_cmd; classify_cmd; witness_cmd; fuzz_cmd; extract_cmd;
-            emulate_cmd; modelcheck_cmd; serve_cmd; call_cmd; bench_cmd;
+            emulate_cmd; modelcheck_cmd; resume_cmd; serve_cmd; call_cmd;
+            bench_cmd;
             campaign_cmd ]))

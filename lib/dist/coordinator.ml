@@ -143,7 +143,7 @@ let job_result_of_json j =
    completes or the connection dies. A dead connection requeues whatever
    it still owed and retires the thread — the jobs live on elsewhere. *)
 let worker_loop st ~sc ~depth ~reduce ~deadline_ms ~retries ~backoff_ms
-    ~accepted ~dead w addr =
+    ~accepted ~dead ~journal w addr =
   let attempted = Hashtbl.create 64 in
   let wname = Printf.sprintf "%d:%s" w addr in
   let die client outstanding why =
@@ -198,7 +198,10 @@ let worker_loop st ~sc ~depth ~reduce ~deadline_ms ~retries ~backoff_ms
                       (match jr.jr_verdict with
                       | Exhaustive.Ok _ -> "ok"
                       | Exhaustive.Counterexample _ -> "counterexample") );
-                ]
+                ];
+              (* journal under the same lock that guards [results]: the
+                 generation written is a consistent snapshot *)
+              journal st ~force:false
             | Ok _ -> () (* a duplicate lost the race; drop it *)
             | Error reason -> requeue st ~reason sj);
             Condition.broadcast st.cond);
@@ -273,17 +276,67 @@ let worker_loop st ~sc ~depth ~reduce ~deadline_ms ~retries ~backoff_ms
 
 let default_split_depth ~depth = max 1 (min 3 (depth - 1))
 
+(* The journaling closure: called with [st.mutex] held after every accepted
+   result ([force:false] — interval-gated) and once at completion
+   ([force:true]). A failed save is reported as an event and otherwise
+   ignored: a disk hiccup must not kill a fleet mid-search — the run
+   degrades to the previous good generation. *)
+let make_journal ~checkpoint ~config ~total =
+  match checkpoint with
+  | None -> fun _st ~force:_ -> ()
+  | Some (store, interval_s) ->
+    let interval_s = Float.max 0.05 interval_s in
+    let last = ref (Obs.Clock.now_ns ()) in
+    fun st ~force ->
+      if force || Obs.Clock.elapsed_s ~since:!last >= interval_s then begin
+        last := Obs.Clock.now_ns ();
+        let done_ =
+          Hashtbl.fold
+            (fun id jr acc ->
+              {
+                Ckpt.Record.dj_id = id;
+                dj_verdict = jr.jr_verdict;
+                dj_stats = jr.jr_stats;
+              }
+              :: acc)
+            st.results []
+        in
+        let record = Ckpt.Record.make ~config ~total ~done_ in
+        match Ckpt.Store.save store (Ckpt.Record.json record) with
+        | Ok _ -> ()
+        | Error msg -> emit st "ckpt.save.error" [ ("error", J.Str msg) ]
+      end
+
 let run ?sink ?split_depth ?(reduce = false) ?(retries = 5) ?(backoff_ms = 50)
-    ?deadline_ms ?(window = 4) ~scenario:sc ~depth ~workers () =
+    ?deadline_ms ?(window = 4) ?checkpoint ?resume ~scenario:sc ~depth
+    ~workers () =
   let pids = sc.Mcheck.Scenario.sc_pids in
   let split_depth =
     match split_depth with Some d -> d | None -> default_split_depth ~depth
+  in
+  let config =
+    {
+      Ckpt.Record.cf_scenario = sc.Mcheck.Scenario.sc_name;
+      cf_n_s = sc.Mcheck.Scenario.sc_n_s;
+      cf_depth = depth;
+      cf_reduce = reduce;
+      cf_split_depth = split_depth;
+    }
+  in
+  let resume_mismatch =
+    match resume with
+    | Some r when r.Ckpt.Record.ck_config <> config ->
+      Some
+        "checkpoint config (scenario/n_s/depth/reduce/split_depth) does not \
+         match this run"
+    | _ -> None
   in
   if workers = [] then Error "no workers given"
   else if depth < 2 then Error "distributed runs need depth >= 2"
   else if not (split_depth >= 1 && split_depth < depth) then
     Error
       (Printf.sprintf "split depth %d not in [1, %d)" split_depth depth)
+  else if resume_mismatch <> None then Error (Option.get resume_mismatch)
   else
     match
       List.filter_map
@@ -300,6 +353,15 @@ let run ?sink ?split_depth ?(reduce = false) ?(retries = 5) ?(backoff_ms = 50)
         Exhaustive.split ?reduce:red ~build:sc.Mcheck.Scenario.sc_build ~pids
           ~depth ~split_depth ~prop:sc.Mcheck.Scenario.sc_prop ()
       in
+      let total = List.length fr.Exhaustive.fr_jobs in
+      match resume with
+      | Some r when r.Ckpt.Record.ck_total <> total ->
+        Error
+          (Printf.sprintf
+             "checkpoint records %d jobs but the frontier splits into %d \
+              (record from a different engine?)"
+             r.Ckpt.Record.ck_total total)
+      | _ ->
       let st =
         {
           mutex = Mutex.create ();
@@ -309,15 +371,28 @@ let run ?sink ?split_depth ?(reduce = false) ?(retries = 5) ?(backoff_ms = 50)
           jobs = Hashtbl.create (List.length fr.Exhaustive.fr_jobs);
           results = Hashtbl.create (List.length fr.Exhaustive.fr_jobs);
           inflight = Hashtbl.create 16;
-          total = List.length fr.Exhaustive.fr_jobs;
+          total;
           window = max 1 window;
           redispatched = 0;
         }
       in
+      (* prefill journaled completions: those ids never reach [pending], so
+         a restarted coordinator redispatches only unfinished subtrees *)
+      (match resume with
+      | None -> ()
+      | Some r ->
+        List.iter
+          (fun d ->
+            Hashtbl.replace st.results d.Ckpt.Record.dj_id
+              {
+                jr_verdict = d.Ckpt.Record.dj_verdict;
+                jr_stats = d.Ckpt.Record.dj_stats;
+              })
+          r.Ckpt.Record.ck_done);
       List.iter
         (fun sj ->
           Hashtbl.replace st.jobs sj.Exhaustive.sj_id sj;
-          Queue.push sj st.pending)
+          if unfinished st sj.Exhaustive.sj_id then Queue.push sj st.pending)
         fr.Exhaustive.fr_jobs;
       emit st Obs.Event.Name.dist_split
         [
@@ -325,6 +400,10 @@ let run ?sink ?split_depth ?(reduce = false) ?(retries = 5) ?(backoff_ms = 50)
           ("split_depth", J.Int split_depth);
           ("pruned", J.Int fr.Exhaustive.fr_pruned);
         ];
+      let journal = make_journal ~checkpoint ~config ~total in
+      (* a generation exists before any dispatch: a coordinator killed in
+         its first interval still leaves a resumable store *)
+      locked st (fun () -> journal st ~force:true);
       let n = List.length workers in
       let accepted = Array.make n 0 and dead = Array.make n false in
       let threads =
@@ -333,11 +412,12 @@ let run ?sink ?split_depth ?(reduce = false) ?(retries = 5) ?(backoff_ms = 50)
             Thread.create
               (fun () ->
                 worker_loop st ~sc ~depth ~reduce ~deadline_ms ~retries
-                  ~backoff_ms ~accepted ~dead w addr)
+                  ~backoff_ms ~accepted ~dead ~journal w addr)
               ())
           workers
       in
       List.iter Thread.join threads;
+      locked st (fun () -> journal st ~force:true);
       if not (done_ st) then
         Error
           (Printf.sprintf

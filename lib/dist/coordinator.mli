@@ -50,6 +50,8 @@ val run :
   ?backoff_ms:int ->
   ?deadline_ms:int ->
   ?window:int ->
+  ?checkpoint:Ckpt.Store.t * float ->
+  ?resume:Ckpt.Record.t ->
   scenario:Mcheck.Scenario.t ->
   depth:int ->
   workers:string list ->
@@ -63,7 +65,17 @@ val run :
     is the per-connection pipelining depth. [sink] receives the [dist.*]
     events ({!Obs.Event.Name}).
 
-    [Error] covers configuration mistakes (no workers, bad address, bad
-    [split_depth]) and total fleet failure with jobs unresolved; a
-    counterexample is not an error but a {!report} whose verdict is
-    [Counterexample]. *)
+    [checkpoint] [(store, interval_s)] journals job completions: a
+    {!Ckpt.Record} generation is written before the first dispatch, then
+    after accepted results at most every [interval_s] seconds, then at
+    completion — all under the coordinator lock, so every generation is a
+    consistent snapshot. Workers stay stateless. [resume] seeds the result
+    table from a previously journaled record (loaded via
+    {!Ckpt.Local.load_record}): only unfinished subtrees are redispatched,
+    against the same fleet or a different one. [Error] when the record's
+    config or job total does not match this run's.
+
+    [Error] otherwise covers configuration mistakes (no workers, bad
+    address, bad [split_depth]) and total fleet failure with jobs
+    unresolved; a counterexample is not an error but a {!report} whose
+    verdict is [Counterexample]. *)

@@ -85,6 +85,13 @@ let race_false ~n_s =
 
 let names = [ "safe-agreement"; "race-false" ]
 
+(* what each named scenario is built to exhibit — campaign specs that omit
+   [expect] derive it from here *)
+let expected_safe = function
+  | "safe-agreement" -> Some true
+  | "race-false" -> Some false
+  | _ -> None
+
 let find name ~n_s =
   if n_s < 1 then Error "scenario needs n_s >= 1"
   else

@@ -36,6 +36,12 @@ val race_false : n_s:int -> t
 val names : string list
 (** The names {!find} accepts, in display order. *)
 
+val expected_safe : string -> bool option
+(** The verdict a named scenario is built to exhibit — [Some true] when
+    its property holds on every schedule, [Some false] for the seeded
+    violation; [None] for a name {!find} would reject. Campaign specs
+    that omit [expect] derive it from this. *)
+
 val find : string -> n_s:int -> (t, string) result
 (** Resolve a wire/CLI scenario name. [Error] names the unknown input
     and lists the valid names. *)

@@ -1,0 +1,48 @@
+(** The tagged-value binary encoding of {!Json.t} — the one value codec
+    shared by the service wire protocol ([Svc.Protocol.Codec], where it
+    encodes request params and response results inside binary envelopes)
+    and the checkpoint store ([Ckpt.Store], where it encodes generation
+    payloads on disk). Extracting it here keeps the byte format defined
+    once: a checkpoint record and a wire frame carrying the same value
+    serialize to the same bytes.
+
+    Format (all integers big-endian):
+    {v
+    value ::= 0 null | 1 false | 2 true | 3 int (8B) | 4 float (IEEE 8B)
+            | 5 str (u32 len + bytes) | 6 list (u32 count + values)
+            | 7 obj (u32 count, then per field: u32 klen + key + value)
+    v}
+
+    The value model is exactly {!Json.t} under the JSON writer's
+    canonicalization: non-finite floats encode as null, so decoding a
+    binary value and decoding its JSON rendering yield equal values. The
+    reader enforces the same guards as {!Json.of_string}: nesting bounded
+    by [max_depth], announced lengths checked against remaining input
+    before allocation. *)
+
+exception Error of string
+(** Raised by the decoding functions on malformed input (truncation, an
+    unknown tag, a lying length prefix, over-deep nesting, an integer
+    outside the native range). Never raised by the writers. *)
+
+(** {1 Writing} *)
+
+val add_u32 : Buffer.t -> int -> unit
+(** Low 32 bits, big-endian. *)
+
+val add_i64 : Buffer.t -> int -> unit
+(** A native 63-bit int, sign-extended to 8 bytes big-endian. *)
+
+val add_value : Buffer.t -> Json.t -> unit
+
+(** {1 Reading}
+
+    Readers take the input string and a position ref, advance it past what
+    they consume, and raise {!Error} on malformed input — the caller owns
+    framing (trailing-garbage checks, headers). *)
+
+val get_u32 : string -> int ref -> int
+val get_i64 : string -> int ref -> int
+
+val decode_value : ?max_depth:int -> string -> int ref -> Json.t
+(** [max_depth] defaults to 64, the wire protocol's nesting bound. *)

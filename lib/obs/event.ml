@@ -31,6 +31,10 @@ module Name = struct
   let dist_redispatch = "dist.redispatch"
   let dist_worker_dead = "dist.worker.dead"
   let dist_done = "dist.done"
+  let ckpt_save = "ckpt.save"
+  let ckpt_load = "ckpt.load"
+  let ckpt_rollback = "ckpt.rollback"
+  let ckpt_resume = "ckpt.resume"
 end
 
 let to_json e = Json.Obj (("ev", Json.Str e.name) :: e.fields)

@@ -107,6 +107,22 @@ module Name : sig
   val dist_done : string
   (** The distributed run completed (fields: jobs, redispatched, workers,
       dead). *)
+
+  (** {2 Checkpoint store ([Ckpt.Store])} *)
+
+  val ckpt_save : string
+  (** A generation was durably written (fields: gen, bytes, codec). *)
+
+  val ckpt_load : string
+  (** A generation was loaded and validated (fields: gen, bytes). *)
+
+  val ckpt_rollback : string
+  (** A newer generation failed validation and was skipped in favour of an
+      older one (fields: gen, reason). *)
+
+  val ckpt_resume : string
+  (** A checkpointed run resumed from a loaded record (fields: gen, total,
+      done — subtree jobs already answered). *)
 end
 
 val to_json : t -> Json.t

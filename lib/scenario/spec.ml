@@ -387,6 +387,63 @@ let expect_of_json path ~verb v =
          (if verb = "solve" then [ "solves"; "violation"; "error" ]
           else [ "safe"; "violation"; "error" ]))
 
+(* When a spec omits [expect], derive it from the classification the
+   registry predicts (the Theorem 10 vocabulary): a task solves iff the
+   schedule's concurrency stays within the task's wait-free level, or the
+   failure detector supplies the missing advice. Explicit [expect] always
+   overrides — it can pin a violation kind or an error class the
+   derivation cannot know. *)
+let derive_expect path work =
+  match work with
+  | Modelcheck m -> (
+    match Mcheck.Scenario.expected_safe m.mc_scenario with
+    | Some true -> Ok Safe
+    | Some false -> Ok (Violation None)
+    | None ->
+      fail path "cannot derive an expectation for scenario %S; declare it"
+        m.mc_scenario)
+  | Fuzz _ ->
+    fail path "fuzz outcomes depend on seed and budget; declare \"expect\""
+  | Solve s ->
+    let conc =
+      match s.sv_policy with
+      | Build.Fair -> s.sv_n
+      | Build.Kconc k | Build.Uniform k -> k
+    in
+    (* the task's maximal wait-free concurrency level, as classified by
+       Tasklib.Registry.standard *)
+    let level : Tasklib.Registry.expectation =
+      match s.sv_task with
+      | `Consensus -> Exact 1
+      | `Ksa -> Exact s.sv_k
+      | `Identity -> Exact s.sv_n
+      | `Renaming ->
+        let l = match s.sv_l with Some l -> l | None -> s.sv_j + s.sv_k - 1 in
+        if l >= (2 * s.sv_j) - 1 then Exact s.sv_n
+        else if l = s.sv_j then Exact 1
+        else At_least (l - s.sv_j + 1)
+      | `Wsb -> At_least 2
+    in
+    let fd_helps =
+      (* only the agreement tasks have advice-backed algorithms in the
+         battery; "trivial" is the no-advice baseline *)
+      (match s.sv_task with `Consensus | `Ksa -> true | _ -> false)
+      &&
+      match s.sv_fd with
+      | `Omega | `Vector | `Silent | `Perfect -> true
+      | `Trivial -> false
+    in
+    let lower = Tasklib.Registry.expected_lower level in
+    if conc <= lower || fd_helps then Ok Solves
+    else (
+      match level with
+      | Exact _ -> Ok (Violation None)
+      | At_least _ ->
+        fail path
+          "task is only classified as level >= %d; cannot derive an \
+           expectation for concurrency %d — declare \"expect\""
+          lower conc)
+
 let of_json ?(path = "$") j =
   let* kvs = obj path j in
   let* () =
@@ -423,7 +480,9 @@ let of_json ?(path = "$") j =
           (int_in (sub "deadline_ms") ~min:1 ~max:max_deadline_ms v))
   in
   let* sp_expect =
-    req path kvs "expect" (expect_of_json (sub "expect") ~verb)
+    match List.assoc_opt "expect" kvs with
+    | Some v -> expect_of_json (sub "expect") ~verb v
+    | None -> derive_expect (sub "expect") sp_work
   in
   Ok { sp_name; sp_work; sp_deadline_ms; sp_expect }
 

@@ -31,6 +31,17 @@
     - [fuzz]: ["safe"] (no witness within budget), ["violation"] (witness
       found), or ["error"]
 
+    [expect] may be omitted for [solve] and [modelcheck]: the expectation
+    is then {e derived} from the registry's solvability classification —
+    a task solves iff the policy's concurrency stays within its wait-free
+    level ({!Tasklib.Registry.standard}'s table) or the failure detector
+    supplies the missing advice; a modelcheck scenario expects the verdict
+    it is built to exhibit ({!Mcheck.Scenario.expected_safe}). Derivation
+    refuses the genuinely ambiguous cases (fuzz, [At_least]-classified
+    tasks above their known level) rather than guessing; an explicit
+    [expect] always overrides and can pin violation kinds or error
+    classes.
+
     Parsing is strict and untrusted-input safe: {!of_string} reads through
     {!Obs.Json.of_string}'s guards, every numeric field is bounded, unknown
     fields are rejected (a typo must fail loudly, not silently fall back to

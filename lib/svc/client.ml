@@ -76,13 +76,21 @@ let negotiate t offered =
       | None -> ())
     | Ok (_, Error _) | Error _ -> ())
 
-let connect ?(retries = 0) ?(backoff_ms = 50) ?(codec = P.Codec.Json) target =
+let connect ?(retries = 0) ?(backoff_ms = 50) ?deadline_ms
+    ?(codec = P.Codec.Json) target =
   let addr =
     match Addr.of_string target with
     | Ok a -> a
     | Error msg -> invalid_arg ("Svc.Client.connect: " ^ msg)
   in
   let sa = Addr.sockaddr addr in
+  let started = Obs.Clock.now_ns () in
+  let remaining_s () =
+    match deadline_ms with
+    | None -> infinity
+    | Some ms ->
+      (float_of_int ms /. 1000.) -. Obs.Clock.elapsed_s ~since:started
+  in
   let rec attempt left backoff =
     let fd = Unix.socket (Addr.domain addr) Unix.SOCK_STREAM 0 in
     match Unix.connect fd sa with
@@ -97,8 +105,12 @@ let connect ?(retries = 0) ?(backoff_ms = 50) ?(codec = P.Codec.Json) target =
     | exception e -> (
       (try Unix.close fd with Unix.Unix_error _ -> ());
       match e with
-      | Unix.Unix_error (err, _, _) when left > 0 && retryable err ->
-        Unix.sleepf (float_of_int backoff /. 1000.);
+      | Unix.Unix_error (err, _, _)
+        when left > 0 && retryable err && remaining_s () > 0. ->
+        (* clamp to the remaining budget: a 2 s backoff must not overrun
+           a 100 ms deadline just because the doubling got there first *)
+        Unix.sleepf
+          (Float.min (float_of_int backoff /. 1000.) (remaining_s ()));
         attempt (left - 1) (min (backoff * 2) backoff_cap_ms)
       | e -> raise e)
   in

@@ -15,16 +15,24 @@ type error =
 val error_string : error -> string
 
 val connect :
-  ?retries:int -> ?backoff_ms:int -> ?codec:Protocol.Codec.t -> string -> t
+  ?retries:int ->
+  ?backoff_ms:int ->
+  ?deadline_ms:int ->
+  ?codec:Protocol.Codec.t ->
+  string ->
+  t
 (** Connect to an address in {!Addr} textual form ([unix:PATH],
     [tcp:HOST:PORT], or a bare socket path). [retries] (default [0])
     re-attempts connection refusals — [ECONNREFUSED], a not-yet-created
     socket file ([ENOENT]), [ECONNRESET] — sleeping [backoff_ms] (default
     [50]) before the first retry and doubling up to a 2 s cap; a freshly
     [exec]'d server is usually reachable well inside the first doubling.
-    Raises [Unix.Unix_error] once the budget is exhausted or on a
-    non-retryable error, and [Invalid_argument] if the address does not
-    parse.
+    [deadline_ms] bounds the {e whole} retry loop in wall time: each
+    backoff sleep is clamped to the remaining budget and no retry starts
+    past the deadline, so the worst-case overrun is one connect attempt
+    rather than a full (possibly seconds-long) backoff. Raises
+    [Unix.Unix_error] once the budget is exhausted or on a non-retryable
+    error, and [Invalid_argument] if the address does not parse.
 
     [codec] (default [Json]) is the wire codec to offer: [Binary] sends a
     [hello] round-trip after connecting and switches only on an explicit

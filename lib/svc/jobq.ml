@@ -1,32 +1,72 @@
 type 'a t = {
-  q : 'a Queue.t;
+  q : 'a Queue.t;  (* the whole queue when [key] is absent (plain FIFO) *)
+  key : ('a -> int) option;
+  per : (int, 'a Queue.t) Hashtbl.t;  (* keyed mode: one FIFO per class *)
+  rotation : int Queue.t;  (* classes with at least one queued item *)
+  mutable len : int;
   bound : int;
   mutable closed : bool;
   mutex : Mutex.t;
   nonempty : Condition.t;
 }
 
-let create ~bound =
+let create ?key ~bound () =
   if bound < 1 then invalid_arg "Jobq.create: bound must be >= 1";
   {
     q = Queue.create ();
+    key;
+    per = Hashtbl.create 16;
+    rotation = Queue.create ();
+    len = 0;
     bound;
     closed = false;
     mutex = Mutex.create ();
     nonempty = Condition.create ();
   }
 
+(* Callers hold the mutex. The bound stays global — fairness is a dequeue
+   property; admission is still one shared high-watermark. *)
+let push_locked t x =
+  if t.closed then `Closed
+  else if t.len >= t.bound then `Full
+  else begin
+    (match t.key with
+    | None -> Queue.push x t.q
+    | Some key ->
+      let k = key x in
+      let sub =
+        match Hashtbl.find_opt t.per k with
+        | Some sub -> sub
+        | None ->
+          let sub = Queue.create () in
+          Hashtbl.add t.per k sub;
+          Queue.push k t.rotation;
+          sub
+      in
+      Queue.push x sub);
+    t.len <- t.len + 1;
+    `Ok
+  end
+
+let pop_locked t =
+  match t.key with
+  | None -> Queue.pop t.q
+  | Some _ ->
+    (* round-robin: serve the class at the head of the rotation, then send
+       it to the back (or retire it if that drained it) — a client
+       pipelining 100 requests delays everyone else by at most one job per
+       turn instead of 100 *)
+    let k = Queue.pop t.rotation in
+    let sub = Hashtbl.find t.per k in
+    let x = Queue.pop sub in
+    if Queue.is_empty sub then Hashtbl.remove t.per k
+    else Queue.push k t.rotation;
+    x
+
 let try_push t x =
   Mutex.lock t.mutex;
-  let r =
-    if t.closed then `Closed
-    else if Queue.length t.q >= t.bound then `Full
-    else begin
-      Queue.push x t.q;
-      Condition.signal t.nonempty;
-      `Ok
-    end
-  in
+  let r = push_locked t x in
+  if r = `Ok then Condition.signal t.nonempty;
   Mutex.unlock t.mutex;
   r
 
@@ -38,13 +78,9 @@ let try_push_many t xs =
   let rs =
     List.map
       (fun x ->
-        if t.closed then `Closed
-        else if Queue.length t.q >= t.bound then `Full
-        else begin
-          Queue.push x t.q;
-          incr pushed;
-          `Ok
-        end)
+        let r = push_locked t x in
+        if r = `Ok then incr pushed;
+        r)
       xs
   in
   if !pushed = 1 then Condition.signal t.nonempty
@@ -54,10 +90,16 @@ let try_push_many t xs =
 
 let pop t =
   Mutex.lock t.mutex;
-  while Queue.is_empty t.q && not t.closed do
+  while t.len = 0 && not t.closed do
     Condition.wait t.nonempty t.mutex
   done;
-  let r = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+  let r =
+    if t.len = 0 then None
+    else begin
+      t.len <- t.len - 1;
+      Some (pop_locked t)
+    end
+  in
   Mutex.unlock t.mutex;
   r
 
@@ -69,6 +111,6 @@ let close t =
 
 let length t =
   Mutex.lock t.mutex;
-  let n = Queue.length t.q in
+  let n = t.len in
   Mutex.unlock t.mutex;
   n

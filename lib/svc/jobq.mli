@@ -10,8 +10,17 @@
 
 type 'a t
 
-val create : bound:int -> 'a t
-(** [bound] ≥ 1 (raises [Invalid_argument] otherwise). *)
+val create : ?key:('a -> int) -> bound:int -> unit -> 'a t
+(** [bound] ≥ 1 (raises [Invalid_argument] otherwise) and is global —
+    admission control stays one shared high-watermark either way.
+
+    [key] classifies items (the pool keys on the connection id) and turns
+    {!pop} into a round-robin over classes: each pop serves the class at
+    the head of the rotation and sends it to the back, FIFO within a
+    class. A client pipelining 100 requests then delays everyone else by
+    at most one job per turn instead of 100, and under saturation the
+    slots freed by pops are contested fairly rather than re-won by the
+    noisiest tenant. Without [key] the queue is a plain FIFO. *)
 
 val try_push : 'a t -> 'a -> [ `Ok | `Full | `Closed ]
 

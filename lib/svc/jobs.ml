@@ -140,33 +140,88 @@ let scenario_param params =
       sc
     | Error msg -> bad "%s" msg)
 
+let modelcheck_result ~scenario ~depth ~n_s ~reduce ?checkpoint (verdict, stats)
+    =
+  J.Obj
+    ([
+       ("scenario", J.Str scenario);
+       ("depth", J.Int depth);
+       ("n_s", J.Int n_s);
+       ("reduce", J.Bool reduce);
+       ( "verdict",
+         J.Str
+           (match verdict with
+           | Exhaustive.Ok _ -> "ok"
+           | Exhaustive.Counterexample _ -> "counterexample") );
+       ( "schedules",
+         match verdict with
+         | Exhaustive.Ok n -> J.Int n
+         | Exhaustive.Counterexample _ -> J.Null );
+       ("stats", Exhaustive.stats_json stats);
+     ]
+    @
+    match checkpoint with
+    | None -> []
+    | Some (dir, resumed) ->
+      [
+        ( "checkpoint",
+          J.Obj [ ("dir", J.Str dir); ("resumed", J.Bool resumed) ] );
+      ])
+
+(* With "checkpoint_dir" the verb runs the partitioned, journaling engine
+   ({!Ckpt.Local}) instead of the monolithic DFS; with "resume": true it
+   continues whatever record the store holds — the pooled resume path, so
+   a fleet worker (or `wfa call`) can pick up a killed run without any
+   coordinator. Verdict and credited count are engine-independent (the
+   merge theorem), so callers see the same response either way. *)
 let modelcheck ~cancel params =
   let depth = pos_param ~default:8 "depth" params in
   let reduce = bool_param ~default:false "reduce" params in
-  let sc = scenario_param params in
-  let reduce = Mcheck.Scenario.reduction sc ~reduce in
-  let verdict, stats =
-    Exhaustive.run ?reduce ~cancel ~build:sc.Mcheck.Scenario.sc_build
-      ~pids:sc.Mcheck.Scenario.sc_pids ~depth ~prop:sc.Mcheck.Scenario.sc_prop
-      ()
-  in
-  J.Obj
-    [
-      ("scenario", J.Str sc.Mcheck.Scenario.sc_name);
-      ("depth", J.Int depth);
-      ("n_s", J.Int sc.Mcheck.Scenario.sc_n_s);
-      ("reduce", J.Bool (reduce <> None));
-      ( "verdict",
-        J.Str
-          (match verdict with
-          | Exhaustive.Ok _ -> "ok"
-          | Exhaustive.Counterexample _ -> "counterexample") );
-      ( "schedules",
-        match verdict with
-        | Exhaustive.Ok n -> J.Int n
-        | Exhaustive.Counterexample _ -> J.Null );
-      ("stats", Exhaustive.stats_json stats);
-    ]
+  match J.member "checkpoint_dir" params with
+  | None ->
+    let sc = scenario_param params in
+    let red = Mcheck.Scenario.reduction sc ~reduce in
+    let verdict, stats =
+      Exhaustive.run ?reduce:red ~cancel ~build:sc.Mcheck.Scenario.sc_build
+        ~pids:sc.Mcheck.Scenario.sc_pids ~depth
+        ~prop:sc.Mcheck.Scenario.sc_prop ()
+    in
+    modelcheck_result ~scenario:sc.Mcheck.Scenario.sc_name ~depth
+      ~n_s:sc.Mcheck.Scenario.sc_n_s ~reduce:(red <> None) (verdict, stats)
+  | Some dir_json -> (
+    let dir =
+      match dir_json with
+      | J.Str s when s <> "" -> s
+      | _ -> bad "param \"checkpoint_dir\" is not a non-empty string"
+    in
+    let interval_s =
+      float_of_int (pos_param ~default:30 "checkpoint_interval_s" params)
+    in
+    let resumed = bool_param ~default:false "resume" params in
+    let store =
+      match Ckpt.Store.create dir with
+      | Ok s -> s
+      | Error msg -> bad "%s" msg
+    in
+    if resumed then
+      match Ckpt.Local.resume ~interval_s ~cancel ~store () with
+      | Error msg -> bad "%s" msg
+      | Ok (config, verdict, stats) ->
+        modelcheck_result ~scenario:config.Ckpt.Record.cf_scenario
+          ~depth:config.Ckpt.Record.cf_depth ~n_s:config.Ckpt.Record.cf_n_s
+          ~reduce:config.Ckpt.Record.cf_reduce
+          ~checkpoint:(dir, true) (verdict, stats)
+    else
+      let sc = scenario_param params in
+      match
+        Ckpt.Local.run ~interval_s ~reduce ~cancel ~store ~scenario:sc ~depth
+          ()
+      with
+      | Error msg -> bad "%s" msg
+      | Ok (verdict, stats) ->
+        modelcheck_result ~scenario:sc.Mcheck.Scenario.sc_name ~depth
+          ~n_s:sc.Mcheck.Scenario.sc_n_s ~reduce ~checkpoint:(dir, false)
+          (verdict, stats))
 
 (* One frontier subtree of a distributed exhaustive search. The coordinator
    ships the scenario by name plus the engine context ({!Exhaustive.subtree});

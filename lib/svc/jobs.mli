@@ -23,7 +23,14 @@ val run :
       cancellable at every scheduling step.
     - [modelcheck]: [depth], [n_s], [reduce] — exhaustive safe-agreement
       check; result [{ "verdict": "ok"|"counterexample", ... }].
-      Cancellable between schedules.
+      Cancellable between schedules. With [checkpoint_dir] (plus optional
+      [checkpoint_interval_s], default 30) the check runs the partitioned
+      journaling engine ({!Ckpt.Local}) and survives a killed server;
+      with [resume: true] it continues the record in [checkpoint_dir]
+      instead of starting over (ignoring [scenario]/[depth]/[n_s]/[reduce]
+      — the record's config wins). The result then carries a
+      ["checkpoint"] field. Verdict and credited count are identical
+      across all three paths.
     - [fuzz]: [kind], [n], [j], [seed], [budget], [domains] — adversary
       fuzzing; result [{ "found": bool, "fuzz": ..., "witness": ... }].
       Cancellable between trials.

@@ -67,7 +67,9 @@ let worker queue () =
 
 let create ~workers ~queue_bound =
   if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
-  let queue = Jobq.create ~bound:queue_bound in
+  (* fair dequeue across connections: one pipelining client cannot
+     monopolize the workers *)
+  let queue = Jobq.create ~key:(fun j -> j.jb_conn) ~bound:queue_bound () in
   {
     queue;
     workers = Array.init workers (fun _ -> Domain.spawn (worker queue));

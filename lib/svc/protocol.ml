@@ -258,63 +258,14 @@ module Codec = struct
     | 5 -> Some Internal
     | _ -> None
 
-  (* -- binary writer: straight from the envelope record to bytes -------- *)
+  (* -- binary writer: straight from the envelope record to bytes --------
+     The value encoding itself (tags, guards, non-finite-float
+     canonicalization) lives in [Obs.Binval] so the checkpoint store writes
+     the same bytes; the envelope header framing around it stays here. *)
 
-  let add_u32 buf n =
-    Buffer.add_char buf (Char.unsafe_chr ((n lsr 24) land 0xff));
-    Buffer.add_char buf (Char.unsafe_chr ((n lsr 16) land 0xff));
-    Buffer.add_char buf (Char.unsafe_chr ((n lsr 8) land 0xff));
-    Buffer.add_char buf (Char.unsafe_chr (n land 0xff))
-
-  (* a native 63-bit int, sign-extended to 8 bytes big-endian *)
-  let add_i64 buf v =
-    Buffer.add_char buf (Char.unsafe_chr ((v asr 56) land 0xff));
-    Buffer.add_char buf (Char.unsafe_chr ((v asr 48) land 0xff));
-    Buffer.add_char buf (Char.unsafe_chr ((v asr 40) land 0xff));
-    Buffer.add_char buf (Char.unsafe_chr ((v asr 32) land 0xff));
-    Buffer.add_char buf (Char.unsafe_chr ((v asr 24) land 0xff));
-    Buffer.add_char buf (Char.unsafe_chr ((v asr 16) land 0xff));
-    Buffer.add_char buf (Char.unsafe_chr ((v asr 8) land 0xff));
-    Buffer.add_char buf (Char.unsafe_chr (v land 0xff))
-
-  (* Tags: 0 null, 1 false, 2 true, 3 int (8B BE), 4 float (IEEE bits BE),
-     5 string (u32 len + bytes), 6 list (u32 count + values), 7 object
-     (u32 count, then per field: u32 klen + key + value). Non-finite floats
-     degrade to null exactly as the JSON writer does — the differential
-     oracle demands the two codecs carry the same value model, not almost
-     the same. *)
-  let rec add_value buf v =
-    match v with
-    | J.Null -> Buffer.add_char buf '\x00'
-    | J.Bool false -> Buffer.add_char buf '\x01'
-    | J.Bool true -> Buffer.add_char buf '\x02'
-    | J.Int i ->
-      Buffer.add_char buf '\x03';
-      add_i64 buf i
-    | J.Float f ->
-      if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
-        Buffer.add_char buf '\x00'
-      else begin
-        Buffer.add_char buf '\x04';
-        Buffer.add_int64_be buf (Int64.bits_of_float f)
-      end
-    | J.Str s ->
-      Buffer.add_char buf '\x05';
-      add_u32 buf (String.length s);
-      Buffer.add_string buf s
-    | J.List xs ->
-      Buffer.add_char buf '\x06';
-      add_u32 buf (List.length xs);
-      List.iter (add_value buf) xs
-    | J.Obj kvs ->
-      Buffer.add_char buf '\x07';
-      add_u32 buf (List.length kvs);
-      List.iter
-        (fun (k, v) ->
-          add_u32 buf (String.length k);
-          Buffer.add_string buf k;
-          add_value buf v)
-        kvs
+  let add_u32 = Obs.Binval.add_u32
+  let add_i64 = Obs.Binval.add_i64
+  let add_value = Obs.Binval.add_value
 
   let add_request_binary buf rq =
     Buffer.add_char buf magic;
@@ -365,90 +316,15 @@ module Codec = struct
 
   (* -- binary reader ---------------------------------------------------- *)
 
-  exception Bin of string
+  exception Bin = Obs.Binval.Error
 
   let bin_fail fmt = Printf.ksprintf (fun s -> raise (Bin s)) fmt
 
   (* the same nesting bound [parse] applies to wire JSON *)
   let max_value_depth = 64
 
-  let get_i64 s pos =
-    let v64 = String.get_int64_be s !pos in
-    pos := !pos + 8;
-    let v = Int64.to_int v64 in
-    if Int64.of_int v = v64 then v
-    else bin_fail "integer exceeds native range"
-
-  let decode_value s pos =
-    let n = String.length s in
-    let need k = if n - !pos < k then bin_fail "truncated binary value" in
-    let u8 () =
-      need 1;
-      let c = Char.code s.[!pos] in
-      incr pos;
-      c
-    in
-    let u32 () =
-      need 4;
-      let v =
-        (Char.code s.[!pos] lsl 24)
-        lor (Char.code s.[!pos + 1] lsl 16)
-        lor (Char.code s.[!pos + 2] lsl 8)
-        lor Char.code s.[!pos + 3]
-      in
-      pos := !pos + 4;
-      v
-    in
-    let rec value depth =
-      if depth > max_value_depth then
-        bin_fail "nesting deeper than %d" max_value_depth;
-      match u8 () with
-      | 0 -> J.Null
-      | 1 -> J.Bool false
-      | 2 -> J.Bool true
-      | 3 ->
-        need 8;
-        J.Int (get_i64 s pos)
-      | 4 ->
-        need 8;
-        let bits = String.get_int64_be s !pos in
-        pos := !pos + 8;
-        J.Float (Int64.float_of_bits bits)
-      | 5 ->
-        let len = u32 () in
-        need len;
-        let r = String.sub s !pos len in
-        pos := !pos + len;
-        J.Str r
-      | 6 ->
-        (* an announced count beyond the remaining bytes is a lie: every
-           element costs at least one byte, so reject before building *)
-        let count = u32 () in
-        if count > n - !pos then
-          bin_fail "list count %d exceeds remaining input" count;
-        let rec items k acc =
-          if k = 0 then J.List (List.rev acc)
-          else items (k - 1) (value (depth + 1) :: acc)
-        in
-        items count []
-      | 7 ->
-        let count = u32 () in
-        if count > n - !pos then
-          bin_fail "object count %d exceeds remaining input" count;
-        let rec fields k acc =
-          if k = 0 then J.Obj (List.rev acc)
-          else begin
-            let klen = u32 () in
-            need klen;
-            let key = String.sub s !pos klen in
-            pos := !pos + klen;
-            fields (k - 1) ((key, value (depth + 1)) :: acc)
-          end
-        in
-        fields count []
-      | t -> bin_fail "unknown value tag %d" t
-    in
-    value 0
+  let get_i64 = Obs.Binval.get_i64
+  let decode_value s pos = Obs.Binval.decode_value ~max_depth:max_value_depth s pos
 
   let check_header s ~kind_min ~kind_max =
     if String.length s < 4 then bin_fail "truncated binary envelope";

@@ -25,4 +25,5 @@ let () =
       ("svc", Test_svc.suite);
       ("scenario", Test_scenario.suite);
       ("dist", Test_dist.suite);
+      ("ckpt", Test_ckpt.suite);
     ]

@@ -113,6 +113,51 @@ let test_strict_parse_errors () =
     {|{"v":1,"name":"a","verb":"solve","params":{},
        "expect":{"outcome":"error","code":"nope"}}|}
 
+(* Omitted [expect] is derived from the registry classification; the
+   ambiguous cases must refuse rather than guess. *)
+let test_derived_expect () =
+  let derived what s expect =
+    match parse s with
+    | Error msg -> Alcotest.failf "%s: %s" what msg
+    | Ok sp ->
+      Alcotest.check Alcotest.string what
+        (Spec.expect_string expect)
+        (Spec.expect_string sp.Spec.sp_expect)
+  in
+  derived "modelcheck safe scenario"
+    {|{"v":1,"name":"a","verb":"modelcheck","params":{}}|} Spec.Safe;
+  derived "modelcheck seeded violation"
+    {|{"v":1,"name":"a","verb":"modelcheck",
+       "params":{"scenario":"race-false"}}|}
+    (Spec.Violation None);
+  derived "advice makes consensus live"
+    {|{"v":1,"name":"a","verb":"solve","params":{"task":"consensus"}}|}
+    Spec.Solves;
+  derived "no advice, full concurrency: fails"
+    {|{"v":1,"name":"a","verb":"solve",
+       "params":{"task":"consensus","fd":"trivial"}}|}
+    (Spec.Violation None);
+  derived "1-concurrency solves strong renaming with any fd"
+    {|{"v":1,"name":"a","verb":"solve",
+       "params":{"task":"renaming","policy":"kconc:1","fd":"trivial",
+                 "n":3,"j":2}}|}
+    Spec.Solves;
+  derived "identity is wait-free at level n"
+    {|{"v":1,"name":"a","verb":"solve",
+       "params":{"task":"identity","fd":"trivial"}}|}
+    Spec.Solves;
+  expect_error "fuzz refuses derivation" "declare \"expect\""
+    {|{"v":1,"name":"a","verb":"fuzz","params":{}}|};
+  expect_error "At_least classification above its level refuses"
+    "cannot derive an expectation for concurrency"
+    {|{"v":1,"name":"a","verb":"solve",
+       "params":{"task":"wsb","fd":"trivial","n":4,"j":3}}|};
+  (* explicit expect still overrides the derivation *)
+  derived "explicit override wins"
+    {|{"v":1,"name":"a","verb":"solve","params":{"task":"consensus"},
+       "expect":{"outcome":"violation","kind":"undecided"}}|}
+    (Spec.Violation (Some "undecided"))
+
 (* ------------------------------------------------------ qcheck roundtrip *)
 
 let name_gen =
@@ -505,6 +550,7 @@ let suite =
       test_golden_malformed;
     Alcotest.test_case "load missing file" `Quick test_load_missing_file;
     Alcotest.test_case "strict parse errors" `Quick test_strict_parse_errors;
+    Alcotest.test_case "derived expectations" `Quick test_derived_expect;
     QCheck_alcotest.to_alcotest prop_roundtrip;
     QCheck_alcotest.to_alcotest prop_print_fixpoint;
     Alcotest.test_case "campaign expand" `Quick test_campaign_expand;

@@ -209,7 +209,7 @@ let test_protocol_rejects () =
 (* --------------------------------------------------------------- jobq *)
 
 let test_jobq_bound_and_order () =
-  let q = Svc.Jobq.create ~bound:2 in
+  let q = Svc.Jobq.create ~bound:2 () in
   check_bool "push 1" true (Svc.Jobq.try_push q 1 = `Ok);
   check_bool "push 2" true (Svc.Jobq.try_push q 2 = `Ok);
   check_bool "push 3 is Full" true (Svc.Jobq.try_push q 3 = `Full);
@@ -223,8 +223,37 @@ let test_jobq_bound_and_order () =
   check_bool "drain 4" true (Svc.Jobq.pop q = Some 4);
   check_bool "empty after drain" true (Svc.Jobq.pop q = None)
 
+(* Fair dequeue: a greedy client (conn 0) and a polite one (conn 1) share
+   a keyed queue of bound 2. The bound stays global — greed is rejected at
+   admission — and pops alternate between the classes, so the polite
+   client's request waits behind at most one greedy job per round. *)
+let test_jobq_fair_dequeue () =
+  let q = Svc.Jobq.create ~key:fst ~bound:2 () in
+  check_bool "greedy 1" true (Svc.Jobq.try_push q (0, 1) = `Ok);
+  check_bool "greedy 2" true (Svc.Jobq.try_push q (0, 2) = `Ok);
+  check_bool "greedy over bound" true (Svc.Jobq.try_push q (0, 3) = `Full);
+  check_bool "first pop is greedy" true (Svc.Jobq.pop q = Some (0, 1));
+  check_bool "polite wins freed slot" true (Svc.Jobq.try_push q (1, 1) = `Ok);
+  check_bool "greedy still rejected" true (Svc.Jobq.try_push q (0, 3) = `Full);
+  (* rotation: conn 0's turn, then conn 1's — even though (0,3) below is
+     pushed before conn 1 is served again *)
+  check_bool "round-robin serves 0" true (Svc.Jobq.pop q = Some (0, 2));
+  check_bool "greedy refills" true (Svc.Jobq.try_push q (0, 3) = `Ok);
+  check_bool "round-robin serves 1" true (Svc.Jobq.pop q = Some (1, 1));
+  check_bool "then 0 again" true (Svc.Jobq.pop q = Some (0, 3));
+  (* interleaving with a backlog: 3 greedy jobs queued ahead of 1 polite
+     one; FIFO would serve the polite job last, round-robin serves it
+     second *)
+  let q = Svc.Jobq.create ~key:fst ~bound:4 () in
+  List.iter
+    (fun x -> check_bool "push" true (Svc.Jobq.try_push q x = `Ok))
+    [ (0, 1); (0, 2); (0, 3); (1, 9) ];
+  let order = List.init 4 (fun _ -> Option.get (Svc.Jobq.pop q)) in
+  check_bool "polite served second" true
+    (order = [ (0, 1); (1, 9); (0, 2); (0, 3) ])
+
 let test_jobq_blocking_pop () =
-  let q = Svc.Jobq.create ~bound:4 in
+  let q = Svc.Jobq.create ~bound:4 () in
   let got = Atomic.make (-1) in
   let consumer =
     Thread.create
@@ -238,6 +267,25 @@ let test_jobq_blocking_pop () =
   check_bool "push wakes" true (Svc.Jobq.try_push q 42 = `Ok);
   Thread.join consumer;
   check_int "popped" 42 (Atomic.get got)
+
+(* connect against nothing (ENOENT, retryable): a 400 ms backoff doubling
+   over 10 retries would sleep for many seconds, but the 200 ms deadline
+   budget clamps the first sleep and forbids the second attempt *)
+let test_connect_deadline_clamp () =
+  let path = socket_path () in
+  let t0 = Obs.Clock.now_ns () in
+  (try
+     let c =
+       Svc.Client.connect ~retries:10 ~backoff_ms:400 ~deadline_ms:200 path
+     in
+     Svc.Client.close c;
+     Alcotest.fail "connected with no server listening"
+   with Unix.Unix_error _ -> ());
+  let elapsed = Obs.Clock.elapsed_s ~since:t0 in
+  check_bool
+    (Printf.sprintf "gave up inside the budget (%.3fs)" elapsed)
+    true
+    (elapsed < 1.5)
 
 (* ----------------------------------------------------------- end-to-end *)
 
@@ -1002,7 +1050,11 @@ let suite =
     Alcotest.test_case "protocol rejects malformed" `Quick test_protocol_rejects;
     Alcotest.test_case "jobq bound, order, drain" `Quick
       test_jobq_bound_and_order;
+    Alcotest.test_case "jobq fair dequeue (greedy vs polite)" `Quick
+      test_jobq_fair_dequeue;
     Alcotest.test_case "jobq blocking pop" `Quick test_jobq_blocking_pop;
+    Alcotest.test_case "connect backoff clamped to deadline" `Quick
+      test_connect_deadline_clamp;
     Alcotest.test_case "server: ping, solve, stats, bad request" `Quick
       test_server_ping_solve_stats;
     Alcotest.test_case "server: backpressure rejects with overloaded" `Quick
